@@ -1,0 +1,585 @@
+(* Reproduction harness: regenerates every quantitative artefact of the
+   paper (experiment ids E1-E6 of DESIGN.md), runs the ablation benches,
+   and measures each analysis with Bechamel.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- e1 .. e6 | ablations | micro *)
+
+open Quantlib
+
+let line () = print_endline (String.make 78 '-')
+
+let header title =
+  line ();
+  Printf.printf "%s\n" title;
+  line ()
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* E1 - verification queries of Section II.A.a (Fig. 1 model)          *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  header "E1  Train-gate verification (Section II.A.a; paper: all satisfied)";
+  let n_trains = 4 in
+  let net = Ta.Train_gate.make ~n_trains in
+  Printf.printf "%-44s %-10s %9s %9s\n" "query" "verdict" "states" "time(s)";
+  let show name q =
+    let r, dt = timed (fun () -> Ta.Checker.check net q) in
+    Printf.printf "%-44s %-10s %9d %9.2f\n" name
+      (if r.Ta.Checker.holds then "satisfied" else "VIOLATED")
+      r.Ta.Checker.stats.Ta.Checker.visited dt
+  in
+  show "A[] at most one train crossing (safety)" (Ta.Train_gate.safety net);
+  show "A[] not deadlock" Ta.Train_gate.no_deadlock;
+  (* State-space scaling of the safety check. *)
+  Printf.printf "\nsafety-check scaling:";
+  List.iter
+    (fun n ->
+      let netn = Ta.Train_gate.make ~n_trains:n in
+      let r, dt =
+        timed (fun () -> Ta.Checker.check netn (Ta.Train_gate.safety netn))
+      in
+      Printf.printf "  %d trains: %d states (%.2fs)" n
+        r.Ta.Checker.stats.Ta.Checker.visited dt)
+    [ 2; 3; 4; 5 ];
+  print_newline ();
+  (* Fischer's protocol: the other classic UPPAAL verification target. *)
+  let fischer = Ta.Fischer.make ~n:3 () in
+  let rf, dtf = timed (fun () -> Ta.Checker.check fischer (Ta.Fischer.mutex fischer)) in
+  Printf.printf "%-44s %-10s %9d %9.2f\n" "Fischer (3 procs): mutual exclusion"
+    (if rf.Ta.Checker.holds then "satisfied" else "VIOLATED")
+    rf.Ta.Checker.stats.Ta.Checker.visited dtf;
+  let broken = Ta.Fischer.make ~strict_wait:false ~n:2 () in
+  let rb, dtb = timed (fun () -> Ta.Checker.check broken (Ta.Fischer.mutex broken)) in
+  Printf.printf "%-44s %-10s %9d %9.2f\n" "Fischer, non-strict wait (injected bug)"
+    (if rb.Ta.Checker.holds then "satisfied" else "VIOLATED")
+    rb.Ta.Checker.stats.Ta.Checker.visited dtb;
+  (* Liveness needs the exact graph; run it on 3 trains as the paper's
+     property list (one query per train). *)
+  let net3 = Ta.Train_gate.make ~n_trains:3 in
+  for i = 0 to 2 do
+    let r, dt =
+      timed (fun () -> Ta.Checker.check net3 (Ta.Train_gate.liveness net3 i))
+    in
+    Printf.printf "%-44s %-10s %9d %9.2f\n"
+      (Printf.sprintf "Train(%d).Appr --> Train(%d).Cross  (3 trains)" i i)
+      (if r.Ta.Checker.holds then "satisfied" else "VIOLATED")
+      r.Ta.Checker.stats.Ta.Checker.visited dt
+  done
+
+(* ------------------------------------------------------------------ *)
+(* E2 - controller synthesis (Figs. 2-3)                               *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  header "E2  Train-game controller synthesis (UPPAAL-TIGA, Figs. 2-3)";
+  Printf.printf "%-14s %10s %10s %10s %12s %9s\n" "trains" "states" "unsafe"
+    "winning" "closed-loop" "time(s)";
+  let run_game label net =
+    let safe = Games.Train_game.safe net in
+    let (s, closed), dt =
+      timed (fun () ->
+          let s = Games.solve net (Games.Safety safe) in
+          (s, Games.closed_loop_safe s ~safe))
+    in
+    let unsafe =
+      Array.fold_left
+        (fun acc st -> if safe st then acc else acc + 1)
+        0 s.Games.graph.Games.Digital.states
+    in
+    Printf.printf "%-14s %10d %10d %10d %12s %9.2f\n" label
+      (Array.length s.Games.graph.Games.Digital.states)
+      unsafe (Games.winning_count s)
+      (if s.Games.initial_winning && closed then "safe" else "FAILED")
+      dt
+  in
+  run_game "2 (paper)" (Games.Train_game.make ~n_trains:2 ());
+  run_game "3 (compact)" (Games.Train_game.make ~constants:`Compact ~n_trains:3 ());
+  (* Reachability objective: every train completes a crossing. *)
+  let net = Games.Train_game.make ~n_trains:2 () in
+  let target = Games.Train_game.all_crossed_once net in
+  let r, dt = timed (fun () -> Games.solve net (Games.Reach target)) in
+  Printf.printf
+    "reach objective (2 trains): initial %s, closed loop reaches target: %b (%.2fs)\n"
+    (if r.Games.initial_winning then "winning" else "losing")
+    (Games.closed_loop_reaches r ~target)
+    dt
+
+(* ------------------------------------------------------------------ *)
+(* E3 - Fig. 4: cumulative distribution of crossing times              *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  header
+    "E3  Fig. 4: Pr[<=100](<> Train(i).Cross), 6 trains, rates 1+id (SMC)";
+  let n_trains = 6 in
+  let runs = 800 in
+  let net = Ta.Train_gate.make ~n_trains in
+  let config =
+    { Smc.Stochastic.rates = (fun auto _ -> 1.0 +. float_of_int auto) }
+  in
+  let grid = List.init 8 (fun k -> 10.0 +. (12.0 *. float_of_int k)) in
+  Printf.printf "%-8s" "t";
+  List.iter (fun t -> Printf.printf "%8.0f" t) grid;
+  Printf.printf "\n";
+  let _, dt =
+    timed (fun () ->
+        for i = 0 to n_trains - 1 do
+          let series =
+            Smc.cdf ~config ~runs ~seed:(300 + i) net
+              ~goal:(Ta.Train_gate.cross_formula net i) ~horizon:100.0 ~grid
+          in
+          Printf.printf "Train %d " i;
+          List.iter (fun (_, p) -> Printf.printf "%8.2f" p) series;
+          print_newline ()
+        done)
+  in
+  let stats =
+    Smc.hitting_time ~config ~runs:400 ~seed:77 net
+      ~goal:(Ta.Train_gate.cross_formula net 0) ~horizon:200.0
+  in
+  Printf.printf
+    "expected first crossing of Train 0: mu=%.1f sigma=%.1f (hit fraction %.2f)\n"
+    stats.Smc.mean stats.Smc.std stats.Smc.hit_fraction;
+  Printf.printf
+    "(paper's Fig. 4 shape: all CDFs 0 at t=10, ordered by rate, ~1.0 by t=94;\n\
+    \ %d runs/train, %.1fs total)\n"
+    runs dt
+
+(* ------------------------------------------------------------------ *)
+(* E4 - Table I: BRP results for (N, MAX, TD) = (16, 2, 1)             *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  header "E4  Table I: BRP (N, MAX, TD) = (16, 2, 1)";
+  let t = Modest.Brp.make () in
+  let mt, dt_mctau = timed (fun () -> Modest.Brp.run_mctau t) in
+  let mc, dt_mcpta = timed (fun () -> Modest.Brp.run_mcpta t) in
+  let md, dt_modes = timed (fun () -> Modest.Brp.run_modes t) in
+  let ib = function
+    | `Zero -> "0"
+    | `Interval (a, b) -> Printf.sprintf "[%g, %g]" a b
+  in
+  Printf.printf "%-10s %-16s %-16s %-16s %-30s\n" "property" "paper(mcpta)"
+    "mctau" "mcpta" "modes (10k runs)";
+  let row p paper mctau mcpta modes =
+    Printf.printf "%-10s %-16s %-16s %-16s %-30s\n" p paper mctau mcpta modes
+  in
+  let frac k = Printf.sprintf "%d/%d satisfied" k md.Modest.Brp.md_runs in
+  row "TA1" "true"
+    (string_of_bool mt.Modest.Brp.mt_ta1)
+    (string_of_bool mc.Modest.Brp.mc_ta1)
+    (frac md.Modest.Brp.md_ta1_ok);
+  row "TA2" "true"
+    (string_of_bool mt.Modest.Brp.mt_ta2)
+    (string_of_bool mc.Modest.Brp.mc_ta2)
+    (frac md.Modest.Brp.md_ta2_ok);
+  let obs k = Printf.sprintf "%d observations" k in
+  row "PA" "0" (ib mt.Modest.Brp.mt_pa)
+    (Printf.sprintf "%g" mc.Modest.Brp.mc_pa)
+    (obs md.Modest.Brp.md_pa_obs);
+  row "PB" "0" (ib mt.Modest.Brp.mt_pb)
+    (Printf.sprintf "%g" mc.Modest.Brp.mc_pb)
+    (obs md.Modest.Brp.md_pb_obs);
+  row "P1" "4.233e-4" (ib mt.Modest.Brp.mt_p1)
+    (Printf.sprintf "%.4e" mc.Modest.Brp.mc_p1)
+    (obs md.Modest.Brp.md_p1_obs);
+  row "P2" "2.645e-5" (ib mt.Modest.Brp.mt_p2)
+    (Printf.sprintf "%.4e" mc.Modest.Brp.mc_p2)
+    (obs md.Modest.Brp.md_p2_obs);
+  row "Dmax" "9.996e-1" (ib mt.Modest.Brp.mt_dmax)
+    (Printf.sprintf "%.4f" mc.Modest.Brp.mc_dmax)
+    (Printf.sprintf "%d/%d within 64" md.Modest.Brp.md_dmax_obs
+       md.Modest.Brp.md_runs);
+  row "Emax" "33.473" "n/a"
+    (Printf.sprintf "%.3f" mc.Modest.Brp.mc_emax)
+    (Printf.sprintf "mu=%.3f sigma=%.3f" md.Modest.Brp.md_emax_mean
+       md.Modest.Brp.md_emax_std);
+  Printf.printf
+    "\nback-end wall times: mctau %.2fs, mcpta %.2fs, modes %.2fs (10k runs)\n\
+     (paper: mctau is the quick check, mcpta '<1min', modes 'significantly longer')\n"
+    dt_mctau dt_mcpta dt_modes;
+  (* The second MODEST case study: randomized contention resolution
+     (Section III cites inherently probabilistic protocols, ref. [14]). *)
+  let bo = Modest.Backoff.make () in
+  let mean, std = Modest.Backoff.simulate_mean_time bo ~runs:3000 ~seed:13 in
+  Printf.printf
+    "\nrandomized backoff (2 slots): P(resolved<=2)=%.3f P(<=4)=%.3f \
+     E[time] mcpta=%.3f, modes mu=%.3f sigma=%.3f (closed form: 1/2, 3/4, 4)\n"
+    (Modest.Backoff.success_within bo ~bound:2)
+    (Modest.Backoff.success_within bo ~bound:4)
+    (Modest.Backoff.expected_resolution_time bo)
+    mean std
+
+(* ------------------------------------------------------------------ *)
+(* E5 - DALA (Fig. 6): verification and fault injection                *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  header "E5  DALA functional level in BIP (Section IV, Fig. 6)";
+  let d = Bip.Dala.make ~controlled:true () in
+  Printf.printf "modules: %s + R2C\n"
+    (String.concat ", " d.Bip.Dala.module_names);
+  let report, dt = timed (fun () -> Bip.Dfinder.prove d.Bip.Dala.sys) in
+  Printf.printf
+    "deadlock-freedom: %s (%d traps, %d semiflows, %d candidates, %.2fs)\n"
+    (match report.Bip.Dfinder.verdict with
+     | Bip.Dfinder.Proved -> "PROVED compositionally (D-Finder)"
+     | Bip.Dfinder.Inconclusive _ -> "inconclusive")
+    report.Bip.Dfinder.n_traps report.Bip.Dfinder.n_semiflows
+    report.Bip.Dfinder.n_candidates_checked dt;
+  let small =
+    Bip.Dala.make ~modules:[ "RFLEX"; "NDD"; "POM"; "Battery"; "Science" ]
+      ~controlled:true ()
+  in
+  let (ok, _), dt2 =
+    timed (fun () ->
+        Bip.Engine.invariant_holds small.Bip.Dala.sys (Bip.Dala.safety_ok small))
+  in
+  Printf.printf "exact safety check (5-module subsystem): %s (%.2fs)\n"
+    (if ok then "holds on all reachable states" else "VIOLATED")
+    dt2;
+  Printf.printf "\n%-14s %8s %8s %12s %12s\n" "configuration" "runs" "steps"
+    "faults" "violations";
+  let inject cfg =
+    let r, _ =
+      timed (fun () -> Bip.Dala.inject_faults cfg ~runs:50 ~steps:300 ~seed:11)
+    in
+    Printf.printf "%-14s %8d %8d %12d %12d\n"
+      (if cfg.Bip.Dala.controlled then "with R2C" else "without R2C")
+      r.Bip.Dala.runs r.Bip.Dala.steps_per_run r.Bip.Dala.faults_injected
+      r.Bip.Dala.violations
+  in
+  inject d;
+  inject (Bip.Dala.make ~controlled:false ());
+  print_endline
+    "(paper: 'the controller successfully stops the robot from reaching\n\
+    \ undesired/unsafe states' under fault injection)"
+
+(* ------------------------------------------------------------------ *)
+(* E6 - model-based testing (Section V)                                *)
+(* ------------------------------------------------------------------ *)
+
+let timed_server_variant ~lo ~hi =
+  let b = Ta.Model.builder () in
+  let y = Ta.Model.fresh_clock b "y" in
+  let req = Ta.Model.channel b "req" in
+  let resp = Ta.Model.channel b "resp" in
+  let s = Ta.Model.automaton b "Server" in
+  let idle = Ta.Model.location s "Idle" in
+  let busy = Ta.Model.location s "Busy" ~invariant:[ Ta.Model.clock_le y hi ] in
+  Ta.Model.edge s ~src:idle ~dst:busy ~sync:(Ta.Model.Receive req)
+    ~updates:[ Ta.Model.Reset (y, 0) ] ();
+  Ta.Model.edge s ~src:busy ~dst:idle
+    ~clock_guard:[ Ta.Model.clock_ge y lo ]
+    ~sync:(Ta.Model.Emit resp) ();
+  let env = Ta.Model.automaton b "Env" in
+  let e0 = Ta.Model.location env "E" in
+  Ta.Model.edge env ~src:e0 ~dst:e0 ~sync:(Ta.Model.Emit req) ();
+  Ta.Model.edge env ~src:e0 ~dst:e0 ~sync:(Ta.Model.Receive resp) ();
+  Ecdar.make (Ta.Model.build b) ~inputs:[ "req" ] ~outputs:[ "resp" ]
+
+let e6 () =
+  header "E6  Model-based testing (Section V): ioco + rtioco + ECDAR";
+  let verdict name impl spec =
+    Printf.printf "%-26s %s\n" name
+      (match Mbt.Ioco.check ~impl ~spec with
+       | Ok _ -> "ioco-conforming"
+       | Error ce ->
+         Printf.sprintf "NOT ioco (after [%s] observed %s)"
+           (String.concat " " ce.Mbt.Ioco.trace)
+           (Format.asprintf "%a" Mbt.Lts.pp_obs ce.Mbt.Ioco.bad_obs))
+  in
+  verdict "coffee: reduction" Mbt.Demo.coffee_impl_good Mbt.Demo.coffee_spec;
+  verdict "coffee: wrong drink" Mbt.Demo.coffee_impl_wrong_drink
+    Mbt.Demo.coffee_spec;
+  verdict "coffee: lazy" Mbt.Demo.coffee_impl_lazy Mbt.Demo.coffee_spec;
+  verdict "bus: reference" Mbt.Demo.bus_impl_good Mbt.Demo.bus_spec;
+  verdict "bus: lossy" Mbt.Demo.bus_impl_lossy Mbt.Demo.bus_spec;
+  verdict "bus: chatty" Mbt.Demo.bus_impl_chatty Mbt.Demo.bus_spec;
+  let tests =
+    Mbt.Testgen.generate_suite Mbt.Demo.bus_spec ~seed:17 ~count:100 ~depth:10
+  in
+  Printf.printf "\ngenerated %d tests (%d events) from the bus spec\n"
+    (List.length tests)
+    (List.fold_left (fun acc t -> acc + Mbt.Testgen.size t) 0 tests);
+  Printf.printf "%-26s %8s %8s\n" "IUT" "pass" "fail";
+  let battery name impl seed =
+    let iut = Mbt.Testgen.lts_iut impl ~seed in
+    let passes, fails = Mbt.Testgen.run_suite tests iut ~repetitions:20 in
+    Printf.printf "%-26s %8d %8d\n" name passes fails
+  in
+  battery "bus reference (sound!)" Mbt.Demo.bus_impl_good 1;
+  battery "bus lossy mutant" Mbt.Demo.bus_impl_lossy 2;
+  battery "bus chatty mutant" Mbt.Demo.bus_impl_chatty 3;
+  let net = Mbt.Demo.timed_server () in
+  let inputs = Mbt.Demo.timed_inputs and outputs = Mbt.Demo.timed_outputs in
+  Printf.printf "\nrtioco on-line testing (timed request/response server):\n";
+  let show name iut =
+    Printf.printf "%-26s %s\n" name
+      (match Mbt.Rtioco.test net ~inputs ~outputs ~rounds:100 ~seed:7 iut with
+       | Mbt.Rtioco.T_pass r -> Printf.sprintf "pass (%d rounds)" r
+       | Mbt.Rtioco.T_fail { round; reason } ->
+         Printf.sprintf "FAIL at round %d: %s" round reason)
+  in
+  show "conforming IUT" (Mbt.Rtioco.spec_iut net ~outputs ~seed:7);
+  show "mute IUT" (Mbt.Rtioco.mute_iut (Mbt.Rtioco.spec_iut net ~outputs ~seed:8));
+  show "wrong-output IUT"
+    (Mbt.Rtioco.noisy_iut
+       (Mbt.Rtioco.spec_iut net ~outputs ~seed:9)
+       ~wrong:"nack" ~every:1);
+  Printf.printf "\nECDAR refinement (timed I/O):\n";
+  let tight = timed_server_variant ~lo:2 ~hi:4 in
+  let loose = timed_server_variant ~lo:1 ~hi:5 in
+  Printf.printf "  server[2,4] <= server[1,5]: %b\n"
+    (Ecdar.refines ~impl:tight ~spec:loose).Ecdar.refines;
+  Printf.printf "  server[1,5] <= server[2,4]: %b (as expected, refused)\n"
+    (Ecdar.refines ~impl:loose ~spec:tight).Ecdar.refines
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  header "Ablations (design choices called out in DESIGN.md)";
+  let net = Ta.Train_gate.make ~n_trains:4 in
+  let with_sub, dt1 =
+    timed (fun () ->
+        Ta.Checker.check ~subsumption:true net (Ta.Train_gate.safety net))
+  in
+  let without, dt2 =
+    timed (fun () ->
+        Ta.Checker.check ~subsumption:false net (Ta.Train_gate.safety net))
+  in
+  Printf.printf
+    "zone subsumption (train-gate 4): on  %6d states %.2fs | off %6d states %.2fs\n"
+    with_sub.Ta.Checker.stats.Ta.Checker.visited dt1
+    without.Ta.Checker.stats.Ta.Checker.visited dt2;
+  let t = Modest.Brp.make ~n:8 () in
+  let exp = Modest.Digital_sta.expand t.Modest.Brp.sta in
+  let target =
+    Modest.Digital_sta.target_of exp
+      (Modest.Digital_sta.pred_of_mprop exp (Modest.Brp.p1 t))
+  in
+  let _, gs =
+    Mdp.reach_prob ~sweep:Mdp.Gauss_seidel exp.Modest.Digital_sta.mdp ~target
+      ~maximize:true
+  in
+  let _, jac =
+    Mdp.reach_prob ~sweep:Mdp.Jacobi exp.Modest.Digital_sta.mdp ~target
+      ~maximize:true
+  in
+  Printf.printf
+    "value iteration (BRP N=8): Gauss-Seidel %d iterations | Jacobi %d iterations\n"
+    gs.Mdp.iterations jac.Mdp.iterations;
+  let netq = Ta.Train_gate.make ~n_trains:3 in
+  let q = { Smc.horizon = 60.0; goal = Ta.Train_gate.cross_formula netq 0 } in
+  let fixed = Smc.Estimate.chernoff_runs ~eps:0.05 ~alpha:0.05 in
+  let sprt, dt =
+    timed (fun () -> Smc.hypothesis netq q ~theta:0.5 ~delta:0.1)
+  in
+  Printf.printf
+    "SMC (is Pr >= 0.5?): Chernoff batch needs %d runs | SPRT decided '%s' after %d samples (%.1fs)\n"
+    fixed
+    (if sprt.Smc.Estimate.accept_h0 then "yes" else "no")
+    sprt.Smc.Estimate.samples dt;
+  let d =
+    Bip.Dala.make ~modules:[ "RFLEX"; "NDD"; "POM"; "Battery"; "Science" ]
+      ~controlled:true ()
+  in
+  let _, dt_comp = timed (fun () -> Bip.Dfinder.prove d.Bip.Dala.sys) in
+  let _, dt_exact = timed (fun () -> Bip.Engine.deadlock_free d.Bip.Dala.sys) in
+  Printf.printf
+    "BIP deadlock proof (DALA-5): compositional %.3fs | exact enumeration %.3fs\n"
+    dt_comp dt_exact;
+  let net2 = Ta.Train_gate.make ~n_trains:2 in
+  let zone_keys = Hashtbl.create 512 in
+  List.iter
+    (fun st -> Hashtbl.replace zone_keys (Ta.Zone_graph.discrete_key st) ())
+    (Ta.Checker.reachable_states net2);
+  let digital_keys =
+    Discrete.Digital.discrete_parts (Discrete.Digital.explore net2)
+  in
+  Printf.printf
+    "digital vs zone engine (train-gate 2): %d vs %d discrete states (%s)\n"
+    (Hashtbl.length digital_keys) (Hashtbl.length zone_keys)
+    (if Hashtbl.length digital_keys = Hashtbl.length zone_keys then "agree"
+     else "MISMATCH");
+  (* D-Finder scaling on token rings (the compositional proof's point:
+     its cost does not track the product's size). *)
+  let ring n =
+    let comp i =
+      let b = Bip.Component.create (Printf.sprintf "R%d" i) in
+      let with_t = Bip.Component.add_location b "Token" in
+      let without = Bip.Component.add_location b "NoToken" in
+      let give = Bip.Component.add_port b "give" in
+      let take = Bip.Component.add_port b "take" in
+      Bip.Component.set_initial b (if i = 0 then with_t else without);
+      Bip.Component.add_transition b ~src:with_t ~dst:without ~port:give ();
+      Bip.Component.add_transition b ~src:without ~dst:with_t ~port:take ();
+      (Bip.Component.build b, give, take)
+    in
+    let comps = List.init n comp in
+    let arr = Array.of_list (List.map (fun (c, _, _) -> c) comps) in
+    let connectors =
+      List.init n (fun i ->
+          let _, give, _ = List.nth comps i in
+          let _, _, take = List.nth comps ((i + 1) mod n) in
+          Bip.System.Rendezvous
+            {
+              c_name = Printf.sprintf "pass%d" i;
+              members = [ (i, give); ((i + 1) mod n, take) ];
+              guard = None;
+              action = None;
+            })
+    in
+    Bip.System.make ~components:arr ~connectors ()
+  in
+  Printf.printf "D-Finder on token rings:";
+  List.iter
+    (fun n ->
+      let sys = ring n in
+      let report, dt = timed (fun () -> Bip.Dfinder.prove sys) in
+      Printf.printf "  n=%d %s %.3fs" n
+        (match report.Bip.Dfinder.verdict with
+         | Bip.Dfinder.Proved -> "proved"
+         | Bip.Dfinder.Inconclusive _ -> "inconclusive")
+        dt)
+    [ 2; 4; 6; 8 ];
+  print_newline ();
+  (* Job-shop optimum vs its admissible lower bound. *)
+  let inst =
+    {
+      Priced.Jobshop.machines = 3;
+      jobs =
+        [
+          [ (0, 3); (1, 2); (2, 2) ];
+          [ (1, 2); (2, 1); (0, 4) ];
+          [ (2, 4); (0, 1); (1, 3) ];
+        ];
+    }
+  in
+  (match Priced.Jobshop.optimal inst with
+   | Some s ->
+     Printf.printf
+       "job-shop (3x3): optimal makespan %d vs lower bound %d (CORA-style search)\n"
+       s.Priced.Jobshop.makespan
+       (Priced.Jobshop.makespan_lower_bound inst)
+   | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (one per experiment core)";
+  let open Bechamel in
+  let net3 = Ta.Train_gate.make ~n_trains:3 in
+  let game2 = Games.Train_game.make ~n_trains:2 () in
+  let brp4 = Modest.Brp.make ~n:4 () in
+  let dala = Bip.Dala.make ~controlled:true () in
+  let smc_cfg =
+    { Smc.Stochastic.rates = (fun auto _ -> 1.0 +. float_of_int auto) }
+  in
+  let dbm_a =
+    Zones.Dbm.constrain (Zones.Dbm.universal ~clocks:6) 1 0 (Zones.Bound.le 14)
+  in
+  let tests =
+    [
+      Test.make ~name:"e1/safety-check-3-trains"
+        (Staged.stage (fun () ->
+             ignore (Ta.Checker.check net3 (Ta.Train_gate.safety net3))));
+      Test.make ~name:"e2/game-synthesis-2-trains"
+        (Staged.stage (fun () ->
+             ignore
+               (Games.solve game2 (Games.Safety (Games.Train_game.safe game2)))));
+      Test.make ~name:"e3/smc-50-runs"
+        (Staged.stage (fun () ->
+             ignore
+               (Smc.probability ~config:smc_cfg ~runs:50 net3
+                  {
+                    Smc.horizon = 100.0;
+                    goal = Ta.Train_gate.cross_formula net3 0;
+                  })));
+      Test.make ~name:"e4/mcpta-brp-N4"
+        (Staged.stage (fun () ->
+             ignore
+               (Modest.Mcpta.reach_prob brp4.Modest.Brp.sta
+                  (Modest.Brp.p1 brp4) ~maximize:true)));
+      Test.make ~name:"e4/modes-brp-100-runs"
+        (Staged.stage (fun () -> ignore (Modest.Brp.run_modes ~runs:100 brp4)));
+      Test.make ~name:"e5/bip-engine-500-steps"
+        (Staged.stage
+           (let rng = Random.State.make [| 5 |] in
+            fun () ->
+              ignore
+                (Bip.Engine.run dala.Bip.Dala.sys (Bip.Engine.Random rng)
+                   ~steps:500)));
+      Test.make ~name:"e5/dfinder-dala"
+        (Staged.stage (fun () -> ignore (Bip.Dfinder.prove dala.Bip.Dala.sys)));
+      Test.make ~name:"e6/ioco-check-bus"
+        (Staged.stage (fun () ->
+             ignore
+               (Mbt.Ioco.check ~impl:Mbt.Demo.bus_impl_lossy
+                  ~spec:Mbt.Demo.bus_spec)));
+      Test.make ~name:"substrate/dbm-ops"
+        (Staged.stage (fun () ->
+             let z = Zones.Dbm.up dbm_a in
+             let z = Zones.Dbm.reset z 2 3 in
+             ignore (Zones.Dbm.subset z dbm_a)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"quantlib" tests in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.6) ~kde:None () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  Printf.printf "%-42s %16s %10s\n" "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, r) ->
+      let est =
+        match Analyze.OLS.estimates r with Some [ e ] -> e | _ -> nan
+      in
+      let pretty =
+        if est > 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
+        else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+        else if est > 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
+        else Printf.sprintf "%8.0f ns" est
+      in
+      Printf.printf "%-42s %16s %10s\n" name pretty
+        (match Analyze.OLS.r_square r with
+         | Some r2 -> Printf.sprintf "%.3f" r2
+         | None -> "-"))
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let all =
+    [
+      ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+      ("ablations", ablations); ("micro", micro);
+    ]
+  in
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) all
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name all with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %s (have: %s)\n" name
+            (String.concat " " (List.map fst all));
+          exit 1)
+      names

@@ -1,0 +1,242 @@
+(* quantcli — command-line front end to the quantlib tool families.
+
+   Subcommands mirror the paper's tools:
+     verify   UPPAAL-style model checking of the train-gate
+     smc      UPPAAL-SMC statistical queries (Fig. 4 series)
+     synth    UPPAAL-TIGA controller synthesis for the train game
+     wcet     UPPAAL-CORA min/max cost reachability demo
+     brp      the MODEST BRP with one of the three backends (Table I)
+     modest   parse a MODEST file, classify, report reachable states
+     bip      DALA verification and fault injection
+     mbt      ioco test generation / execution demo *)
+
+open Quantlib
+open Cmdliner
+
+let trains_arg =
+  Arg.(value & opt int 3 & info [ "trains" ] ~docv:"N" ~doc:"Number of trains.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* ------------------------------------------------------------------ *)
+
+let verify trains =
+  let net = Ta.Train_gate.make ~n_trains:trains in
+  let show name (r : Ta.Checker.result) =
+    Printf.printf "%-34s %-9s (%d states)\n" name
+      (if r.Ta.Checker.holds then "satisfied" else "VIOLATED")
+      r.Ta.Checker.stats.Ta.Checker.visited
+  in
+  show "safety" (Ta.Checker.check net (Ta.Train_gate.safety net));
+  show "no deadlock" (Ta.Checker.check net Ta.Train_gate.no_deadlock);
+  if trains <= 3 then
+    show "liveness (train 0)" (Ta.Checker.check net (Ta.Train_gate.liveness net 0))
+
+let verify_cmd =
+  Cmd.v (Cmd.info "verify" ~doc:"Model check the train-gate (Fig. 1).")
+    Term.(const verify $ trains_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let smc trains runs seed =
+  let net = Ta.Train_gate.make ~n_trains:trains in
+  let config =
+    { Smc.Stochastic.rates = (fun auto _ -> 1.0 +. float_of_int auto) }
+  in
+  let grid = List.init 8 (fun k -> 10.0 +. (12.0 *. float_of_int k)) in
+  for i = 0 to trains - 1 do
+    let series =
+      Smc.cdf ~config ~runs ~seed:(seed + i) net
+        ~goal:(Ta.Train_gate.cross_formula net i) ~horizon:100.0 ~grid
+    in
+    Printf.printf "train %d:" i;
+    List.iter (fun (t, p) -> Printf.printf " %.0f:%.2f" t p) series;
+    print_newline ()
+  done
+
+let smc_cmd =
+  let runs =
+    Arg.(value & opt int 500 & info [ "runs" ] ~docv:"RUNS" ~doc:"Simulation runs.")
+  in
+  Cmd.v (Cmd.info "smc" ~doc:"Statistical model checking CDF (Fig. 4).")
+    Term.(const smc $ trains_arg $ runs $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let synth trains =
+  let net = Games.Train_game.make ~n_trains:trains () in
+  let safe = Games.Train_game.safe net in
+  let s = Games.solve net (Games.Safety safe) in
+  Printf.printf "initial winning: %b, winning states: %d, closed-loop safe: %b\n"
+    s.Games.initial_winning (Games.winning_count s)
+    (Games.closed_loop_safe s ~safe)
+
+let synth_cmd =
+  Cmd.v (Cmd.info "synth" ~doc:"Synthesize the train-game controller (Figs. 2-3).")
+    Term.(const synth $ trains_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let wcet () =
+  let net = Ta.Train_gate.make ~n_trains:2 in
+  let cross = Ta.Model.loc_index net 0 "Cross" in
+  let target st = st.Discrete.Digital.dlocs.(0) = cross in
+  match Priced.min_time_reach net ~target with
+  | Some o -> Printf.printf "minimum time for train 0 to cross: %d\n" o.Priced.cost
+  | None -> print_endline "unreachable"
+
+let wcet_cmd =
+  Cmd.v (Cmd.info "wcet" ~doc:"Priced reachability demo (UPPAAL-CORA).")
+    Term.(const wcet $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let brp backend =
+  let t = Modest.Brp.make () in
+  match backend with
+  | "mctau" ->
+    let r = Modest.Brp.run_mctau t in
+    let ib = function
+      | `Zero -> "0"
+      | `Interval (a, b) -> Printf.sprintf "[%g,%g]" a b
+    in
+    Printf.printf "TA1 %b TA2 %b PA %s PB %s P1 %s P2 %s Dmax %s\n"
+      r.Modest.Brp.mt_ta1 r.Modest.Brp.mt_ta2 (ib r.Modest.Brp.mt_pa)
+      (ib r.Modest.Brp.mt_pb) (ib r.Modest.Brp.mt_p1) (ib r.Modest.Brp.mt_p2)
+      (ib r.Modest.Brp.mt_dmax)
+  | "mcpta" ->
+    let r = Modest.Brp.run_mcpta t in
+    Printf.printf "TA1 %b TA2 %b PA %g PB %g P1 %.4e P2 %.4e Dmax %.4f Emax %.3f\n"
+      r.Modest.Brp.mc_ta1 r.Modest.Brp.mc_ta2 r.Modest.Brp.mc_pa
+      r.Modest.Brp.mc_pb r.Modest.Brp.mc_p1 r.Modest.Brp.mc_p2
+      r.Modest.Brp.mc_dmax r.Modest.Brp.mc_emax
+  | "modes" ->
+    let r = Modest.Brp.run_modes t in
+    Printf.printf
+      "TA1 %d/%d TA2 %d/%d PA %d PB %d P1 %d P2 %d Dmax %d Emax mu=%.3f sigma=%.3f\n"
+      r.Modest.Brp.md_ta1_ok r.Modest.Brp.md_runs r.Modest.Brp.md_ta2_ok
+      r.Modest.Brp.md_runs r.Modest.Brp.md_pa_obs r.Modest.Brp.md_pb_obs
+      r.Modest.Brp.md_p1_obs r.Modest.Brp.md_p2_obs r.Modest.Brp.md_dmax_obs
+      r.Modest.Brp.md_emax_mean r.Modest.Brp.md_emax_std
+  | other -> Printf.eprintf "unknown backend %s (mctau|mcpta|modes)\n" other
+
+let brp_cmd =
+  let backend =
+    Arg.(
+      value
+      & opt string "mcpta"
+      & info [ "backend" ] ~docv:"B" ~doc:"Backend: mctau, mcpta or modes.")
+  in
+  Cmd.v (Cmd.info "brp" ~doc:"BRP analysis, one Table I column.")
+    Term.(const brp $ backend)
+
+(* ------------------------------------------------------------------ *)
+
+let modest_check file xml dot =
+  let src =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Modest.Parser.parse_and_compile src with
+  | sta ->
+    if xml then print_string (Modest.Uppaal_xml.of_sta sta)
+    else if dot then print_string (Ta.Dot.of_network (Modest.Mctau.to_ta sta))
+    else begin
+      Printf.printf "parsed: %d processes, class %s\n"
+        (Array.length sta.Modest.Sta.processes)
+        (Modest.Sta.class_name (Modest.Sta.classify sta));
+      match Modest.Sta.classify sta with
+      | Modest.Sta.Class_sta -> print_endline "open clocks: only modes applies"
+      | _ ->
+        let exp = Modest.Digital_sta.expand sta in
+        Printf.printf "digital state space: %d states\n"
+          (Array.length exp.Modest.Digital_sta.states)
+    end
+  | exception Modest.Parser.Parse_error (msg, line) ->
+    Printf.eprintf "parse error (line %d): %s\n" line msg;
+    exit 1
+  | exception Modest.Lexer.Lex_error (msg, line) ->
+    Printf.eprintf "lex error (line %d): %s\n" line msg;
+    exit 1
+  | exception Modest.Ast.Compile_error msg ->
+    Printf.eprintf "compile error: %s\n" msg;
+    exit 1
+
+let modest_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MODEST source file.")
+  in
+  let xml =
+    Arg.(value & flag & info [ "xml" ] ~doc:"Export to UPPAAL XML (the mctau path).")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Export the TA overapproximation to Graphviz dot.")
+  in
+  Cmd.v (Cmd.info "modest" ~doc:"Parse, classify or export a MODEST model.")
+    Term.(const modest_check $ file $ xml $ dot)
+
+let fischer n =
+  let net = Ta.Fischer.make ~n () in
+  let show name (r : Ta.Checker.result) =
+    Printf.printf "%-22s %-9s (%d states)\n" name
+      (if r.Ta.Checker.holds then "satisfied" else "VIOLATED")
+      r.Ta.Checker.stats.Ta.Checker.visited
+  in
+  show "mutual exclusion" (Ta.Checker.check net (Ta.Fischer.mutex net));
+  show "deadlock-free" (Ta.Checker.check net Ta.Fischer.no_deadlock)
+
+let fischer_cmd =
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Processes.") in
+  Cmd.v (Cmd.info "fischer" ~doc:"Verify Fischer's mutual exclusion.")
+    Term.(const fischer $ n)
+
+(* ------------------------------------------------------------------ *)
+
+let bip_cmd_impl seed =
+  let d = Bip.Dala.make ~controlled:true () in
+  let report = Bip.Dfinder.prove d.Bip.Dala.sys in
+  Printf.printf "deadlock-freedom: %s\n"
+    (match report.Bip.Dfinder.verdict with
+     | Bip.Dfinder.Proved -> "proved compositionally"
+     | Bip.Dfinder.Inconclusive _ -> "inconclusive");
+  let r = Bip.Dala.inject_faults d ~runs:20 ~steps:200 ~seed in
+  Printf.printf "fault injection: %d faults, %d violations (with R2C)\n"
+    r.Bip.Dala.faults_injected r.Bip.Dala.violations
+
+let bip_cmd =
+  Cmd.v (Cmd.info "bip" ~doc:"DALA verification and fault injection.")
+    Term.(const bip_cmd_impl $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let mbt seed =
+  let tests = Mbt.Testgen.generate_suite Mbt.Demo.bus_spec ~seed ~count:50 ~depth:10 in
+  let battery name impl =
+    let iut = Mbt.Testgen.lts_iut impl ~seed in
+    let passes, fails = Mbt.Testgen.run_suite tests iut ~repetitions:20 in
+    Printf.printf "%-16s pass %d fail %d\n" name passes fails
+  in
+  battery "reference" Mbt.Demo.bus_impl_good;
+  battery "lossy" Mbt.Demo.bus_impl_lossy;
+  battery "chatty" Mbt.Demo.bus_impl_chatty
+
+let mbt_cmd =
+  Cmd.v (Cmd.info "mbt" ~doc:"ioco test generation and execution demo.")
+    Term.(const mbt $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "Quantitative modeling and analysis of embedded systems." in
+  let info = Cmd.info "quantcli" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            verify_cmd; smc_cmd; synth_cmd; wcet_cmd; brp_cmd; modest_cmd;
+            fischer_cmd; bip_cmd; mbt_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/brp.ml: Array Modest Printf Quantlib

@@ -1,0 +1,1 @@
+examples/brp.mli:

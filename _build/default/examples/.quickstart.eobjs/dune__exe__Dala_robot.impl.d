@@ -1,0 +1,1 @@
+examples/dala_robot.ml: Array Bip Filename List Printf Quantlib String

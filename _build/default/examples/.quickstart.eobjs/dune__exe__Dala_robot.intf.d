@@ -1,0 +1,1 @@
+examples/dala_robot.mli:

@@ -1,0 +1,1 @@
+examples/fischer.ml: Array List Printf Quantlib Sys Ta

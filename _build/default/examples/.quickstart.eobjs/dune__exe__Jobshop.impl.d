@@ -1,0 +1,1 @@
+examples/jobshop.ml: List Priced Printf Quantlib

@@ -1,0 +1,1 @@
+examples/jobshop.mli:

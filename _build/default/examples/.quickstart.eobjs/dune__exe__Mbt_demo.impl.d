@@ -1,0 +1,1 @@
+examples/mbt_demo.ml: Format List Mbt Printf Quantlib String

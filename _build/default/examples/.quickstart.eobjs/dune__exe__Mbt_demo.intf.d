@@ -1,0 +1,1 @@
+examples/mbt_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Discrete Priced Printf Quantlib Smc Ta

@@ -1,0 +1,1 @@
+examples/synthesis_wcet.ml: Array Discrete Games Priced Printf Quantlib String Ta

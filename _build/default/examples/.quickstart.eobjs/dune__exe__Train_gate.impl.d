@@ -1,0 +1,1 @@
+examples/train_gate.ml: Array List Printf Quantlib Smc Sys Ta

@@ -1,0 +1,62 @@
+(* The DALA rover functional level in BIP (Section IV, Fig. 6):
+   verification, the compositional D-Finder proof, fault-injection runs
+   with and without the R2C execution controller, and coordination code
+   generation.
+
+   Run with: dune exec examples/dala_robot.exe *)
+
+open Quantlib
+
+let () =
+  print_endline "== DALA functional level (BIP) ==\n";
+  let d = Bip.Dala.make ~controlled:true () in
+  Printf.printf "modules: %s + R2C controller\n"
+    (String.concat ", " d.Bip.Dala.module_names);
+  Printf.printf "interactions: %d\n\n"
+    (Array.length d.Bip.Dala.sys.Bip.System.interactions);
+
+  (* Compositional deadlock-freedom (D-Finder). *)
+  let report = Bip.Dfinder.prove d.Bip.Dala.sys in
+  (match report.Bip.Dfinder.verdict with
+   | Bip.Dfinder.Proved ->
+     Printf.printf
+       "D-Finder: deadlock-freedom PROVED compositionally (%d traps, %d semiflows, %d candidates)\n"
+       report.Bip.Dfinder.n_traps report.Bip.Dfinder.n_semiflows
+       report.Bip.Dfinder.n_candidates_checked
+   | Bip.Dfinder.Inconclusive _ ->
+     print_endline "D-Finder: inconclusive, falling back to exact search");
+
+  (* Exact safety verification on a 5-module subsystem (the full product
+     is large; the compositional proof above covers deadlock-freedom). *)
+  let small =
+    Bip.Dala.make ~modules:[ "RFLEX"; "NDD"; "POM"; "Battery"; "Science" ]
+      ~controlled:true ()
+  in
+  let ok, _ = Bip.Engine.invariant_holds small.Bip.Dala.sys (Bip.Dala.safety_ok small) in
+  Printf.printf "exact safety check (5-module subsystem): %s\n\n"
+    (if ok then "all reachable states safe" else "VIOLATED");
+
+  (* Fault injection (the paper's experiment): with the controller the
+     robot never reaches an unsafe state; without it, it does. *)
+  let controlled = Bip.Dala.inject_faults d ~runs:50 ~steps:300 ~seed:11 in
+  Printf.printf
+    "fault injection WITH R2C:    %d runs x %d steps, %d faults injected, %d safety violations\n"
+    controlled.Bip.Dala.runs controlled.Bip.Dala.steps_per_run
+    controlled.Bip.Dala.faults_injected controlled.Bip.Dala.violations;
+  let baseline = Bip.Dala.make ~controlled:false () in
+  let uncontrolled = Bip.Dala.inject_faults baseline ~runs:50 ~steps:300 ~seed:11 in
+  Printf.printf
+    "fault injection WITHOUT R2C: %d runs x %d steps, %d faults injected, %d safety violations\n\n"
+    uncontrolled.Bip.Dala.runs uncontrolled.Bip.Dala.steps_per_run
+    uncontrolled.Bip.Dala.faults_injected uncontrolled.Bip.Dala.violations;
+
+  (* Code generation for the coordination layer. *)
+  let src = Bip.Codegen.to_ocaml ~module_comment:"DALA coordination" d.Bip.Dala.sys in
+  let file = Filename.temp_file "dala_coordination" ".ml" in
+  let oc = open_out file in
+  output_string oc src;
+  close_out oc;
+  Printf.printf "generated coordination code: %s (%d interactions, %d lines)\n"
+    file
+    (Bip.Codegen.interaction_count_in_source src)
+    (List.length (String.split_on_char '\n' src))

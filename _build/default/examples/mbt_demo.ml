@@ -1,0 +1,54 @@
+(* Model-based testing (Section V): exact ioco conformance, generated
+   test suites against mutated implementations, and the TRON-style
+   on-line timed tester.
+
+   Run with: dune exec examples/mbt_demo.exe *)
+
+open Quantlib
+
+let () =
+  print_endline "== ioco model-based testing ==\n";
+
+  (* Exact conformance of the software-bus implementations. *)
+  let verdict name impl =
+    match Mbt.Ioco.check ~impl ~spec:Mbt.Demo.bus_spec with
+    | Ok _ -> Printf.printf "%-24s ioco-conforms\n" name
+    | Error ce ->
+      Printf.printf "%-24s NOT ioco: after [%s], observed %s\n" name
+        (String.concat " " ce.Mbt.Ioco.trace)
+        (Format.asprintf "%a" Mbt.Lts.pp_obs ce.Mbt.Ioco.bad_obs)
+  in
+  verdict "bus (reference)" Mbt.Demo.bus_impl_good;
+  verdict "bus (lossy notify)" Mbt.Demo.bus_impl_lossy;
+  verdict "bus (double notify)" Mbt.Demo.bus_impl_chatty;
+
+  (* Generated test suite against simulated IUTs. *)
+  print_newline ();
+  let tests = Mbt.Testgen.generate_suite Mbt.Demo.bus_spec ~seed:17 ~count:100 ~depth:10 in
+  Printf.printf "generated %d tests (total %d events) from the bus spec\n"
+    (List.length tests)
+    (List.fold_left (fun acc t -> acc + Mbt.Testgen.size t) 0 tests);
+  let battery name impl seed =
+    let iut = Mbt.Testgen.lts_iut impl ~seed in
+    let passes, fails = Mbt.Testgen.run_suite tests iut ~repetitions:20 in
+    Printf.printf "  %-24s pass %3d   fail %3d\n" name passes fails
+  in
+  battery "reference impl" Mbt.Demo.bus_impl_good 1;
+  battery "lossy mutant" Mbt.Demo.bus_impl_lossy 2;
+  battery "chatty mutant" Mbt.Demo.bus_impl_chatty 3;
+
+  (* rtioco: on-line testing of a timed request/response server. *)
+  print_newline ();
+  print_endline "== rtioco on-line timed testing (UPPAAL-TRON style) ==\n";
+  let net = Mbt.Demo.timed_server () in
+  let inputs = Mbt.Demo.timed_inputs and outputs = Mbt.Demo.timed_outputs in
+  let show name iut =
+    match Mbt.Rtioco.test net ~inputs ~outputs ~rounds:100 ~seed:7 iut with
+    | Mbt.Rtioco.T_pass rounds -> Printf.printf "%-24s pass (%d rounds)\n" name rounds
+    | Mbt.Rtioco.T_fail { round; reason } ->
+      Printf.printf "%-24s FAIL at round %d: %s\n" name round reason
+  in
+  show "conforming server" (Mbt.Rtioco.spec_iut net ~outputs ~seed:7);
+  show "mute server" (Mbt.Rtioco.mute_iut (Mbt.Rtioco.spec_iut net ~outputs ~seed:8));
+  show "wrong-output server"
+    (Mbt.Rtioco.noisy_iut (Mbt.Rtioco.spec_iut net ~outputs ~seed:9) ~wrong:"nack" ~every:1)

@@ -1,0 +1,55 @@
+(* Quickstart: build a small timed automaton with the public API, model
+   check it, and ask a statistical question about it.
+
+   The model: a worker alternates between Idle and Busy. Work takes
+   between 2 and 5 time units (clock x); returning to Idle is immediate.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Quantlib
+
+let () =
+  (* 1. Build the model. *)
+  let b = Ta.Model.builder () in
+  let x = Ta.Model.fresh_clock b "x" in
+  let w = Ta.Model.automaton b "Worker" in
+  let idle = Ta.Model.location w "Idle" ~invariant:[ Ta.Model.clock_le x 3 ] in
+  let busy = Ta.Model.location w "Busy" ~invariant:[ Ta.Model.clock_le x 5 ] in
+  Ta.Model.edge w ~src:idle ~dst:busy ~updates:[ Ta.Model.Reset (x, 0) ] ();
+  Ta.Model.edge w ~src:busy ~dst:idle
+    ~clock_guard:[ Ta.Model.clock_ge x 2 ]
+    ~updates:[ Ta.Model.Reset (x, 0) ] ();
+  let net = Ta.Model.build b in
+
+  (* 2. Model check: Busy is reachable, the invariant x <= 5 holds there,
+     and the system never deadlocks. *)
+  let busy_f = Ta.Prop.loc net "Worker" "Busy" in
+  let show name (r : Ta.Checker.result) =
+    Printf.printf "%-42s %s   (%d states)\n" name
+      (if r.Ta.Checker.holds then "satisfied" else "violated")
+      r.Ta.Checker.stats.Ta.Checker.visited
+  in
+  show "E<> Worker.Busy" (Ta.Checker.check net (Ta.Prop.Possibly busy_f));
+  show "A[] (Busy imply x<=5)"
+    (Ta.Checker.check net
+       (Ta.Prop.Invariant
+          (Ta.Prop.Imply (busy_f, Ta.Prop.Clock (Ta.Model.clock_le x 5)))));
+  show "A[] not deadlock" (Ta.Checker.check net Ta.Prop.NoDeadlock);
+  show "Idle --> Busy"
+    (Ta.Checker.check net (Ta.Prop.LeadsTo (Ta.Prop.loc net "Worker" "Idle", busy_f)));
+
+  (* 3. Statistical model checking: how likely is the worker busy within
+     2 time units under the stochastic semantics? *)
+  let q = { Smc.horizon = 2.0; goal = busy_f } in
+  let i = Smc.probability ~runs:2000 net q in
+  Printf.printf "Pr[<=2](<> Worker.Busy) ~ %.3f   [%.3f, %.3f] (%d runs)\n"
+    i.Smc.Estimate.p_hat i.Smc.Estimate.low i.Smc.Estimate.high
+    i.Smc.Estimate.trials;
+
+  (* 4. Fastest time to get busy (UPPAAL-CORA style). *)
+  match
+    Priced.min_time_reach net ~target:(fun st ->
+        st.Discrete.Digital.dlocs.(0) = busy)
+  with
+  | Some o -> Printf.printf "minimum time to Busy: %d\n" o.Priced.cost
+  | None -> print_endline "Busy unreachable"

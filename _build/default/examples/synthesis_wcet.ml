@@ -1,0 +1,78 @@
+(* The two remaining UPPAAL family members on their classic applications:
+   UPPAAL-TIGA controller synthesis for the train game (Figs. 2-3) and
+   UPPAAL-CORA worst-case execution time analysis (the METAMOC
+   application, ref. [4]).
+
+   Run with: dune exec examples/synthesis_wcet.exe *)
+
+open Quantlib
+
+let synthesis () =
+  print_endline "== UPPAAL-TIGA: controller synthesis for the train game ==\n";
+  let net = Games.Train_game.make ~n_trains:2 () in
+  let safe = Games.Train_game.safe net in
+  (* Unsafe states are reachable when the controller plays badly. *)
+  let g = Games.Digital.explore net in
+  let unsafe =
+    Array.fold_left
+      (fun acc st -> if safe st then acc else acc + 1)
+      0 g.Games.Digital.states
+  in
+  Printf.printf "game graph: %d states, %d unsafe without control\n"
+    (Array.length g.Games.Digital.states) unsafe;
+  let s = Games.solve net (Games.Safety safe) in
+  Printf.printf "safety synthesis: initial state %s, winning region %d states\n"
+    (if s.Games.initial_winning then "WINNING" else "losing")
+    (Games.winning_count s);
+  Printf.printf "closed-loop safety re-verified: %b\n"
+    (Games.closed_loop_safe s ~safe);
+  let target = Games.Train_game.all_crossed_once net in
+  let r = Games.solve net (Games.Reach target) in
+  Printf.printf "reachability synthesis (all trains cross): initial %s, closed loop reaches: %b\n\n"
+    (if r.Games.initial_winning then "WINNING" else "losing")
+    (Games.closed_loop_reaches r ~target)
+
+(* A small program's control-flow graph as a priced TA: basic blocks with
+   [min, max] execution times; WCET = maximum-cost reachability of the
+   exit, BCET = minimum. *)
+let wcet () =
+  print_endline "== UPPAAL-CORA: WCET analysis of a branchy CFG ==\n";
+  let b = Ta.Model.builder () in
+  let x = Ta.Model.fresh_clock b "x" in
+  let p = Ta.Model.automaton b "Prog" in
+  let block name lo hi =
+    ignore lo;
+    Ta.Model.location p name ~invariant:[ Ta.Model.clock_le x hi ]
+  in
+  let entry = block "entry" 1 2 in
+  let cache_hit = block "cache_hit" 1 1 in
+  let cache_miss = block "cache_miss" 8 10 in
+  let compute = block "compute" 3 6 in
+  let exit_l = Ta.Model.location p "exit" in
+  let edge src dst lo =
+    Ta.Model.edge p ~src ~dst
+      ~clock_guard:[ Ta.Model.clock_ge x lo ]
+      ~updates:[ Ta.Model.Reset (x, 0) ] ()
+  in
+  edge entry cache_hit 1;
+  edge entry cache_miss 1;
+  edge cache_hit compute 1;
+  edge cache_miss compute 8;
+  edge compute exit_l 3;
+  let net = Ta.Model.build b in
+  let target st = st.Discrete.Digital.dlocs.(0) = exit_l in
+  let cm =
+    { Priced.free with Priced.loc_rate = (fun a _ -> if a = 0 then 1 else 0) }
+  in
+  (match Priced.max_cost_reach net cm ~target with
+   | `Cost (c, states) -> Printf.printf "WCET = %d cycles (%d states)\n" c states
+   | `Unbounded -> print_endline "WCET unbounded (loop without bound)"
+   | `Unreachable -> print_endline "exit unreachable");
+  (match Priced.min_time_reach net ~target with
+   | Some o -> Printf.printf "BCET = %d cycles (path: %s)\n" o.Priced.cost
+                 (String.concat " -> " o.Priced.steps)
+   | None -> print_endline "exit unreachable")
+
+let () =
+  synthesis ();
+  wcet ()

@@ -1,0 +1,1 @@
+lib/bip/codegen.ml: Array Buffer Component List Printf String System

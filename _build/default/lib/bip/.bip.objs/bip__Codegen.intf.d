@@ -1,0 +1,1 @@
+lib/bip/codegen.mli: System

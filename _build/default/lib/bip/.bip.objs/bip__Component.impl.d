@@ -1,0 +1,1 @@
+lib/bip/component.ml: Array List Option Printf String

@@ -1,0 +1,1 @@
+lib/bip/dala.ml: Array Component Engine List Printf Random String System

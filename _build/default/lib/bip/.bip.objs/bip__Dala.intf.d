@@ -1,0 +1,1 @@
+lib/bip/dala.mli: Engine System

@@ -1,0 +1,1 @@
+lib/bip/dfinder.ml: Array Component Engine Fun List System

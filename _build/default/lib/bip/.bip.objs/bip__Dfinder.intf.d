@@ -1,0 +1,1 @@
+lib/bip/dfinder.mli: System

@@ -1,0 +1,1 @@
+lib/bip/engine.ml: Array Component Format Hashtbl List Printf Queue Random String System

@@ -1,0 +1,1 @@
+lib/bip/engine.mli: Format Random System

@@ -1,0 +1,1 @@
+lib/bip/system.ml: Array Component Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/bip/transform.ml: Array Component List Option String System

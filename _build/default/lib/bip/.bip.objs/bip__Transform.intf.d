@@ -1,0 +1,1 @@
+lib/bip/transform.mli: System

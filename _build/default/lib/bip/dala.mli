@@ -1,0 +1,46 @@
+(** The DALA rover functional level in BIP (Section IV, Fig. 6).
+
+    Nine functional modules from the figure — RFLEX (base), NDD (motion
+    planner), POM (position manager), LaserRF, Camera, Platine (pan-tilt
+    unit), Science, Antenna, Battery — each a generic service component
+    (Idle/Ready/Active/Failed), composed with an R2C-style execution
+    controller that tracks module states through synchronised
+    interactions and {e refuses} service requests that would violate the
+    safety rules:
+
+    - NDD may start only when RFLEX, POM are active and the battery is ok;
+    - Camera may start only when Platine is active;
+    - Science may start only while NDD is inactive (rover stationary);
+    - Antenna may start only while Science is inactive (power budget);
+    - module failures force dependent modules to stop first (priorities).
+
+    [make ~controlled:false] wires the same modules without the
+    controller — the configuration used as the fault-injection baseline. *)
+
+type t = {
+  sys : System.t;
+  module_names : string list;
+  controlled : bool;
+}
+
+(** [make ~controlled ()] builds the composite; [modules] (default: all
+    of {!module_names}) restricts to a subsystem — dependencies and
+    mutexes among absent modules are dropped. *)
+val make : ?modules:string list -> controlled:bool -> unit -> t
+
+val module_names : string list
+
+(** [safety_ok d st] — the conjunction of the safety rules above. *)
+val safety_ok : t -> Engine.state -> bool
+
+type injection_report = {
+  runs : int;
+  steps_per_run : int;
+  faults_injected : int;
+  violations : int;  (** states violating {!safety_ok} across all runs *)
+}
+
+(** [inject_faults d ~runs ~steps ~seed] drives the engine with a random
+    scheduler (fault interactions included) and counts safety
+    violations. With the controller, [violations] must be 0. *)
+val inject_faults : t -> runs:int -> steps:int -> seed:int -> injection_report

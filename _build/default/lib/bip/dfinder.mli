@@ -1,0 +1,37 @@
+(** D-Finder-lite: compositional deadlock-freedom proof (ref. [23]).
+
+    The sound over-approximation combines:
+    - {e component invariants}: per-component locally reachable locations
+      (computed assuming every port is always available);
+    - {e interaction invariants}: initially-marked traps of the 1-safe
+      Petri net underlying the composition ("at least one place of every
+      initially marked trap stays occupied") plus P-semiflows (linear
+      place invariants computed by Martinez-Silva elimination).
+
+    A global location vector is a {e deadlock candidate} when no
+    interaction is {e surely} enabled there (guarded transitions and
+    guarded interactions may be disabled, so they never count as sure).
+    If no candidate satisfies all invariants, the system is proven
+    deadlock-free without exploring the product. Otherwise the result is
+    inconclusive and the caller should fall back to {!Engine.deadlock_free}. *)
+
+type verdict =
+  | Proved  (** compositional proof succeeded *)
+  | Inconclusive of int array list
+      (** surviving candidate location vectors (possibly spurious) *)
+
+type report = {
+  verdict : verdict;
+  n_traps : int;
+  n_semiflows : int;
+  n_candidates_checked : int;
+}
+
+(** [prove sys] runs the compositional analysis. [max_candidates]
+    (default 1_000_000) bounds the candidate enumeration; exceeding it
+    yields [Inconclusive []]. *)
+val prove : ?max_candidates:int -> System.t -> report
+
+(** [check sys] — compositional first, exact fallback: the combined,
+    always-conclusive check. Returns (deadlock-free, used-fallback). *)
+val check : ?max_candidates:int -> System.t -> bool * bool

@@ -1,0 +1,214 @@
+type state = { locs : int array; stores : int array array }
+type scheduler = First | Random of Random.State.t
+
+let initial (sys : System.t) =
+  {
+    locs = Array.map (fun (c : Component.t) -> c.Component.initial_loc) sys.components;
+    stores =
+      Array.map
+        (fun (c : Component.t) -> Array.copy c.Component.initial_store)
+        sys.components;
+  }
+
+let interaction_enabled (sys : System.t) st (i : System.interaction) =
+  List.for_all
+    (fun (ci, (p : Component.port)) ->
+      Component.port_enabled sys.components.(ci) ~loc:st.locs.(ci)
+        ~store:st.stores.(ci) p.Component.port_id)
+    i.System.i_ports
+  && (match i.System.i_guard with
+      | None -> true
+      | Some g -> g st.locs st.stores)
+
+let enabled (sys : System.t) st =
+  Array.to_list sys.interactions |> List.filter (interaction_enabled sys st)
+
+let port_set (i : System.interaction) =
+  List.map (fun (ci, (p : Component.port)) -> (ci, p.Component.port_id)) i.System.i_ports
+  |> List.sort compare
+
+let filtered (sys : System.t) st =
+  let en = enabled sys st in
+  let inhibited_by_priority (a : System.interaction) =
+    List.exists
+      (fun (r : System.priority) ->
+        String.equal r.System.low a.System.i_name
+        && (match r.System.when_ with
+            | None -> true
+            | Some c -> c st.locs st.stores)
+        && List.exists
+             (fun (b : System.interaction) ->
+               String.equal b.System.i_name r.System.high)
+             en)
+      sys.priorities
+  in
+  let inhibited_by_maximality (a : System.interaction) =
+    sys.broadcast_maximal
+    &&
+    let pa = port_set a in
+    List.exists
+      (fun (b : System.interaction) ->
+        b.System.i_id <> a.System.i_id
+        &&
+        let pb = port_set b in
+        List.length pb > List.length pa
+        && List.for_all (fun p -> List.mem p pb) pa)
+      en
+  in
+  List.filter
+    (fun a -> not (inhibited_by_priority a || inhibited_by_maximality a))
+    en
+
+let copy_state st =
+  { locs = Array.copy st.locs; stores = Array.map Array.copy st.stores }
+
+(* Fire [i]: data transfer first (BIP's up/down), then each participant
+   takes one enabled transition on its port (scheduler-resolved when a
+   component offers several). *)
+let fire (sys : System.t) sched st (i : System.interaction) =
+  let st' = copy_state st in
+  (match i.System.i_action with None -> () | Some act -> act st'.stores);
+  List.iter
+    (fun (ci, (p : Component.port)) ->
+      let c = sys.components.(ci) in
+      (* Enabledness was established on the pre-transfer store; the
+         transition itself is chosen on the current one, falling back to
+         the port's transitions if the transfer changed guard values. *)
+      let candidates =
+        match
+          Component.transitions_on c ~loc:st'.locs.(ci) ~store:st'.stores.(ci)
+            p.Component.port_id
+        with
+        | [] ->
+          Component.transitions_on c ~loc:st.locs.(ci) ~store:st.stores.(ci)
+            p.Component.port_id
+        | ts -> ts
+      in
+      let t =
+        match candidates, sched with
+        | [], _ -> assert false
+        | [ t ], _ -> t
+        | t :: _, First -> t
+        | ts, Random rng -> List.nth ts (Random.State.int rng (List.length ts))
+      in
+      t.Component.t_update st'.stores.(ci);
+      st'.locs.(ci) <- t.Component.t_dst)
+    i.System.i_ports;
+  st'
+
+let step sys sched st =
+  match filtered sys st with
+  | [] -> None
+  | choices ->
+    let i =
+      match sched with
+      | First -> List.hd choices
+      | Random rng -> List.nth choices (Random.State.int rng (List.length choices))
+    in
+    Some (i, fire sys sched st i)
+
+let run sys sched ~steps =
+  let rec loop st k acc =
+    if k = 0 then List.rev acc
+    else
+      match step sys sched st with
+      | None -> List.rev acc
+      | Some (i, st') -> loop st' (k - 1) ((i.System.i_name, st') :: acc)
+  in
+  loop (initial sys) steps []
+
+type reach_result = {
+  states : state list;
+  deadlocks : state list;
+  truncated : bool;
+}
+
+let state_key st = (st.locs, st.stores)
+
+let reachable ?(max_states = 1_000_000) sys =
+  let seen = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let states = ref [] and deadlocks = ref [] in
+  let truncated = ref false in
+  let push st =
+    let key = state_key st in
+    if not (Hashtbl.mem seen key) then begin
+      if Hashtbl.length seen >= max_states then truncated := true
+      else begin
+        Hashtbl.replace seen key ();
+        states := st :: !states;
+        Queue.push st queue
+      end
+    end
+  in
+  push (initial sys);
+  while not (Queue.is_empty queue) do
+    let st = Queue.pop queue in
+    match filtered sys st with
+    | [] -> deadlocks := st :: !deadlocks
+    | choices ->
+      (* Explore every scheduler choice, including every internal
+         transition alternative within a component. *)
+      List.iter
+        (fun (i : System.interaction) ->
+          (* Enumerate participant transition combinations. *)
+          let rec combos acc = function
+            | [] -> [ List.rev acc ]
+            | (ci, (p : Component.port)) :: rest ->
+              let c = sys.components.(ci) in
+              let ts =
+                Component.transitions_on c ~loc:st.locs.(ci)
+                  ~store:st.stores.(ci) p.Component.port_id
+              in
+              List.concat_map
+                (fun t -> combos ((ci, t) :: acc) rest)
+                ts
+          in
+          List.iter
+            (fun combo ->
+              let st' = copy_state st in
+              (match i.System.i_action with
+               | None -> ()
+               | Some act -> act st'.stores);
+              List.iter
+                (fun (ci, (t : Component.transition)) ->
+                  t.Component.t_update st'.stores.(ci);
+                  st'.locs.(ci) <- t.Component.t_dst)
+                combo;
+              push st')
+            (combos [] i.System.i_ports))
+        choices
+  done;
+  { states = List.rev !states; deadlocks = List.rev !deadlocks; truncated = !truncated }
+
+let invariant_holds ?max_states sys pred =
+  let r = reachable ?max_states sys in
+  match List.find_opt (fun st -> not (pred st)) r.states with
+  | Some bad -> (false, Some bad)
+  | None -> (not r.truncated, None)
+
+let deadlock_free ?max_states sys =
+  let r = reachable ?max_states sys in
+  match r.deadlocks with
+  | bad :: _ -> (false, Some bad)
+  | [] -> ((not r.truncated), None)
+
+let pp_state (sys : System.t) ppf st =
+  let parts =
+    Array.to_list
+      (Array.mapi
+         (fun ci (c : Component.t) ->
+           let vars =
+             Array.to_list
+               (Array.mapi
+                  (fun vi name -> Printf.sprintf "%s=%d" name st.stores.(ci).(vi))
+                  c.Component.var_names)
+           in
+           Printf.sprintf "%s.%s%s" c.Component.comp_name
+             c.Component.locations.(st.locs.(ci))
+             (match vars with
+              | [] -> ""
+              | _ -> "{" ^ String.concat "," vars ^ "}"))
+         sys.components)
+  in
+  Format.pp_print_string ppf (String.concat " " parts)

@@ -1,0 +1,52 @@
+(** The centralized BIP execution engine and reachability analysis.
+
+    Each step: compute enabled interactions (port-enabled on every
+    participant, interaction guard true), filter by priorities and by
+    broadcast maximal progress, let the scheduler choose one, execute its
+    data transfer and the participants' transitions. This is the
+    operational semantics behind BIP's "correct code for component
+    coordination". *)
+
+type state = { locs : int array; stores : int array array }
+
+(** Scheduler policy for the remaining nondeterminism. *)
+type scheduler =
+  | First  (** deterministic: lowest interaction id *)
+  | Random of Random.State.t
+
+val initial : System.t -> state
+
+(** [enabled sys st] — guard-true, port-enabled interactions,
+    {e before} priority filtering. *)
+val enabled : System.t -> state -> System.interaction list
+
+(** [filtered sys st] — after priority rules and broadcast maximality. *)
+val filtered : System.t -> state -> System.interaction list
+
+(** [step sys sched st] fires one interaction, or [None] on deadlock. *)
+val step :
+  System.t -> scheduler -> state -> (System.interaction * state) option
+
+(** [run sys sched ~steps] — labelled trace from the initial state
+    (stops early on deadlock). *)
+val run :
+  System.t -> scheduler -> steps:int -> (string * state) list
+
+type reach_result = {
+  states : state list;
+  deadlocks : state list;
+  truncated : bool;
+}
+
+(** [reachable sys] — exhaustive exploration (default cap 1_000_000). *)
+val reachable : ?max_states:int -> System.t -> reach_result
+
+(** [invariant_holds sys pred] — exact check over the reachable graph;
+    returns a counterexample state when violated. *)
+val invariant_holds :
+  ?max_states:int -> System.t -> (state -> bool) -> (bool * state option)
+
+(** [deadlock_free sys] — exact check; counterexample on failure. *)
+val deadlock_free : ?max_states:int -> System.t -> bool * state option
+
+val pp_state : System.t -> Format.formatter -> state -> unit

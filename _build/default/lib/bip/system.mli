@@ -1,0 +1,67 @@
+(** BIP composite systems: Interaction and Priority — the two glue layers
+    of Section IV.
+
+    Connectors combine the two protocols the paper names: {e rendezvous}
+    (strong symmetric synchronisation: all ports fire together) and
+    {e broadcast} (a trigger port plus any subset of synchron ports, with
+    larger subsets preferred through the automatic maximal-progress
+    priority). Priorities filter among simultaneously enabled
+    interactions and are the mechanism the execution controller (R2C)
+    uses to steer the system. *)
+
+(** A concrete interaction: one port per participating component, an
+    optional global guard, and a data-transfer action executed on the
+    participants' stores when the interaction fires. *)
+type interaction = {
+  i_name : string;
+  i_ports : (int * Component.port) list;  (** (component index, port) *)
+  i_guard : (int array -> int array array -> bool) option;
+      (** receives the location vector and all local stores *)
+  i_action : (int array array -> unit) option;
+  i_id : int;
+}
+
+type connector =
+  | Rendezvous of {
+      c_name : string;
+      members : (int * Component.port) list;
+      guard : (int array -> int array array -> bool) option;
+      action : (int array array -> unit) option;
+    }
+  | Broadcast of {
+      c_name : string;
+      trigger : int * Component.port;
+      synchrons : (int * Component.port) list;
+      action : (int array array -> unit) option;
+    }
+
+(** Priority rule: when both are enabled (and [when_] holds), [low] is
+    inhibited by [high]. Interactions are referred to by name. *)
+type priority = {
+  low : string;
+  high : string;
+  when_ : (int array -> int array array -> bool) option;
+}
+
+type t = {
+  components : Component.t array;
+  interactions : interaction array;
+  priorities : priority list;
+  broadcast_maximal : bool;
+      (** prefer maximal broadcast subsets (BIP's default) *)
+}
+
+(** [make ~components ~connectors ~priorities ()] elaborates connectors
+    into concrete interactions (broadcasts enumerate their subsets,
+    trigger-alone included).
+    @raise Invalid_argument on bad component indices, duplicate
+    interaction names, or priorities naming unknown interactions. *)
+val make :
+  components:Component.t array ->
+  connectors:connector list ->
+  ?priorities:priority list ->
+  ?broadcast_maximal:bool ->
+  unit ->
+  t
+
+val interaction_by_name : t -> string -> interaction

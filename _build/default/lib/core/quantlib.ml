@@ -1,0 +1,25 @@
+(** Facade: one module giving access to every tool family of the paper.
+
+    - {!Zones} / {!Ta}: the UPPAAL core (DBMs, timed automata, the
+      symbolic model checker, the Fig. 1 train-gate).
+    - {!Discrete}, {!Priced}, {!Games}: digital clocks, UPPAAL-CORA
+      (priced reachability / WCET) and UPPAAL-TIGA (timed games).
+    - {!Smc}: UPPAAL-SMC (stochastic semantics + statistical estimators).
+    - {!Mdp}, {!Modest}: the MODEST toolset — STA, the language frontend,
+      and the mctau / mcpta / modes backends with the BRP case study.
+    - {!Bip}: the BIP component framework with D-Finder and DALA.
+    - {!Mbt}: ioco model-based testing and the TRON-style online tester.
+    - {!Ecdar}: timed I/O refinement. *)
+
+module Zones = Zones
+module Ta = Ta
+module Discrete = Discrete
+module Priced = Priced
+module Games = Games
+module Smc = Smc
+module Mdp = Mdp
+module Modest = Modest
+module Bip = Bip
+module Mbt = Mbt
+module Ecdar = Ecdar
+module Util = Quant_util

@@ -1,0 +1,1 @@
+lib/discrete/digital.ml: Array Format Fun Hashtbl List Printf Queue String Ta Zones

@@ -1,0 +1,1 @@
+lib/discrete/digital.mli: Format Hashtbl Ta

@@ -1,0 +1,194 @@
+module Model = Ta.Model
+module Zone_graph = Ta.Zone_graph
+module Expr = Ta.Expr
+module Bound = Zones.Bound
+
+type dstate = { dlocs : int array; dstore : int array; dclocks : int array }
+
+type dtrans = {
+  kind : [ `Delay | `Act of Zone_graph.move ];
+  target : dstate;
+  tr_ctrl : bool;
+}
+
+(* Digital clocks are exact only for closed (non-strict), diagonal-free
+   constraints: saturation keeps single-clock comparisons truthful but
+   loses differences between two saturated clocks. *)
+let constr_ok (c : Model.constr) =
+  (c.ci = 0 || c.cj = 0) && not (Bound.is_strict c.cb)
+
+let is_closed (net : Model.network) =
+  let ok = ref true in
+  Array.iter
+    (fun (a : Model.automaton) ->
+      Array.iter
+        (fun (l : Model.location) ->
+          if not (List.for_all constr_ok l.invariant) then ok := false)
+        a.locations;
+      Array.iter
+        (fun edges ->
+          List.iter
+            (fun (e : Model.edge) ->
+              if not (List.for_all constr_ok e.clock_guard) then ok := false)
+            edges)
+        a.out)
+    net.automata;
+  !ok
+
+let sat_constr ks v (c : Model.constr) =
+  ignore ks;
+  if Bound.is_inf c.cb then true
+  else begin
+    let d = v.(c.ci) - v.(c.cj) in
+    let m = Bound.constant c.cb in
+    if Bound.is_strict c.cb then d < m else d <= m
+  end
+
+let sat_all ks v cs = List.for_all (sat_constr ks v) cs
+
+let initial (net : Model.network) =
+  if not (is_closed net) then
+    invalid_arg
+      "Digital: model must be closed and diagonal-free for digital-clock \
+       analysis";
+  {
+    dlocs = Array.map (fun (a : Model.automaton) -> a.initial) net.automata;
+    dstore = Ta.Store.initial net.layout;
+    dclocks = Array.make (net.n_clocks + 1) 0;
+  }
+
+let invariant_ok net st =
+  sat_all net.Model.max_consts st.dclocks
+    (Zone_graph.invariant_constrs net st.dlocs)
+
+let delay_successor net st =
+  if not (Zone_graph.delay_allowed net st.dlocs st.dstore) then None
+  else begin
+    let ks = net.Model.max_consts in
+    let v' =
+      Array.mapi
+        (fun i x -> if i = 0 then 0 else min (x + 1) (ks.(i) + 1))
+        st.dclocks
+    in
+    let st' = { st with dclocks = v' } in
+    if invariant_ok net st' then Some st' else None
+  end
+
+let act_successor net st (mv : Zone_graph.move) =
+  let ks = net.Model.max_consts in
+  let guards_ok =
+    List.for_all
+      (fun (_, (e : Model.edge)) -> sat_all ks st.dclocks e.clock_guard)
+      mv.participants
+  in
+  if not guards_ok then None
+  else begin
+    let locs' = Array.copy st.dlocs in
+    let store' = Array.copy st.dstore in
+    let clocks' = Array.copy st.dclocks in
+    List.iter
+      (fun (i, (e : Model.edge)) ->
+        locs'.(i) <- e.dst;
+        List.iter
+          (function
+            | Model.Assign (lv, rhs) ->
+              let value = Expr.eval store' rhs in
+              store'.(Expr.lvalue_offset store' lv) <- value
+            | Model.Reset (x, value) -> clocks'.(x) <- min value (ks.(x) + 1)
+            | Model.Prim (_, f) -> f store')
+          e.updates)
+      mv.participants;
+    let st' = { dlocs = locs'; dstore = store'; dclocks = clocks' } in
+    if invariant_ok net st' then Some st' else None
+  end
+
+let move_ctrl (mv : Zone_graph.move) =
+  List.for_all (fun (_, (e : Model.edge)) -> e.Model.ctrl) mv.participants
+
+let successors net st =
+  let acts =
+    List.filter_map
+      (fun mv ->
+        match act_successor net st mv with
+        | Some st' ->
+          Some { kind = `Act mv; target = st'; tr_ctrl = move_ctrl mv }
+        | None -> None)
+      (Zone_graph.moves net st.dlocs st.dstore)
+  in
+  match delay_successor net st with
+  | Some st' -> { kind = `Delay; target = st'; tr_ctrl = true } :: acts
+  | None -> acts
+
+type graph = {
+  states : dstate array;
+  index : (dstate, int) Hashtbl.t;
+  transitions : dtrans list array;
+}
+
+let explore ?(max_states = 2_000_000) net =
+  let index = Hashtbl.create 65536 in
+  let states = ref [] and n = ref 0 in
+  let trans = Hashtbl.create 65536 in
+  let id_of st =
+    match Hashtbl.find_opt index st with
+    | Some id -> (id, false)
+    | None ->
+      let id = !n in
+      incr n;
+      if !n > max_states then failwith "Digital.explore: state limit exceeded";
+      Hashtbl.replace index st id;
+      states := st :: !states;
+      (id, true)
+  in
+  let queue = Queue.create () in
+  let init = initial net in
+  let id0, _ = id_of init in
+  Queue.push (id0, init) queue;
+  while not (Queue.is_empty queue) do
+    let id, st = Queue.pop queue in
+    let ts = successors net st in
+    List.iter
+      (fun t ->
+        let id', fresh = id_of t.target in
+        ignore id';
+        if fresh then Queue.push (id', t.target) queue)
+      ts;
+    Hashtbl.replace trans id ts
+  done;
+  {
+    states = Array.of_list (List.rev !states);
+    index;
+    transitions =
+      Array.init !n (fun i -> try Hashtbl.find trans i with Not_found -> []);
+  }
+
+let discrete_parts g =
+  let tbl = Hashtbl.create 4096 in
+  Array.iter
+    (fun st -> Hashtbl.replace tbl (st.dlocs, st.dstore) ())
+    g.states;
+  tbl
+
+let pp_dstate net ppf st =
+  let locs =
+    Array.to_list
+      (Array.mapi
+         (fun i l ->
+           Printf.sprintf "%s.%s" net.Model.automata.(i).auto_name
+             (Model.loc_name net i l))
+         st.dlocs)
+  in
+  let clocks =
+    Array.to_list
+      (Array.mapi
+         (fun i v ->
+           if i = 0 then None
+           else Some (Printf.sprintf "%s=%d" net.Model.clock_names.(i) v))
+         st.dclocks)
+    |> List.filter_map Fun.id
+  in
+  Format.fprintf ppf "(%s | %s | %a)"
+    (String.concat "," locs)
+    (String.concat "," clocks)
+    (Ta.Store.pp_store net.Model.layout)
+    st.dstore

@@ -1,0 +1,58 @@
+(** Compositional refinement of timed I/O specifications — the ECDAR
+    reproduction (ref. [8]: "Timed I/O automata: a complete specification
+    theory for real-time systems").
+
+    A specification is a closed TA network with its channels partitioned
+    into inputs and outputs (auxiliary environment components close the
+    network, as in {!Mbt.Demo.timed_server}). Refinement [impl ≤ spec] is
+    the timed alternating simulation of the TIOA theory, decided as a
+    greatest fixpoint on the product of the digital-clock graphs:
+
+    - outputs and delays of the implementation must be matched by the
+      specification (covariant);
+    - inputs admitted by the specification must be admitted by the
+      implementation (contravariant).
+
+    Restrictions (checked): closed diagonal-free constraints (digital
+    clocks), and no unobservable moves. *)
+
+type t = {
+  net : Ta.Model.network;
+  inputs : string list;
+  outputs : string list;
+}
+
+(** [make net ~inputs ~outputs] — wraps and validates a specification.
+    @raise Invalid_argument when the network is not closed or some move
+    emits a channel outside [inputs @ outputs]. *)
+val make :
+  Ta.Model.network -> inputs:string list -> outputs:string list -> t
+
+type refinement_result = {
+  refines : bool;
+  checked_pairs : int;
+  witness : string option;  (** violated obligation, for diagnostics *)
+}
+
+(** [refines ~impl ~spec] — alternating-simulation refinement. The two
+    specifications must agree on their alphabets.
+    @raise Invalid_argument otherwise. *)
+val refines : impl:t -> spec:t -> refinement_result
+
+(** [compose a b] — structural composition ("structural composition of
+    specifications", ref. [8]): the merged network synchronises the two
+    halves on shared channel names; the composite's outputs are the union
+    of both sides' outputs, its inputs the remaining inputs.
+    @raise Invalid_argument when the output alphabets overlap. *)
+val compose : t -> t -> t
+
+(** [refines_conjunction ~impl ~specs] — logical composition
+    (conjunction) through its characteristic property on deterministic
+    specifications: an implementation refines [s1 AND ... AND sn] iff it
+    refines every [si]. *)
+val refines_conjunction : impl:t -> specs:t list -> bool
+
+(** [consistent s] — no reachable state is a timelock (time can always
+    pass, or some output/input move exists). Inconsistent specifications
+    admit no implementation. *)
+val consistent : t -> bool

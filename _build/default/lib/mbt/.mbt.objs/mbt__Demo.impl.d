@@ -1,0 +1,1 @@
+lib/mbt/demo.ml: Lts Ta

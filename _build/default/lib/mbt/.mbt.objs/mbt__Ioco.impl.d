@@ -1,0 +1,1 @@
+lib/mbt/ioco.ml: Format Hashtbl List Lts Queue

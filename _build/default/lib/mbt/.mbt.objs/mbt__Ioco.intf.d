@@ -1,0 +1,1 @@
+lib/mbt/ioco.mli: Lts

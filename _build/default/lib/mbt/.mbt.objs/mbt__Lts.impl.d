@@ -1,0 +1,1 @@
+lib/mbt/lts.ml: Array Buffer Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/mbt/lts.mli: Format

@@ -1,0 +1,1 @@
+lib/mbt/rtioco.ml: Array Discrete Hashtbl List Random Ta

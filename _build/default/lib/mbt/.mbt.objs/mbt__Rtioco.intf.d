@@ -1,0 +1,1 @@
+lib/mbt/rtioco.mli: Discrete Ta

@@ -1,0 +1,1 @@
+lib/mbt/testgen.ml: Hashtbl List Lts Random

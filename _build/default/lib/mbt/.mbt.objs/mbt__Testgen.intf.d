@@ -1,0 +1,1 @@
+lib/mbt/testgen.mli: Lts Random

@@ -1,0 +1,136 @@
+module Model = Ta.Model
+
+let i a = Lts.Input a
+let o a = Lts.Output a
+
+(* states: 0 idle, 1 paid, 2 served *)
+let coffee_spec =
+  Lts.make ~n_states:3 ~start:0
+    [
+      (0, i "coin", 1);
+      (0, i "button", 0); (* ignored without payment *)
+      (1, i "coin", 1);
+      (1, i "button", 1);
+      (1, o "coffee", 2);
+      (1, o "tea", 2);
+      (2, i "coin", 1);
+      (2, i "button", 2);
+    ]
+
+let coffee_impl_good =
+  Lts.make ~n_states:3 ~start:0
+    [
+      (0, i "coin", 1);
+      (0, i "button", 0);
+      (1, i "coin", 1);
+      (1, i "button", 1);
+      (1, o "coffee", 2);
+      (2, i "coin", 1);
+      (2, i "button", 2);
+    ]
+
+let coffee_impl_wrong_drink =
+  Lts.make ~n_states:3 ~start:0
+    [
+      (0, i "coin", 1);
+      (0, i "button", 0);
+      (1, i "coin", 1);
+      (1, i "button", 1);
+      (1, o "milk", 2);
+      (2, i "coin", 1);
+      (2, i "button", 2);
+    ]
+
+(* After coin, an internal step may land in a state with no output:
+   quiescence where the spec requires a drink. *)
+let coffee_impl_lazy =
+  Lts.make ~n_states:4 ~start:0
+    [
+      (0, i "coin", 1);
+      (0, i "button", 0);
+      (1, Lts.Tau, 3);
+      (1, i "coin", 1);
+      (1, i "button", 1);
+      (1, o "coffee", 2);
+      (2, i "coin", 1);
+      (2, i "button", 2);
+      (3, i "coin", 3);
+      (3, i "button", 3);
+    ]
+
+(* Software bus: 0 unsubscribed, 1 subscribed-acking, 2 ready,
+   3 notifying. *)
+let bus_spec =
+  Lts.make ~n_states:4 ~start:0
+    [
+      (0, i "subscribe", 1);
+      (0, i "publish", 0); (* dropped when nobody listens *)
+      (1, o "ack", 2);
+      (1, i "publish", 1);
+      (1, i "subscribe", 1);
+      (2, i "publish", 3);
+      (2, i "subscribe", 2);
+      (3, o "notify", 2);
+      (3, i "publish", 3);
+      (3, i "subscribe", 3);
+    ]
+
+let bus_impl_good = bus_spec
+
+let bus_impl_lossy =
+  Lts.make ~n_states:4 ~start:0
+    [
+      (0, i "subscribe", 1);
+      (0, i "publish", 0);
+      (1, o "ack", 2);
+      (1, i "publish", 1);
+      (1, i "subscribe", 1);
+      (2, i "publish", 3);
+      (2, i "subscribe", 2);
+      (* Drops notifications nondeterministically. *)
+      (3, o "notify", 2);
+      (3, Lts.Tau, 2);
+      (3, i "publish", 3);
+      (3, i "subscribe", 3);
+    ]
+
+let bus_impl_chatty =
+  Lts.make ~n_states:5 ~start:0
+    [
+      (0, i "subscribe", 1);
+      (0, i "publish", 0);
+      (1, o "ack", 2);
+      (1, i "publish", 1);
+      (1, i "subscribe", 1);
+      (2, i "publish", 3);
+      (2, i "subscribe", 2);
+      (3, o "notify", 4);
+      (3, i "publish", 3);
+      (3, i "subscribe", 3);
+      (* Second notification: out(after publish.notify) must be {delta}. *)
+      (4, o "notify", 2);
+      (4, i "publish", 4);
+      (4, i "subscribe", 4);
+    ]
+
+let timed_inputs = [ "req" ]
+let timed_outputs = [ "resp" ]
+
+let timed_server () =
+  let b = Model.builder () in
+  let y = Model.fresh_clock b "y" in
+  let req = Model.channel b "req" in
+  let resp = Model.channel b "resp" in
+  let server = Model.automaton b "Server" in
+  let idle = Model.location server "Idle" in
+  let busy = Model.location server "Busy" ~invariant:[ Model.clock_le y 4 ] in
+  Model.edge server ~src:idle ~dst:busy ~sync:(Model.Receive req)
+    ~updates:[ Model.Reset (y, 0) ] ();
+  Model.edge server ~src:busy ~dst:idle
+    ~clock_guard:[ Model.clock_ge y 2 ]
+    ~sync:(Model.Emit resp) ();
+  let env = Model.automaton b "Env" in
+  let e0 = Model.location env "E" in
+  Model.edge env ~src:e0 ~dst:e0 ~sync:(Model.Emit req) ();
+  Model.edge env ~src:e0 ~dst:e0 ~sync:(Model.Receive resp) ();
+  Model.build b

@@ -1,0 +1,43 @@
+(** Demonstration models for the MBT layer: the classic coffee machine
+    (untimed ioco), a software-bus-style protocol (after the Neopost case
+    the paper cites), and a timed request/response service for the
+    TRON-style online tester. *)
+
+(** {1 Coffee machine} *)
+
+(** Spec: after [coin?], the machine delivers [coffee!] or [tea!]; after
+    [button?] without a coin it must stay quiet. *)
+val coffee_spec : Lts.t
+
+(** Conforming: always delivers coffee (reduction of nondeterminism). *)
+val coffee_impl_good : Lts.t
+
+(** Non-conforming: can deliver [milk!] (unspecified output). *)
+val coffee_impl_wrong_drink : Lts.t
+
+(** Non-conforming: may stay quiescent after [coin?]. *)
+val coffee_impl_lazy : Lts.t
+
+(** {1 Software bus (subscribe / publish / notify)} *)
+
+(** Spec: after [subscribe?], each [publish?] is followed by exactly one
+    [notify!]; [ack!] answers [subscribe?]. *)
+val bus_spec : Lts.t
+
+val bus_impl_good : Lts.t
+
+(** Drops every notification (quiescence where output required). *)
+val bus_impl_lossy : Lts.t
+
+(** Double notification (extra output after the allowed one). *)
+val bus_impl_chatty : Lts.t
+
+(** {1 Timed request/response (for rtioco)} *)
+
+(** Spec network: on [req?] the server answers [resp!] within 2..4 time
+    units. Returns the network; inputs = [["req"]], outputs =
+    [["resp"]]. *)
+val timed_server : unit -> Ta.Model.network
+
+val timed_inputs : string list
+val timed_outputs : string list

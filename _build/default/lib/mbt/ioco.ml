@@ -1,0 +1,59 @@
+type counterexample = { trace : string list; bad_obs : Lts.obs }
+
+(* Walk the synchronous product of the suspension automata along the
+   spec's suspension traces; at every reachable pair, the implementation's
+   observations must be allowed by the spec. *)
+let check ~impl ~spec =
+  let visited = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  Queue.push (Lts.initial_set impl, Lts.initial_set spec, []) queue;
+  let result = ref (Ok true) in
+  (try
+     while not (Queue.is_empty queue) do
+       let i_set, s_set, rev_trace = Queue.pop queue in
+       let key = (i_set, s_set) in
+       if not (Hashtbl.mem visited key) then begin
+         Hashtbl.replace visited key ();
+         let allowed = Lts.out_set spec s_set in
+         (* Conformance at this point. *)
+         List.iter
+           (fun o ->
+             if not (List.mem o allowed) then begin
+               result :=
+                 Error
+                   {
+                     trace = List.rev rev_trace;
+                     bad_obs = o;
+                   };
+               raise Exit
+             end)
+           (Lts.out_set impl i_set);
+         (* Extend along the spec's suspension traces: inputs the spec
+            offers, and observations the spec allows. *)
+         List.iter
+           (fun a ->
+             let s' = Lts.after_input spec s_set a in
+             let i' = Lts.after_input impl i_set a in
+             (* The testing hypothesis makes i' non-empty; guard anyway. *)
+             if s' <> [] && i' <> [] then
+               Queue.push (i', s', (a ^ "?") :: rev_trace) queue)
+           (Lts.inputs_enabled_in spec s_set);
+         List.iter
+           (fun o ->
+             let s' = Lts.after_obs spec s_set o in
+             let i' = Lts.after_obs impl i_set o in
+             (* Follow only observations the implementation can produce:
+                deeper spec traces that the impl never exhibits cannot
+                reveal non-conformance of this impl. *)
+             if s' <> [] && i' <> [] then begin
+               let label = Format.asprintf "%a" Lts.pp_obs o in
+               Queue.push (i', s', label :: rev_trace) queue
+             end)
+           allowed
+       end
+     done
+   with Exit -> ());
+  !result
+
+let conforms ~impl ~spec =
+  match check ~impl ~spec with Ok _ -> true | Error _ -> false

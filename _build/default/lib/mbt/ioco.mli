@@ -1,0 +1,19 @@
+(** The ioco implementation relation (Input/Output Conformance).
+
+    [impl ioco spec] iff for every suspension trace sigma of the spec,
+    [out(impl after sigma) ⊆ out(spec after sigma)]. Decided exactly for
+    finite models by a product walk over the two suspension automata.
+    The testing hypothesis (implementations are input-enabled) is
+    validated separately with {!Lts.input_enabled}. *)
+
+type counterexample = {
+  trace : string list;  (** suspension trace (labels as printed) *)
+  bad_obs : Lts.obs;  (** the implementation observation not allowed *)
+}
+
+(** [check ~impl ~spec] — exact decision with a counterexample on
+    failure. *)
+val check : impl:Lts.t -> spec:Lts.t -> (bool, counterexample) result
+
+(** [conforms ~impl ~spec] — just the boolean. *)
+val conforms : impl:Lts.t -> spec:Lts.t -> bool

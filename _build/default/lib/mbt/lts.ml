@@ -1,0 +1,147 @@
+type label = Input of string | Output of string | Tau
+
+type t = {
+  n_states : int;
+  start : int;
+  trans : (label * int) list array;
+}
+
+let make ~n_states ~start transitions =
+  if start < 0 || start >= n_states then invalid_arg "Lts.make: bad start";
+  let trans = Array.make n_states [] in
+  List.iter
+    (fun (src, label, dst) ->
+      if src < 0 || src >= n_states || dst < 0 || dst >= n_states then
+        invalid_arg "Lts.make: bad transition";
+      trans.(src) <- (label, dst) :: trans.(src))
+    transitions;
+  Array.iteri (fun i l -> trans.(i) <- List.rev l) trans;
+  { n_states; start; trans }
+
+let n_states t = t.n_states
+let start t = t.start
+let transitions_from t s = t.trans.(s)
+
+let action_names t pick =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun ts ->
+      List.iter
+        (fun (l, _) -> match pick l with Some a -> Hashtbl.replace tbl a () | None -> ())
+        ts)
+    t.trans;
+  List.sort compare (Hashtbl.fold (fun a () acc -> a :: acc) tbl [])
+
+let inputs t = action_names t (function Input a -> Some a | Output _ | Tau -> None)
+let outputs t = action_names t (function Output a -> Some a | Input _ | Tau -> None)
+
+type stateset = int list
+
+let closure t states =
+  let seen = Array.make t.n_states false in
+  let rec visit s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      List.iter
+        (fun (l, dst) -> if l = Tau then visit dst)
+        t.trans.(s)
+    end
+  in
+  List.iter visit states;
+  let out = ref [] in
+  for s = t.n_states - 1 downto 0 do
+    if seen.(s) then out := s :: !out
+  done;
+  !out
+
+let initial_set t = closure t [ t.start ]
+
+let quiescent t s =
+  List.for_all
+    (fun (l, _) -> match l with Input _ -> true | Output _ | Tau -> false)
+    t.trans.(s)
+
+let input_enabled t =
+  let alphabet = inputs t in
+  let ok = ref true in
+  for s = 0 to t.n_states - 1 do
+    let set = closure t [ s ] in
+    List.iter
+      (fun a ->
+        let accepts =
+          List.exists
+            (fun s' ->
+              List.exists (fun (l, _) -> l = Input a) t.trans.(s'))
+            set
+        in
+        if not accepts then ok := false)
+      alphabet
+  done;
+  !ok
+
+type obs = Out of string | Delta
+
+let after_label t ss label =
+  let next =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun (l, dst) -> if l = label then Some dst else None)
+          t.trans.(s))
+      ss
+  in
+  closure t next
+
+let out_set t ss =
+  let outs =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun (l, _) -> match l with Output a -> Some a | Input _ | Tau -> None)
+          t.trans.(s))
+      ss
+    |> List.sort_uniq compare
+  in
+  let base = List.map (fun a -> Out a) outs in
+  if List.exists (quiescent t) ss then base @ [ Delta ] else base
+
+let after_obs t ss = function
+  | Out a -> after_label t ss (Output a)
+  | Delta -> List.filter (quiescent t) ss
+
+let after_input t ss a = after_label t ss (Input a)
+
+let inputs_enabled_in t ss =
+  List.filter (fun a -> after_input t ss a <> []) (inputs t)
+
+let to_dot t =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "digraph lts {\n  rankdir=LR;\n";
+  for s = 0 to t.n_states - 1 do
+    add "  s%d [shape=circle%s];\n" s
+      (if s = t.start then ", penwidth=2" else "")
+  done;
+  for s = 0 to t.n_states - 1 do
+    List.iter
+      (fun (l, d) ->
+        let label =
+          match l with
+          | Input a -> a ^ "?"
+          | Output a -> a ^ "!"
+          | Tau -> "tau"
+        in
+        add "  s%d -> s%d [label=\"%s\"];\n" s d label)
+      t.trans.(s)
+  done;
+  add "}\n";
+  Buffer.contents b
+
+let pp_label ppf = function
+  | Input a -> Format.fprintf ppf "%s?" a
+  | Output a -> Format.fprintf ppf "%s!" a
+  | Tau -> Format.pp_print_string ppf "tau"
+
+let pp_obs ppf = function
+  | Out a -> Format.fprintf ppf "%s!" a
+  | Delta -> Format.pp_print_string ppf "delta"

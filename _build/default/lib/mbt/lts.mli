@@ -1,0 +1,63 @@
+(** Labelled transition systems with input/output partitioned actions —
+    the models of the ioco testing theory (Section V, ref. [28]).
+
+    Inputs are the actions the environment (tester) controls, outputs the
+    system's; [Tau] is internal. The suspension view adds quiescence
+    ([delta]): the observable absence of outputs. *)
+
+type label = Input of string | Output of string | Tau
+
+type t
+
+(** [make ~n_states ~start transitions] with transitions
+    [(src, label, dst)].
+    @raise Invalid_argument on out-of-range states. *)
+val make : n_states:int -> start:int -> (int * label * int) list -> t
+
+val n_states : t -> int
+val start : t -> int
+val transitions_from : t -> int -> (label * int) list
+
+(** All input (resp. output) action names occurring in the system. *)
+val inputs : t -> string list
+
+val outputs : t -> string list
+
+(** [input_enabled t] — every state accepts every input of the alphabet
+    (possibly after internal moves): the ioco testing hypothesis for
+    implementations. *)
+val input_enabled : t -> bool
+
+(** {1 Suspension semantics over tau-closed state sets} *)
+
+type stateset = int list
+(** sorted, tau-closed *)
+
+(** [closure t states] — tau-closure, sorted and deduplicated. *)
+val closure : t -> int list -> stateset
+
+val initial_set : t -> stateset
+
+(** [quiescent t s] — state [s] has no output and no tau transition. *)
+val quiescent : t -> int -> bool
+
+(** Observations: an output action or quiescence. *)
+type obs = Out of string | Delta
+
+(** [out_set t ss] — the observations possible in [ss]. *)
+val out_set : t -> stateset -> obs list
+
+(** [after_obs t ss o] — successor set (empty when impossible). *)
+val after_obs : t -> stateset -> obs -> stateset
+
+(** [after_input t ss a] — successor set on input [a]. *)
+val after_input : t -> stateset -> string -> stateset
+
+(** [inputs_enabled_in t ss] — inputs with a non-empty successor. *)
+val inputs_enabled_in : t -> stateset -> string list
+
+(** [to_dot t] — Graphviz rendering (initial state double-penned). *)
+val to_dot : t -> string
+
+val pp_label : Format.formatter -> label -> unit
+val pp_obs : Format.formatter -> obs -> unit

@@ -1,0 +1,54 @@
+(** Online timed testing — the UPPAAL-TRON reproduction (rtioco).
+
+    The tester holds the specification as a timed-automata network whose
+    channels are partitioned into {e inputs} (tester-controlled) and
+    {e outputs} (implementation-controlled), and maintains a {e state
+    estimate}: the set of digital states the spec could be in after the
+    observed timed trace. Each round (one model time unit) the tester
+    either injects an input allowed by the estimate or lets time pass;
+    outputs and silence are checked against the estimate on the fly —
+    tests are derived, executed and checked during execution, as the
+    paper describes TRON. *)
+
+module Digital = Discrete.Digital
+
+(** The tester's view of a timed IUT. Time is discrete (one [tick] = one
+    model time unit); outputs happen at instants. *)
+type timed_iut = {
+  ti_reset : unit -> unit;
+  ti_input : string -> unit;  (** inject an input now *)
+  ti_tick : unit -> string option;
+      (** advance one time unit; the IUT may emit an output (channel
+          name) at the new instant *)
+}
+
+type verdict =
+  | T_pass of int  (** rounds executed *)
+  | T_fail of { round : int; reason : string }
+
+(** [test net ~inputs ~outputs ~rounds ~seed iut] runs one online test.
+    [inputs]/[outputs] are channel names of [net].
+    @raise Invalid_argument when [net] is not closed/diagonal-free. *)
+val test :
+  Ta.Model.network ->
+  inputs:string list ->
+  outputs:string list ->
+  rounds:int ->
+  seed:int ->
+  timed_iut ->
+  verdict
+
+(** [spec_iut net ~outputs ~seed] — a conforming IUT simulated from the
+    spec itself (resolving nondeterminism randomly). *)
+val spec_iut :
+  Ta.Model.network -> outputs:string list -> seed:int -> timed_iut
+
+(** Faulty wrappers for experiments: *)
+
+(** [mute_iut iut] never produces outputs (timeliness faults are
+    detected when the spec forces an output). *)
+val mute_iut : timed_iut -> timed_iut
+
+(** [noisy_iut iut ~wrong ~every] replaces each [every]-th output with
+    channel [wrong]. *)
+val noisy_iut : timed_iut -> wrong:string -> every:int -> timed_iut

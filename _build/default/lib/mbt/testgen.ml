@@ -1,0 +1,232 @@
+type test =
+  | Pass
+  | Fail
+  | Stimulate of string * test
+  | Observe of (Lts.obs * test) list
+
+(* Tretmans' generation: from the current suspension set, either stop,
+   stimulate an enabled input, or observe — with a Fail branch for every
+   observation the specification forbids. *)
+let generate spec ~rng ~depth =
+  let alphabet_out = Lts.outputs spec in
+  let rec gen set depth =
+    if depth = 0 then Pass
+    else begin
+      let inputs = Lts.inputs_enabled_in spec set in
+      let stimulate = inputs <> [] && Random.State.bool rng in
+      if stimulate then begin
+        let a = List.nth inputs (Random.State.int rng (List.length inputs)) in
+        Stimulate (a, gen (Lts.after_input spec set a) (depth - 1))
+      end
+      else begin
+        let allowed = Lts.out_set spec set in
+        let branch o =
+          if List.mem o allowed then (o, gen (Lts.after_obs spec set o) (depth - 1))
+          else (o, Fail)
+        in
+        Observe (List.map branch (List.map (fun a -> Lts.Out a) alphabet_out @ [ Lts.Delta ]))
+      end
+    end
+  in
+  gen (Lts.initial_set spec) depth
+
+let generate_suite spec ~seed ~count ~depth =
+  List.init count (fun k ->
+      generate spec ~rng:(Random.State.make [| seed; k |]) ~depth)
+
+let rec size = function
+  | Pass | Fail -> 0
+  | Stimulate (_, t) -> 1 + size t
+  | Observe branches ->
+    1 + List.fold_left (fun acc (_, t) -> acc + size t) 0 branches
+
+(* Systematic enumeration via schedules: a schedule is a sequence over
+   {observe} + inputs; at each level the test either stimulates the
+   scheduled input (where enabled) or observes, uniformly across all
+   observation branches. Enumerating all (|inputs|+1)^depth schedules
+   interleaves stimulation and observation arbitrarily, which makes the
+   suite transition-complete on the spec and exhaustive in the limit. *)
+let generate_all ?(max_tests = 10_000) spec ~depth =
+  let alphabet_out = Lts.outputs spec in
+  let choices = None :: List.map (fun a -> Some a) (Lts.inputs spec) in
+  let rec build set schedule =
+    match schedule with
+    | [] -> Pass
+    | Some a :: rest ->
+      let next = Lts.after_input spec set a in
+      if next = [] then Pass else Stimulate (a, build next rest)
+    | None :: rest ->
+      let allowed = Lts.out_set spec set in
+      let branch o =
+        if List.mem o allowed then (o, build (Lts.after_obs spec set o) rest)
+        else (o, Fail)
+      in
+      Observe
+        (List.map branch
+           (List.map (fun a -> Lts.Out a) alphabet_out @ [ Lts.Delta ]))
+  in
+  let acc = ref [] and count = ref 0 in
+  let exception Enough in
+  let rec schedules prefix d =
+    if d = 0 then begin
+      incr count;
+      if !count > max_tests then raise Enough;
+      acc := build (Lts.initial_set spec) (List.rev prefix) :: !acc
+    end
+    else List.iter (fun c -> schedules (c :: prefix) (d - 1)) choices
+  in
+  (try schedules [] depth with Enough -> ());
+  List.rev !acc
+
+(* Transition coverage: walk every test over the spec's suspension sets,
+   marking the concrete transitions each step can exercise. *)
+let coverage spec tests =
+  let covered = Hashtbl.create 256 in
+  let mark s l s' = Hashtbl.replace covered (s, l, s') () in
+  let rec walk set t =
+    match t with
+    | Pass | Fail -> ()
+    | Stimulate (a, k) ->
+      List.iter
+        (fun s ->
+          List.iter
+            (fun (l, s') -> if l = Lts.Input a then mark s l s')
+            (Lts.transitions_from spec s))
+        set;
+      walk (Lts.after_input spec set a) k
+    | Observe branches ->
+      List.iter
+        (fun (o, k) ->
+          match o with
+          | Lts.Out a ->
+            let next = Lts.after_obs spec set o in
+            if next <> [] then begin
+              List.iter
+                (fun s ->
+                  List.iter
+                    (fun (l, s') -> if l = Lts.Output a then mark s l s')
+                    (Lts.transitions_from spec s))
+                set;
+              walk next k
+            end
+          | Lts.Delta ->
+            let next = Lts.after_obs spec set o in
+            if next <> [] then walk next k)
+        branches
+  in
+  List.iter (fun t -> walk (Lts.initial_set spec) t) tests;
+  let total = ref 0 in
+  for s = 0 to Lts.n_states spec - 1 do
+    List.iter
+      (fun (l, _) -> match l with Lts.Tau -> () | _ -> incr total)
+      (Lts.transitions_from spec s)
+  done;
+  if !total = 0 then 1.0
+  else float_of_int (Hashtbl.length covered) /. float_of_int !total
+
+type iut = {
+  reset : unit -> unit;
+  stimulate : string -> unit;
+  observe : unit -> Lts.obs;
+}
+
+type verdict = V_pass | V_fail
+
+let execute test iut =
+  iut.reset ();
+  let rec walk = function
+    | Pass -> V_pass
+    | Fail -> V_fail
+    | Stimulate (a, k) ->
+      iut.stimulate a;
+      walk k
+    | Observe branches -> (
+        let o = iut.observe () in
+        match List.assoc_opt o branches with
+        | Some k -> walk k
+        | None -> V_fail (* unlisted observation: alphabet violation *))
+  in
+  walk test
+
+let run_suite tests iut ~repetitions =
+  let passes = ref 0 and fails = ref 0 in
+  List.iter
+    (fun t ->
+      let failed = ref false in
+      for _ = 1 to repetitions do
+        if execute t iut = V_fail then failed := true
+      done;
+      if !failed then incr fails else incr passes)
+    tests;
+  (!passes, !fails)
+
+(* A simulated IUT over an LTS: it keeps a concrete state (resolving
+   internal/output nondeterminism with its own RNG). Inputs it cannot
+   take are silently ignored (input-enabled completion), matching the
+   testing hypothesis. *)
+let lts_iut impl ~seed =
+  let rng = Random.State.make [| seed |] in
+  let state = ref (Lts.start impl) in
+  let pick xs =
+    match xs with
+    | [] -> None
+    | _ -> Some (List.nth xs (Random.State.int rng (List.length xs)))
+  in
+  (* Follow a random chain of taus (the IUT runs autonomously). *)
+  let rec settle () =
+    let taus =
+      List.filter_map
+        (fun (l, d) -> if l = Lts.Tau then Some d else None)
+        (Lts.transitions_from impl !state)
+    in
+    match pick taus with
+    | Some d when Random.State.bool rng ->
+      state := d;
+      settle ()
+    | Some _ | None -> ()
+  in
+  {
+    reset =
+      (fun () ->
+        state := Lts.start impl;
+        settle ());
+    stimulate =
+      (fun a ->
+        settle ();
+        let succ =
+          List.filter_map
+            (fun (l, d) -> if l = Lts.Input a then Some d else None)
+            (Lts.transitions_from impl !state)
+        in
+        (match pick succ with Some d -> state := d | None -> ());
+        settle ());
+    observe =
+      (fun () ->
+        settle ();
+        (* Prefer emitting an output when one exists; tau-step towards
+           outputs when the current state is silent but not quiescent. *)
+        let rec try_observe fuel =
+          let outs =
+            List.filter_map
+              (fun (l, d) ->
+                match l with Lts.Output a -> Some (a, d) | Lts.Input _ | Lts.Tau -> None)
+              (Lts.transitions_from impl !state)
+          in
+          match pick outs with
+          | Some (a, d) ->
+            state := d;
+            Lts.Out a
+          | None ->
+            let taus =
+              List.filter_map
+                (fun (l, d) -> if l = Lts.Tau then Some d else None)
+                (Lts.transitions_from impl !state)
+            in
+            (match pick taus with
+             | Some d when fuel > 0 ->
+               state := d;
+               try_observe (fuel - 1)
+             | Some _ | None -> Lts.Delta)
+        in
+        try_observe 32);
+  }

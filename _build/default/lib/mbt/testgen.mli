@@ -1,0 +1,61 @@
+(** Test-case generation and execution (Tretmans' algorithm).
+
+    Test cases are finite trees: stimulate an input, or observe (every
+    possible output plus quiescence has a branch; disallowed observations
+    lead to [Fail]). Tests generated from a specification are {e sound}
+    (conforming implementations never fail) and, in the limit over all
+    tests, {e exhaustive} — the properties the paper quotes for the
+    ioco theory. *)
+
+type test =
+  | Pass
+  | Fail
+  | Stimulate of string * test
+  | Observe of (Lts.obs * test) list
+      (** exactly one branch per output of the alphabet, plus [Delta] *)
+
+(** [generate spec ~rng ~depth] — one random test case. *)
+val generate : Lts.t -> rng:Random.State.t -> depth:int -> test
+
+(** [generate_suite spec ~seed ~count ~depth]. *)
+val generate_suite : Lts.t -> seed:int -> count:int -> depth:int -> test list
+
+(** [generate_all spec ~depth ~max_tests] — the systematic suite: one
+    test per choice sequence (stimulate each enabled input, or observe)
+    up to [depth]. This realises "exhaustive in the limit": as [depth]
+    grows the suite detects every non-conforming implementation.
+    Generation stops silently at [max_tests] (default 10_000). *)
+val generate_all : ?max_tests:int -> Lts.t -> depth:int -> test list
+
+(** [coverage spec tests] — fraction of the spec's non-tau transitions
+    exercised by at least one test path (1.0 = full transition
+    coverage). *)
+val coverage : Lts.t -> test list -> float
+
+(** Number of stimulate/observe nodes. *)
+val size : test -> int
+
+(** {1 Execution against an implementation under test} *)
+
+(** Adapter: the tester's black-box view of the IUT. [observe] blocks
+    until an output or (conceptually) a quiescence timeout. *)
+type iut = {
+  reset : unit -> unit;
+  stimulate : string -> unit;
+  observe : unit -> Lts.obs;
+}
+
+type verdict = V_pass | V_fail
+
+(** [execute test iut] — one run. *)
+val execute : test -> iut -> verdict
+
+(** [run_suite tests iut ~repetitions] — a test fails the suite when any
+    repetition fails (nondeterministic IUTs need several). Returns
+    (passes, fails). *)
+val run_suite : test list -> iut -> repetitions:int -> int * int
+
+(** [lts_iut impl ~seed] — simulated implementation: resolves its own
+    nondeterminism randomly; inputs outside the current state are ignored
+    (input-enabled completion). *)
+val lts_iut : Lts.t -> seed:int -> iut

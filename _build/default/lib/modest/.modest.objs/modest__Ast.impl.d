@@ -1,0 +1,1 @@
+lib/modest/ast.ml: Hashtbl List Option Printf Queue Sta Ta

@@ -1,0 +1,1 @@
+lib/modest/ast.mli: Sta

@@ -1,0 +1,1 @@
+lib/modest/backoff.ml: Array List Mcpta Modes Mprop Smc Sta Ta

@@ -1,0 +1,1 @@
+lib/modest/backoff.mli: Mprop Sta

@@ -1,0 +1,1 @@
+lib/modest/brp.ml: Array Mcpta Mctau Modes Mprop Smc Sta Ta

@@ -1,0 +1,1 @@
+lib/modest/brp.mli: Mprop Sta

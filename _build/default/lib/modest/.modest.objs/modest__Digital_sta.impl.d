@@ -1,0 +1,1 @@
+lib/modest/digital_sta.ml: Array Hashtbl List Mdp Mprop Printf Queue Sta Ta Zones

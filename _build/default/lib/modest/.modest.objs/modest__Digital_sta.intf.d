@@ -1,0 +1,1 @@
+lib/modest/digital_sta.mli: Mdp Mprop Sta

@@ -1,0 +1,1 @@
+lib/modest/lexer.mli:

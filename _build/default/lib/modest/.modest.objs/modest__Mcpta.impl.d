@@ -1,0 +1,1 @@
+lib/modest/mcpta.ml: Array Digital_sta Mdp

@@ -1,0 +1,1 @@
+lib/modest/mcpta.mli: Mprop Sta

@@ -1,0 +1,1 @@
+lib/modest/mctau.ml: Array Hashtbl List Mprop Sta Ta

@@ -1,0 +1,1 @@
+lib/modest/mctau.mli: Mprop Sta Ta

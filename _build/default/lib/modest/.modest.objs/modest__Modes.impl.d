@@ -1,0 +1,1 @@
+lib/modest/modes.ml: Array Hashtbl List Mprop Random Sta Ta Zones

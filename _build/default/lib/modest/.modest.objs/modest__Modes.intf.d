@@ -1,0 +1,1 @@
+lib/modest/modes.mli: Mprop Sta

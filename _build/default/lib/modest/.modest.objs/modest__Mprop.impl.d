@@ -1,0 +1,1 @@
+lib/modest/mprop.ml: Array Format Sta Ta

@@ -1,0 +1,1 @@
+lib/modest/mprop.mli: Format Sta Ta

@@ -1,0 +1,1 @@
+lib/modest/parser.ml: Ast Lexer List Printf

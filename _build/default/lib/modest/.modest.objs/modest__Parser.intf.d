@@ -1,0 +1,1 @@
+lib/modest/parser.mli: Ast Sta

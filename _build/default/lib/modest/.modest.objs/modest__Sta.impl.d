@@ -1,0 +1,1 @@
+lib/modest/sta.ml: Array Hashtbl List Option Printf String Ta Zones

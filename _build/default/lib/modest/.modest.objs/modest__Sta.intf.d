@@ -1,0 +1,1 @@
+lib/modest/sta.mli: Hashtbl Ta

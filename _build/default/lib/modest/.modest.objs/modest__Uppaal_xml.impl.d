@@ -1,0 +1,1 @@
+lib/modest/uppaal_xml.ml: Array Buffer Float List Mctau Printf String Ta Zones

@@ -1,0 +1,1 @@
+lib/modest/uppaal_xml.mli: Sta Ta

@@ -1,0 +1,410 @@
+module Model = Ta.Model
+module Expr = Ta.Expr
+module Store = Ta.Store
+
+type pexpr =
+  | E_int of int
+  | E_bool of bool
+  | E_name of string
+  | E_index of string * pexpr
+  | E_neg of pexpr
+  | E_not of pexpr
+  | E_bin of string * pexpr * pexpr
+
+type assign = { a_lhs : string; a_index : pexpr option; a_rhs : pexpr }
+
+type cconstr = {
+  k_clock : string;
+  k_op : [ `Le | `Lt | `Ge | `Gt | `Eq ];
+  k_rhs : pexpr;
+}
+
+type proc =
+  | Stop
+  | Skip
+  | Act of string * branch list
+  | Tau of assign list
+  | Seq of proc * proc
+  | Alt of proc list
+  | When of pexpr * proc
+  | When_clock of cconstr list * proc
+  | Inv of cconstr list * proc
+  | Do of proc
+  | Call of string
+
+and branch = { br_weight : int; br_assigns : assign list; br_cont : proc }
+
+let act a = Act (a, [ { br_weight = 1; br_assigns = []; br_cont = Skip } ])
+
+type decl =
+  | D_const of string * pexpr
+  | D_var of string * pexpr option
+  | D_array of string * int * pexpr option
+  | D_clock of string list
+  | D_process of string * local list * proc
+  | D_par of string list
+
+and local = L_clock of string list | L_var of string * pexpr option
+
+type model = decl list
+
+exception Compile_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Name environments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  consts : (string, int) Hashtbl.t;
+  vars : (string, Store.var) Hashtbl.t;
+  clocks : (string, int) Hashtbl.t;
+  prefix : string; (* "Proc." inside a process, "" globally *)
+}
+
+let lookup tbl env name =
+  match Hashtbl.find_opt tbl (env.prefix ^ name) with
+  | Some v -> Some v
+  | None -> Hashtbl.find_opt tbl name
+
+(* Constant expression evaluation (clock bounds, weights, initials). *)
+let rec const_eval env e =
+  match e with
+  | E_int n -> n
+  | E_bool b -> if b then 1 else 0
+  | E_neg a -> -const_eval env a
+  | E_not a -> if const_eval env a = 0 then 1 else 0
+  | E_name n -> (
+      match lookup env.consts env n with
+      | Some v -> v
+      | None -> error "constant expected, but %s is not a constant" n)
+  | E_index _ -> error "array access in constant expression"
+  | E_bin (op, a, b) ->
+    let x = const_eval env a and y = const_eval env b in
+    (match op with
+     | "+" -> x + y
+     | "-" -> x - y
+     | "*" -> x * y
+     | "/" -> if y = 0 then error "division by zero in constant" else x / y
+     | "%" -> if y = 0 then error "modulo by zero in constant" else x mod y
+     | "==" -> if x = y then 1 else 0
+     | "!=" -> if x <> y then 1 else 0
+     | "<" -> if x < y then 1 else 0
+     | "<=" -> if x <= y then 1 else 0
+     | ">" -> if x > y then 1 else 0
+     | ">=" -> if x >= y then 1 else 0
+     | "&&" -> if x <> 0 && y <> 0 then 1 else 0
+     | "||" -> if x <> 0 || y <> 0 then 1 else 0
+     | _ -> error "unknown operator %s" op)
+
+(* Data expression elaboration. *)
+let rec data_expr env e =
+  match e with
+  | E_int n -> Expr.Int n
+  | E_bool b -> Expr.Int (if b then 1 else 0)
+  | E_neg a -> Expr.Neg (data_expr env a)
+  | E_not a -> Expr.Not (data_expr env a)
+  | E_name n -> (
+      match lookup env.consts env n with
+      | Some v -> Expr.Int v
+      | None -> (
+          match lookup env.vars env n with
+          | Some v -> Expr.var v
+          | None ->
+            if lookup env.clocks env n <> None then
+              error "clock %s used in a data expression" n
+            else error "unknown name %s" n))
+  | E_index (n, idx) -> (
+      match lookup env.vars env n with
+      | Some v -> Expr.index v (data_expr env idx)
+      | None -> error "unknown array %s" n)
+  | E_bin (op, a, b) ->
+    let x = data_expr env a and y = data_expr env b in
+    (match op with
+     | "+" -> Expr.Add (x, y)
+     | "-" -> Expr.Sub (x, y)
+     | "*" -> Expr.Mul (x, y)
+     | "/" -> Expr.Div (x, y)
+     | "%" -> Expr.Mod (x, y)
+     | "==" -> Expr.Eq (x, y)
+     | "!=" -> Expr.Neq (x, y)
+     | "<" -> Expr.Lt (x, y)
+     | "<=" -> Expr.Le (x, y)
+     | ">" -> Expr.Gt (x, y)
+     | ">=" -> Expr.Ge (x, y)
+     | "&&" -> Expr.And (x, y)
+     | "||" -> Expr.Or (x, y)
+     | _ -> error "unknown operator %s" op)
+
+let clock_constrs env ccs =
+  List.concat_map
+    (fun k ->
+      let x =
+        match lookup env.clocks env k.k_clock with
+        | Some c -> c
+        | None -> error "unknown clock %s" k.k_clock
+      in
+      let m = const_eval env k.k_rhs in
+      match k.k_op with
+      | `Le -> [ Model.clock_le x m ]
+      | `Lt -> [ Model.clock_lt x m ]
+      | `Ge -> [ Model.clock_ge x m ]
+      | `Gt -> [ Model.clock_gt x m ]
+      | `Eq -> [ Model.clock_le x m; Model.clock_ge x m ])
+    ccs
+
+let assign_update env a =
+  match lookup env.clocks env a.a_lhs with
+  | Some x ->
+    if a.a_index <> None then error "indexed clock %s" a.a_lhs;
+    Model.Reset (x, const_eval env a.a_rhs)
+  | None -> (
+      match lookup env.vars env a.a_lhs with
+      | Some v ->
+        let lv =
+          match a.a_index with
+          | None -> Expr.Cell v
+          | Some idx -> Expr.Elem (v, data_expr env idx)
+        in
+        Model.Assign (lv, data_expr env a.a_rhs)
+      | None -> error "unknown assignment target %s" a.a_lhs)
+
+(* ------------------------------------------------------------------ *)
+(* Term compilation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Associate sequences to the right and drop finished prefixes so that
+   semantically equal terms share locations. *)
+let rec normalize t =
+  match t with
+  | Seq (Skip, q) -> normalize q
+  | Seq (Stop, _) -> Stop
+  | Seq (Seq (a, b), c) -> normalize (Seq (a, Seq (b, c)))
+  | Seq (p, q) -> (
+      match normalize p with
+      | Skip -> normalize q
+      | Stop -> Stop
+      | p' -> Seq (p', normalize q))
+  | Alt ps -> Alt (List.map normalize ps)
+  | When (g, p) -> When (g, normalize p)
+  | When_clock (cc, p) -> When_clock (cc, normalize p)
+  | Inv (cc, p) -> Inv (cc, normalize p)
+  | Do p -> Do (normalize p)
+  | Stop | Skip | Act _ | Tau _ | Call _ -> t
+
+let rec terminates bodies visited t =
+  match t with
+  | Skip -> true
+  | Seq (p, q) -> terminates bodies visited p && terminates bodies visited q
+  | Inv (_, p) -> terminates bodies visited p
+  | Call n ->
+    (not (List.mem n visited))
+    &&
+    (match Hashtbl.find_opt bodies n with
+     | Some body -> terminates bodies (n :: visited) body
+     | None -> error "unknown process %s" n)
+  | Stop | Act _ | Tau _ | Alt _ | When _ | When_clock _ | Do _ -> false
+
+(* Initial edges of a term: (guard, clock guard, action, branches,
+   from_tau). Branch continuations are raw terms. *)
+type proto_edge = {
+  pe_guard : pexpr option;
+  pe_cguard : cconstr list;
+  pe_action : string option;
+  pe_branches : (int * assign list * proc) list;
+  pe_tau : bool;
+}
+
+let rec edges_of bodies visited t =
+  match t with
+  | Stop | Skip -> []
+  | Act (a, brs) ->
+    [
+      {
+        pe_guard = None;
+        pe_cguard = [];
+        pe_action = Some a;
+        pe_branches =
+          List.map (fun b -> (b.br_weight, b.br_assigns, b.br_cont)) brs;
+        pe_tau = false;
+      };
+    ]
+  | Tau assigns ->
+    [
+      {
+        pe_guard = None;
+        pe_cguard = [];
+        pe_action = None;
+        pe_branches = [ (1, assigns, Skip) ];
+        pe_tau = true;
+      };
+    ]
+  | Seq (p, q) ->
+    let own =
+      List.map
+        (fun e ->
+          {
+            e with
+            pe_branches =
+              List.map (fun (w, a, c) -> (w, a, Seq (c, q))) e.pe_branches;
+          })
+        (edges_of bodies visited p)
+    in
+    if terminates bodies [] p then own @ edges_of bodies visited q else own
+  | Alt ps -> List.concat_map (edges_of bodies visited) ps
+  | When (g, p) ->
+    List.map
+      (fun e ->
+        let guard =
+          match e.pe_guard with
+          | None -> Some g
+          | Some g' -> Some (E_bin ("&&", g, g'))
+        in
+        { e with pe_guard = guard })
+      (edges_of bodies visited p)
+  | When_clock (cc, p) ->
+    List.map
+      (fun e -> { e with pe_cguard = cc @ e.pe_cguard })
+      (edges_of bodies visited p)
+  | Inv (_, p) -> edges_of bodies visited p
+  | Do p ->
+    (* do { p } behaves as p; do { p } — tie the loop through Seq. *)
+    edges_of bodies visited (Seq (p, Do p))
+  | Call n ->
+    if List.mem n visited then
+      error "process %s recurses without any action" n
+    else begin
+      match Hashtbl.find_opt bodies n with
+      | Some body -> edges_of bodies (n :: visited) body
+      | None -> error "unknown process %s" n
+    end
+
+let rec invariants_of bodies visited t =
+  match t with
+  | Inv (cc, p) -> cc @ invariants_of bodies visited p
+  | Seq (p, _) | When (_, p) | When_clock (_, p) | Do p ->
+    invariants_of bodies visited p
+  | Alt ps -> List.concat_map (invariants_of bodies visited) ps
+  | Call n ->
+    if List.mem n visited then []
+    else begin
+      match Hashtbl.find_opt bodies n with
+      | Some body -> invariants_of bodies (n :: visited) body
+      | None -> []
+    end
+  | Stop | Skip | Act _ | Tau _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Whole-model compilation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile (model : model) =
+  let b = Sta.builder () in
+  let sb = Sta.store b in
+  let consts = Hashtbl.create 16 in
+  let vars = Hashtbl.create 16 in
+  let clocks = Hashtbl.create 16 in
+  let genv = { consts; vars; clocks; prefix = "" } in
+  let bodies = Hashtbl.create 16 in
+  let locals_of = Hashtbl.create 16 in
+  let par = ref None in
+  (* Pass 1: globals and process table. *)
+  List.iter
+    (function
+      | D_const (n, e) -> Hashtbl.replace consts n (const_eval genv e)
+      | D_var (n, init) ->
+        let init = Option.map (const_eval genv) init in
+        Hashtbl.replace vars n (Store.int_var sb ?init n)
+      | D_array (n, len, init) ->
+        let init = Option.map (const_eval genv) init in
+        Hashtbl.replace vars n (Store.array_var sb ?init n len)
+      | D_clock names ->
+        List.iter
+          (fun n -> Hashtbl.replace clocks n (Sta.fresh_clock b n))
+          names
+      | D_process (n, locals, body) ->
+        Hashtbl.replace bodies n body;
+        Hashtbl.replace locals_of n locals
+      | D_par names -> (
+          match !par with
+          | None -> par := Some names
+          | Some _ -> error "multiple par declarations"))
+    model;
+  let roots =
+    match !par with
+    | Some names -> names
+    | None -> (
+        (* A single process model runs alone. *)
+        match Hashtbl.fold (fun n _ acc -> n :: acc) bodies [] with
+        | [ n ] -> [ n ]
+        | _ -> error "a par { ... } composition is required")
+  in
+  (* Pass 2: local declarations of every instantiated process. *)
+  List.iter
+    (fun pname ->
+      let locals =
+        match Hashtbl.find_opt locals_of pname with
+        | Some ls -> ls
+        | None -> error "unknown process %s in par" pname
+      in
+      List.iter
+        (function
+          | L_clock names ->
+            List.iter
+              (fun n ->
+                let qualified = pname ^ "." ^ n in
+                Hashtbl.replace clocks qualified (Sta.fresh_clock b qualified))
+              names
+          | L_var (n, init) ->
+            let qualified = pname ^ "." ^ n in
+            let init = Option.map (const_eval genv) init in
+            Hashtbl.replace vars qualified (Store.int_var sb ?init qualified))
+        locals)
+    roots;
+  (* Pass 3: term graphs. *)
+  List.iter
+    (fun pname ->
+      let env = { genv with prefix = pname ^ "." } in
+      let pb = Sta.process b pname in
+      let loc_ids : (proc, int) Hashtbl.t = Hashtbl.create 64 in
+      let queue = Queue.create () in
+      let fresh = ref 0 in
+      let loc_of term =
+        let term = normalize term in
+        match Hashtbl.find_opt loc_ids term with
+        | Some id -> id
+        | None ->
+          let invariant = clock_constrs env (invariants_of bodies [] term) in
+          let es = edges_of bodies [] term in
+          let kind =
+            if List.exists (fun e -> e.pe_tau) es then Sta.L_urgent
+            else Sta.L_normal
+          in
+          let name = Printf.sprintf "s%d" !fresh in
+          incr fresh;
+          let id = Sta.location pb ~kind ~invariant name in
+          Hashtbl.replace loc_ids term id;
+          Queue.push (id, es) queue;
+          id
+      in
+      let root = loc_of (Call pname) in
+      Sta.set_initial pb root;
+      while not (Queue.is_empty queue) do
+        let src, es = Queue.pop queue in
+        List.iter
+          (fun e ->
+            let branches =
+              List.map
+                (fun (w, assigns, cont) ->
+                  (w, List.map (assign_update env) assigns, loc_of cont))
+                e.pe_branches
+            in
+            Sta.edge pb ~src
+              ?guard:(Option.map (data_expr env) e.pe_guard)
+              ~clock_guard:(clock_constrs env e.pe_cguard)
+              ?action:e.pe_action ~branches ())
+          es
+      done)
+    roots;
+  Sta.build b

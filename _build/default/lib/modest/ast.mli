@@ -1,0 +1,68 @@
+(** Abstract syntax of the MODEST subset, and its compilation to STA.
+
+    The subset covers what the paper shows and the BRP needs: process
+    definitions with local clocks and variables, action prefix, [palt]
+    probabilistic choice (with the branch assignments of Fig. 5), [alt]
+    nondeterministic choice, [when] data guards, clock guards,
+    [invariant], sequential composition, recursion by process call, and
+    top-level [par] composition with CSP-style synchronisation on shared
+    action names.
+
+    Compilation builds one STA process per parallel component; locations
+    are (hash-consed) process terms, so recursion like [Channel()] in
+    Fig. 5 ties the knot back to the same location. *)
+
+(** Name-based expressions (resolved against constants/variables at
+    compile time). *)
+type pexpr =
+  | E_int of int
+  | E_bool of bool
+  | E_name of string
+  | E_index of string * pexpr
+  | E_neg of pexpr
+  | E_not of pexpr
+  | E_bin of string * pexpr * pexpr
+      (** operators: + - * / % == != < <= > >= && || *)
+
+type assign = { a_lhs : string; a_index : pexpr option; a_rhs : pexpr }
+
+(** Clock comparison [clock op const-expr]. *)
+type cconstr = { k_clock : string; k_op : [ `Le | `Lt | `Ge | `Gt | `Eq ]; k_rhs : pexpr }
+
+type proc =
+  | Stop  (** no behaviour, never terminates *)
+  | Skip  (** immediate successful termination *)
+  | Act of string * branch list  (** action with palt branches *)
+  | Tau of assign list  (** [{= ... =}] — urgent internal move *)
+  | Seq of proc * proc
+  | Alt of proc list
+  | When of pexpr * proc
+  | When_clock of cconstr list * proc
+  | Inv of cconstr list * proc
+  | Do of proc  (** [do { p }]: infinite repetition of [p] *)
+  | Call of string
+
+and branch = { br_weight : int; br_assigns : assign list; br_cont : proc }
+
+(** [act a] is the plain action prefix (one branch of weight 1). *)
+val act : string -> proc
+
+type decl =
+  | D_const of string * pexpr
+  | D_var of string * pexpr option  (** int/bool variable *)
+  | D_array of string * int * pexpr option
+  | D_clock of string list
+  | D_process of string * local list * proc
+  | D_par of string list  (** par { P() || Q() || ... } *)
+
+and local = L_clock of string list | L_var of string * pexpr option
+
+type model = decl list
+
+exception Compile_error of string
+
+(** [compile model] elaborates to an STA network. Process-local clock and
+    variable names are qualified as ["Proc.name"] internally.
+    @raise Compile_error on unknown names, non-constant clock bounds,
+    missing [par], or unsupported recursion through pure calls. *)
+val compile : model -> Sta.t

@@ -1,0 +1,70 @@
+module Model = Ta.Model
+module Expr = Ta.Expr
+module Store = Ta.Store
+
+type t = { sta : Sta.t; slots : int; round_time : int }
+
+(* Two stations synchronise on a "round" action at the end of each slot
+   period; each side's palt picks a slot, so the joint distribution is
+   the product (uniform over slot pairs). An urgent check location then
+   either restarts the round (collision) or moves to Done. *)
+let make ?(slots = 2) ?(round_time = 2) () =
+  assert (slots >= 2 && round_time >= 1);
+  let b = Sta.builder () in
+  let sb = Sta.store b in
+  let slot1 = Store.int_var sb "slot1" in
+  let slot2 = Store.int_var sb "slot2" in
+  let station name slot_var =
+    let clock = Sta.fresh_clock b ("c_" ^ name) in
+    let p = Sta.process b name in
+    let choose =
+      Sta.location p ~invariant:[ Model.clock_le clock round_time ] "Choose"
+    in
+    let check = Sta.location p ~kind:Sta.L_urgent "Check" in
+    let done_l = Sta.location p "Done" in
+    Sta.set_initial p choose;
+    let branches =
+      List.init slots (fun k ->
+          (1, [ Model.Assign (Expr.Cell slot_var, Expr.Int k) ], check))
+    in
+    Sta.edge p ~src:choose ~action:"round"
+      ~clock_guard:[ Model.clock_ge clock round_time ]
+      ~branches ();
+    (* Collision: both picked the same slot; try again. *)
+    Sta.edge p ~src:check
+      ~guard:(Expr.Eq (Expr.var slot1, Expr.var slot2))
+      ~branches:[ (1, [ Model.Reset (clock, 0) ], choose) ]
+      ();
+    Sta.edge p ~src:check
+      ~guard:(Expr.Neq (Expr.var slot1, Expr.var slot2))
+      ~branches:[ (1, [], done_l) ]
+      ()
+  in
+  station "S1" slot1;
+  station "S2" slot2;
+  { sta = Sta.build b; slots; round_time }
+
+let resolved (_ : t) =
+  Mprop.P_and (Mprop.P_loc ("S1", "Done"), Mprop.P_loc ("S2", "Done"))
+
+let contending (_ : t) = Mprop.P_loc ("S1", "Choose")
+
+let success_within t ~bound =
+  fst (Mcpta.time_bounded_reach t.sta (resolved t) ~bound ~maximize:true)
+
+let expected_resolution_time t =
+  fst (Mcpta.expected_time t.sta (resolved t) ~maximize:true)
+
+let simulate_mean_time t ~runs ~seed =
+  let horizon = float_of_int (t.round_time * 200) in
+  let obs =
+    Modes.runs t.sta ~seed ~n:runs ~horizon ~watch:[| resolved t |]
+      ~monitors:[||]
+  in
+  let times =
+    Array.map
+      (fun (o : Modes.observation) ->
+        match o.Modes.hits.(0) with Some h -> h | None -> o.Modes.end_time)
+      obs
+  in
+  Smc.Estimate.mean_std times

@@ -1,0 +1,37 @@
+(** Randomized contention resolution — the second MODEST case study.
+
+    Section III notes that, beyond the BRP, the MODEST approach was
+    applied to protocols that are "inherently probabilistic due to the
+    use of randomized schemes to resolve contention" (ref. [14]). This
+    model captures that class: two stations repeatedly pick a slot from
+    [0 .. slots-1] uniformly at random (a two-party synchronisation whose
+    branch distributions multiply); a round takes [round_time] time
+    units; the contention is resolved when the picks differ.
+
+    Closed forms (for [slots = 2], [round_time = 2]): success per round
+    1/2, expected completion time 4, [P(done within 2k) = 1 - 2^-k] —
+    used to cross-validate mcpta and modes in the test suite. *)
+
+type t = {
+  sta : Sta.t;
+  slots : int;
+  round_time : int;
+}
+
+val make : ?slots:int -> ?round_time:int -> unit -> t
+
+(** Both stations resolved (picked distinct slots). *)
+val resolved : t -> Mprop.t
+
+(** Still contending. *)
+val contending : t -> Mprop.t
+
+(** [success_within t ~bound] — max probability of resolving within
+    [bound] time units (via mcpta). *)
+val success_within : t -> bound:int -> float
+
+(** [expected_resolution_time t] — max expected time to resolution. *)
+val expected_resolution_time : t -> float
+
+(** [simulate_mean_time t ~runs ~seed] — the modes estimate (mean, std). *)
+val simulate_mean_time : t -> runs:int -> seed:int -> float * float

@@ -1,0 +1,253 @@
+module Model = Ta.Model
+module Expr = Ta.Expr
+module Store = Ta.Store
+
+type t = { sta : Sta.t; n : int; max_retrans : int; td : int }
+
+(* Variable handles are recovered by name from the layout. *)
+let var sta name = Store.find sta.Sta.layout name
+
+let make ?(n = 16) ?(max_retrans = 2) ?(td = 1) () =
+  let timeout = (2 * td) + 1 in
+  let b = Sta.builder () in
+  let sb = Sta.store b in
+  let i = Store.int_var sb "i" in
+  let srep = Store.int_var sb "srep" in
+  let nrtr = Store.int_var sb "nrtr" in
+  let rcount = Store.int_var sb "rcount" in
+  let kbusy = Store.int_var sb "kbusy" in
+  let lbusy = Store.int_var sb "lbusy" in
+  let premature = Store.int_var sb "premature" in
+  let y = Sta.fresh_clock b "y" in
+  let c = Sta.fresh_clock b "c" in
+  let d = Sta.fresh_clock b "d" in
+  let set v e = Model.Assign (Expr.Cell v, e) in
+  let seti v k = set v (Expr.Int k) in
+
+  (* --- Sender ----------------------------------------------------- *)
+  let s = Sta.process b "Sender" in
+  let idle = Sta.location s ~kind:Sta.L_urgent "Idle" in
+  let sendf = Sta.location s ~kind:Sta.L_urgent "SendF" in
+  let wait_ack =
+    Sta.location s ~invariant:[ Model.clock_le y timeout ] "WaitAck"
+  in
+  let frame_done = Sta.location s ~kind:Sta.L_urgent "FrameDone" in
+  let done_l = Sta.location s "Done" in
+  let error_l = Sta.location s "Error" in
+  Sta.set_initial s idle;
+  Sta.edge s ~src:idle ~branches:[ (1, [ seti i 1; seti nrtr 0 ], sendf) ] ();
+  Sta.edge s ~src:sendf ~action:"put"
+    ~branches:[ (1, [ Model.Reset (y, 0) ], wait_ack) ]
+    ();
+  Sta.edge s ~src:wait_ack ~action:"ack" ~branches:[ (1, [], frame_done) ] ();
+  (* Timeout: record whether a frame/ack was still in transit (TA1). *)
+  let note_premature =
+    set premature
+      (Expr.Or
+         (Expr.var premature, Expr.Or (Expr.var kbusy, Expr.var lbusy)))
+  in
+  Sta.edge s ~src:wait_ack
+    ~guard:(Expr.Lt (Expr.var nrtr, Expr.Int max_retrans))
+    ~clock_guard:[ Model.clock_ge y timeout ]
+    ~branches:
+      [ (1, [ note_premature; set nrtr (Expr.Add (Expr.var nrtr, Expr.Int 1)) ], sendf) ]
+    ();
+  Sta.edge s ~src:wait_ack
+    ~guard:
+      (Expr.And
+         ( Expr.Eq (Expr.var nrtr, Expr.Int max_retrans),
+           Expr.Lt (Expr.var i, Expr.Int n) ))
+    ~clock_guard:[ Model.clock_ge y timeout ]
+    ~branches:[ (1, [ note_premature; seti srep 1 ], error_l) ]
+    ();
+  Sta.edge s ~src:wait_ack
+    ~guard:
+      (Expr.And
+         ( Expr.Eq (Expr.var nrtr, Expr.Int max_retrans),
+           Expr.Eq (Expr.var i, Expr.Int n) ))
+    ~clock_guard:[ Model.clock_ge y timeout ]
+    ~branches:[ (1, [ note_premature; seti srep 2 ], error_l) ]
+    ();
+  Sta.edge s ~src:frame_done
+    ~guard:(Expr.Lt (Expr.var i, Expr.Int n))
+    ~branches:
+      [ (1, [ set i (Expr.Add (Expr.var i, Expr.Int 1)); seti nrtr 0 ], sendf) ]
+    ();
+  Sta.edge s ~src:frame_done
+    ~guard:(Expr.Eq (Expr.var i, Expr.Int n))
+    ~branches:[ (1, [ seti srep 3 ], done_l) ]
+    ();
+
+  (* --- Receiver ---------------------------------------------------- *)
+  let r = Sta.process b "Receiver" in
+  let wait = Sta.location r "Wait" in
+  let ack_prep = Sta.location r ~kind:Sta.L_urgent "AckPrep" in
+  Sta.set_initial r wait;
+  Sta.edge r ~src:wait ~action:"deliver"
+    ~branches:[ (1, [ set rcount (Expr.var i) ], ack_prep) ]
+    ();
+  Sta.edge r ~src:ack_prep ~action:"sendack" ~branches:[ (1, [], wait) ] ();
+
+  (* --- Channel K (frames; the Fig. 5 channel with 2% loss) --------- *)
+  let k = Sta.process b "ChannelK" in
+  let k_idle = Sta.location k "Idle" in
+  let k_busy = Sta.location k ~invariant:[ Model.clock_le c td ] "Busy" in
+  Sta.set_initial k k_idle;
+  Sta.edge k ~src:k_idle ~action:"put"
+    ~branches:
+      [
+        (98, [ Model.Reset (c, 0); seti kbusy 1 ], k_busy);
+        (2, [], k_idle) (* message lost *);
+      ]
+    ();
+  Sta.edge k ~src:k_busy ~action:"deliver"
+    ~clock_guard:[ Model.clock_ge c td ]
+    ~branches:[ (1, [ seti kbusy 0 ], k_idle) ]
+    ();
+
+  (* --- Channel L (acknowledgements, 1% loss) ----------------------- *)
+  let l = Sta.process b "ChannelL" in
+  let l_idle = Sta.location l "Idle" in
+  let l_busy = Sta.location l ~invariant:[ Model.clock_le d td ] "Busy" in
+  Sta.set_initial l l_idle;
+  Sta.edge l ~src:l_idle ~action:"sendack"
+    ~branches:
+      [
+        (99, [ Model.Reset (d, 0); seti lbusy 1 ], l_busy);
+        (1, [], l_idle) (* ack lost *);
+      ]
+    ();
+  Sta.edge l ~src:l_busy ~action:"ack"
+    ~clock_guard:[ Model.clock_ge d td ]
+    ~branches:[ (1, [ seti lbusy 0 ], l_idle) ]
+    ();
+
+  { sta = Sta.build b; n; max_retrans; td }
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let srep_is t k = Mprop.P_data (Expr.Eq (Expr.var (var t.sta "srep"), Expr.Int k))
+let rcount_full t =
+  Mprop.P_data (Expr.Eq (Expr.var (var t.sta "rcount"), Expr.Int t.n))
+
+let ta1 t =
+  Mprop.P_data (Expr.Eq (Expr.var (var t.sta "premature"), Expr.Int 0))
+
+let ta2 t =
+  let imply a b = Mprop.P_or (Mprop.P_not a, b) in
+  Mprop.P_and
+    ( imply (srep_is t 3) (rcount_full t),
+      imply (srep_is t 1) (Mprop.P_not (rcount_full t)) )
+
+let pa t = Mprop.P_and (srep_is t 3, Mprop.P_not (rcount_full t))
+let pb t = Mprop.P_and (srep_is t 1, rcount_full t)
+let p1 t = Mprop.P_or (srep_is t 1, srep_is t 2)
+let p2 t = srep_is t 2
+let success t = srep_is t 3
+let finished (_ : t) =
+  Mprop.P_or (Mprop.P_loc ("Sender", "Done"), Mprop.P_loc ("Sender", "Error"))
+
+(* ------------------------------------------------------------------ *)
+(* Backend runners                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type mctau_row = {
+  mt_ta1 : bool;
+  mt_ta2 : bool;
+  mt_pa : [ `Zero | `Interval of float * float ];
+  mt_pb : [ `Zero | `Interval of float * float ];
+  mt_p1 : [ `Zero | `Interval of float * float ];
+  mt_p2 : [ `Zero | `Interval of float * float ];
+  mt_dmax : [ `Zero | `Interval of float * float ];
+  mt_states : int;
+}
+
+let run_mctau t =
+  let inv p = fst (Mctau.invariant_holds t.sta p) in
+  let bounds p = fst (Mctau.prob_bounds t.sta p) in
+  let _, stats = Mctau.invariant_holds t.sta (ta1 t) in
+  {
+    mt_ta1 = inv (ta1 t);
+    mt_ta2 = inv (ta2 t);
+    mt_pa = bounds (pa t);
+    mt_pb = bounds (pb t);
+    mt_p1 = bounds (p1 t);
+    mt_p2 = bounds (p2 t);
+    mt_dmax = bounds (success t);
+    mt_states = stats.Ta.Checker.stored;
+  }
+
+type mcpta_row = {
+  mc_ta1 : bool;
+  mc_ta2 : bool;
+  mc_pa : float;
+  mc_pb : float;
+  mc_p1 : float;
+  mc_p2 : float;
+  mc_dmax : float;
+  mc_emax : float;
+  mc_states : int;
+}
+
+let run_mcpta ?(dmax_bound = 64) t =
+  let reach p = fst (Mcpta.reach_prob t.sta p ~maximize:true) in
+  let ta1_ok, stats = Mcpta.invariant_holds t.sta (ta1 t) in
+  let dmax, _ =
+    Mcpta.time_bounded_reach t.sta (success t) ~bound:dmax_bound ~maximize:true
+  in
+  let emax, _ = Mcpta.expected_time t.sta (finished t) ~maximize:true in
+  {
+    mc_ta1 = ta1_ok;
+    mc_ta2 = fst (Mcpta.invariant_holds t.sta (ta2 t));
+    mc_pa = reach (pa t);
+    mc_pb = reach (pb t);
+    mc_p1 = reach (p1 t);
+    mc_p2 = reach (p2 t);
+    mc_dmax = dmax;
+    mc_emax = emax;
+    mc_states = stats.Mcpta.n_states;
+  }
+
+type modes_row = {
+  md_runs : int;
+  md_ta1_ok : int;
+  md_ta2_ok : int;
+  md_pa_obs : int;
+  md_pb_obs : int;
+  md_p1_obs : int;
+  md_p2_obs : int;
+  md_dmax_obs : int;
+  md_emax_mean : float;
+  md_emax_std : float;
+}
+
+let run_modes ?(runs = 10_000) ?(seed = 42) ?(dmax_bound = 64.0) t =
+  let watch = [| pa t; pb t; p1 t; p2 t; success t; finished t |] in
+  let monitors = [| ta1 t; ta2 t |] in
+  let horizon = float_of_int (t.n * ((t.max_retrans + 1) * ((2 * t.td) + 1))) +. 10.0 in
+  let obs = Modes.runs t.sta ~seed ~n:runs ~horizon ~watch ~monitors in
+  let count f = Array.fold_left (fun acc o -> if f o then acc + 1 else acc) 0 obs in
+  let hit k (o : Modes.observation) = o.Modes.hits.(k) <> None in
+  let finish_times =
+    Array.map
+      (fun (o : Modes.observation) ->
+        match o.Modes.hits.(5) with Some h -> h | None -> o.Modes.end_time)
+      obs
+  in
+  let mean, std = Smc.Estimate.mean_std finish_times in
+  {
+    md_runs = runs;
+    md_ta1_ok = count (fun o -> o.Modes.monitors_ok.(0));
+    md_ta2_ok = count (fun o -> o.Modes.monitors_ok.(1));
+    md_pa_obs = count (hit 0);
+    md_pb_obs = count (hit 1);
+    md_p1_obs = count (hit 2);
+    md_p2_obs = count (hit 3);
+    md_dmax_obs =
+      count (fun o ->
+          match o.Modes.hits.(4) with Some h -> h <= dmax_bound | None -> false);
+    md_emax_mean = mean;
+    md_emax_std = std;
+  }

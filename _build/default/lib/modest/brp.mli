@@ -1,0 +1,92 @@
+(** The Bounded Retransmission Protocol case study (Section III.A,
+    Table I of the paper).
+
+    A sender transfers [n] chunks over a lossy channel K (2% loss, the
+    Fig. 5 channel), acknowledged over a lossy channel L (1% loss), with
+    at most [max_retrans] retransmissions per chunk, transmission delay
+    [td] and sender timeout [2*td + 1]. The sender finally reports
+    OK (all acked), NOK (a non-final chunk exhausted its retries) or
+    DK ("don't know": the final chunk did). *)
+
+type t = {
+  sta : Sta.t;
+  n : int;
+  max_retrans : int;
+  td : int;
+}
+
+(** [make ()] defaults to the paper's instance (N, MAX, TD) = (16, 2, 1). *)
+val make : ?n:int -> ?max_retrans:int -> ?td:int -> unit -> t
+
+(** {1 The properties of Table I} *)
+
+(** TA1 — no premature timeouts: the sender never times out while a frame
+    or acknowledgement is still in transit. (Invariant.) *)
+val ta1 : t -> Mprop.t
+
+(** TA2 — correct handling of failures: OK implies the receiver got all
+    chunks; NOK implies it did not. (Invariant.) *)
+val ta2 : t -> Mprop.t
+
+(** PA — the sender reports OK although chunks are missing. (Target for a
+    max-probability query; structurally impossible.) *)
+val pa : t -> Mprop.t
+
+(** PB — the sender reports NOK although the receiver got everything. *)
+val pb : t -> Mprop.t
+
+(** P1 — the sender eventually reports a failure (NOK or DK). *)
+val p1 : t -> Mprop.t
+
+(** P2 — the sender reports "don't know" (failure on the last chunk). *)
+val p2 : t -> Mprop.t
+
+(** Success: the sender reports OK. (Dmax asks for this within time 64.) *)
+val success : t -> Mprop.t
+
+(** The transfer finished, successfully or not (Emax's target). *)
+val finished : t -> Mprop.t
+
+(** {1 Backend runners (the three Table I columns)} *)
+
+type mctau_row = {
+  mt_ta1 : bool;
+  mt_ta2 : bool;
+  mt_pa : [ `Zero | `Interval of float * float ];
+  mt_pb : [ `Zero | `Interval of float * float ];
+  mt_p1 : [ `Zero | `Interval of float * float ];
+  mt_p2 : [ `Zero | `Interval of float * float ];
+  mt_dmax : [ `Zero | `Interval of float * float ];
+  mt_states : int;
+}
+
+val run_mctau : t -> mctau_row
+
+type mcpta_row = {
+  mc_ta1 : bool;
+  mc_ta2 : bool;
+  mc_pa : float;
+  mc_pb : float;
+  mc_p1 : float;
+  mc_p2 : float;
+  mc_dmax : float;  (** max probability of success within time 64 *)
+  mc_emax : float;  (** max expected time until the transfer finishes *)
+  mc_states : int;
+}
+
+val run_mcpta : ?dmax_bound:int -> t -> mcpta_row
+
+type modes_row = {
+  md_runs : int;
+  md_ta1_ok : int;  (** runs satisfying TA1 *)
+  md_ta2_ok : int;
+  md_pa_obs : int;  (** observations of the PA event *)
+  md_pb_obs : int;
+  md_p1_obs : int;
+  md_p2_obs : int;
+  md_dmax_obs : int;  (** successes within time 64 *)
+  md_emax_mean : float;
+  md_emax_std : float;
+}
+
+val run_modes : ?runs:int -> ?seed:int -> ?dmax_bound:float -> t -> modes_row

@@ -1,0 +1,234 @@
+module Model = Ta.Model
+module Expr = Ta.Expr
+module Bound = Zones.Bound
+
+type dstate = {
+  slocs : int array;
+  sstore : int array;
+  sclocks : int array;
+  stime : int;
+}
+
+type expansion = {
+  sta : Sta.t;
+  mdp : Mdp.t;
+  states : dstate array;
+  initial : int;
+}
+
+let sat_constr v (c : Model.constr) =
+  Bound.is_inf c.cb
+  ||
+  let d = v.(c.ci) - v.(c.cj) in
+  let m = Bound.constant c.cb in
+  if Bound.is_strict c.cb then d < m else d <= m
+
+let invariants_ok (sta : Sta.t) locs v =
+  let ok = ref true in
+  Array.iteri
+    (fun pi (p : Sta.process) ->
+      if
+        not
+          (List.for_all (sat_constr v) p.Sta.p_locations.(locs.(pi)).Sta.l_invariant)
+      then ok := false)
+    sta.Sta.processes;
+  !ok
+
+let urgent_present (sta : Sta.t) locs =
+  let found = ref false in
+  Array.iteri
+    (fun pi (p : Sta.process) ->
+      if p.Sta.p_locations.(locs.(pi)).Sta.l_kind = Sta.L_urgent then found := true)
+    sta.Sta.processes;
+  !found
+
+let edge_enabled (sta : Sta.t) st (e : Sta.edge) =
+  ignore sta;
+  (match e.Sta.e_guard with
+   | None -> true
+   | Some g -> Expr.eval_bool st.sstore g)
+  && List.for_all (sat_constr st.sclocks) e.Sta.e_clock_guard
+
+(* Apply one branch's updates; returns (store, clocks). *)
+let apply_branch (sta : Sta.t) st updates =
+  let ks = sta.Sta.max_consts in
+  let store = Array.copy st.sstore in
+  let clocks = Array.copy st.sclocks in
+  List.iter
+    (function
+      | Model.Assign (lv, rhs) ->
+        let v = Expr.eval store rhs in
+        store.(Expr.lvalue_offset store lv) <- v
+      | Model.Reset (x, v) -> clocks.(x) <- min v (ks.(x) + 1)
+      | Model.Prim (_, f) -> f store)
+    updates;
+  (store, clocks)
+
+(* The weighted successor list of firing [edges] (one per participating
+   process) simultaneously: the product of the edges' branch
+   distributions. *)
+let fire (sta : Sta.t) st (participants : (int * Sta.edge) list) =
+  let total_weight (e : Sta.edge) =
+    List.fold_left (fun acc (b : Sta.branch) -> acc + b.Sta.weight) 0 e.Sta.e_branches
+  in
+  let rec product parts =
+    match parts with
+    | [] -> [ (1.0, []) ]
+    | (pi, (e : Sta.edge)) :: rest ->
+      let tw = float_of_int (total_weight e) in
+      let tails = product rest in
+      List.concat_map
+        (fun (b : Sta.branch) ->
+          let p = float_of_int b.Sta.weight /. tw in
+          List.map
+            (fun (q, choices) -> (p *. q, (pi, b) :: choices))
+            tails)
+        e.Sta.e_branches
+  in
+  List.filter_map
+    (fun (prob, choices) ->
+      let locs = Array.copy st.slocs in
+      let store = ref st.sstore and clocks = ref st.sclocks in
+      List.iter
+        (fun (pi, (b : Sta.branch)) ->
+          locs.(pi) <- b.Sta.b_dst;
+          let st' = { st with sstore = !store; sclocks = !clocks } in
+          let s', c' = apply_branch sta st' b.Sta.b_updates in
+          store := s';
+          clocks := c')
+        choices;
+      let st' = { st with slocs = locs; sstore = !store; sclocks = !clocks } in
+      if invariants_ok sta locs !clocks then Some (prob, st') else None)
+    (product participants)
+
+(* All enabled moves: internal edges fire alone; actions shared by two
+   processes need an enabled edge on both sides (all combinations). *)
+let moves (sta : Sta.t) st =
+  let acc = ref [] in
+  Array.iteri
+    (fun pi (p : Sta.process) ->
+      List.iter
+        (fun (e : Sta.edge) ->
+          if edge_enabled sta st e then begin
+            match e.Sta.e_action with
+            | None -> acc := (Printf.sprintf "%s:tau" p.Sta.p_name, [ (pi, e) ]) :: !acc
+            | Some a ->
+              (match Hashtbl.find_opt sta.Sta.sync a with
+               | Some [ _ ] | None -> acc := (a, [ (pi, e) ]) :: !acc
+               | Some [ p1; p2 ] ->
+                 (* Count the pair once, when we are the first sharer. *)
+                 if pi = p1 then begin
+                   let q = sta.Sta.processes.(p2) in
+                   List.iter
+                     (fun (e2 : Sta.edge) ->
+                       if
+                         e2.Sta.e_action = Some a
+                         && edge_enabled sta st e2
+                       then acc := (a, [ (pi, e); (p2, e2) ]) :: !acc)
+                     q.Sta.p_out.(st.slocs.(p2))
+                 end
+                 else if pi <> p2 then
+                   (* A third process naming a 2-party action would have
+                      been rejected at build time. *)
+                   ()
+               | Some _ -> assert false)
+          end)
+        p.Sta.p_out.(st.slocs.(pi)))
+    sta.Sta.processes;
+  List.rev !acc
+
+let expand ?time_cap ?(max_states = 5_000_000) (sta : Sta.t) =
+  (match Sta.classify sta with
+   | Sta.Class_sta ->
+     invalid_arg
+       "Digital_sta.expand: model has open/diagonal constraints (STA class)"
+   | Sta.Class_ta | Sta.Class_mdp | Sta.Class_pta -> ());
+  let ks = sta.Sta.max_consts in
+  let init =
+    {
+      slocs = Array.map (fun (p : Sta.process) -> p.Sta.p_initial) sta.Sta.processes;
+      sstore = Ta.Store.initial sta.Sta.layout;
+      sclocks = Array.make (sta.Sta.n_clocks + 1) 0;
+      stime = (match time_cap with None -> -1 | Some _ -> 0);
+    }
+  in
+  if not (invariants_ok sta init.slocs init.sclocks) then
+    invalid_arg "Digital_sta.expand: initial state violates invariants";
+  let index = Hashtbl.create 65536 in
+  let rev_states = ref [] and n = ref 0 in
+  let actions_tbl = Hashtbl.create 65536 in
+  let id_of st =
+    match Hashtbl.find_opt index st with
+    | Some id -> (id, false)
+    | None ->
+      let id = !n in
+      incr n;
+      if !n > max_states then failwith "Digital_sta.expand: state limit";
+      Hashtbl.replace index st id;
+      rev_states := st :: !rev_states;
+      (id, true)
+  in
+  let queue = Queue.create () in
+  let init_id, _ = id_of init in
+  Queue.push (init_id, init) queue;
+  while not (Queue.is_empty queue) do
+    let id, st = Queue.pop queue in
+    let acts = ref [] in
+    (* Unit delay. *)
+    if not (urgent_present sta st.slocs) then begin
+      let clocks' =
+        Array.mapi
+          (fun i x -> if i = 0 then 0 else min (x + 1) (ks.(i) + 1))
+          st.sclocks
+      in
+      if invariants_ok sta st.slocs clocks' then begin
+        let time' =
+          match time_cap with
+          | None -> -1
+          | Some cap -> min (st.stime + 1) (cap + 1)
+        in
+        let st' = { st with sclocks = clocks'; stime = time' } in
+        let id', fresh = id_of st' in
+        if fresh then Queue.push (id', st') queue;
+        acts :=
+          { Mdp.a_label = "delay"; probs = [ (1.0, id') ]; reward = 1.0 }
+          :: !acts
+      end
+    end;
+    (* Action moves. *)
+    List.iter
+      (fun (label, participants) ->
+        match fire sta st participants with
+        | [] -> ()
+        | outcomes ->
+          let total = List.fold_left (fun acc (p, _) -> acc +. p) 0.0 outcomes in
+          (* Branches whose target violates an invariant were dropped;
+             renormalise only when everything survived — otherwise the
+             edge is considered blocked (well-formed models are
+             unaffected). *)
+          if abs_float (total -. 1.0) <= 1e-9 then begin
+            let probs =
+              List.map
+                (fun (p, st') ->
+                  let id', fresh = id_of st' in
+                  if fresh then Queue.push (id', st') queue;
+                  (p, id'))
+                outcomes
+            in
+            acts := { Mdp.a_label = label; probs; reward = 0.0 } :: !acts
+          end)
+      (moves sta st);
+    Hashtbl.replace actions_tbl id (List.rev !acts)
+  done;
+  let states = Array.of_list (List.rev !rev_states) in
+  let mdp =
+    Mdp.make
+      (Array.init !n (fun i ->
+           try Hashtbl.find actions_tbl i with Not_found -> []))
+  in
+  { sta; mdp; states; initial = 0 }
+
+let target_of exp pred = Array.map pred exp.states
+
+let pred_of_mprop exp p (st : dstate) =
+  Mprop.eval exp.sta ~locs:st.slocs ~store:st.sstore p

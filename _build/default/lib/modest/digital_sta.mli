@@ -1,0 +1,34 @@
+(** Digital-clocks expansion of STA/PTA networks into explicit MDPs.
+
+    The core of the [mcpta] backend: for closed, diagonal-free PTA the
+    integer-time semantics preserves reachability probabilities and
+    expected rewards (Kwiatkowska et al.). The unit-delay action carries
+    reward 1 (elapsed time); synchronised edges multiply their branch
+    distributions. An optional bounded global time counter supports
+    time-bounded properties. *)
+
+type dstate = {
+  slocs : int array;
+  sstore : int array;
+  sclocks : int array;  (** saturated at max_const + 1 *)
+  stime : int;  (** -1 when untracked, else capped at [time_cap] + 1 *)
+}
+
+type expansion = {
+  sta : Sta.t;
+  mdp : Mdp.t;
+  states : dstate array;
+  initial : int;  (** always 0 *)
+}
+
+(** [expand sta] builds the reachable MDP.
+    @param time_cap track global elapsed time up to this bound
+    @raise Invalid_argument when the model is not closed/diagonal-free
+    @raise Failure when [max_states] (default 5_000_000) is exceeded *)
+val expand : ?time_cap:int -> ?max_states:int -> Sta.t -> expansion
+
+(** [target_of exp pred] evaluates a predicate over all states. *)
+val target_of : expansion -> (dstate -> bool) -> bool array
+
+(** [pred_of_mprop exp p] lifts an {!Mprop.t} (discrete parts only). *)
+val pred_of_mprop : expansion -> Mprop.t -> dstate -> bool

@@ -1,0 +1,92 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "process"; "palt"; "alt"; "when"; "invariant"; "par"; "clock"; "int";
+    "bool"; "const"; "stop"; "skip"; "true"; "false"; "do";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let push t = tokens := (t, !line) :: !tokens in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let rec skip () =
+        if !pos + 1 >= n then raise (Lex_error ("unterminated comment", !line))
+        else if src.[!pos] = '*' && src.[!pos + 1] = '/' then pos := !pos + 2
+        else begin
+          if src.[!pos] = '\n' then incr line;
+          incr pos;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      push (INT (int_of_string (String.sub src start (!pos - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      push (if List.mem word keywords then KW word else IDENT word)
+    end
+    else begin
+      (* Multi-character punctuation, longest match first. *)
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      match two with
+      | "{=" | "=}" | "::" | "||" | "&&" | "==" | "!=" | "<=" | ">=" ->
+        push (PUNCT two);
+        pos := !pos + 2
+      | _ ->
+        (match c with
+         | '{' | '}' | '(' | ')' | ';' | ':' | ',' | '=' | '<' | '>' | '+'
+         | '-' | '*' | '/' | '%' | '!' | '[' | ']' ->
+           push (PUNCT (String.make 1 c));
+           incr pos
+         | _ ->
+           raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)))
+    end
+  done;
+  push EOF;
+  List.rev !tokens
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> Printf.sprintf "%S" s
+  | EOF -> "<eof>"

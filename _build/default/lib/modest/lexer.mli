@@ -1,0 +1,17 @@
+(** Tokenizer for the MODEST concrete syntax subset. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string  (** keywords: process, palt, alt, when, invariant, ... *)
+  | PUNCT of string  (** {, }, (, ), ;, :, ::, ||, &&, ==, {=, =}, ... *)
+  | EOF
+
+exception Lex_error of string * int  (** message, line *)
+
+(** [tokenize src] — skips [//] and [/* */] comments.
+    @raise Lex_error on bad input. *)
+val tokenize : string -> (token * int) list
+(** Each token is paired with its line number. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,41 @@
+type stats = { n_states : int; iterations : int }
+
+let invariant_holds sta p =
+  let exp = Digital_sta.expand sta in
+  let pred = Digital_sta.pred_of_mprop exp p in
+  let ok = Array.for_all pred exp.Digital_sta.states in
+  (ok, { n_states = Array.length exp.Digital_sta.states; iterations = 0 })
+
+let reach_prob sta p ~maximize =
+  let exp = Digital_sta.expand sta in
+  let target = Digital_sta.target_of exp (Digital_sta.pred_of_mprop exp p) in
+  let values, vi = Mdp.reach_prob exp.Digital_sta.mdp ~target ~maximize in
+  ( values.(exp.Digital_sta.initial),
+    {
+      n_states = Array.length exp.Digital_sta.states;
+      iterations = vi.Mdp.iterations;
+    } )
+
+let time_bounded_reach sta p ~bound ~maximize =
+  let exp = Digital_sta.expand ~time_cap:bound sta in
+  let pred = Digital_sta.pred_of_mprop exp p in
+  let target =
+    Digital_sta.target_of exp (fun st ->
+        pred st && st.Digital_sta.stime <= bound)
+  in
+  let values, vi = Mdp.reach_prob exp.Digital_sta.mdp ~target ~maximize in
+  ( values.(exp.Digital_sta.initial),
+    {
+      n_states = Array.length exp.Digital_sta.states;
+      iterations = vi.Mdp.iterations;
+    } )
+
+let expected_time sta p ~maximize =
+  let exp = Digital_sta.expand sta in
+  let target = Digital_sta.target_of exp (Digital_sta.pred_of_mprop exp p) in
+  let values, vi = Mdp.expected_reward exp.Digital_sta.mdp ~target ~maximize in
+  ( values.(exp.Digital_sta.initial),
+    {
+      n_states = Array.length exp.Digital_sta.states;
+      iterations = vi.Mdp.iterations;
+    } )

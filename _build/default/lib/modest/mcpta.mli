@@ -1,0 +1,22 @@
+(** The [mcpta] backend: exact probabilistic model checking of MODEST
+    PTA models through digital clocks and value iteration (the paper's
+    PRISM-backed tool, reproduced on {!Mdp}). *)
+
+type stats = { n_states : int; iterations : int }
+
+(** [invariant_holds sta p] — does [p] hold in every reachable digital
+    state? (Exact for closed models.) *)
+val invariant_holds : Sta.t -> Mprop.t -> bool * stats
+
+(** [reach_prob sta p ~maximize] — optimal probability of eventually
+    reaching [p], from the initial state. *)
+val reach_prob : Sta.t -> Mprop.t -> maximize:bool -> float * stats
+
+(** [time_bounded_reach sta p ~bound ~maximize] — optimal probability of
+    reaching [p] within [bound] time units. *)
+val time_bounded_reach :
+  Sta.t -> Mprop.t -> bound:int -> maximize:bool -> float * stats
+
+(** [expected_time sta p ~maximize] — optimal expected time until [p]
+    first holds; [infinity] when the adversary can avoid [p]. *)
+val expected_time : Sta.t -> Mprop.t -> maximize:bool -> float * stats

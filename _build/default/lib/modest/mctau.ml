@@ -1,0 +1,83 @@
+module Model = Ta.Model
+
+let to_ta (sta : Sta.t) =
+  let b = Model.builder () in
+  (* Clocks, in declaration order so indices coincide with the STA's. *)
+  for x = 1 to sta.Sta.n_clocks do
+    ignore (Model.fresh_clock b sta.Sta.clock_names.(x))
+  done;
+  (* Channels for two-party actions; remember the emitter side. *)
+  let chan_for : (string, Model.chan * int) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun a sharers ->
+      match sharers with
+      | [ p1; _ ] -> Hashtbl.replace chan_for a (Model.channel b a, p1)
+      | [ _ ] | [] -> ()
+      | _ -> assert false)
+    sta.Sta.sync;
+  (* Variables: rebuild the same layout (same declaration order => same
+     offsets, so the STA's expressions evaluate unchanged), preserving
+     initial values. *)
+  let sb = Model.store b in
+  let inits = Ta.Store.initial sta.Sta.layout in
+  List.iter
+    (fun (v : Ta.Store.var) ->
+      let init = inits.(v.Ta.Store.off) in
+      if v.Ta.Store.len = 1 then
+        ignore (Ta.Store.int_var sb ~init v.Ta.Store.var_name)
+      else ignore (Ta.Store.array_var sb ~init v.Ta.Store.var_name v.Ta.Store.len))
+    (Ta.Store.vars sta.Sta.layout);
+  (* One automaton per process; one TA edge per STA branch. *)
+  Array.iteri
+    (fun pi (p : Sta.process) ->
+      let a = Model.automaton b p.Sta.p_name in
+      Array.iter
+        (fun (l : Sta.location) ->
+          let kind =
+            match l.Sta.l_kind with
+            | Sta.L_normal -> Model.Normal
+            | Sta.L_urgent -> Model.Urgent
+          in
+          ignore (Model.location a ~kind ~invariant:l.Sta.l_invariant l.Sta.l_name))
+        p.Sta.p_locations;
+      Model.set_initial a p.Sta.p_initial;
+      Array.iteri
+        (fun src edges ->
+          List.iter
+            (fun (e : Sta.edge) ->
+              let sync =
+                match e.Sta.e_action with
+                | None -> Model.Tau
+                | Some act ->
+                  (match Hashtbl.find_opt chan_for act with
+                   | Some (ch, emitter) ->
+                     if pi = emitter then Model.Emit ch else Model.Receive ch
+                   | None -> Model.Tau)
+              in
+              List.iter
+                (fun (br : Sta.branch) ->
+                  Model.edge a ~src ~dst:br.Sta.b_dst ?guard:e.Sta.e_guard
+                    ~clock_guard:e.Sta.e_clock_guard ~sync
+                    ~updates:br.Sta.b_updates ())
+                e.Sta.e_branches)
+            edges)
+        p.Sta.p_out)
+    sta.Sta.processes;
+  Model.build b
+
+(* The rebuilt layout has identical offsets (same declaration order), so
+   expressions referring to the STA's vars evaluate unchanged. *)
+
+let invariant_holds sta p =
+  let net = to_ta sta in
+  let f = Mprop.to_ta_formula sta net p in
+  let r = Ta.Checker.check net (Ta.Prop.Invariant f) in
+  (r.Ta.Checker.holds, r.Ta.Checker.stats)
+
+let prob_bounds sta p =
+  let net = to_ta sta in
+  let f = Mprop.to_ta_formula sta net p in
+  let r = Ta.Checker.check net (Ta.Prop.Possibly f) in
+  ((if r.Ta.Checker.holds then `Interval (0.0, 1.0) else `Zero), r.Ta.Checker.stats)
+
+let expected_value _sta _p = `Not_supported

@@ -1,0 +1,24 @@
+(** The [mctau] backend: analyse MODEST models with the UPPAAL-style
+    timed-automata engine by overapproximating probabilistic choices as
+    nondeterminism (Section III, ref. [13]).
+
+    Because every probabilistic branch has positive probability, the
+    overapproximation is {e exact} for invariant and reachability
+    questions: a state is reachable in the TA iff it is reachable with
+    positive probability in the PTA. Probabilistic quantities therefore
+    come back as [`Zero] (target unreachable) or the trivial bound
+    [`Interval (0, 1)] — precisely the Table I behaviour. *)
+
+(** [to_ta sta] — each probabilistic branch becomes its own edge;
+    two-party actions become binary channels (first sharer emits). *)
+val to_ta : Sta.t -> Ta.Model.network
+
+(** [invariant_holds sta p] — exact, via the TA reachability engine. *)
+val invariant_holds : Sta.t -> Mprop.t -> bool * Ta.Checker.stats
+
+(** [prob_bounds sta p] — bounds on the probability of reaching [p]. *)
+val prob_bounds :
+  Sta.t -> Mprop.t -> [ `Zero | `Interval of float * float ] * Ta.Checker.stats
+
+(** Expected values cannot be bounded by the overapproximation. *)
+val expected_value : Sta.t -> Mprop.t -> [ `Not_supported ]

@@ -1,0 +1,37 @@
+type t =
+  | P_true
+  | P_loc of string * string
+  | P_data of Ta.Expr.t
+  | P_not of t
+  | P_and of t * t
+  | P_or of t * t
+
+let rec eval sta ~locs ~store = function
+  | P_true -> true
+  | P_loc (pname, lname) ->
+    let pi = Sta.proc_index sta pname in
+    locs.(pi) = Sta.loc_index sta pi lname
+  | P_data e -> Ta.Expr.eval_bool store e
+  | P_not p -> not (eval sta ~locs ~store p)
+  | P_and (p, q) -> eval sta ~locs ~store p && eval sta ~locs ~store q
+  | P_or (p, q) -> eval sta ~locs ~store p || eval sta ~locs ~store q
+
+let rec to_ta_formula sta net = function
+  | P_true -> Ta.Prop.True
+  | P_loc (pname, lname) ->
+    ignore sta;
+    Ta.Prop.loc net pname lname
+  | P_data e -> Ta.Prop.Data e
+  | P_not p -> Ta.Prop.Not (to_ta_formula sta net p)
+  | P_and (p, q) ->
+    Ta.Prop.And (to_ta_formula sta net p, to_ta_formula sta net q)
+  | P_or (p, q) ->
+    Ta.Prop.Or (to_ta_formula sta net p, to_ta_formula sta net q)
+
+let rec pp ppf = function
+  | P_true -> Format.pp_print_string ppf "true"
+  | P_loc (p, l) -> Format.fprintf ppf "%s.%s" p l
+  | P_data e -> Ta.Expr.pp ppf e
+  | P_not p -> Format.fprintf ppf "!(%a)" pp p
+  | P_and (p, q) -> Format.fprintf ppf "(%a && %a)" pp p pp q
+  | P_or (p, q) -> Format.fprintf ppf "(%a || %a)" pp p pp q

@@ -1,0 +1,22 @@
+(** Backend-independent state predicates for MODEST models.
+
+    One predicate language evaluated by all three backends: [mctau]
+    (via the TA overapproximation), [mcpta] (on digital states) and
+    [modes] (on simulation states). *)
+
+type t =
+  | P_true
+  | P_loc of string * string  (** process name, location name *)
+  | P_data of Ta.Expr.t
+  | P_not of t
+  | P_and of t * t
+  | P_or of t * t
+
+(** [eval sta ~locs ~store p] evaluates on raw discrete parts. *)
+val eval : Sta.t -> locs:int array -> store:int array -> t -> bool
+
+(** [to_ta_formula sta net p] translates for the TA overapproximation
+    produced by {!Mctau.to_ta} (process indices = automaton indices). *)
+val to_ta_formula : Sta.t -> Ta.Model.network -> t -> Ta.Prop.formula
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,401 @@
+exception Parse_error of string * int
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let error st fmt =
+  let line = match st.toks with (_, l) :: _ -> l | [] -> 0 in
+  Printf.ksprintf (fun s -> raise (Parse_error (s, line))) fmt
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Lexer.EOF
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let eat st tok =
+  if peek st = tok then advance st
+  else
+    error st "expected %s, found %s" (Lexer.token_to_string tok)
+      (Lexer.token_to_string (peek st))
+
+let eat_punct st p = eat st (Lexer.PUNCT p)
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> error st "expected identifier, found %s" (Lexer.token_to_string t)
+
+let int_lit st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    n
+  | t -> error st "expected integer, found %s" (Lexer.token_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr st = expr_or st
+
+and expr_or st =
+  let left = expr_and st in
+  if peek st = Lexer.PUNCT "||" then begin
+    advance st;
+    Ast.E_bin ("||", left, expr_or st)
+  end
+  else left
+
+and expr_and st =
+  let left = expr_cmp st in
+  if peek st = Lexer.PUNCT "&&" then begin
+    advance st;
+    Ast.E_bin ("&&", left, expr_and st)
+  end
+  else left
+
+and expr_cmp st =
+  let left = expr_add st in
+  match peek st with
+  | Lexer.PUNCT (("==" | "!=" | "<" | "<=" | ">" | ">=") as op) ->
+    advance st;
+    Ast.E_bin (op, left, expr_add st)
+  | _ -> left
+
+and expr_add st =
+  let rec loop left =
+    match peek st with
+    | Lexer.PUNCT (("+" | "-") as op) ->
+      advance st;
+      loop (Ast.E_bin (op, left, expr_mul st))
+    | _ -> left
+  in
+  loop (expr_mul st)
+
+and expr_mul st =
+  let rec loop left =
+    match peek st with
+    | Lexer.PUNCT (("*" | "/" | "%") as op) ->
+      advance st;
+      loop (Ast.E_bin (op, left, expr_unary st))
+    | _ -> left
+  in
+  loop (expr_unary st)
+
+and expr_unary st =
+  match peek st with
+  | Lexer.PUNCT "-" ->
+    advance st;
+    Ast.E_neg (expr_unary st)
+  | Lexer.PUNCT "!" ->
+    advance st;
+    Ast.E_not (expr_unary st)
+  | _ -> expr_atom st
+
+and expr_atom st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    Ast.E_int n
+  | Lexer.KW "true" ->
+    advance st;
+    Ast.E_bool true
+  | Lexer.KW "false" ->
+    advance st;
+    Ast.E_bool false
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.PUNCT "[" then begin
+      advance st;
+      let idx = expr st in
+      eat_punct st "]";
+      Ast.E_index (name, idx)
+    end
+    else Ast.E_name name
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = expr st in
+    eat_punct st ")";
+    e
+  | t -> error st "expected expression, found %s" (Lexer.token_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Clock constraints: IDENT op expr (&& ...)                           *)
+(* ------------------------------------------------------------------ *)
+
+let cconstr st =
+  let clock = ident st in
+  let op =
+    match peek st with
+    | Lexer.PUNCT "<=" -> `Le
+    | Lexer.PUNCT "<" -> `Lt
+    | Lexer.PUNCT ">=" -> `Ge
+    | Lexer.PUNCT ">" -> `Gt
+    | Lexer.PUNCT "==" -> `Eq
+    | t -> error st "expected clock comparison, found %s" (Lexer.token_to_string t)
+  in
+  advance st;
+  let rhs = expr st in
+  { Ast.k_clock = clock; k_op = op; k_rhs = rhs }
+
+let cconstrs st =
+  let rec loop acc =
+    let c = cconstr st in
+    if peek st = Lexer.PUNCT "&&" then begin
+      advance st;
+      loop (c :: acc)
+    end
+    else List.rev (c :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Assignments: x = e, a[i] = e (comma separated)                      *)
+(* ------------------------------------------------------------------ *)
+
+let assigns st =
+  if peek st = Lexer.PUNCT "=}" then []
+  else begin
+    let rec loop acc =
+      let lhs = ident st in
+      let index =
+        if peek st = Lexer.PUNCT "[" then begin
+          advance st;
+          let e = expr st in
+          eat_punct st "]";
+          Some e
+        end
+        else None
+      in
+      eat_punct st "=";
+      let rhs = expr st in
+      let a = { Ast.a_lhs = lhs; a_index = index; a_rhs = rhs } in
+      if peek st = Lexer.PUNCT "," then begin
+        advance st;
+        loop (a :: acc)
+      end
+      else List.rev (a :: acc)
+    in
+    loop []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statements and sequences                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Promote leading tau-assignments of a branch body into the branch's
+   update list (PTA-style: they happen atomically with the action). *)
+let rec promote_assigns p =
+  match p with
+  | Ast.Seq (Ast.Tau assigns, rest) ->
+    let more, cont = promote_assigns rest in
+    (assigns @ more, cont)
+  | Ast.Tau assigns -> (assigns, Ast.Skip)
+  | _ -> ([], p)
+
+let rec stmt st =
+  match peek st with
+  | Lexer.KW "stop" ->
+    advance st;
+    Ast.Stop
+  | Lexer.KW "skip" ->
+    advance st;
+    Ast.Skip
+  | Lexer.PUNCT "{=" ->
+    advance st;
+    let a = assigns st in
+    eat_punct st "=}";
+    Ast.Tau a
+  | Lexer.KW "when" ->
+    advance st;
+    eat_punct st "(";
+    let g = expr st in
+    eat_punct st ")";
+    Ast.When (g, stmt st)
+  | Lexer.KW "invariant" ->
+    advance st;
+    eat_punct st "(";
+    let cc = cconstrs st in
+    eat_punct st ")";
+    Ast.Inv (cc, stmt st)
+  | Lexer.KW "do" ->
+    advance st;
+    eat_punct st "{";
+    let body = seq st in
+    eat_punct st "}";
+    Ast.Do body
+  | Lexer.KW "alt" ->
+    advance st;
+    eat_punct st "{";
+    let rec branches acc =
+      if peek st = Lexer.PUNCT "::" then begin
+        advance st;
+        let s = seq st in
+        branches (s :: acc)
+      end
+      else List.rev acc
+    in
+    let bs = branches [] in
+    eat_punct st "}";
+    if bs = [] then error st "alt without branches";
+    Ast.Alt bs
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let s = seq st in
+    eat_punct st ")";
+    s
+  | Lexer.IDENT name -> (
+      advance st;
+      match peek st with
+      | Lexer.PUNCT "(" ->
+        advance st;
+        eat_punct st ")";
+        Ast.Call name
+      | Lexer.KW "palt" ->
+        advance st;
+        eat_punct st "{";
+        let rec branches acc =
+          if peek st = Lexer.PUNCT ":" then begin
+            advance st;
+            let w = int_lit st in
+            eat_punct st ":";
+            let body = seq st in
+            let br_assigns, br_cont = promote_assigns body in
+            branches ({ Ast.br_weight = w; br_assigns; br_cont } :: acc)
+          end
+          else List.rev acc
+        in
+        let bs = branches [] in
+        eat_punct st "}";
+        if bs = [] then error st "palt without branches";
+        Ast.Act (name, bs)
+      | _ -> Ast.act name)
+  | t -> error st "expected statement, found %s" (Lexer.token_to_string t)
+
+and seq st =
+  let first = stmt st in
+  let rec loop acc =
+    if peek st = Lexer.PUNCT ";" then begin
+      advance st;
+      (* A trailing semicolon before a closer is tolerated. *)
+      match peek st with
+      | Lexer.PUNCT ("}" | ":" | "::" | ")") | Lexer.EOF -> acc
+      | _ ->
+        let s = stmt st in
+        loop (Ast.Seq (acc, s))
+    end
+    else acc
+  in
+  loop first
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let var_decl st ~const =
+  (* "int"/"bool" already consumed by caller?? no: consumed here *)
+  (match peek st with
+   | Lexer.KW "int" | Lexer.KW "bool" -> advance st
+   | t -> error st "expected int/bool, found %s" (Lexer.token_to_string t));
+  let name = ident st in
+  if peek st = Lexer.PUNCT "[" then begin
+    advance st;
+    let len = int_lit st in
+    eat_punct st "]";
+    let init =
+      if peek st = Lexer.PUNCT "=" then begin
+        advance st;
+        Some (expr st)
+      end
+      else None
+    in
+    eat_punct st ";";
+    if const then error st "const arrays are not supported";
+    Ast.D_array (name, len, init)
+  end
+  else begin
+    let init =
+      if peek st = Lexer.PUNCT "=" then begin
+        advance st;
+        Some (expr st)
+      end
+      else None
+    in
+    eat_punct st ";";
+    if const then begin
+      match init with
+      | Some e -> Ast.D_const (name, e)
+      | None -> error st "const without initializer"
+    end
+    else Ast.D_var (name, init)
+  end
+
+let clock_decl st =
+  eat st (Lexer.KW "clock");
+  let rec names acc =
+    let n = ident st in
+    if peek st = Lexer.PUNCT "," then begin
+      advance st;
+      names (n :: acc)
+    end
+    else List.rev (n :: acc)
+  in
+  let ns = names [] in
+  eat_punct st ";";
+  ns
+
+let decl st =
+  match peek st with
+  | Lexer.KW "const" ->
+    advance st;
+    var_decl st ~const:true
+  | Lexer.KW ("int" | "bool") -> var_decl st ~const:false
+  | Lexer.KW "clock" -> Ast.D_clock (clock_decl st)
+  | Lexer.KW "process" ->
+    advance st;
+    let name = ident st in
+    eat_punct st "(";
+    eat_punct st ")";
+    eat_punct st "{";
+    let rec locals acc =
+      match peek st with
+      | Lexer.KW "clock" -> locals (Ast.L_clock (clock_decl st) :: acc)
+      | Lexer.KW ("int" | "bool") -> (
+          match var_decl st ~const:false with
+          | Ast.D_var (n, init) -> locals (Ast.L_var (n, init) :: acc)
+          | _ -> error st "arrays must be declared globally")
+      | _ -> List.rev acc
+    in
+    let ls = locals [] in
+    let body = seq st in
+    eat_punct st "}";
+    Ast.D_process (name, ls, body)
+  | Lexer.KW "par" ->
+    advance st;
+    eat_punct st "{";
+    let rec comps acc =
+      let n = ident st in
+      eat_punct st "(";
+      eat_punct st ")";
+      if peek st = Lexer.PUNCT "||" then begin
+        advance st;
+        comps (n :: acc)
+      end
+      else List.rev (n :: acc)
+    in
+    let cs = comps [] in
+    eat_punct st "}";
+    Ast.D_par cs
+  | t -> error st "expected declaration, found %s" (Lexer.token_to_string t)
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    if peek st = Lexer.EOF then List.rev acc else loop (decl st :: acc)
+  in
+  loop []
+
+let parse_and_compile src = Ast.compile (parse src)

@@ -1,0 +1,31 @@
+(** Recursive-descent parser for the MODEST subset (Fig. 5's syntax).
+
+    Grammar sketch:
+    {v
+    model   := decl*
+    decl    := ["const"] ("int"|"bool") IDENT ["=" expr] ";"
+             | "int" IDENT "[" INT "]" ["=" expr] ";"
+             | "clock" IDENT ("," IDENT)* ";"
+             | "process" IDENT "(" ")" "{" local* seq "}"
+             | "par" "{" IDENT "(" ")" ("||" IDENT "(" ")")* "}"
+    local   := "clock" ... ";" | ("int"|"bool") IDENT ["=" expr] ";"
+    seq     := stmt (";" stmt)*
+    stmt    := "stop" | "skip" | "{=" [assigns] "=}"
+             | IDENT                         (action)
+             | IDENT "palt" "{" branch+ "}"
+             | IDENT "(" ")"                 (process call)
+             | "alt" "{" ("::" seq)+ "}"
+             | "do" "{" seq "}"
+             | "when" "(" expr ")" stmt
+             | "invariant" "(" cconstrs ")" stmt
+    branch  := ":" INT ":" seq               (up to next branch / "}")
+    v} *)
+
+exception Parse_error of string * int  (** message, line *)
+
+(** [parse src] parses a whole model.
+    @raise Parse_error or {!Lexer.Lex_error}. *)
+val parse : string -> Ast.model
+
+(** [parse_and_compile src] — straight to an STA network. *)
+val parse_and_compile : string -> Sta.t

@@ -1,0 +1,231 @@
+module Model = Ta.Model
+module Expr = Ta.Expr
+module Store = Ta.Store
+module Bound = Zones.Bound
+
+type loc_kind = L_normal | L_urgent
+
+type location = {
+  l_name : string;
+  l_kind : loc_kind;
+  l_invariant : Model.constr list;
+}
+
+type branch = { weight : int; b_updates : Model.update list; b_dst : int }
+
+type edge = {
+  e_src : int;
+  e_guard : Expr.t option;
+  e_clock_guard : Model.constr list;
+  e_action : string option;
+  e_branches : branch list;
+}
+
+type process = {
+  p_name : string;
+  p_locations : location array;
+  p_out : edge list array;
+  p_initial : int;
+}
+
+type t = {
+  processes : process array;
+  n_clocks : int;
+  clock_names : string array;
+  layout : Store.layout;
+  max_consts : int array;
+  sync : (string, int list) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type proto = {
+  pp_name : string;
+  mutable pp_locs : location list;
+  mutable pp_edges : edge list;
+  mutable pp_initial : int;
+}
+
+type builder = {
+  mutable clocks : string list;
+  mutable procs : proto list;
+  b_store : Store.builder;
+}
+
+type proc_builder = proto
+
+let builder () = { clocks = []; procs = []; b_store = Store.create () }
+
+let fresh_clock b name =
+  b.clocks <- name :: b.clocks;
+  List.length b.clocks
+
+let store b = b.b_store
+
+let process b name =
+  let p = { pp_name = name; pp_locs = []; pp_edges = []; pp_initial = 0 } in
+  b.procs <- p :: b.procs;
+  p
+
+let location pb ?(kind = L_normal) ?(invariant = []) name =
+  pb.pp_locs <- { l_name = name; l_kind = kind; l_invariant = invariant } :: pb.pp_locs;
+  List.length pb.pp_locs - 1
+
+let set_initial pb l = pb.pp_initial <- l
+
+let edge pb ~src ?guard ?clock_guard ?action ~branches () =
+  let branches =
+    List.map
+      (fun (weight, b_updates, b_dst) -> { weight; b_updates; b_dst })
+      branches
+  in
+  pb.pp_edges <-
+    {
+      e_src = src;
+      e_guard = guard;
+      e_clock_guard = Option.value clock_guard ~default:[];
+      e_action = action;
+      e_branches = branches;
+    }
+    :: pb.pp_edges
+
+let build b =
+  let n_clocks = List.length b.clocks in
+  let clock_names = Array.make (n_clocks + 1) "0" in
+  List.iteri (fun i name -> clock_names.(n_clocks - i) <- name) b.clocks;
+  let max_consts = Array.make (n_clocks + 1) 0 in
+  let record (c : Model.constr) =
+    if not (Bound.is_inf c.cb) then begin
+      let k = abs (Bound.constant c.cb) in
+      if c.ci > 0 then max_consts.(c.ci) <- max max_consts.(c.ci) k;
+      if c.cj > 0 then max_consts.(c.cj) <- max max_consts.(c.cj) k
+    end
+  in
+  let finish proto =
+    let locations = Array.of_list (List.rev proto.pp_locs) in
+    if Array.length locations = 0 then
+      invalid_arg
+        (Printf.sprintf "Sta.build: process %s has no locations" proto.pp_name);
+    Array.iter (fun l -> List.iter record l.l_invariant) locations;
+    let out = Array.make (Array.length locations) [] in
+    List.iter
+      (fun e ->
+        if e.e_src < 0 || e.e_src >= Array.length locations then
+          invalid_arg "Sta.build: bad edge source";
+        List.iter record e.e_clock_guard;
+        if e.e_branches = [] then invalid_arg "Sta.build: edge without branches";
+        List.iter
+          (fun br ->
+            if br.weight <= 0 then invalid_arg "Sta.build: non-positive weight";
+            if br.b_dst < 0 || br.b_dst >= Array.length locations then
+              invalid_arg "Sta.build: bad branch destination";
+            List.iter
+              (function
+                | Model.Reset (x, v) ->
+                  if x < 1 || x > n_clocks || v < 0 then
+                    invalid_arg "Sta.build: bad clock reset";
+                  max_consts.(x) <- max max_consts.(x) v
+                | Model.Assign _ | Model.Prim _ -> ())
+              br.b_updates)
+          e.e_branches)
+      proto.pp_edges;
+    List.iter (fun e -> out.(e.e_src) <- e :: out.(e.e_src)) proto.pp_edges;
+    Array.iteri (fun i l -> out.(i) <- l) (Array.map List.rev out);
+    {
+      p_name = proto.pp_name;
+      p_locations = locations;
+      p_out = out;
+      p_initial = proto.pp_initial;
+    }
+  in
+  let processes = Array.of_list (List.rev_map finish b.procs) in
+  let sync = Hashtbl.create 16 in
+  Array.iteri
+    (fun pi p ->
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun edges ->
+          List.iter
+            (fun e ->
+              match e.e_action with
+              | Some a when not (Hashtbl.mem seen a) ->
+                Hashtbl.replace seen a ();
+                let sharers = try Hashtbl.find sync a with Not_found -> [] in
+                Hashtbl.replace sync a (sharers @ [ pi ])
+              | Some _ | None -> ())
+            edges)
+        p.p_out)
+    processes;
+  (* Multiway probabilistic synchronisation of >2 parties is not needed by
+     the paper's models; reject it early rather than mis-handle weights. *)
+  Hashtbl.iter
+    (fun a sharers ->
+      if List.length sharers > 2 then
+        invalid_arg
+          (Printf.sprintf
+             "Sta.build: action %s shared by %d processes (max 2 supported)" a
+             (List.length sharers)))
+    sync;
+  {
+    processes;
+    n_clocks;
+    clock_names;
+    layout = Store.freeze b.b_store;
+    max_consts;
+    sync;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type model_class = Class_ta | Class_mdp | Class_pta | Class_sta
+
+let deterministic_weights e =
+  match e.e_branches with [ _ ] -> true | [] | _ :: _ -> false
+
+let all_edges t =
+  Array.to_list t.processes
+  |> List.concat_map (fun p -> Array.to_list p.p_out |> List.concat)
+
+let closed_constraints t =
+  let constr_ok (c : Model.constr) =
+    (c.ci = 0 || c.cj = 0) && not (Bound.is_strict c.cb)
+  in
+  List.for_all (fun e -> List.for_all constr_ok e.e_clock_guard) (all_edges t)
+  && Array.for_all
+       (fun p ->
+         Array.for_all
+           (fun l -> List.for_all constr_ok l.l_invariant)
+           p.p_locations)
+       t.processes
+
+let classify t =
+  let probabilistic =
+    List.exists (fun e -> not (deterministic_weights e)) (all_edges t)
+  in
+  if not probabilistic then Class_ta
+  else if t.n_clocks = 0 then Class_mdp
+  else if closed_constraints t then Class_pta
+  else Class_sta
+
+let class_name = function
+  | Class_ta -> "TA"
+  | Class_mdp -> "MDP"
+  | Class_pta -> "PTA"
+  | Class_sta -> "STA"
+
+let proc_index t name =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i p -> if String.equal p.p_name name then found := i)
+    t.processes;
+  if !found < 0 then raise Not_found else !found
+
+let loc_index t pi name =
+  let locs = t.processes.(pi).p_locations in
+  let found = ref (-1) in
+  Array.iteri (fun i l -> if String.equal l.l_name name then found := i) locs;
+  if !found < 0 then raise Not_found else !found

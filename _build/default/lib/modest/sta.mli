@@ -1,0 +1,108 @@
+(** Stochastic timed automata — the semantic object of MODEST.
+
+    An STA network is a parallel composition of sequential processes with
+    clocks, shared discrete variables, and {e probabilistic} edges: an
+    edge carries a guard and an action and branches into weighted
+    (updates, destination) alternatives. Actions shared by several
+    processes synchronise multiway (all sharers move together; branch
+    weights multiply). This subsumes timed automata (single-branch edges)
+    and probabilistic timed automata (integer weights, closed guards) —
+    exactly the model-class lattice the paper's Section III describes. *)
+
+module Model = Ta.Model
+module Expr = Ta.Expr
+module Store = Ta.Store
+
+type loc_kind = L_normal | L_urgent
+
+type location = {
+  l_name : string;
+  l_kind : loc_kind;
+  l_invariant : Model.constr list;
+}
+
+type branch = {
+  weight : int;
+  b_updates : Model.update list;
+  b_dst : int;
+}
+
+type edge = {
+  e_src : int;
+  e_guard : Expr.t option;
+  e_clock_guard : Model.constr list;
+  e_action : string option;  (** [None] = internal *)
+  e_branches : branch list;
+}
+
+type process = {
+  p_name : string;
+  p_locations : location array;
+  p_out : edge list array;
+  p_initial : int;
+}
+
+type t = {
+  processes : process array;
+  n_clocks : int;
+  clock_names : string array;
+  layout : Store.layout;
+  max_consts : int array;
+  sync : (string, int list) Hashtbl.t;
+      (** action name -> indices of sharing processes *)
+}
+
+(** {1 Builder} *)
+
+type builder
+type proc_builder
+
+val builder : unit -> builder
+val fresh_clock : builder -> string -> int
+val store : builder -> Store.builder
+val process : builder -> string -> proc_builder
+
+val location :
+  proc_builder ->
+  ?kind:loc_kind ->
+  ?invariant:Model.constr list ->
+  string ->
+  int
+
+val set_initial : proc_builder -> int -> unit
+
+(** [edge pb ~src ~branches ()] — [branches] carry positive weights that
+    are normalised per edge. *)
+val edge :
+  proc_builder ->
+  src:int ->
+  ?guard:Expr.t ->
+  ?clock_guard:Model.constr list ->
+  ?action:string ->
+  branches:(int * Model.update list * int) list ->
+  unit ->
+  unit
+
+(** @raise Invalid_argument on malformed networks (empty processes, bad
+    indices, non-positive weights, or an action shared by more than two
+    processes with probabilistic branching on both sides — unsupported). *)
+val build : builder -> t
+
+(** {1 Model classes (Section III: "many well-known models are subsumed")} *)
+
+type model_class = Class_ta | Class_mdp | Class_pta | Class_sta
+
+(** [classify sta]: [Class_ta] when no real probabilistic branching,
+    [Class_mdp] when no clocks, [Class_pta] when probabilistic with
+    closed diagonal-free constraints, [Class_sta] otherwise. *)
+val classify : t -> model_class
+
+val class_name : model_class -> string
+
+(** {1 Queries on structure} *)
+
+val proc_index : t -> string -> int
+val loc_index : t -> int -> string -> int
+
+(** [deterministic_weights e] — true when the edge has one branch. *)
+val deterministic_weights : edge -> bool

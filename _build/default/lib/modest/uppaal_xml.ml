@@ -1,0 +1,154 @@
+module Model = Ta.Model
+module Bound = Zones.Bound
+
+(* UPPAAL identifiers cannot contain '.', which qualified MODEST locals
+   (e.g. "Channel.c") do; integer expressions never print dots, so a
+   plain replacement on rendered text is safe. *)
+let ident s = String.map (fun c -> if c = '.' then '_' else c) s
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let constr_to_string (net : Model.network) (c : Model.constr) =
+  let name i = net.Model.clock_names.(i) in
+  let op strict = if strict then "<" else "<=" in
+  let name i = ident (name i) in
+  if Bound.is_inf c.Model.cb then "true"
+  else begin
+    let m = Bound.constant c.Model.cb in
+    let strict = Bound.is_strict c.Model.cb in
+    if c.Model.cj = 0 then Printf.sprintf "%s %s %d" (name c.Model.ci) (op strict) m
+    else if c.Model.ci = 0 then
+      (* -x ≺ m  ⟺  x ≻ -m *)
+      Printf.sprintf "%s %s %d" (name c.Model.cj) (if strict then ">" else ">=") (-m)
+    else
+      Printf.sprintf "%s - %s %s %d" (name c.Model.ci) (name c.Model.cj) (op strict) m
+  end
+
+let conj net cs = String.concat " && " (List.map (constr_to_string net) cs)
+
+let update_to_string (u : Model.update) =
+  match u with
+  | Model.Reset (x, v) -> Some (Printf.sprintf "x%d = %d" x v)
+  | Model.Assign (lv, rhs) ->
+    let lhs =
+      match lv with
+      | Ta.Expr.Cell v -> ident v.Ta.Store.var_name
+      | Ta.Expr.Elem (v, idx) ->
+        Printf.sprintf "%s[%s]" (ident v.Ta.Store.var_name)
+          (ident (Ta.Expr.to_string idx))
+    in
+    Some (Printf.sprintf "%s = %s" lhs (ident (Ta.Expr.to_string rhs)))
+  | Model.Prim (name, _) -> Some (Printf.sprintf "/* prim: %s() */" name)
+
+(* Reset rendering needs real clock names; redo with the network. *)
+let updates_to_string (net : Model.network) updates =
+  let render = function
+    | Model.Reset (x, v) ->
+      Some (Printf.sprintf "%s = %d" (ident net.Model.clock_names.(x)) v)
+    | u -> update_to_string u
+  in
+  String.concat ", " (List.filter_map render updates)
+
+let of_network (net : Model.network) =
+  let b = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n";
+  add "<!DOCTYPE nta PUBLIC \"-//Uppaal Team//DTD Flat System 1.1//EN\" \
+       \"http://www.it.uu.se/research/group/darts/uppaal/flat-1_2.dtd\">\n";
+  add "<nta>\n";
+  (* Global declarations: clocks, channels, variables. *)
+  add "  <declaration>\n";
+  for x = 1 to net.Model.n_clocks do
+    add "clock %s;\n" (ident net.Model.clock_names.(x))
+  done;
+  Array.iter
+    (fun (c : Model.chan) ->
+      add "%s%schan %s;\n"
+        (if c.Model.urgent then "urgent " else "")
+        (if c.Model.kind = Model.Broadcast then "broadcast " else "")
+        c.Model.chan_name)
+    net.Model.channels;
+  List.iter
+    (fun (v : Ta.Store.var) ->
+      if v.Ta.Store.len = 1 then add "int %s;\n" (ident v.Ta.Store.var_name)
+      else add "int %s[%d];\n" (ident v.Ta.Store.var_name) v.Ta.Store.len)
+    (Ta.Store.vars net.Model.layout);
+  add "  </declaration>\n";
+  (* Templates, one per automaton, locations on a circle. *)
+  Array.iteri
+    (fun _ (a : Model.automaton) ->
+      add "  <template>\n    <name>%s</name>\n" (escape a.Model.auto_name);
+      let n = Array.length a.Model.locations in
+      let coords i =
+        let angle = 2.0 *. Float.pi *. float_of_int i /. float_of_int (max n 1) in
+        ( int_of_float (200.0 *. cos angle),
+          int_of_float (200.0 *. sin angle) )
+      in
+      Array.iteri
+        (fun i (l : Model.location) ->
+          let x, y = coords i in
+          add "    <location id=\"id%d\" x=\"%d\" y=\"%d\">\n" i x y;
+          add "      <name>%s</name>\n" (escape l.Model.loc_name);
+          if l.Model.invariant <> [] then
+            add "      <label kind=\"invariant\">%s</label>\n"
+              (escape (conj net l.Model.invariant));
+          (match l.Model.kind with
+           | Model.Urgent -> add "      <urgent/>\n"
+           | Model.Committed -> add "      <committed/>\n"
+           | Model.Normal -> ());
+          add "    </location>\n")
+        a.Model.locations;
+      add "    <init ref=\"id%d\"/>\n" a.Model.initial;
+      Array.iter
+        (fun edges ->
+          List.iter
+            (fun (e : Model.edge) ->
+              add "    <transition>\n";
+              add "      <source ref=\"id%d\"/>\n" e.Model.src;
+              add "      <target ref=\"id%d\"/>\n" e.Model.dst;
+              let guard_parts =
+                (match e.Model.data_guard with
+                 | Some g -> [ ident (Ta.Expr.to_string g) ]
+                 | None -> [])
+                @ (if e.Model.clock_guard = [] then []
+                   else [ conj net e.Model.clock_guard ])
+              in
+              if guard_parts <> [] then
+                add "      <label kind=\"guard\">%s</label>\n"
+                  (escape (String.concat " && " guard_parts));
+              (match e.Model.sync with
+               | Model.Tau -> ()
+               | Model.Emit c ->
+                 add "      <label kind=\"synchronisation\">%s!</label>\n"
+                   (escape c.Model.chan_name)
+               | Model.Receive c ->
+                 add "      <label kind=\"synchronisation\">%s?</label>\n"
+                   (escape c.Model.chan_name));
+              if e.Model.updates <> [] then
+                add "      <label kind=\"assignment\">%s</label>\n"
+                  (escape (updates_to_string net e.Model.updates));
+              add "    </transition>\n")
+            edges)
+        a.Model.out;
+      add "  </template>\n")
+    net.Model.automata;
+  (* System line. *)
+  let names =
+    Array.to_list (Array.map (fun (a : Model.automaton) -> a.Model.auto_name) net.Model.automata)
+  in
+  add "  <system>system %s;</system>\n" (String.concat ", " names);
+  add "</nta>\n";
+  Buffer.contents b
+
+let of_sta sta = of_network (Mctau.to_ta sta)

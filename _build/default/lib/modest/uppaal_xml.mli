@@ -1,0 +1,19 @@
+(** Export of TA networks to UPPAAL 4.x XML.
+
+    The paper describes mctau as "allowing ... export to UPPAAL XML,
+    including automatic layout of the component automata" — this module
+    provides that: one [<template>] per automaton, locations laid out on
+    a circle, invariants/guards/synchronisations/assignments as UPPAAL
+    label syntax. Data guards print through {!Ta.Expr.pp}; [Prim] updates
+    are emitted as comments (they have no textual form).
+
+    The output loads in UPPAAL for models within the exported subset and
+    round-trips the structural information (asserted by the test suite on
+    the generated text). *)
+
+(** [of_network net] renders a full [<nta>] document. *)
+val of_network : Ta.Model.network -> string
+
+(** [of_sta sta] = [of_network (Mctau.to_ta sta)] — the mctau export
+    path. *)
+val of_sta : Sta.t -> string

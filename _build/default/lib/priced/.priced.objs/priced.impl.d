@@ -1,0 +1,1 @@
+lib/priced/priced.ml: Cora Jobshop

@@ -1,0 +1,1 @@
+lib/priced/priced.mli: Cora Jobshop

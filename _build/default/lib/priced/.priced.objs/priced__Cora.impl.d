@@ -1,0 +1,1 @@
+lib/priced/cora.ml: Array Discrete Hashtbl List Quant_util Ta

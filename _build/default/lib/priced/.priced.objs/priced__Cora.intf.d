@@ -1,0 +1,1 @@
+lib/priced/cora.mli: Discrete Ta

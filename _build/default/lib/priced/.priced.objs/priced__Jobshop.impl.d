@@ -1,0 +1,1 @@
+lib/priced/jobshop.ml: Array Cora Discrete List Printf Ta

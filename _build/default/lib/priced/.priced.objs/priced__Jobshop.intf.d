@@ -1,0 +1,1 @@
+lib/priced/jobshop.mli: Discrete Ta

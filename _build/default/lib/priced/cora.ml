@@ -1,0 +1,152 @@
+module Digital = Discrete.Digital
+module Zone_graph = Ta.Zone_graph
+module Pqueue = Quant_util.Pqueue
+
+type cost_model = {
+  loc_rate : int -> int -> int;
+  move_cost : Zone_graph.move -> int;
+}
+
+let free = { loc_rate = (fun _ _ -> 0); move_cost = (fun _ -> 0) }
+
+type outcome = { cost : int; steps : string list; explored : int }
+
+let rate_of net cm (st : Digital.dstate) =
+  let total = ref 0 in
+  Array.iteri (fun i l -> total := !total + cm.loc_rate i l) st.Digital.dlocs;
+  ignore net;
+  !total
+
+let trans_cost net cm st (t : Digital.dtrans) =
+  match t.Digital.kind with
+  | `Delay -> rate_of net cm st
+  | `Act mv -> cm.move_cost mv
+
+let trans_label (t : Digital.dtrans) =
+  match t.Digital.kind with
+  | `Delay -> "delay"
+  | `Act mv -> mv.Zone_graph.mv_label
+
+(* Dijkstra on the digital graph, generated on the fly. *)
+let min_cost_reach net cm ~target =
+  let best : (Digital.dstate, int) Hashtbl.t = Hashtbl.create 4096 in
+  let parent : (Digital.dstate, Digital.dstate * string) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  let queue = Pqueue.create () in
+  let init = Digital.initial net in
+  Hashtbl.replace best init 0;
+  Pqueue.push queue ~priority:0 init;
+  let explored = ref 0 in
+  let result = ref None in
+  let rec steps_to st acc =
+    match Hashtbl.find_opt parent st with
+    | None -> acc
+    | Some (prev, label) -> steps_to prev (label :: acc)
+  in
+  let rec loop () =
+    match Pqueue.pop_min queue with
+    | None -> ()
+    | Some (cost, st) ->
+      (* Skip stale queue entries. *)
+      if cost > (try Hashtbl.find best st with Not_found -> max_int) then loop ()
+      else if target st then
+        result := Some { cost; steps = steps_to st []; explored = !explored }
+      else begin
+        incr explored;
+        List.iter
+          (fun t ->
+            let c' = cost + trans_cost net cm st t in
+            let better =
+              match Hashtbl.find_opt best t.Digital.target with
+              | None -> true
+              | Some old -> c' < old
+            in
+            if better then begin
+              Hashtbl.replace best t.Digital.target c';
+              Hashtbl.replace parent t.Digital.target (st, trans_label t);
+              Pqueue.push queue ~priority:c' t.Digital.target
+            end)
+          (Digital.successors net st);
+        loop ()
+      end
+  in
+  loop ();
+  !result
+
+(* Longest path to the target over the reachable digital graph, via the
+   SCC condensation: a cycle (SCC) containing a positive-cost edge from
+   which the target is still reachable makes the worst case unbounded;
+   all remaining cycles cost 0, so paths never gain by looping and the
+   condensation DAG dynamic program is exact (edges within a zero-cost
+   SCC contribute nothing; cross edges carry their costs). *)
+let max_cost_reach net cm ~target =
+  let graph = Digital.explore net in
+  let n = Array.length graph.Digital.states in
+  let id_of st = Hashtbl.find graph.Digital.index st in
+  (* Targets are absorbing, so the SCC decomposition must not follow
+     their outgoing edges (a target can then never sit on a cycle). *)
+  let succs id =
+    if target graph.Digital.states.(id) then []
+    else
+      List.map (fun t -> id_of t.Digital.target) graph.Digital.transitions.(id)
+  in
+  let comp, n_comps = Quant_util.Scc.compute ~n ~succs in
+  (* best.(c): largest cost from component c to a target, None when the
+     target is unreachable from c. Component ids are in reverse
+     topological order, so increasing order visits successors first. *)
+  let best = Array.make n_comps None in
+  let members = Array.make n_comps [] in
+  for id = n - 1 downto 0 do
+    members.(comp.(id)) <- id :: members.(comp.(id))
+  done;
+  let improve c v =
+    match best.(c) with Some b when b >= v -> () | _ -> best.(c) <- Some v
+  in
+  let unbounded = ref false in
+  (* Target states are absorbing: the question is the worst cost until
+     the target is first reached, so their outgoing edges are ignored. *)
+  for c = 0 to n_comps - 1 do
+    List.iter
+      (fun id ->
+        let st = graph.Digital.states.(id) in
+        if target st then improve c 0
+        else
+          List.iter
+            (fun t ->
+              let cost = trans_cost net cm st t in
+              let c' = comp.(id_of t.Digital.target) in
+              if c' <> c then
+                match best.(c') with
+                | Some b -> improve c (cost + b)
+                | None -> ())
+            graph.Digital.transitions.(id))
+      members.(c)
+  done;
+  (* Unboundedness: a positive-cost edge inside an SCC of non-target
+     states from which the target is still reachable. *)
+  for id = 0 to n - 1 do
+    let st = graph.Digital.states.(id) in
+    if not (target st) then
+      List.iter
+        (fun t ->
+          let cost = trans_cost net cm st t in
+          let tid = id_of t.Digital.target in
+          if cost > 0 && comp.(tid) = comp.(id)
+             && (not (target graph.Digital.states.(tid)))
+             && best.(comp.(id)) <> None
+          then unbounded := true)
+        graph.Digital.transitions.(id)
+  done;
+  if !unbounded then `Unbounded
+  else
+    match best.(comp.(id_of (Digital.initial net))) with
+    | Some c -> `Cost (c, n)
+    | None -> `Unreachable
+
+(* Elapsed time = rate 1 globally, attributed to component 0 so the sum
+   over the location vector stays 1. *)
+let min_time_reach net ~target =
+  min_cost_reach net
+    { free with loc_rate = (fun a _ -> if a = 0 then 1 else 0) }
+    ~target

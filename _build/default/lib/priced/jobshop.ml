@@ -1,0 +1,101 @@
+module Model = Ta.Model
+module Expr = Ta.Expr
+module Store = Ta.Store
+module Digital = Discrete.Digital
+
+type job = (int * int) list
+type instance = { machines : int; jobs : job list }
+type schedule = { makespan : int; steps : string list }
+
+let validate inst =
+  if inst.machines < 1 then invalid_arg "Jobshop: no machines";
+  List.iter
+    (fun job ->
+      List.iter
+        (fun (m, d) ->
+          if m < 0 || m >= inst.machines then
+            invalid_arg "Jobshop: bad machine index";
+          if d <= 0 then invalid_arg "Jobshop: non-positive duration")
+        job)
+    inst.jobs
+
+let network inst =
+  validate inst;
+  let b = Model.builder () in
+  let sb = Model.store b in
+  let busy = Store.array_var sb "busy" inst.machines in
+  let n_jobs = List.length inst.jobs in
+  let done_locs = Array.make n_jobs 0 in
+  List.iteri
+    (fun ji job ->
+      let x = Model.fresh_clock b (Printf.sprintf "x%d" ji) in
+      let a = Model.automaton b (Printf.sprintf "Job%d" ji) in
+      (* Interleave Wait/Run locations per task, ending in Done. *)
+      let wait_locs =
+        List.mapi
+          (fun ti _ -> Model.location a (Printf.sprintf "wait%d" ti))
+          job
+      in
+      let run_locs =
+        List.mapi
+          (fun ti (_, d) ->
+            Model.location a
+              (Printf.sprintf "run%d" ti)
+              ~invariant:[ Model.clock_le x d ])
+          job
+      in
+      let done_l = Model.location a "Done" in
+      done_locs.(ji) <- done_l;
+      List.iteri
+        (fun ti (m, d) ->
+          let wait = List.nth wait_locs ti in
+          let run = List.nth run_locs ti in
+          let next =
+            if ti + 1 < List.length job then List.nth wait_locs (ti + 1)
+            else done_l
+          in
+          (* Acquire the machine. *)
+          Model.edge a ~src:wait ~dst:run
+            ~guard:(Expr.Eq (Expr.index busy (Expr.Int m), Expr.Int 0))
+            ~updates:
+              [
+                Model.Assign (Expr.Elem (busy, Expr.Int m), Expr.Int 1);
+                Model.Reset (x, 0);
+              ]
+            ();
+          (* Run to completion, release. *)
+          Model.edge a ~src:run ~dst:next
+            ~clock_guard:[ Model.clock_ge x d ]
+            ~updates:[ Model.Assign (Expr.Elem (busy, Expr.Int m), Expr.Int 0) ]
+            ())
+        job;
+      match wait_locs with
+      | first :: _ -> Model.set_initial a first
+      | [] -> Model.set_initial a done_l)
+    inst.jobs;
+  let net = Model.build b in
+  let all_done (st : Digital.dstate) =
+    let ok = ref true in
+    Array.iteri (fun ji dl -> if st.Digital.dlocs.(ji) <> dl then ok := false) done_locs;
+    !ok
+  in
+  (net, all_done)
+
+let optimal inst =
+  let net, all_done = network inst in
+  match Cora.min_time_reach net ~target:all_done with
+  | Some o -> Some { makespan = o.Cora.cost; steps = o.Cora.steps }
+  | None -> None
+
+let makespan_lower_bound inst =
+  let machine_load = Array.make inst.machines 0 in
+  let job_bound = ref 0 in
+  List.iter
+    (fun job ->
+      let total = List.fold_left (fun acc (_, d) -> acc + d) 0 job in
+      job_bound := max !job_bound total;
+      List.iter
+        (fun (m, d) -> machine_load.(m) <- machine_load.(m) + d)
+        job)
+    inst.jobs;
+  Array.fold_left max !job_bound machine_load

@@ -1,0 +1,34 @@
+(** Optimal job-shop scheduling — the classic UPPAAL-CORA application
+    ("several applications to optimization for embedded systems",
+    Section II).
+
+    A job is a sequence of (machine, duration) tasks; machines are
+    exclusive. The minimal makespan is minimum-time reachability of the
+    all-jobs-done state on the priced digital graph — the schedule itself
+    falls out of the optimal run. *)
+
+type job = (int * int) list
+(** (machine index, duration) tasks, executed in order *)
+
+type instance = { machines : int; jobs : job list }
+
+(** [network inst] — the TA network encoding (one automaton per job,
+    machine exclusion through shared busy flags) and the completion
+    predicate. *)
+val network :
+  instance -> Ta.Model.network * (Discrete.Digital.dstate -> bool)
+
+type schedule = {
+  makespan : int;
+  steps : string list;  (** the optimal run's transitions *)
+}
+
+(** [optimal inst] — minimal makespan, or [None] for infeasible inputs.
+    @raise Invalid_argument on bad machine indices or non-positive
+    durations. *)
+val optimal : instance -> schedule option
+
+(** [makespan_lower_bound inst] — max over machines of total load, and
+    over jobs of total duration (a classic admissible bound, used by the
+    tests as a sanity check). *)
+val makespan_lower_bound : instance -> int

@@ -1,0 +1,5 @@
+(* Root module of the priced library: the CORA algorithms plus the
+   job-shop case study. *)
+
+include Cora
+module Jobshop = Jobshop

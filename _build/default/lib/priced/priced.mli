@@ -1,0 +1,9 @@
+(** Priced timed automata analysis — the UPPAAL-CORA reproduction.
+
+    The core algorithms (min-cost Dijkstra, max-cost/WCET on the SCC
+    condensation) live in {!Cora} and are included here; {!Jobshop} is
+    the optimal-scheduling case study. *)
+
+include module type of Cora
+
+module Jobshop : module type of Jobshop

@@ -1,0 +1,1 @@
+lib/smc/smc.ml: Array Estimate Fun List Random Stochastic Ta

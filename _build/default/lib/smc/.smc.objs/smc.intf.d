@@ -1,0 +1,1 @@
+lib/smc/smc.mli: Estimate Stochastic Ta

@@ -1,0 +1,1 @@
+lib/smc/estimate.mli:

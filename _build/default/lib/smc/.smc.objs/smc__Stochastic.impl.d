@@ -1,0 +1,1 @@
+lib/smc/stochastic.ml: Array Fun Hashtbl List Random Ta Zones

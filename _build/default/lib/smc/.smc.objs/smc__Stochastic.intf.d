@@ -1,0 +1,1 @@
+lib/smc/stochastic.mli: Random Ta

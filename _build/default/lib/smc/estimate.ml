@@ -1,0 +1,79 @@
+type interval = { p_hat : float; low : float; high : float; trials : int }
+
+(* Normal quantile for the two-sided confidence level, via a bisection on
+   the complementary error function (no special-function dependency). *)
+let z_of_confidence confidence =
+  let target = (1.0 +. confidence) /. 2.0 in
+  (* Standard normal CDF via Abramowitz-Stegun 7.1.26 erf approximation. *)
+  let phi x =
+    let t = 1.0 /. (1.0 +. (0.3275911 *. abs_float x /. sqrt 2.0)) in
+    let erf =
+      1.0
+      -. t
+         *. (0.254829592
+             +. t
+                *. (-0.284496736
+                    +. t *. (1.421413741 +. t *. (-1.453152027 +. (t *. 1.061405429)))))
+         *. exp (-.(x *. x /. 2.0))
+    in
+    0.5 *. (1.0 +. (if x >= 0.0 then erf else -.erf))
+  in
+  let rec bisect lo hi n =
+    if n = 0 then (lo +. hi) /. 2.0
+    else begin
+      let mid = (lo +. hi) /. 2.0 in
+      if phi mid < target then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+    end
+  in
+  bisect 0.0 10.0 60
+
+let wilson ?(confidence = 0.95) ~successes ~trials () =
+  assert (trials > 0 && successes >= 0 && successes <= trials);
+  let z = z_of_confidence confidence in
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+  in
+  { p_hat = p; low = max 0.0 (centre -. half); high = min 1.0 (centre +. half); trials }
+
+let chernoff_runs ~eps ~alpha =
+  assert (eps > 0.0 && alpha > 0.0 && alpha < 1.0);
+  int_of_float (ceil (log (2.0 /. alpha) /. (2.0 *. eps *. eps)))
+
+type sprt_result = { accept_h0 : bool; samples : int }
+
+let sprt ?(max_samples = 1_000_000) ~theta ~delta ~alpha ~beta sample =
+  let p0 = min 1.0 (theta +. delta) and p1 = max 0.0 (theta -. delta) in
+  let log_a = log ((1.0 -. beta) /. alpha) in
+  let log_b = log (beta /. (1.0 -. alpha)) in
+  (* Log-likelihood ratio of H1 over H0, updated per Bernoulli sample. *)
+  let rec loop llr n successes =
+    if llr >= log_a then { accept_h0 = false; samples = n }
+    else if llr <= log_b then { accept_h0 = true; samples = n }
+    else if n >= max_samples then
+      { accept_h0 = float_of_int successes /. float_of_int n >= theta; samples = n }
+    else begin
+      let x = sample () in
+      let delta_llr =
+        if x then log (p1 /. p0) else log ((1.0 -. p1) /. (1.0 -. p0))
+      in
+      loop (llr +. delta_llr) (n + 1) (if x then successes + 1 else successes)
+    end
+  in
+  loop 0.0 0 0
+
+let mean_std xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  if n = 1 then (mean, 0.0)
+  else begin
+    let ss =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+    in
+    (mean, sqrt (ss /. float_of_int (n - 1)))
+  end

@@ -1,0 +1,37 @@
+(** Statistical estimators for SMC verdicts.
+
+    Provides the three standard tools of statistical model checking:
+    fixed-size estimation with Wilson confidence intervals, the
+    Chernoff–Hoeffding sample-size bound (UPPAAL-SMC's probability
+    estimation), and Wald's sequential probability ratio test (SPRT) for
+    hypothesis testing. *)
+
+type interval = { p_hat : float; low : float; high : float; trials : int }
+
+(** [wilson ~successes ~trials ~confidence] is the Wilson score interval
+    (default confidence 0.95). *)
+val wilson : ?confidence:float -> successes:int -> trials:int -> unit -> interval
+
+(** [chernoff_runs ~eps ~alpha] — number of runs so that the empirical
+    mean is within [eps] of the true probability with confidence
+    [1 - alpha]: ceil(ln(2/alpha) / (2 eps²)). *)
+val chernoff_runs : eps:float -> alpha:float -> int
+
+(** SPRT verdict for H0: p >= theta + delta against H1: p <= theta - delta. *)
+type sprt_result = { accept_h0 : bool; samples : int }
+
+(** [sprt ~theta ~delta ~alpha ~beta sample] draws Bernoulli samples until
+    one hypothesis is accepted; [alpha]/[beta] are the error bounds.
+    [max_samples] (default 1_000_000) forces a decision by comparison
+    with [theta] if reached. *)
+val sprt :
+  ?max_samples:int ->
+  theta:float ->
+  delta:float ->
+  alpha:float ->
+  beta:float ->
+  (unit -> bool) ->
+  sprt_result
+
+(** [mean_std xs] — sample mean and (Bessel-corrected) standard deviation. *)
+val mean_std : float array -> float * float

@@ -1,0 +1,89 @@
+(* Root module of the smc library: re-export the engine and the
+   estimators, then provide the query facade. *)
+
+module Stochastic = Stochastic
+module Estimate = Estimate
+
+type query = { horizon : float; goal : Ta.Prop.formula }
+
+let stop_of net goal (st : Stochastic.cstate) =
+  Ta.Prop.eval_on net ~locs:st.Stochastic.clocs ~store:st.Stochastic.cstore goal
+
+let default_runs () = Estimate.chernoff_runs ~eps:0.05 ~alpha:0.05
+
+let probability ?(config = Stochastic.default_config) ?(seed = 42) ?runs net q =
+  assert (Ta.Prop.crisp q.goal);
+  let runs = match runs with Some r -> r | None -> default_runs () in
+  let times =
+    Stochastic.hitting_times net config ~seed ~runs ~horizon:q.horizon
+      ~stop:(stop_of net q.goal)
+  in
+  let successes =
+    Array.fold_left
+      (fun acc t ->
+        match t with Some h when h <= q.horizon -> acc + 1 | Some _ | None -> acc)
+      0 times
+  in
+  Estimate.wilson ~successes ~trials:runs ()
+
+let hypothesis ?(config = Stochastic.default_config) ?(seed = 42)
+    ?(delta = 0.01) net q ~theta =
+  assert (Ta.Prop.crisp q.goal);
+  let counter = ref 0 in
+  let sample () =
+    incr counter;
+    let rng = Random.State.make [| seed; !counter |] in
+    let _, hit =
+      Stochastic.simulate net config rng ~horizon:q.horizon
+        ~stop:(stop_of net q.goal)
+    in
+    match hit with Some h -> h <= q.horizon | None -> false
+  in
+  Estimate.sprt ~theta ~delta ~alpha:0.05 ~beta:0.05 sample
+
+let cdf ?(config = Stochastic.default_config) ?(seed = 42) ?runs net ~goal
+    ~horizon ~grid =
+  assert (Ta.Prop.crisp goal);
+  let runs = match runs with Some r -> r | None -> default_runs () in
+  let times =
+    Stochastic.hitting_times net config ~seed ~runs ~horizon
+      ~stop:(stop_of net goal)
+  in
+  let fraction bound =
+    let hits =
+      Array.fold_left
+        (fun acc t ->
+          match t with Some h when h <= bound -> acc + 1 | Some _ | None -> acc)
+        0 times
+    in
+    float_of_int hits /. float_of_int runs
+  in
+  List.map (fun t -> (t, fraction t)) grid
+
+type hitting_stats = {
+  mean : float;
+  std : float;
+  hit_fraction : float;
+  runs : int;
+}
+
+let hitting_time ?(config = Stochastic.default_config) ?(seed = 42) ?runs net
+    ~goal ~horizon =
+  assert (Ta.Prop.crisp goal);
+  let runs = match runs with Some r -> r | None -> default_runs () in
+  let times =
+    Stochastic.hitting_times net config ~seed ~runs ~horizon
+      ~stop:(stop_of net goal)
+  in
+  let hits = Array.to_list times |> List.filter_map Fun.id in
+  match hits with
+  | [] -> { mean = nan; std = nan; hit_fraction = 0.0; runs }
+  | _ ->
+    let arr = Array.of_list hits in
+    let mean, std = Estimate.mean_std arr in
+    {
+      mean;
+      std;
+      hit_fraction = float_of_int (Array.length arr) /. float_of_int runs;
+      runs;
+    }

@@ -1,0 +1,66 @@
+(** Statistical model checking of TA networks — the UPPAAL-SMC facade.
+
+    Answers [Pr[<=T](<> f)] queries by Monte-Carlo simulation under the
+    stochastic semantics of {!Stochastic}, with the estimators of
+    {!Estimate}. Deterministically seeded throughout. *)
+
+module Stochastic : module type of Stochastic
+module Estimate : module type of Estimate
+
+type query = {
+  horizon : float;  (** time bound T of [Pr[<=T](<> f)] *)
+  goal : Ta.Prop.formula;  (** crisp state formula *)
+}
+
+(** [probability net q] estimates [Pr[<=T](<> goal)].
+    [runs] defaults to the Chernoff bound for [eps]=0.05, [alpha]=0.05. *)
+val probability :
+  ?config:Stochastic.config ->
+  ?seed:int ->
+  ?runs:int ->
+  Ta.Model.network ->
+  query ->
+  Estimate.interval
+
+(** [hypothesis net q ~theta] tests H0: [Pr >= theta] by SPRT with
+    indifference [delta] (default 0.01) and error bounds 0.05. *)
+val hypothesis :
+  ?config:Stochastic.config ->
+  ?seed:int ->
+  ?delta:float ->
+  Ta.Model.network ->
+  query ->
+  theta:float ->
+  Estimate.sprt_result
+
+(** [cdf net ~goal ~horizon ~grid] runs one batch and reports, for every
+    time bound in [grid], the fraction of runs whose hitting time is
+    within the bound — the cumulative distribution of Fig. 4. *)
+val cdf :
+  ?config:Stochastic.config ->
+  ?seed:int ->
+  ?runs:int ->
+  Ta.Model.network ->
+  goal:Ta.Prop.formula ->
+  horizon:float ->
+  grid:float list ->
+  (float * float) list
+
+(** Statistics of the first hitting time of [goal] over the runs that
+    reach it within the horizon (UPPAAL-SMC's [E[<=T](...)] style
+    estimate). [mean]/[std] are [nan] when no run hits. *)
+type hitting_stats = {
+  mean : float;
+  std : float;
+  hit_fraction : float;
+  runs : int;
+}
+
+val hitting_time :
+  ?config:Stochastic.config ->
+  ?seed:int ->
+  ?runs:int ->
+  Ta.Model.network ->
+  goal:Ta.Prop.formula ->
+  horizon:float ->
+  hitting_stats

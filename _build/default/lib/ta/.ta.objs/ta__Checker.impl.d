@@ -1,0 +1,1 @@
+lib/ta/checker.ml: Array Format Hashtbl List Model Prop Queue Zone_graph Zones

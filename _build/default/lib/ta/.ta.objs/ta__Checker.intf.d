@@ -1,0 +1,1 @@
+lib/ta/checker.mli: Model Prop Zone_graph

@@ -1,0 +1,1 @@
+lib/ta/dot.ml: Array Buffer Expr Format List Model Printf Store String Zones

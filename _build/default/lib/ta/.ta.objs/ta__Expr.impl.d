@@ -1,0 +1,1 @@
+lib/ta/expr.ml: Array Format Printf Store

@@ -1,0 +1,1 @@
+lib/ta/fischer.ml: Array Expr Model Printf Prop Store

@@ -1,0 +1,1 @@
+lib/ta/fischer.mli: Model Prop

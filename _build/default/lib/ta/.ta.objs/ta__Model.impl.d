@@ -1,0 +1,1 @@
+lib/ta/model.ml: Array Expr Format Hashtbl List Option Printf Store String Zones

@@ -1,0 +1,1 @@
+lib/ta/observer.ml: Array Checker Model Prop

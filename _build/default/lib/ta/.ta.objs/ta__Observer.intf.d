@@ -1,0 +1,1 @@
+lib/ta/observer.mli: Checker Model Prop

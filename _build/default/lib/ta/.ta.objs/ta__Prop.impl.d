@@ -1,0 +1,1 @@
+lib/ta/prop.ml: Array Expr Format Model Zone_graph Zones

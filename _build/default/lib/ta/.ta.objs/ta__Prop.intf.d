@@ -1,0 +1,1 @@
+lib/ta/prop.mli: Expr Format Model Zone_graph Zones

@@ -1,0 +1,1 @@
+lib/ta/store.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/ta/store.mli: Format

@@ -1,0 +1,1 @@
+lib/ta/train_gate.ml: Array Expr Model Printf Prop Store

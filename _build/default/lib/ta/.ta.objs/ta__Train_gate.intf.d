@@ -1,0 +1,1 @@
+lib/ta/train_gate.mli: Model Prop

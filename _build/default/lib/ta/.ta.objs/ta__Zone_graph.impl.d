@@ -1,0 +1,1 @@
+lib/ta/zone_graph.ml: Array Expr Format Hashtbl List Model Printf Store String Zones

@@ -1,0 +1,1 @@
+lib/ta/zone_graph.mli: Format Model Zones

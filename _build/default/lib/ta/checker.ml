@@ -1,0 +1,303 @@
+module Dbm = Zones.Dbm
+module Fed = Zones.Fed
+module Bound = Zones.Bound
+
+type stats = { visited : int; stored : int }
+type result = { holds : bool; trace : string list option; stats : stats }
+
+(* ------------------------------------------------------------------ *)
+(* Passed/waiting exploration with optional inclusion subsumption       *)
+(* ------------------------------------------------------------------ *)
+
+type node = {
+  st : Zone_graph.state;
+  parent : int; (* -1 for the initial node *)
+  label : string;
+}
+
+(* Insert [zone] into the passed list for its discrete key. Returns false
+   when an already-stored zone subsumes it. With subsumption on, stored
+   zones that the new one strictly contains are dropped. *)
+let insert_passed ~subsumption passed key zone =
+  let existing = try Hashtbl.find passed key with Not_found -> [] in
+  if subsumption then begin
+    if List.exists (fun z -> Dbm.subset zone z) existing then false
+    else begin
+      let kept = List.filter (fun z -> not (Dbm.subset z zone)) existing in
+      Hashtbl.replace passed key (zone :: kept);
+      true
+    end
+  end
+  else if List.exists (fun z -> Dbm.equal zone z) existing then false
+  else begin
+    Hashtbl.replace passed key (zone :: existing);
+    true
+  end
+
+(* Generic breadth-first exploration. [on_state] is called once per fresh
+   symbolic state and may short-circuit by returning a payload. With
+   [rich_trace], witness steps carry the symbolic state they reach. *)
+let explore ?(subsumption = true) ?(max_states = 1_000_000)
+    ?(rich_trace = false) net ~ks ~on_state =
+  let passed = Hashtbl.create 4096 in
+  let nodes : node array ref = ref [||] in
+  let n_nodes = ref 0 in
+  let push node =
+    if !n_nodes = Array.length !nodes then begin
+      let fresh = Array.make (max 256 (2 * !n_nodes)) node in
+      Array.blit !nodes 0 fresh 0 !n_nodes;
+      nodes := fresh
+    end;
+    !nodes.(!n_nodes) <- node;
+    incr n_nodes;
+    !n_nodes - 1
+  in
+  let trace_to id =
+    let render (n : node) =
+      if rich_trace then
+        Format.asprintf "%s  @@ %a" n.label (Zone_graph.pp_state net) n.st
+      else n.label
+    in
+    let rec walk id acc =
+      if id < 0 then acc
+      else begin
+        let n = !nodes.(id) in
+        walk n.parent (if n.parent < 0 then acc else render n :: acc)
+      end
+    in
+    walk id []
+  in
+  let queue = Queue.create () in
+  let visited = ref 0 in
+  let init = Zone_graph.initial net ~ks in
+  ignore
+    (insert_passed ~subsumption passed (Zone_graph.discrete_key init) init.zone);
+  Queue.push (push { st = init; parent = -1; label = "init" }) queue;
+  let outcome = ref None in
+  while !outcome = None && not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    let node = !nodes.(id) in
+    incr visited;
+    if !visited > max_states then
+      failwith "Checker: state limit exceeded (model too large or diverging)";
+    (match on_state node.st with
+     | Some payload -> outcome := Some (payload, trace_to id)
+     | None ->
+       List.iter
+         (fun (label, st') ->
+           let key = Zone_graph.discrete_key st' in
+           if insert_passed ~subsumption passed key st'.Zone_graph.zone then
+             Queue.push (push { st = st'; parent = id; label }) queue)
+         (Zone_graph.successors net ~ks node.st))
+  done;
+  let stored = Hashtbl.fold (fun _ zs acc -> acc + List.length zs) passed 0 in
+  (!outcome, { visited = !visited; stored })
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let deadlocked net (st : Zone_graph.state) =
+  let delay = Zone_graph.delay_allowed net st.locs st.store in
+  let escapes =
+    List.filter_map
+      (fun mv ->
+        let g = Zone_graph.move_enabling_zone net st.locs st.store mv in
+        if Dbm.is_empty g then None
+        else begin
+          let g = if delay then Dbm.down g else g in
+          let e = Dbm.intersect st.zone g in
+          if Dbm.is_empty e then None else Some e
+        end)
+      (Zone_graph.moves net st.locs st.store)
+  in
+  let fed =
+    List.fold_left Fed.add (Fed.empty ~clocks:net.Model.n_clocks) escapes
+  in
+  not (Fed.dbm_subset st.zone fed)
+
+(* ------------------------------------------------------------------ *)
+(* Exact graph for liveness                                             *)
+(* ------------------------------------------------------------------ *)
+
+type graph = {
+  states : Zone_graph.state array;
+  succs : int list array;
+  parents : (int * string) array; (* for diagnostic traces *)
+}
+
+let build_graph ?(max_states = 1_000_000) net ~ks =
+  let table = Hashtbl.create 4096 in
+  (* discrete key -> (zone, id) list, exact equality *)
+  let states = ref [] and n = ref 0 in
+  let succs = Hashtbl.create 4096 in
+  let parents = Hashtbl.create 4096 in
+  let id_of st =
+    let key = Zone_graph.discrete_key st in
+    let entries = try Hashtbl.find table key with Not_found -> [] in
+    match
+      List.find_opt (fun (z, _) -> Dbm.equal z st.Zone_graph.zone) entries
+    with
+    | Some (_, id) -> (id, false)
+    | None ->
+      let id = !n in
+      incr n;
+      if !n > max_states then
+        failwith "Checker: state limit exceeded during liveness exploration";
+      Hashtbl.replace table key ((st.Zone_graph.zone, id) :: entries);
+      states := st :: !states;
+      (id, true)
+  in
+  let queue = Queue.create () in
+  let init = Zone_graph.initial net ~ks in
+  let init_id, _ = id_of init in
+  Hashtbl.replace parents init_id (-1, "init");
+  Queue.push (init_id, init) queue;
+  while not (Queue.is_empty queue) do
+    let id, st = Queue.pop queue in
+    let kids =
+      List.map
+        (fun (label, st') ->
+          let id', fresh = id_of st' in
+          if fresh then begin
+            Hashtbl.replace parents id' (id, label);
+            Queue.push (id', st') queue
+          end;
+          id')
+        (Zone_graph.successors net ~ks st)
+    in
+    Hashtbl.replace succs id kids
+  done;
+  let states_arr = Array.of_list (List.rev !states) in
+  let succs_arr =
+    Array.init !n (fun i -> try Hashtbl.find succs i with Not_found -> [])
+  in
+  let parents_arr =
+    Array.init !n (fun i -> try Hashtbl.find parents i with Not_found -> (-1, "?"))
+  in
+  { states = states_arr; succs = succs_arr; parents = parents_arr }
+
+(* A discrete node can let time diverge iff delay is allowed at all (no
+   committed/urgent location, no enabled urgent synchronisation) and no
+   location invariant puts a finite upper bound on a clock. *)
+let can_idle_forever net (st : Zone_graph.state) =
+  Zone_graph.delay_allowed net st.locs st.store
+  && not
+       (List.exists
+          (fun (c : Model.constr) ->
+            c.ci > 0 && c.cj = 0 && not (Bound.is_inf c.cb))
+          (Zone_graph.invariant_constrs net st.locs))
+
+(* All paths from every [start] node eventually reach a [q]-node: fails on
+   a cycle within the not-q subgraph, a timelocked sink, or a node that can
+   idle forever before q. Returns the id of a failing node, if any. *)
+let all_paths_reach graph net ~is_q starts =
+  let n = Array.length graph.states in
+  let status = Array.make n `White in
+  (* `White unvisited; `Gray on stack; `Good / `Bad settled. *)
+  let rec verify id =
+    match status.(id) with
+    | `Good -> true
+    | `Bad -> false
+    | `Gray -> false (* cycle avoiding q *)
+    | `White ->
+      if is_q id then begin
+        status.(id) <- `Good;
+        true
+      end
+      else begin
+        status.(id) <- `Gray;
+        let st = graph.states.(id) in
+        let ok =
+          (not (can_idle_forever net st))
+          && graph.succs.(id) <> []
+          && List.for_all verify graph.succs.(id)
+        in
+        status.(id) <- (if ok then `Good else `Bad);
+        ok
+      end
+  in
+  List.find_opt (fun id -> not (verify id)) starts
+
+let trace_in_graph graph id =
+  let rec walk id acc =
+    if id < 0 then acc
+    else begin
+      let parent, label = graph.parents.(id) in
+      walk parent (if parent < 0 then acc else label :: acc)
+    end
+  in
+  walk id []
+
+(* ------------------------------------------------------------------ *)
+(* Top-level check                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_reach ?subsumption ?max_states ?rich_trace net f =
+  let ks = Prop.merge_constants net f in
+  let on_state st = if Prop.holds_somewhere net st f then Some () else None in
+  explore ?subsumption ?max_states ?rich_trace net ~ks ~on_state
+
+let check_liveness ?max_states ?(from_initial_only = false) net ~p ~q =
+  if not (Prop.crisp p && Prop.crisp q) then
+    invalid_arg "Checker: leads-to operands must not contain clock atoms";
+  let ks = Array.copy net.Model.max_consts in
+  let graph = build_graph ?max_states net ~ks in
+  let is_q id = Prop.eval_crisp net graph.states.(id) q in
+  let starts = ref [] in
+  if from_initial_only then begin
+    (* A<> q: only runs from the initial state (node 0) matter. *)
+    if not (is_q 0) then starts := [ 0 ]
+  end
+  else
+    Array.iteri
+      (fun id st ->
+        if Prop.eval_crisp net st p && not (is_q id) then
+          starts := id :: !starts)
+      graph.states;
+  let failing = all_paths_reach graph net ~is_q (List.rev !starts) in
+  let stats = { visited = Array.length graph.states; stored = Array.length graph.states } in
+  match failing with
+  | None -> { holds = true; trace = None; stats }
+  | Some id -> { holds = false; trace = Some (trace_in_graph graph id); stats }
+
+let check ?subsumption ?max_states ?rich_trace net query =
+  match query with
+  | Prop.Possibly f ->
+    let outcome, stats = check_reach ?subsumption ?max_states ?rich_trace net f in
+    (match outcome with
+     | Some ((), trace) -> { holds = true; trace = Some trace; stats }
+     | None -> { holds = false; trace = None; stats })
+  | Prop.Invariant f ->
+    let outcome, stats =
+      check_reach ?subsumption ?max_states ?rich_trace net (Prop.Not f)
+    in
+    (match outcome with
+     | Some ((), trace) -> { holds = false; trace = Some trace; stats }
+     | None -> { holds = true; trace = None; stats })
+  | Prop.NoDeadlock ->
+    let ks = Array.copy net.Model.max_consts in
+    let on_state st = if deadlocked net st then Some () else None in
+    let outcome, stats =
+      explore ?subsumption ?max_states ?rich_trace net ~ks ~on_state
+    in
+    (match outcome with
+     | Some ((), trace) -> { holds = false; trace = Some trace; stats }
+     | None -> { holds = true; trace = None; stats })
+  | Prop.LeadsTo (p, q) -> check_liveness ?max_states net ~p ~q
+  | Prop.Eventually f ->
+    if not (Prop.crisp f) then
+      invalid_arg "Checker: A<> operand must not contain clock atoms";
+    check_liveness ?max_states ~from_initial_only:true net ~p:Prop.True ~q:f
+
+let reachable_states ?subsumption ?max_states net =
+  let ks = Array.copy net.Model.max_consts in
+  let acc = ref [] in
+  let on_state st =
+    acc := st :: !acc;
+    None
+  in
+  let (_ : (unit * string list) option * stats) =
+    explore ?subsumption ?max_states net ~ks ~on_state
+  in
+  List.rev !acc

@@ -1,0 +1,49 @@
+(** The symbolic model checker (UPPAAL's verification engine).
+
+    Supports the query patterns of the paper's Section II: safety
+    ([A[] f]), reachability ([E<> f]), liveness ([f --> g], [A<> f]) and
+    deadlock-freedom, over the zone graph with inclusion subsumption
+    (except for liveness, which needs the exact graph). The deadlock test
+    is exact, using federation subtraction: a valuation deadlocks when no
+    delay can ever enable another move. *)
+
+type stats = {
+  visited : int;  (** symbolic states popped from the waiting list *)
+  stored : int;  (** symbolic states kept in the passed list *)
+}
+
+type result = {
+  holds : bool;
+  trace : string list option;
+      (** for violated safety / satisfied reachability: the labels of a
+          witness run from the initial state *)
+  stats : stats;
+}
+
+(** [check net q] verifies query [q]. [subsumption] (default true) turns
+    inclusion checking on the passed list on/off (ablation switch); it is
+    ignored for liveness queries, which always use the exact graph.
+    [rich_trace] (default false) annotates every witness step with the
+    symbolic state it reaches. [max_states] (default 1_000_000) aborts
+    pathological explorations.
+    @raise Failure if the exploration exceeds [max_states]. *)
+val check :
+  ?subsumption:bool ->
+  ?max_states:int ->
+  ?rich_trace:bool ->
+  Model.network ->
+  Prop.query ->
+  result
+
+(** [deadlocked net st] — does some valuation of [st] admit no future
+    action, ever? Exposed for tests. *)
+val deadlocked : Model.network -> Zone_graph.state -> bool
+
+(** [reachable_states net] enumerates the full symbolic state space (with
+    subsumption); used by tests and by cross-validation against the
+    digital-clocks engine. *)
+val reachable_states :
+  ?subsumption:bool ->
+  ?max_states:int ->
+  Model.network ->
+  Zone_graph.state list

@@ -1,0 +1,78 @@
+module Bound = Zones.Bound
+
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let constr_str (net : Model.network) (c : Model.constr) =
+  Format.asprintf "%a" (Model.pp_constr ~clock_names:net.Model.clock_names) c
+
+let edge_label net (e : Model.edge) =
+  let parts =
+    List.concat
+      [
+        (match e.Model.data_guard with
+         | Some g -> [ Expr.to_string g ]
+         | None -> []);
+        List.map (constr_str net) e.Model.clock_guard;
+        (match e.Model.sync with
+         | Model.Tau -> []
+         | s -> [ Format.asprintf "%a" Model.pp_sync s ]);
+        List.filter_map
+          (function
+            | Model.Reset (x, v) ->
+              Some (Printf.sprintf "%s:=%d" net.Model.clock_names.(x) v)
+            | Model.Assign (lv, rhs) ->
+              let lhs =
+                match lv with
+                | Expr.Cell v -> v.Store.var_name
+                | Expr.Elem (v, i) ->
+                  Printf.sprintf "%s[%s]" v.Store.var_name (Expr.to_string i)
+              in
+              Some (Printf.sprintf "%s:=%s" lhs (Expr.to_string rhs))
+            | Model.Prim (name, _) -> Some (name ^ "()"))
+          e.Model.updates;
+      ]
+  in
+  String.concat "\\n" parts
+
+let of_network (net : Model.network) =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "digraph network {\n  rankdir=LR;\n  node [shape=ellipse];\n";
+  Array.iteri
+    (fun ai (a : Model.automaton) ->
+      add "  subgraph cluster_%d {\n    label=\"%s\";\n" ai
+        (escape a.Model.auto_name);
+      Array.iteri
+        (fun li (l : Model.location) ->
+          let style =
+            match l.Model.kind with
+            | Model.Committed -> ", peripheries=2, style=filled, fillcolor=lightpink"
+            | Model.Urgent -> ", style=filled, fillcolor=lightyellow"
+            | Model.Normal -> ""
+          in
+          let inv =
+            match l.Model.invariant with
+            | [] -> ""
+            | cs ->
+              "\\n" ^ String.concat " && " (List.map (constr_str net) cs)
+          in
+          add "    n%d_%d [label=\"%s%s\"%s%s];\n" ai li
+            (escape l.Model.loc_name) (escape inv)
+            style
+            (if li = a.Model.initial then ", penwidth=2" else ""))
+        a.Model.locations;
+      Array.iter
+        (fun edges ->
+          List.iter
+            (fun (e : Model.edge) ->
+              add "    n%d_%d -> n%d_%d [label=\"%s\"%s];\n" ai e.Model.src ai
+                e.Model.dst
+                (escape (edge_label net e))
+                (if e.Model.ctrl then "" else ", style=dashed"))
+            edges)
+        a.Model.out;
+      add "  }\n")
+    net.Model.automata;
+  add "}\n";
+  Buffer.contents b

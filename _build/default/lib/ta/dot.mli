@@ -1,0 +1,6 @@
+(** Graphviz rendering of networks — one cluster per automaton, edges
+    labelled with guard / synchronisation / updates (the visual companion
+    of the UPPAAL GUI's editor view). *)
+
+(** [of_network net] is a [digraph] in dot syntax. *)
+val of_network : Model.network -> string

@@ -1,0 +1,116 @@
+type lvalue = Cell of Store.var | Elem of Store.var * t
+
+and t =
+  | Int of int
+  | Read of lvalue
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Eq of t * t
+  | Neq of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Gt of t * t
+  | Ge of t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Ite of t * t * t
+
+exception Eval_error of string
+
+let var v = Read (Cell v)
+let index v e = Read (Elem (v, e))
+let bool_int b = if b then 1 else 0
+
+let rec lvalue_offset store lv =
+  match lv with
+  | Cell v -> v.Store.off
+  | Elem (v, idx) ->
+    let i = eval store idx in
+    if i < 0 || i >= v.Store.len then
+      raise
+        (Eval_error
+           (Printf.sprintf "index %d out of bounds for %s[%d]" i
+              v.Store.var_name v.Store.len))
+    else v.Store.off + i
+
+and eval store e =
+  match e with
+  | Int n -> n
+  | Read lv -> store.(lvalue_offset store lv)
+  | Neg a -> -eval store a
+  | Add (a, b) -> eval store a + eval store b
+  | Sub (a, b) -> eval store a - eval store b
+  | Mul (a, b) -> eval store a * eval store b
+  | Div (a, b) ->
+    let d = eval store b in
+    if d = 0 then raise (Eval_error "division by zero") else eval store a / d
+  | Mod (a, b) ->
+    let d = eval store b in
+    if d = 0 then raise (Eval_error "modulo by zero") else eval store a mod d
+  | Eq (a, b) -> bool_int (eval store a = eval store b)
+  | Neq (a, b) -> bool_int (eval store a <> eval store b)
+  | Lt (a, b) -> bool_int (eval store a < eval store b)
+  | Le (a, b) -> bool_int (eval store a <= eval store b)
+  | Gt (a, b) -> bool_int (eval store a > eval store b)
+  | Ge (a, b) -> bool_int (eval store a >= eval store b)
+  | And (a, b) -> bool_int (eval store a <> 0 && eval store b <> 0)
+  | Or (a, b) -> bool_int (eval store a <> 0 || eval store b <> 0)
+  | Not a -> bool_int (eval store a = 0)
+  | Ite (c, a, b) -> if eval store c <> 0 then eval store a else eval store b
+
+let eval_bool store e = eval store e <> 0
+
+let rec subst_vars f e =
+  match e with
+  | Int _ -> e
+  | Read lv -> Read (subst_lvalue f lv)
+  | Neg a -> Neg (subst_vars f a)
+  | Add (a, b) -> Add (subst_vars f a, subst_vars f b)
+  | Sub (a, b) -> Sub (subst_vars f a, subst_vars f b)
+  | Mul (a, b) -> Mul (subst_vars f a, subst_vars f b)
+  | Div (a, b) -> Div (subst_vars f a, subst_vars f b)
+  | Mod (a, b) -> Mod (subst_vars f a, subst_vars f b)
+  | Eq (a, b) -> Eq (subst_vars f a, subst_vars f b)
+  | Neq (a, b) -> Neq (subst_vars f a, subst_vars f b)
+  | Lt (a, b) -> Lt (subst_vars f a, subst_vars f b)
+  | Le (a, b) -> Le (subst_vars f a, subst_vars f b)
+  | Gt (a, b) -> Gt (subst_vars f a, subst_vars f b)
+  | Ge (a, b) -> Ge (subst_vars f a, subst_vars f b)
+  | And (a, b) -> And (subst_vars f a, subst_vars f b)
+  | Or (a, b) -> Or (subst_vars f a, subst_vars f b)
+  | Not a -> Not (subst_vars f a)
+  | Ite (c, a, b) -> Ite (subst_vars f c, subst_vars f a, subst_vars f b)
+
+and subst_lvalue f = function
+  | Cell v -> Cell (f v)
+  | Elem (v, idx) -> Elem (f v, subst_vars f idx)
+
+let rec pp ppf e =
+  let binop ppf op a b = Format.fprintf ppf "(%a %s %a)" pp a op pp b in
+  match e with
+  | Int n -> Format.pp_print_int ppf n
+  | Read (Cell v) -> Format.pp_print_string ppf v.Store.var_name
+  | Read (Elem (v, i)) -> Format.fprintf ppf "%s[%a]" v.Store.var_name pp i
+  | Neg a -> Format.fprintf ppf "-%a" pp a
+  | Add (a, b) -> binop ppf "+" a b
+  | Sub (a, b) -> binop ppf "-" a b
+  | Mul (a, b) -> binop ppf "*" a b
+  | Div (a, b) -> binop ppf "/" a b
+  | Mod (a, b) -> binop ppf "%" a b
+  | Eq (a, b) -> binop ppf "==" a b
+  | Neq (a, b) -> binop ppf "!=" a b
+  | Lt (a, b) -> binop ppf "<" a b
+  | Le (a, b) -> binop ppf "<=" a b
+  | Gt (a, b) -> binop ppf ">" a b
+  | Ge (a, b) -> binop ppf ">=" a b
+  | And (a, b) -> binop ppf "&&" a b
+  | Or (a, b) -> binop ppf "||" a b
+  | Not a -> Format.fprintf ppf "!%a" pp a
+  | Ite (c, a, b) -> Format.fprintf ppf "(%a ? %a : %a)" pp c pp a pp b
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,59 @@
+(** Integer/boolean expressions over a variable store.
+
+    This is the data layer of the modeling languages (UPPAAL's C-like
+    subset, MODEST expressions, BIP guards). Booleans are encoded as
+    integers with 0 = false. Array accesses are bounds-checked at
+    evaluation time. *)
+
+(** Assignable places: a scalar, or an array cell with computed index. *)
+type lvalue = Cell of Store.var | Elem of Store.var * t
+
+(** Expression syntax. [Read] dereferences an lvalue. *)
+and t =
+  | Int of int
+  | Read of lvalue
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Eq of t * t
+  | Neq of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Gt of t * t
+  | Ge of t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Ite of t * t * t
+
+exception Eval_error of string
+
+(** [var v] reads scalar [v]. *)
+val var : Store.var -> t
+
+(** [index v e] reads array cell [v[e]]. *)
+val index : Store.var -> t -> t
+
+(** [eval store e] evaluates to an integer.
+    @raise Eval_error on out-of-bounds access or division by zero. *)
+val eval : int array -> t -> int
+
+(** [eval_bool store e] is [eval store e <> 0]. *)
+val eval_bool : int array -> t -> bool
+
+(** [lvalue_offset store lv] resolves the store index of an lvalue.
+    @raise Eval_error when the index falls outside the array. *)
+val lvalue_offset : int array -> lvalue -> int
+
+(** [subst_vars f e] replaces every variable handle via [f] (used when
+    merging store layouts, e.g. network composition). *)
+val subst_vars : (Store.var -> Store.var) -> t -> t
+
+(** [subst_lvalue f lv]. *)
+val subst_lvalue : (Store.var -> Store.var) -> lvalue -> lvalue
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,61 @@
+(* Fischer's protocol; see fischer.mli. Process ids are 1-based in the
+   shared variable so 0 means "free". *)
+
+let make ?(strict_wait = true) ?(k = 2) ~n () =
+  assert (n >= 1 && k >= 1);
+  let b = Model.builder () in
+  let sb = Model.store b in
+  let id = Store.int_var sb "id" in
+  for pid = 1 to n do
+    let x = Model.fresh_clock b (Printf.sprintf "x%d" pid) in
+    let p = Model.automaton b (Printf.sprintf "P%d" pid) in
+    let idle = Model.location p "idle" in
+    let req = Model.location p "req" ~invariant:[ Model.clock_le x k ] in
+    let wait = Model.location p "wait" in
+    let cs = Model.location p "cs" in
+    Model.set_initial p idle;
+    (* idle: observe the lock free, start requesting. *)
+    Model.edge p ~src:idle ~dst:req
+      ~guard:(Expr.Eq (Expr.var id, Expr.Int 0))
+      ~updates:[ Model.Reset (x, 0) ] ();
+    (* req: claim within k time units. *)
+    Model.edge p ~src:req ~dst:wait
+      ~clock_guard:[ Model.clock_le x k ]
+      ~updates:
+        [ Model.Assign (Expr.Cell id, Expr.Int pid); Model.Reset (x, 0) ]
+      ();
+    (* wait: after (strictly) more than k, enter if still the claimant. *)
+    let wait_guard =
+      if strict_wait then Model.clock_gt x k else Model.clock_ge x k
+    in
+    Model.edge p ~src:wait ~dst:cs
+      ~guard:(Expr.Eq (Expr.var id, Expr.Int pid))
+      ~clock_guard:[ wait_guard ] ();
+    (* wait: somebody else claimed; retry once the lock is free. *)
+    Model.edge p ~src:wait ~dst:req
+      ~guard:(Expr.Eq (Expr.var id, Expr.Int 0))
+      ~updates:[ Model.Reset (x, 0) ] ();
+    (* cs: leave and release. *)
+    Model.edge p ~src:cs ~dst:idle
+      ~updates:[ Model.Assign (Expr.Cell id, Expr.Int 0) ] ()
+  done;
+  Model.build b
+
+let mutex net =
+  let n = Array.length net.Model.automata in
+  let conj = ref Prop.True in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      conj :=
+        Prop.And
+          ( !conj,
+            Prop.Not
+              (Prop.And
+                 ( Prop.Loc (i, Model.loc_index net i "cs"),
+                   Prop.Loc (j, Model.loc_index net j "cs") )) )
+    done
+  done;
+  Prop.Invariant !conj
+
+let cs_reachable net = Prop.Possibly (Prop.Loc (0, Model.loc_index net 0 "cs"))
+let no_deadlock = Prop.NoDeadlock

@@ -1,0 +1,22 @@
+(** Fischer's mutual-exclusion protocol — the classic timing-based UPPAAL
+    benchmark, exercising strict clock guards and shared variables.
+
+    Each process loops idle → request → wait → critical section. A shared
+    variable [id] holds the current claimant; correctness hinges on the
+    timing discipline: a process writes [id] within [k] time units of
+    requesting and must then wait {e strictly more} than [k] before
+    checking [id] again. With [strict_wait:false] the wait uses [>= k]
+    instead — the textbook bug that breaks mutual exclusion. *)
+
+(** [make ~n ~k ()] builds the protocol for [n] processes with timing
+    constant [k] (default 2). [strict_wait] defaults to true. *)
+val make : ?strict_wait:bool -> ?k:int -> n:int -> unit -> Model.network
+
+(** Mutual exclusion: never two processes in [cs]. *)
+val mutex : Model.network -> Prop.query
+
+(** Some process can reach the critical section. *)
+val cs_reachable : Model.network -> Prop.query
+
+(** [A[] not deadlock]. *)
+val no_deadlock : Prop.query

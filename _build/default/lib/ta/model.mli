@@ -1,0 +1,147 @@
+(** Networks of timed automata, UPPAAL-style.
+
+    A network is a parallel composition of automata communicating by
+    binary channel synchronisation ([a!]/[a?]) and broadcast channels,
+    over shared discrete variables ({!Store}) and a common set of clocks.
+    Locations may be urgent or committed; invariants and guards are
+    conjunctions of clock(-difference) constraints plus a data guard.
+
+    Models are constructed through the builder API below, which assigns
+    indices, validates the model, and computes the per-clock maximal
+    constants used for zone extrapolation. *)
+
+type clock = int
+(** Clock index, [1..n]. Index 0 is the DBM reference clock. *)
+
+type chan_kind = Binary | Broadcast
+
+type chan = { chan_id : int; chan_name : string; kind : chan_kind; urgent : bool }
+
+(** Edge synchronisation: emit ([c!]), receive ([c?]), or internal. *)
+type sync = Emit of chan | Receive of chan | Tau
+
+(** Atomic clock constraint [x_ci - x_cj ≺ cb]. *)
+type constr = { ci : int; cj : int; cb : Zones.Bound.t }
+
+(** Edge effects, applied in list order. [Prim] is an escape hatch for
+    data code that is awkward as expressions (e.g. the FIFO shift of
+    Fig. 1(c)); the function mutates a private copy of the store. *)
+type update =
+  | Assign of Expr.lvalue * Expr.t
+  | Reset of clock * int
+  | Prim of string * (int array -> unit)
+
+type loc_kind = Normal | Urgent | Committed
+
+type location = { loc_name : string; kind : loc_kind; invariant : constr list }
+
+type edge = {
+  src : int;
+  dst : int;
+  data_guard : Expr.t option;
+  clock_guard : constr list;
+  sync : sync;
+  updates : update list;
+  ctrl : bool; (* controllable edge (timed games); plain TA edges are true *)
+}
+
+type automaton = {
+  auto_name : string;
+  locations : location array;
+  out : edge list array; (* outgoing edges, indexed by source location *)
+  initial : int;
+}
+
+type network = {
+  automata : automaton array;
+  n_clocks : int;
+  clock_names : string array; (* length n_clocks + 1; entry 0 unused *)
+  channels : chan array;
+  layout : Store.layout;
+  max_consts : int array; (* per clock, for extrapolation *)
+}
+
+(** {1 Constraint helpers} *)
+
+val clock_le : clock -> int -> constr
+val clock_lt : clock -> int -> constr
+val clock_ge : clock -> int -> constr
+val clock_gt : clock -> int -> constr
+
+(** [diff_le x y c] is [x - y <= c]. *)
+val diff_le : clock -> clock -> int -> constr
+
+val diff_lt : clock -> clock -> int -> constr
+
+(** {1 Builder} *)
+
+type builder
+type auto_builder
+
+val builder : unit -> builder
+
+(** [fresh_clock b name] allocates a clock. *)
+val fresh_clock : builder -> string -> clock
+
+(** [channel b name] declares a channel (default binary, non-urgent). *)
+val channel : builder -> ?kind:chan_kind -> ?urgent:bool -> string -> chan
+
+(** [store b] is the embedded variable-layout builder. *)
+val store : builder -> Store.builder
+
+(** [automaton b name] starts a component. The first declared location is
+    initial unless {!set_initial} overrides it. *)
+val automaton : builder -> string -> auto_builder
+
+(** [location ab name] declares a location and returns its index. *)
+val location :
+  auto_builder -> ?kind:loc_kind -> ?invariant:constr list -> string -> int
+
+val set_initial : auto_builder -> int -> unit
+
+(** [edge ab ~src ~dst ()] adds an edge. [guard] is the data guard,
+    [clock_guard] the conjunction of clock constraints. [ctrl] (default
+    true) marks the edge controllable; timed games ({!Games}) treat
+    [ctrl:false] edges as environment moves, plain analyses ignore it. *)
+val edge :
+  auto_builder ->
+  src:int ->
+  dst:int ->
+  ?guard:Expr.t ->
+  ?clock_guard:constr list ->
+  ?sync:sync ->
+  ?updates:update list ->
+  ?ctrl:bool ->
+  unit ->
+  unit
+
+(** [build b] freezes and validates the network.
+    @raise Invalid_argument on malformed models (bad clock indices,
+    broadcast receivers or urgent-channel edges with clock guards, no
+    locations in a component). *)
+val build : builder -> network
+
+(** [union a b] — parallel composition of two independently built
+    networks: components, clocks and variables are concatenated (b's
+    clock indices and store offsets shift); channels merge by name, so
+    the two halves synchronise on their shared channels.
+    @raise Invalid_argument on duplicate component or variable names,
+    channels declared with different kinds, or [Prim] updates in [b]
+    (their closures capture old store offsets). *)
+val union : network -> network -> network
+
+(** {1 Lookup and printing} *)
+
+(** [auto_index net name] finds a component by name.
+    @raise Not_found if absent. *)
+val auto_index : network -> string -> int
+
+(** [loc_index net a name] finds a location of component [a] by name.
+    @raise Not_found if absent. *)
+val loc_index : network -> int -> string -> int
+
+(** [loc_name net a l] is the printable name of location [l] of [a]. *)
+val loc_name : network -> int -> int -> string
+
+val pp_constr : clock_names:string array -> Format.formatter -> constr -> unit
+val pp_sync : Format.formatter -> sync -> unit

@@ -1,0 +1,18 @@
+(** Observer-clock model transformations.
+
+    UPPAAL answers time-bounded queries like [E<> (phi && time <= T)] by
+    adding a never-reset observer clock. {!add_global_clock} rebuilds a
+    network with one extra clock that no edge touches; {!possibly_within}
+    and {!invariant_until} wrap the pattern. *)
+
+(** [add_global_clock net] — a semantically identical network with one
+    fresh clock (returned index) measuring global elapsed time. *)
+val add_global_clock : Model.network -> Model.network * Model.clock
+
+(** [possibly_within net f ~bound] — can [f] hold within [bound] time
+    units of the start? ([E<> (f && t <= bound)].) *)
+val possibly_within : Model.network -> Prop.formula -> bound:int -> Checker.result
+
+(** [invariant_until net f ~bound] — does [f] hold in every state
+    reachable within [bound] time units? *)
+val invariant_until : Model.network -> Prop.formula -> bound:int -> Checker.result

@@ -1,0 +1,109 @@
+module Dbm = Zones.Dbm
+module Fed = Zones.Fed
+module Bound = Zones.Bound
+
+type formula =
+  | True
+  | False
+  | Loc of int * int
+  | Data of Expr.t
+  | Clock of Model.constr
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Imply of formula * formula
+
+type query =
+  | Invariant of formula
+  | Possibly of formula
+  | Eventually of formula
+  | LeadsTo of formula * formula
+  | NoDeadlock
+
+let loc net auto loc_name =
+  let a = Model.auto_index net auto in
+  Loc (a, Model.loc_index net a loc_name)
+
+let rec crisp = function
+  | True | False | Loc _ | Data _ -> true
+  | Clock _ -> false
+  | Not f -> crisp f
+  | And (f, g) | Or (f, g) | Imply (f, g) -> crisp f && crisp g
+
+let rec eval_on net ~locs ~store = function
+  | True -> true
+  | False -> false
+  | Loc (a, l) -> locs.(a) = l
+  | Data e -> Expr.eval_bool store e
+  | Clock _ -> invalid_arg "Prop.eval_crisp: clock atom in crisp formula"
+  | Not f -> not (eval_on net ~locs ~store f)
+  | And (f, g) -> eval_on net ~locs ~store f && eval_on net ~locs ~store g
+  | Or (f, g) -> eval_on net ~locs ~store f || eval_on net ~locs ~store g
+  | Imply (f, g) ->
+    (not (eval_on net ~locs ~store f)) || eval_on net ~locs ~store g
+
+let eval_crisp net (st : Zone_graph.state) f =
+  eval_on net ~locs:st.locs ~store:st.store f
+
+let rec sat_fed net (st : Zone_graph.state) f =
+  let clocks = net.Model.n_clocks in
+  let whole = Fed.of_dbm st.zone in
+  let none = Fed.empty ~clocks in
+  match f with
+  | True -> whole
+  | False -> none
+  | Loc (a, l) -> if st.locs.(a) = l then whole else none
+  | Data e -> if Expr.eval_bool st.store e then whole else none
+  | Clock c -> Fed.of_dbm (Dbm.constrain st.zone c.ci c.cj c.cb)
+  | Not g -> Fed.diff whole (sat_fed net st g)
+  | And (g, h) -> Fed.inter (sat_fed net st g) (sat_fed net st h)
+  | Or (g, h) -> Fed.union (sat_fed net st g) (sat_fed net st h)
+  | Imply (g, h) -> sat_fed net st (Or (Not g, h))
+
+let holds_somewhere net st f =
+  if crisp f then eval_crisp net st f
+  else not (Fed.is_empty (sat_fed net st f))
+
+let holds_everywhere net st f =
+  if crisp f then eval_crisp net st f
+  else Fed.is_empty (sat_fed net st (Not f))
+
+let merge_constants net f =
+  let ks = Array.copy net.Model.max_consts in
+  let record (c : Model.constr) =
+    if not (Bound.is_inf c.cb) then begin
+      let k = abs (Bound.constant c.cb) in
+      if c.ci > 0 then ks.(c.ci) <- max ks.(c.ci) k;
+      if c.cj > 0 then ks.(c.cj) <- max ks.(c.cj) k
+    end
+  in
+  let rec walk = function
+    | True | False | Loc _ | Data _ -> ()
+    | Clock c -> record c
+    | Not g -> walk g
+    | And (g, h) | Or (g, h) | Imply (g, h) ->
+      walk g;
+      walk h
+  in
+  walk f;
+  ks
+
+let rec pp net ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Loc (a, l) ->
+    Format.fprintf ppf "%s.%s" net.Model.automata.(a).auto_name
+      (Model.loc_name net a l)
+  | Data e -> Expr.pp ppf e
+  | Clock c -> Model.pp_constr ~clock_names:net.Model.clock_names ppf c
+  | Not f -> Format.fprintf ppf "!(%a)" (pp net) f
+  | And (f, g) -> Format.fprintf ppf "(%a && %a)" (pp net) f (pp net) g
+  | Or (f, g) -> Format.fprintf ppf "(%a || %a)" (pp net) f (pp net) g
+  | Imply (f, g) -> Format.fprintf ppf "(%a imply %a)" (pp net) f (pp net) g
+
+let pp_query net ppf = function
+  | Invariant f -> Format.fprintf ppf "A[] %a" (pp net) f
+  | Possibly f -> Format.fprintf ppf "E<> %a" (pp net) f
+  | Eventually f -> Format.fprintf ppf "A<> %a" (pp net) f
+  | LeadsTo (f, g) -> Format.fprintf ppf "%a --> %a" (pp net) f (pp net) g
+  | NoDeadlock -> Format.pp_print_string ppf "A[] not deadlock"

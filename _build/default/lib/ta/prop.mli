@@ -1,0 +1,59 @@
+(** The UPPAAL-style query language.
+
+    State formulas combine location tests, data predicates and clock
+    constraints; queries wrap them in the temporal patterns the paper
+    uses: [A[] f] (invariantly), [E<> f] (possibly), [f --> g] (leads to),
+    [A<> f] (eventually on all paths) and deadlock-freedom. *)
+
+type formula =
+  | True
+  | False
+  | Loc of int * int  (** component index, location index *)
+  | Data of Expr.t
+  | Clock of Model.constr
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Imply of formula * formula
+
+type query =
+  | Invariant of formula  (** [A[] f] *)
+  | Possibly of formula  (** [E<> f] *)
+  | Eventually of formula  (** [A<> f] *)
+  | LeadsTo of formula * formula  (** [f --> g]; both must be crisp *)
+  | NoDeadlock  (** [A[] not deadlock] *)
+
+(** [loc net "Train0" "Cross"] is the location test, resolved by name.
+    @raise Not_found for unknown components or locations. *)
+val loc : Model.network -> string -> string -> formula
+
+(** [crisp f] is true when [f] contains no clock constraint, so that its
+    truth is determined by the discrete part alone. *)
+val crisp : formula -> bool
+
+(** [eval_crisp net st f] evaluates a crisp formula on the discrete part.
+    @raise Invalid_argument if [f] is not crisp. *)
+val eval_crisp : Model.network -> Zone_graph.state -> formula -> bool
+
+(** [eval_on net ~locs ~store f] — same, on raw discrete parts (used by
+    the simulation engines, which carry concrete clock values instead of
+    zones). *)
+val eval_on :
+  Model.network -> locs:int array -> store:int array -> formula -> bool
+
+(** [sat_fed net st f] is the exact sub-zone of [st.zone] whose valuations
+    satisfy [f] (federation because of disjunction and negation). *)
+val sat_fed : Model.network -> Zone_graph.state -> formula -> Zones.Fed.t
+
+(** [holds_somewhere net st f] — does some valuation of [st] satisfy [f]? *)
+val holds_somewhere : Model.network -> Zone_graph.state -> formula -> bool
+
+(** [holds_everywhere net st f] — do all valuations of [st] satisfy [f]? *)
+val holds_everywhere : Model.network -> Zone_graph.state -> formula -> bool
+
+(** [merge_constants net f ks] returns extrapolation constants covering
+    both the network and the clock atoms of [f] (fresh array). *)
+val merge_constants : Model.network -> formula -> int array
+
+val pp : Model.network -> Format.formatter -> formula -> unit
+val pp_query : Model.network -> Format.formatter -> query -> unit

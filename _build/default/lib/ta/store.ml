@@ -1,0 +1,59 @@
+type var = { off : int; len : int; var_name : string }
+
+type builder = {
+  mutable next : int;
+  mutable decls : (var * int) list; (* with initial value, reversed *)
+  mutable frozen : bool;
+}
+
+type layout = { total : int; all_vars : var list; inits : int array }
+
+let create () = { next = 0; decls = []; frozen = false }
+
+let declare b ~len ~init name =
+  if b.frozen then invalid_arg "Store: builder already frozen";
+  if List.exists (fun (v, _) -> String.equal v.var_name name) b.decls then
+    invalid_arg (Printf.sprintf "Store: duplicate variable %S" name);
+  let v = { off = b.next; len; var_name = name } in
+  b.next <- b.next + len;
+  b.decls <- (v, init) :: b.decls;
+  v
+
+let int_var b ?(init = 0) name = declare b ~len:1 ~init name
+
+let array_var b ?(init = 0) name length =
+  if length <= 0 then invalid_arg "Store.array_var: length must be positive";
+  declare b ~len:length ~init name
+
+let freeze b =
+  b.frozen <- true;
+  let inits = Array.make b.next 0 in
+  let decls = List.rev b.decls in
+  List.iter
+    (fun (v, init) ->
+      for k = v.off to v.off + v.len - 1 do
+        inits.(k) <- init
+      done)
+    decls;
+  { total = b.next; all_vars = List.map fst decls; inits }
+
+let size l = l.total
+let initial l = Array.copy l.inits
+let vars l = l.all_vars
+
+let find l name =
+  List.find (fun v -> String.equal v.var_name name) l.all_vars
+
+let pp_store l ppf store =
+  let pp_var ppf v =
+    if v.len = 1 then Format.fprintf ppf "%s=%d" v.var_name store.(v.off)
+    else begin
+      let cells =
+        List.init v.len (fun k -> string_of_int store.(v.off + k))
+      in
+      Format.fprintf ppf "%s=[%s]" v.var_name (String.concat ";" cells)
+    end
+  in
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+    pp_var ppf l.all_vars

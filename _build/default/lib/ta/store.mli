@@ -1,0 +1,42 @@
+(** Discrete variable stores for the model data layer.
+
+    A network's data state is a flat [int array]; a {!layout} maps named
+    scalar and array variables to regions of that array. Layouts are built
+    once with a {!builder} and then frozen. This mirrors UPPAAL's bounded
+    integer variables and arrays (Fig. 1(c) of the paper). *)
+
+(** Handle to a declared variable: a region of the store. *)
+type var = private { off : int; len : int; var_name : string }
+
+type builder
+type layout
+
+(** [create ()] is a fresh, empty layout builder. *)
+val create : unit -> builder
+
+(** [int_var b ?init name] declares a scalar initialized to [init]
+    (default 0). *)
+val int_var : builder -> ?init:int -> string -> var
+
+(** [array_var b ?init name length] declares an array of [length] cells,
+    all initialized to [init] (default 0). *)
+val array_var : builder -> ?init:int -> string -> int -> var
+
+(** [freeze b] finalizes the layout. The builder must not be reused. *)
+val freeze : builder -> layout
+
+(** [size l] is the total number of cells. *)
+val size : layout -> int
+
+(** [initial l] is a fresh store holding every variable's initial value. *)
+val initial : layout -> int array
+
+(** [vars l] lists declared variables in declaration order. *)
+val vars : layout -> var list
+
+(** [find l name] looks up a variable.
+    @raise Not_found if absent. *)
+val find : layout -> string -> var
+
+(** [pp_store l ppf store] prints ["name=v"] bindings for debugging. *)
+val pp_store : layout -> Format.formatter -> int array -> unit

@@ -1,0 +1,134 @@
+(* The classic UPPAAL train-gate demo, exactly as sketched in Fig. 1 of
+   the paper: see train_gate.mli. *)
+
+let make ~n_trains =
+  assert (n_trains >= 1);
+  let b = Model.builder () in
+  let appr = Array.init n_trains (fun i -> Model.channel b (Printf.sprintf "appr%d" i)) in
+  let stop = Array.init n_trains (fun i -> Model.channel b (Printf.sprintf "stop%d" i)) in
+  (* [go] is an urgent channel in the classic demo: the gate restarts the
+     front train without letting time pass, which the liveness property
+     (Appr --> Cross) depends on. *)
+  let go =
+    Array.init n_trains (fun i ->
+        Model.channel b ~urgent:true (Printf.sprintf "go%d" i))
+  in
+  let leave = Array.init n_trains (fun i -> Model.channel b (Printf.sprintf "leave%d" i)) in
+  let sb = Model.store b in
+  let list = Store.array_var sb "list" (n_trains + 1) in
+  let len = Store.int_var sb "len" in
+  (* Trains: one clock each. *)
+  for i = 0 to n_trains - 1 do
+    let x = Model.fresh_clock b (Printf.sprintf "x%d" i) in
+    let a = Model.automaton b (Printf.sprintf "Train%d" i) in
+    let safe = Model.location a "Safe" in
+    let appr_l =
+      Model.location a "Appr" ~invariant:[ Model.clock_le x 20 ]
+    in
+    let stop_l = Model.location a "Stop" in
+    let start_l =
+      Model.location a "Start" ~invariant:[ Model.clock_le x 15 ]
+    in
+    let cross_l =
+      Model.location a "Cross" ~invariant:[ Model.clock_le x 5 ]
+    in
+    Model.set_initial a safe;
+    Model.edge a ~src:safe ~dst:appr_l ~sync:(Model.Emit appr.(i))
+      ~updates:[ Model.Reset (x, 0) ] ();
+    Model.edge a ~src:appr_l ~dst:stop_l
+      ~clock_guard:[ Model.clock_le x 10 ]
+      ~sync:(Model.Receive stop.(i)) ();
+    Model.edge a ~src:appr_l ~dst:cross_l
+      ~clock_guard:[ Model.clock_ge x 10 ]
+      ~updates:[ Model.Reset (x, 0) ] ();
+    Model.edge a ~src:stop_l ~dst:start_l ~sync:(Model.Receive go.(i))
+      ~updates:[ Model.Reset (x, 0) ] ();
+    Model.edge a ~src:start_l ~dst:cross_l
+      ~clock_guard:[ Model.clock_ge x 7 ]
+      ~updates:[ Model.Reset (x, 0) ] ();
+    Model.edge a ~src:cross_l ~dst:safe
+      ~clock_guard:[ Model.clock_ge x 3 ]
+      ~sync:(Model.Emit leave.(i)) ()
+  done;
+  (* Gate controller with the Fig. 1(c) FIFO code. *)
+  let g = Model.automaton b "Gate" in
+  let free = Model.location g "Free" in
+  let occ = Model.location g "Occ" in
+  let stopping = Model.location g "Stopping" ~kind:Model.Committed in
+  Model.set_initial g free;
+  let front = Expr.index list (Expr.Int 0) in
+  let tail = Expr.index list (Expr.Sub (Expr.var len, Expr.Int 1)) in
+  let enqueue e =
+    [
+      Model.Assign (Expr.Elem (list, Expr.var len), Expr.Int e);
+      Model.Assign (Expr.Cell len, Expr.Add (Expr.var len, Expr.Int 1));
+    ]
+  in
+  (* dequeue(): shift the queue left — the while loop of Fig. 1(c), as a
+     registered primitive. *)
+  let dequeue =
+    Model.Prim
+      ( "dequeue",
+        fun store ->
+          let l = store.(len.Store.off) - 1 in
+          store.(len.Store.off) <- l;
+          for k = 0 to l - 1 do
+            store.(list.Store.off + k) <- store.(list.Store.off + k + 1)
+          done;
+          store.(list.Store.off + l) <- 0 )
+  in
+  for e = 0 to n_trains - 1 do
+    (* Free --appr[e]? when len == 0--> Occ, enqueue(e). With stopped
+       trains still queued the gate must restart the front train first
+       (the [len == 0] / [len > 0] guards of Fig. 1(b)). *)
+    Model.edge g ~src:free ~dst:occ
+      ~guard:(Expr.Eq (Expr.var len, Expr.Int 0))
+      ~sync:(Model.Receive appr.(e))
+      ~updates:(enqueue e) ();
+    (* Free --go[front()]!--> Occ when len > 0. *)
+    Model.edge g ~src:free ~dst:occ
+      ~guard:
+        (Expr.And (Expr.Gt (Expr.var len, Expr.Int 0), Expr.Eq (front, Expr.Int e)))
+      ~sync:(Model.Emit go.(e)) ();
+    (* Occ --leave[e]?--> Free when e == front(), dequeue(). *)
+    Model.edge g ~src:occ ~dst:free
+      ~guard:(Expr.Eq (front, Expr.Int e))
+      ~sync:(Model.Receive leave.(e))
+      ~updates:[ dequeue ] ();
+    (* Occ --appr[e]?--> Stopping, enqueue(e). *)
+    Model.edge g ~src:occ ~dst:stopping ~sync:(Model.Receive appr.(e))
+      ~updates:(enqueue e) ();
+    (* Stopping --stop[tail()]!--> Occ (committed, fires immediately). *)
+    Model.edge g ~src:stopping ~dst:occ
+      ~guard:(Expr.Eq (tail, Expr.Int e))
+      ~sync:(Model.Emit stop.(e)) ()
+  done;
+  Model.build b
+
+let n_trains net = Array.length net.Model.automata - 1
+
+let cross_formula net i =
+  Prop.loc net (Printf.sprintf "Train%d" i) "Cross"
+
+let safety net =
+  let n = n_trains net in
+  let conj = ref Prop.True in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      conj :=
+        Prop.And
+          ( !conj,
+            Prop.Not (Prop.And (cross_formula net i, cross_formula net j)) )
+    done
+  done;
+  Prop.Invariant !conj
+
+let liveness net i =
+  Prop.LeadsTo
+    (Prop.loc net (Printf.sprintf "Train%d" i) "Appr", cross_formula net i)
+
+let no_deadlock = Prop.NoDeadlock
+
+let clock_of_train net i =
+  assert (i >= 0 && i < n_trains net);
+  i + 1

@@ -1,0 +1,31 @@
+(** The train-gate case study of the paper (Fig. 1).
+
+    [N] trains approach a one-track bridge; a gate controller keeps a FIFO
+    queue of stopped trains, implemented with the array-and-length code of
+    Fig. 1(c). Channel arrays [appr[id]], [stop[id]], [go[id]] and
+    [leave[id]] are desugared into one binary channel per train. *)
+
+(** [make ~n_trains] builds the network: automata [Train0..Train(n-1)]
+    followed by [Gate]. *)
+val make : n_trains:int -> Model.network
+
+(** Number of trains of a network built by {!make}. *)
+val n_trains : Model.network -> int
+
+(** The paper's safety query: at most one train crosses at a time. *)
+val safety : Model.network -> Prop.query
+
+(** The paper's liveness query for train [i]:
+    [Train(i).Appr --> Train(i).Cross]. *)
+val liveness : Model.network -> int -> Prop.query
+
+(** [A[] not deadlock]. *)
+val no_deadlock : Prop.query
+
+(** [cross_formula net i] is the state formula [Train(i).Cross], used by
+    the SMC experiment (Fig. 4). *)
+val cross_formula : Model.network -> int -> Prop.formula
+
+(** [clock_of_train net i] is the clock index of train [i] (trains are
+    declared in order, one clock each). *)
+val clock_of_train : Model.network -> int -> Model.clock

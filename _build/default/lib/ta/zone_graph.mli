@@ -1,0 +1,61 @@
+(** Symbolic (zone-based) semantics of timed-automata networks.
+
+    A symbolic state pairs a discrete part — location vector and variable
+    store — with a canonical DBM zone, closed under delay where allowed.
+    This module enumerates the structurally enabled moves of a state
+    (synchronisation resolution, committed-location filtering) and
+    computes symbolic successors with extrapolation. *)
+
+type state = {
+  locs : int array;
+  store : int array;
+  zone : Zones.Dbm.t;
+}
+
+(** A move: the set of (component, edge) pairs that fire together — a
+    singleton for internal edges, emitter then receiver(s) for channels. *)
+type move = { mv_label : string; participants : (int * Model.edge) list }
+
+(** [discrete_key st] is the hashable discrete part of a state. *)
+val discrete_key : state -> int array * int array
+
+(** [initial net ~ks] is the initial symbolic state ([ks] = per-clock
+    extrapolation constants, usually {!Model.network.max_consts} merged
+    with the property's constants). *)
+val initial : Model.network -> ks:int array -> state
+
+(** [moves net locs store] enumerates data-enabled moves, respecting
+    committed-location priority. Clock guards are {e not} checked here. *)
+val moves : Model.network -> int array -> int array -> move list
+
+(** [delay_allowed net locs store] is false in committed/urgent locations
+    and when an urgent-channel synchronisation is data-enabled. *)
+val delay_allowed : Model.network -> int array -> int array -> bool
+
+(** [move_enabling_zone net locs store mv] is the exact zone of valuations
+    from which [mv] can fire {e right now}: source invariants ∧ guards ∧
+    weakest precondition of the target invariants under the move's clock
+    resets. Empty if the move can never fire. *)
+val move_enabling_zone :
+  Model.network -> int array -> int array -> move -> Zones.Dbm.t
+
+(** [apply_move net ~ks st mv] is the symbolic successor, or [None] when
+    the clock guards or target invariants make the move impossible from
+    [st.zone]. The result is delay-closed (unless urgent/committed) and
+    extrapolated. *)
+val apply_move :
+  Model.network -> ks:int array -> state -> move -> state option
+
+(** [successors net ~ks st] is the list of labelled symbolic successors. *)
+val successors :
+  Model.network -> ks:int array -> state -> (string * state) list
+
+(** [invariant_constrs net locs] is the conjunction of all location
+    invariants of the vector. *)
+val invariant_constrs : Model.network -> int array -> Model.constr list
+
+(** [constrain_all z cs] conjoins a constraint list onto a zone. *)
+val constrain_all : Zones.Dbm.t -> Model.constr list -> Zones.Dbm.t
+
+(** [pp_state net ppf st] prints locations, store and zone. *)
+val pp_state : Model.network -> Format.formatter -> state -> unit

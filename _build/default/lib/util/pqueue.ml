@@ -1,0 +1,66 @@
+type 'a entry = { priority : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let is_empty q = q.size = 0
+let length q = q.size
+
+(* Entry ordering: priority first, then insertion sequence for determinism. *)
+let before a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+(* Grow the backing array, using [seed] to fill fresh slots so no dummy
+   element is ever needed. *)
+let grow q seed =
+  let capacity = max 16 (2 * Array.length q.heap) in
+  let fresh = Array.make capacity seed in
+  Array.blit q.heap 0 fresh 0 q.size;
+  q.heap <- fresh
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q ~priority value =
+  let entry = { priority; seq = q.next_seq; value } in
+  if q.size = Array.length q.heap then grow q entry;
+  q.heap.(q.size) <- entry;
+  q.next_seq <- q.next_seq + 1;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop_min q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.priority, top.value)
+  end

@@ -1,0 +1,22 @@
+(** Imperative binary min-heap keyed by integer priorities.
+
+    Used by the priced-reachability (Dijkstra) and game solvers. Ties are
+    broken by insertion order, which keeps searches deterministic. *)
+
+type 'a t
+
+(** [create ()] is an empty queue. *)
+val create : unit -> 'a t
+
+(** [push q ~priority v] inserts [v] with the given priority. *)
+val push : 'a t -> priority:int -> 'a -> unit
+
+(** [pop_min q] removes and returns the minimum-priority entry as
+    [(priority, value)], or [None] when the queue is empty. *)
+val pop_min : 'a t -> (int * 'a) option
+
+(** [is_empty q] is true when the queue holds no entry. *)
+val is_empty : 'a t -> bool
+
+(** [length q] is the number of queued entries. *)
+val length : 'a t -> int

@@ -1,0 +1,62 @@
+(* Iterative Tarjan: an explicit stack of (node, remaining successors)
+   frames replaces recursion so million-state graphs cannot overflow. *)
+
+let compute ~n ~succs =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let n_comps = ref 0 in
+  let visit root =
+    if index.(root) < 0 then begin
+      let frames = ref [ (root, ref (succs root)) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (v, rest) :: tail ->
+          (match !rest with
+           | w :: more ->
+             rest := more;
+             if index.(w) < 0 then begin
+               index.(w) <- !next_index;
+               lowlink.(w) <- !next_index;
+               incr next_index;
+               stack := w :: !stack;
+               on_stack.(w) <- true;
+               frames := (w, ref (succs w)) :: !frames
+             end
+             else if on_stack.(w) then
+               lowlink.(v) <- min lowlink.(v) index.(w)
+           | [] ->
+             frames := tail;
+             (match tail with
+              | (parent, _) :: _ ->
+                lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+              | [] -> ());
+             if lowlink.(v) = index.(v) then begin
+               let rec pop () =
+                 match !stack with
+                 | [] -> assert false
+                 | w :: rest ->
+                   stack := rest;
+                   on_stack.(w) <- false;
+                   comp.(w) <- !n_comps;
+                   if w <> v then pop ()
+               in
+               pop ();
+               incr n_comps
+             end)
+      done
+    end
+  in
+  for v = 0 to n - 1 do
+    visit v
+  done;
+  (comp, !n_comps)

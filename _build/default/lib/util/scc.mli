@@ -1,0 +1,9 @@
+(** Tarjan's strongly connected components.
+
+    Used by the WCET (longest-path) analysis and liveness checks. *)
+
+(** [compute ~n ~succs] assigns each node [0..n-1] a component id.
+    Component ids are in {e reverse topological} order: every edge of the
+    condensation goes from a higher id to a lower id (self-components
+    aside). Returns [(comp, n_comps)]. Iterative, safe on deep graphs. *)
+val compute : n:int -> succs:(int -> int list) -> int array * int

@@ -1,0 +1,1 @@
+lib/zones/bound.ml: Format Int

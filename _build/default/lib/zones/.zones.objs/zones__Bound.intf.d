@@ -1,0 +1,1 @@
+lib/zones/bound.mli: Format

@@ -1,0 +1,1 @@
+lib/zones/dbm.ml: Array Bound Format Hashtbl Printf Random String

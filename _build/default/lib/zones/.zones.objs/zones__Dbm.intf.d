@@ -1,0 +1,1 @@
+lib/zones/dbm.mli: Bound Format Random

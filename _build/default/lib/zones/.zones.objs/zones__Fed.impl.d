@@ -1,0 +1,1 @@
+lib/zones/fed.ml: Bound Dbm Format List

@@ -1,0 +1,1 @@
+lib/zones/fed.mli: Dbm Format

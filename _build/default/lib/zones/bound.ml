@@ -1,0 +1,47 @@
+type t = int
+
+(* Encoding: a finite bound [≺ m] is [2m + s] with s = 1 when weak (<=)
+   and s = 0 when strict (<). [inf] is max_int. Integer order = weakness
+   order, and [m = b asr 1] holds for negative constants too because
+   [asr] floors. *)
+
+let inf = max_int
+let le m = (m lsl 1) lor 1
+let lt m = m lsl 1
+let le_zero = le 0
+let lt_zero = lt 0
+let is_inf b = b = inf
+
+let constant b =
+  if is_inf b then invalid_arg "Bound.constant: inf" else b asr 1
+
+let is_strict b = (not (is_inf b)) && b land 1 = 0
+
+let add a b =
+  if is_inf a || is_inf b then inf
+  else (((a asr 1) + (b asr 1)) lsl 1) lor (a land b land 1)
+
+let negate b =
+  if is_inf b then invalid_arg "Bound.negate: inf"
+  else if is_strict b then le (-(constant b))
+  else lt (-(constant b))
+
+let compare = Int.compare
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+let equal = Int.equal
+
+let sat b d =
+  if is_inf b then true
+  else begin
+    let m = float_of_int (constant b) in
+    if is_strict b then d < m else d <= m
+  end
+
+let pp ppf b =
+  if is_inf b then Format.pp_print_string ppf "inf"
+  else Format.fprintf ppf "%s%d" (if is_strict b then "<" else "<=") (constant b)
+
+let to_string b = Format.asprintf "%a" pp b
+let to_int b = b
+let of_int b = b

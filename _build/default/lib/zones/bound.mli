@@ -1,0 +1,65 @@
+(** Clock-difference bounds for DBMs.
+
+    A bound represents a constraint [x - y < m] (strict) or [x - y <= m]
+    (weak), or no constraint at all ([inf]). Bounds are encoded as plain
+    integers — [2m] for strict, [2m + 1] for weak — so that the natural
+    integer order coincides with constraint weakness: a numerically larger
+    bound is a weaker constraint. This is the classic UPPAAL encoding
+    (Bengtsson & Yi, "Timed Automata: Semantics, Algorithms and Tools"). *)
+
+type t = private int
+
+(** The absent constraint, weaker than every finite bound. *)
+val inf : t
+
+(** [le m] is the weak bound [<= m]. *)
+val le : int -> t
+
+(** [lt m] is the strict bound [< m]. *)
+val lt : int -> t
+
+(** [<= 0], the diagonal of every non-empty canonical DBM. *)
+val le_zero : t
+
+(** [lt_zero] is [< 0]; a diagonal entry below [le_zero] marks emptiness. *)
+val lt_zero : t
+
+val is_inf : t -> bool
+
+(** [constant b] is the integer constant of a finite bound.
+    @raise Invalid_argument on [inf]. *)
+val constant : t -> int
+
+(** [is_strict b] is true for [< m] bounds. [inf] is not strict. *)
+val is_strict : t -> bool
+
+(** [add a b] is the bound on [x - z] deduced from bounds on [x - y] and
+    [y - z]: constants add, and the result is weak only when both inputs
+    are weak. Adding [inf] yields [inf]. *)
+val add : t -> t -> t
+
+(** [negate b] is the complement constraint: the negation of [x - y ≺ m]
+    is [y - x ≺' -m] with flipped strictness.
+    @raise Invalid_argument on [inf]. *)
+val negate : t -> t
+
+(** Total order; larger means weaker. *)
+val compare : t -> t -> int
+
+val min : t -> t -> t
+val max : t -> t -> t
+val equal : t -> t -> bool
+
+(** [sat b d] decides whether the real difference [d] satisfies the
+    constraint denoted by [b]. *)
+val sat : t -> float -> bool
+
+(** [pp] prints e.g. ["<=3"], ["<-2"] or ["inf"]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Unsafe embedding used by serialization; [of_int (to_int b) = b]. *)
+val to_int : t -> int
+
+val of_int : int -> t

@@ -1,0 +1,355 @@
+type t = { dim : int; m : int array }
+
+(* Internal representation: [m] holds raw Bound encodings row-major,
+   [m.(i*dim + j)] bounding [x_i - x_j]. Invariant: the matrix is closed
+   (canonical) and a semantically empty zone is normalized so that every
+   entry is [Bound.lt_zero]. *)
+
+let clocks t = t.dim - 1
+let raw t i j = t.m.((i * t.dim) + j)
+let get t i j = Bound.of_int (raw t i j)
+
+let le_zero = Bound.to_int Bound.le_zero
+let lt_zero = Bound.to_int Bound.lt_zero
+let inf = Bound.to_int Bound.inf
+
+let empty ~clocks =
+  let dim = clocks + 1 in
+  { dim; m = Array.make (dim * dim) lt_zero }
+
+let is_empty t = t.m.(0) < le_zero
+
+let zero ~clocks =
+  let dim = clocks + 1 in
+  { dim; m = Array.make (dim * dim) le_zero }
+
+let universal ~clocks =
+  let dim = clocks + 1 in
+  let m = Array.make (dim * dim) inf in
+  for i = 0 to dim - 1 do
+    m.((i * dim) + i) <- le_zero;
+    m.(i) <- le_zero (* row 0: 0 - x_j <= 0 *)
+  done;
+  { dim; m }
+
+let copy t = { t with m = Array.copy t.m }
+
+let normalize_empty t =
+  Array.fill t.m 0 (t.dim * t.dim) lt_zero;
+  t
+
+(* Full Floyd-Warshall closure; used after bulk updates. Returns the
+   (possibly emptied) argument, mutated in place. *)
+let close_inplace t =
+  let d = t.dim and m = t.m in
+  let badd a b = Bound.to_int (Bound.add (Bound.of_int a) (Bound.of_int b)) in
+  (try
+     for k = 0 to d - 1 do
+       for i = 0 to d - 1 do
+         let ik = m.((i * d) + k) in
+         if ik <> inf then
+           for j = 0 to d - 1 do
+             let kj = m.((k * d) + j) in
+             if kj <> inf then begin
+               let via = badd ik kj in
+               if via < m.((i * d) + j) then m.((i * d) + j) <- via
+             end
+           done
+       done;
+       for i = 0 to d - 1 do
+         if m.((i * d) + i) < le_zero then raise Exit
+       done
+     done
+   with Exit -> ignore (normalize_empty t));
+  if t.m.(0) < le_zero then ignore (normalize_empty t);
+  t
+
+let constrain t i j b =
+  let b = Bound.to_int b in
+  if is_empty t then t
+  else if b >= raw t i j then t
+  else begin
+    (* New bound on (i,j) would make the i-j cycle negative? *)
+    let cycle = Bound.add (get t j i) (Bound.of_int b) in
+    if Bound.to_int cycle < le_zero then empty ~clocks:(clocks t)
+    else begin
+      let t = copy t in
+      let d = t.dim and m = t.m in
+      m.((i * d) + j) <- b;
+      (* Incremental closure: every new shortest path uses edge (i,j)
+         exactly once, so relax all pairs through it. *)
+      for k = 0 to d - 1 do
+        let ki = m.((k * d) + i) in
+        if ki <> inf then begin
+          let kj = Bound.to_int (Bound.add (Bound.of_int ki) (Bound.of_int b)) in
+          for l = 0 to d - 1 do
+            let jl = m.((j * d) + l) in
+            if jl <> inf then begin
+              let v = Bound.to_int (Bound.add (Bound.of_int kj) (Bound.of_int jl)) in
+              if v < m.((k * d) + l) then m.((k * d) + l) <- v
+            end
+          done
+        end
+      done;
+      let ok = ref true in
+      for k = 0 to d - 1 do
+        if m.((k * d) + k) < le_zero then ok := false
+      done;
+      if !ok then t else normalize_empty t
+    end
+  end
+
+let up t =
+  if is_empty t then t
+  else begin
+    let t = copy t in
+    for i = 1 to t.dim - 1 do
+      t.m.((i * t.dim) + 0) <- inf
+    done;
+    t
+  end
+
+let down t =
+  if is_empty t then t
+  else begin
+    let t = copy t in
+    let d = t.dim and m = t.m in
+    for i = 1 to d - 1 do
+      m.(i) <- le_zero;
+      for j = 1 to d - 1 do
+        if m.((j * d) + i) < m.(i) then m.(i) <- m.((j * d) + i)
+      done
+    done;
+    t
+  end
+
+let reset t x v =
+  if is_empty t then t
+  else begin
+    assert (v >= 0);
+    let t = copy t in
+    let d = t.dim and m = t.m in
+    let le_v = Bound.to_int (Bound.le v) and le_neg_v = Bound.to_int (Bound.le (-v)) in
+    for j = 0 to d - 1 do
+      if j <> x then begin
+        m.((x * d) + j) <- Bound.to_int (Bound.add (Bound.of_int le_v) (get t 0 j));
+        m.((j * d) + x) <- Bound.to_int (Bound.add (get t j 0) (Bound.of_int le_neg_v))
+      end
+    done;
+    t
+  end
+
+let copy_clock t ~dst ~src =
+  if is_empty t || dst = src then t
+  else begin
+    let t' = copy t in
+    let d = t'.dim and m = t'.m in
+    for j = 0 to d - 1 do
+      if j <> dst then begin
+        m.((dst * d) + j) <- raw t src j;
+        m.((j * d) + dst) <- raw t j src
+      end
+    done;
+    m.((dst * d) + src) <- le_zero;
+    m.((src * d) + dst) <- le_zero;
+    t'
+  end
+
+let free t x =
+  if is_empty t then t
+  else begin
+    let t' = copy t in
+    let d = t'.dim and m = t'.m in
+    for j = 0 to d - 1 do
+      if j <> x then begin
+        m.((x * d) + j) <- inf;
+        m.((j * d) + x) <- raw t j 0
+      end
+    done;
+    t'
+  end
+
+let intersect t1 t2 =
+  assert (t1.dim = t2.dim);
+  if is_empty t1 then t1
+  else if is_empty t2 then t2
+  else begin
+    let t = copy t1 in
+    let changed = ref false in
+    for k = 0 to (t.dim * t.dim) - 1 do
+      if t2.m.(k) < t.m.(k) then begin
+        t.m.(k) <- t2.m.(k);
+        changed := true
+      end
+    done;
+    if !changed then close_inplace t else t
+  end
+
+let subset t1 t2 =
+  assert (t1.dim = t2.dim);
+  is_empty t1
+  ||
+  let ok = ref true in
+  for k = 0 to (t1.dim * t1.dim) - 1 do
+    if t1.m.(k) > t2.m.(k) then ok := false
+  done;
+  !ok
+
+let equal t1 t2 = t1.dim = t2.dim && (t1.m = t2.m || (is_empty t1 && is_empty t2))
+
+let relation t1 t2 =
+  match subset t1 t2, subset t2 t1 with
+  | true, true -> `Equal
+  | true, false -> `Subset
+  | false, true -> `Superset
+  | false, false -> `Incomparable
+
+let extrapolate t k =
+  if is_empty t then t
+  else begin
+    let t' = copy t in
+    let d = t'.dim and m = t'.m in
+    let bound_of i = if i = 0 then 0 else max 0 k.(i) in
+    let changed = ref false in
+    for i = 0 to d - 1 do
+      for j = 0 to d - 1 do
+        if i <> j then begin
+          let b = m.((i * d) + j) in
+          if b <> inf then begin
+            let c = Bound.constant (Bound.of_int b) in
+            if c > bound_of i then begin
+              m.((i * d) + j) <- inf;
+              changed := true
+            end
+            else if c < -bound_of j then begin
+              m.((i * d) + j) <- Bound.to_int (Bound.lt (-bound_of j));
+              changed := true
+            end
+          end
+        end
+      done
+    done;
+    if !changed then close_inplace t' else t'
+  end
+
+let satisfies t v =
+  (not (is_empty t))
+  &&
+  let d = t.dim in
+  let ok = ref true in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      if not (Bound.sat (get t i j) (v.(i) -. v.(j))) then ok := false
+    done
+  done;
+  !ok
+
+(* Sampling scales every constant by F = dim + 1 so that strict bounds
+   become weak integer bounds ([< m] turns into [<= F*m - 1]) on F-scaled
+   valuations. F exceeds the length of any simple cycle, so a non-empty
+   DBM stays non-empty after scaling. The scaled matrix is re-closed
+   (scaling does not preserve canonicity) and a greedy assignment in
+   clock order then always succeeds. *)
+let sample rng t =
+  if is_empty t then None
+  else begin
+    let d = t.dim in
+    (* Power of two > dim: large enough that no simple cycle of strict
+       bounds collapses, and exact as a binary-float denominator so the
+       returned valuation satisfies its constraints without rounding. *)
+    let factor =
+      let rec pow2 f = if f > d then f else pow2 (2 * f) in
+      pow2 2
+    in
+    let big = max_int / 4 in
+    let s = Array.make (d * d) big in
+    for i = 0 to d - 1 do
+      for j = 0 to d - 1 do
+        let b = get t i j in
+        if not (Bound.is_inf b) then begin
+          let c = factor * Bound.constant b in
+          s.((i * d) + j) <- (if Bound.is_strict b then c - 1 else c)
+        end
+      done
+    done;
+    (* Plain min-plus Floyd-Warshall on the scaled weights. *)
+    for k = 0 to d - 1 do
+      for i = 0 to d - 1 do
+        let ik = s.((i * d) + k) in
+        if ik < big then
+          for j = 0 to d - 1 do
+            let kj = s.((k * d) + j) in
+            if kj < big && ik + kj < s.((i * d) + j) then
+              s.((i * d) + j) <- ik + kj
+          done
+      done
+    done;
+    for i = 0 to d - 1 do
+      assert (s.((i * d) + i) >= 0)
+    done;
+    let v = Array.make d 0 in
+    for i = 1 to d - 1 do
+      let lo = ref 0 and hi = ref None in
+      for j = 0 to i - 1 do
+        let lower = s.((j * d) + i) in
+        if lower < big then lo := max !lo (v.(j) - lower);
+        let upper = s.((i * d) + j) in
+        if upper < big then begin
+          let u = v.(j) + upper in
+          hi := Some (match !hi with None -> u | Some h -> min h u)
+        end
+      done;
+      let value =
+        match !hi with
+        | Some h ->
+          assert (h >= !lo);
+          !lo + Random.State.int rng (h - !lo + 1)
+        | None -> !lo + Random.State.int rng (4 * factor)
+      in
+      v.(i) <- value
+    done;
+    Some (Array.map (fun x -> float_of_int x /. float_of_int factor) v)
+  end
+
+let hash t = Hashtbl.hash t.m
+
+let default_names d =
+  Array.init d (fun i -> if i = 0 then "0" else Printf.sprintf "x%d" i)
+
+let pp ?names ppf t =
+  if is_empty t then Format.pp_print_string ppf "false"
+  else begin
+    let d = t.dim in
+    let names = match names with Some n -> n | None -> default_names d in
+    let atoms = ref [] in
+    for i = d - 1 downto 0 do
+      for j = d - 1 downto 0 do
+        if i <> j then begin
+          let b = get t i j in
+          let trivial =
+            Bound.is_inf b
+            || (i = 0 && Bound.equal b Bound.le_zero)
+          in
+          if not trivial then begin
+            let lhs =
+              if j = 0 then names.(i)
+              else if i = 0 then "-" ^ names.(j)
+              else names.(i) ^ "-" ^ names.(j)
+            in
+            atoms := (lhs ^ Bound.to_string b) :: !atoms
+          end
+        end
+      done
+    done;
+    match !atoms with
+    | [] -> Format.pp_print_string ppf "true"
+    | atoms -> Format.pp_print_string ppf (String.concat " & " atoms)
+  end
+
+let to_string ?names t = Format.asprintf "%a" (pp ?names) t
+let to_array t = Array.map Bound.of_int t.m
+
+let of_array ~clocks arr =
+  let dim = clocks + 1 in
+  assert (Array.length arr = dim * dim);
+  close_inplace { dim; m = Array.map Bound.to_int arr }

@@ -1,0 +1,90 @@
+(** Difference Bound Matrices: the symbolic representation of clock zones.
+
+    A DBM over [n] clocks is an [(n+1)×(n+1)] matrix of {!Bound.t}; entry
+    [(i, j)] bounds the difference [x_i - x_j], with clock [0] the constant
+    reference clock (always 0). Every value of type {!t} exposed by this
+    interface is {e canonical} (closed under shortest paths) and emptiness
+    is normalized, so structural equality of canonical forms coincides
+    with semantic equality of zones.
+
+    All operations are functional: they return fresh DBMs and never mutate
+    their arguments. Algorithms follow Bengtsson & Yi, {e Timed Automata:
+    Semantics, Algorithms and Tools} (2004). *)
+
+type t
+
+(** Number of real clocks (the matrix dimension is [clocks t + 1]). *)
+val clocks : t -> int
+
+(** [zero ~clocks] is the zone where every clock equals 0. *)
+val zero : clocks:int -> t
+
+(** [universal ~clocks] is the zone of all non-negative valuations. *)
+val universal : clocks:int -> t
+
+(** [empty ~clocks] is the canonical empty zone. *)
+val empty : clocks:int -> t
+
+val is_empty : t -> bool
+
+(** [get z i j] is the bound on [x_i - x_j]. *)
+val get : t -> int -> int -> Bound.t
+
+(** [constrain z i j b] adds the constraint [x_i - x_j ≺ m]; the result is
+    canonical and possibly empty. O(dim²). *)
+val constrain : t -> int -> int -> Bound.t -> t
+
+(** [up z] is the future of [z]: upper bounds on individual clocks are
+    removed (time elapses). *)
+val up : t -> t
+
+(** [down z] is the past of [z]: lower bounds relax to 0. *)
+val down : t -> t
+
+(** [reset z x v] sets clock [x] to the non-negative integer [v]. *)
+val reset : t -> int -> int -> t
+
+(** [copy_clock z ~dst ~src] assigns clock [dst] the value of [src]. *)
+val copy_clock : t -> dst:int -> src:int -> t
+
+(** [free z x] forgets all constraints on clock [x]. *)
+val free : t -> int -> t
+
+(** [intersect z1 z2] is the conjunction of the two zones. *)
+val intersect : t -> t -> t
+
+(** [subset z1 z2] decides [z1 ⊆ z2] (valid because both are canonical). *)
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val relation : t -> t -> [ `Equal | `Subset | `Superset | `Incomparable ]
+
+(** [extrapolate z k] applies classic maximal-constant extrapolation
+    (Extra-M): [k.(i)] is the largest constant compared against clock [i]
+    in the model (entry 0 is ignored; negative entries are clamped to 0).
+    Guarantees a finite zone graph. *)
+val extrapolate : t -> int array -> t
+
+(** [satisfies z v] decides membership of the valuation [v] (indexed by
+    clock, [v.(0)] must be [0.]). *)
+val satisfies : t -> float array -> bool
+
+(** [sample rng z] draws a valuation inside [z], or [None] if empty.
+    Values are multiples of ½, so strict constraints are handled exactly. *)
+val sample : Random.State.t -> t -> float array option
+
+(** Structural hash, compatible with {!equal}. *)
+val hash : t -> int
+
+(** [pp ~names ppf z] prints the non-trivial constraints, e.g.
+    ["x<=5 & y-x<2"]. [names.(i)] names clock [i] ([names.(0)] unused). *)
+val pp : ?names:string array -> Format.formatter -> t -> unit
+
+val to_string : ?names:string array -> t -> string
+
+(** Raw bounds row-major (for tests and serialization). *)
+val to_array : t -> Bound.t array
+
+(** Rebuild a DBM from raw bounds; the input is closed and normalized. *)
+val of_array : clocks:int -> Bound.t array -> t

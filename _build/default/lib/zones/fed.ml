@@ -1,0 +1,99 @@
+type t = { n_clocks : int; members : Dbm.t list }
+
+(* Invariant: members are all non-empty DBMs over [n_clocks] clocks. *)
+
+let empty ~clocks = { n_clocks = clocks; members = [] }
+
+let of_dbm z =
+  let f = empty ~clocks:(Dbm.clocks z) in
+  if Dbm.is_empty z then f else { f with members = [ z ] }
+
+let is_empty f = f.members = []
+let clocks f = f.n_clocks
+let dbms f = f.members
+
+let add f z =
+  assert (Dbm.clocks z = f.n_clocks);
+  if Dbm.is_empty z then f else { f with members = z :: f.members }
+
+let union f1 f2 =
+  assert (f1.n_clocks = f2.n_clocks);
+  { f1 with members = f1.members @ f2.members }
+
+let inter_dbm f z =
+  let members =
+    List.filter_map
+      (fun m ->
+        let i = Dbm.intersect m z in
+        if Dbm.is_empty i then None else Some i)
+      f.members
+  in
+  { f with members }
+
+let inter f1 f2 =
+  assert (f1.n_clocks = f2.n_clocks);
+  let pieces =
+    List.concat_map (fun m -> (inter_dbm f1 m).members) f2.members
+  in
+  { f1 with members = pieces }
+
+(* z1 \ z2: walk the finite constraints of z2; at each, split off the part
+   of the remainder violating that constraint. The pieces are disjoint by
+   construction and their union is exactly z1 \ z2. *)
+let subtract_dbm z1 z2 =
+  let n = Dbm.clocks z1 in
+  assert (Dbm.clocks z2 = n);
+  if Dbm.is_empty z1 then empty ~clocks:n
+  else if Dbm.is_empty z2 then of_dbm z1
+  else begin
+    let dim = n + 1 in
+    let pieces = ref [] in
+    let remainder = ref z1 in
+    (try
+       for i = 0 to dim - 1 do
+         for j = 0 to dim - 1 do
+           if i <> j then begin
+             let b = Dbm.get z2 i j in
+             if not (Bound.is_inf b) then begin
+               (* Part of the remainder violating x_i - x_j ≺ m, i.e.
+                  satisfying x_j - x_i ≺' -m. *)
+               let outside = Dbm.constrain !remainder j i (Bound.negate b) in
+               if not (Dbm.is_empty outside) then pieces := outside :: !pieces;
+               remainder := Dbm.constrain !remainder i j b;
+               if Dbm.is_empty !remainder then raise Exit
+             end
+           end
+         done
+       done
+     with Exit -> ());
+    (* Whatever remains satisfies every constraint of z2, hence lies in z2
+       and is dropped. *)
+    { n_clocks = n; members = !pieces }
+  end
+
+let subtract f z =
+  assert (Dbm.clocks z = f.n_clocks);
+  let cut acc member = union acc (subtract_dbm member z) in
+  List.fold_left cut (empty ~clocks:f.n_clocks) f.members
+
+let diff f1 f2 =
+  List.fold_left subtract f1 f2.members
+
+let dbm_subset z f =
+  let remove remaining member =
+    List.concat_map (fun piece -> (subtract_dbm piece member).members) remaining
+  in
+  let leftovers = List.fold_left remove (of_dbm z).members f.members in
+  leftovers = []
+
+let mem f v = List.exists (fun z -> Dbm.satisfies z v) f.members
+let size f = List.length f.members
+
+let pp ?names ppf f =
+  match f.members with
+  | [] -> Format.pp_print_string ppf "false"
+  | members ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+      (fun ppf z -> Format.fprintf ppf "(%a)" (Dbm.pp ?names) z)
+      ppf members

@@ -1,0 +1,53 @@
+(** Federations: finite unions of DBMs over a common set of clocks.
+
+    Federations make the zone algebra closed under complement, which the
+    symbolic deadlock check of the UPPAAL layer needs (a state deadlocks
+    when its zone is {e not} covered by the union of time-predecessors of
+    enabled edges). Subtraction is exact and produces disjoint pieces. *)
+
+type t
+
+(** [of_dbm z] is the singleton federation [{z}] (empty if [z] is). *)
+val of_dbm : Dbm.t -> t
+
+(** [empty ~clocks] is the empty federation. *)
+val empty : clocks:int -> t
+
+val is_empty : t -> bool
+val clocks : t -> int
+
+(** The member zones; all non-empty and pairwise over the same clocks. *)
+val dbms : t -> Dbm.t list
+
+(** [add f z] is [f ∪ {z}]. *)
+val add : t -> Dbm.t -> t
+
+(** [union f1 f2]. *)
+val union : t -> t -> t
+
+(** [inter f1 f2] intersects member-wise (may square the member count). *)
+val inter : t -> t -> t
+
+(** [inter_dbm f z] restricts every member to zone [z]. *)
+val inter_dbm : t -> Dbm.t -> t
+
+(** [diff f1 f2] is the exact set difference. *)
+val diff : t -> t -> t
+
+(** [subtract_dbm z1 z2] is the set difference [z1 \ z2] as a federation of
+    pairwise-disjoint zones. *)
+val subtract_dbm : Dbm.t -> Dbm.t -> t
+
+(** [subtract f z] removes zone [z] from every member. *)
+val subtract : t -> Dbm.t -> t
+
+(** [dbm_subset z f] decides [z ⊆ ⋃ f] exactly. *)
+val dbm_subset : Dbm.t -> t -> bool
+
+(** [mem f v] decides membership of a valuation. *)
+val mem : t -> float array -> bool
+
+(** Total number of member zones. *)
+val size : t -> int
+
+val pp : ?names:string array -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_bip.ml: Alcotest Array Astring Bip Filename Hashtbl List Printf Random String Sys Unix

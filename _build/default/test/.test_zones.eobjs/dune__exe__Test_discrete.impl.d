@@ -1,0 +1,1 @@
+test/test_discrete.ml: Alcotest Array Discrete Games Hashtbl List Priced Printf QCheck QCheck_alcotest Random Ta

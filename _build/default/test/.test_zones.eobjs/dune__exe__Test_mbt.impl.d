@@ -1,0 +1,1 @@
+test/test_mbt.ml: Alcotest Astring List Mbt

@@ -1,0 +1,1 @@
+test/test_mdp.ml: Alcotest Array List Mdp Printf QCheck QCheck_alcotest Random

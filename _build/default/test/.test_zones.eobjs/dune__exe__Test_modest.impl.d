@@ -1,0 +1,1 @@
+test/test_modest.ml: Alcotest Array Astring List Modest Smc String Ta

@@ -1,0 +1,1 @@
+test/test_smc.ml: Alcotest Array List Printf QCheck QCheck_alcotest Random Smc Ta

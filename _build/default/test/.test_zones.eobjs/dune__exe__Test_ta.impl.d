@@ -1,0 +1,1 @@
+test/test_ta.ml: Alcotest Array Astring List Printf QCheck QCheck_alcotest Random String Ta Zones

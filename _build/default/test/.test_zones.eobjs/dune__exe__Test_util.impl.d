@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List Printf QCheck QCheck_alcotest Quant_util Random String

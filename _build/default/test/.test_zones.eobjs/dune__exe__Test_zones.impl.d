@@ -1,0 +1,1 @@
+test/test_zones.ml: Alcotest Array Astring List Printf QCheck QCheck_alcotest Random String Zones

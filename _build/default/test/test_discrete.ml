@@ -1,0 +1,433 @@
+(* Tests for the digital-clocks substrate, priced reachability (CORA) and
+   timed games (TIGA), including cross-validation of the digital engine
+   against the zone engine on the train-gate model. *)
+
+module Model = Ta.Model
+module Expr = Ta.Expr
+module Store = Ta.Store
+module Checker = Ta.Checker
+module Zone_graph = Ta.Zone_graph
+module Train_gate = Ta.Train_gate
+module Digital = Discrete.Digital
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Digital semantics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_rejects_strict () =
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let p = Model.automaton b "P" in
+  let l0 = Model.location p "A" in
+  let l1 = Model.location p "B" in
+  Model.edge p ~src:l0 ~dst:l1 ~clock_guard:[ Model.clock_gt x 1 ] ();
+  let net = Model.build b in
+  check "strict model detected" false (Digital.is_closed net);
+  try
+    ignore (Digital.initial net);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let discrete_key_set keys =
+  let tbl = Hashtbl.create 256 in
+  List.iter (fun k -> Hashtbl.replace tbl k ()) keys;
+  tbl
+
+let test_cross_validation () =
+  (* The reachable (locations, store) sets of the zone engine and the
+     digital engine must coincide on closed diagonal-free models. *)
+  let net = Train_gate.make ~n_trains:2 in
+  let zone_keys =
+    discrete_key_set
+      (List.map Zone_graph.discrete_key (Checker.reachable_states net))
+  in
+  let digital_keys = Digital.discrete_parts (Digital.explore net) in
+  let subset a b missing =
+    Hashtbl.iter
+      (fun k () -> if not (Hashtbl.mem b k) then incr missing)
+      a
+  in
+  let missing_in_digital = ref 0 and missing_in_zone = ref 0 in
+  subset zone_keys digital_keys missing_in_digital;
+  subset digital_keys zone_keys missing_in_zone;
+  check_int "zone keys all in digital" 0 !missing_in_digital;
+  check_int "digital keys all in zone" 0 !missing_in_zone;
+  check "nontrivial state space" true (Hashtbl.length zone_keys > 20)
+
+let test_digital_delay_saturation () =
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let p = Model.automaton b "P" in
+  let l0 = Model.location p "A" in
+  let l1 = Model.location p "B" in
+  Model.edge p ~src:l0 ~dst:l1 ~clock_guard:[ Model.clock_ge x 3 ] ();
+  let net = Model.build b in
+  let g = Digital.explore net in
+  (* Clock saturates at max_const + 1 = 4, so states are finite. *)
+  check "finite graph" true (Array.length g.Digital.states <= 10);
+  let has_b =
+    Array.exists (fun st -> st.Digital.dlocs.(0) = l1) g.Digital.states
+  in
+  check "B reached" true has_b
+
+(* Random closed diagonal-free networks: the zone engine and the digital
+   engine must agree on the reachable discrete parts. *)
+let random_closed_net rng =
+  let n_autos = 1 + Random.State.int rng 2 in
+  let b = Model.builder () in
+  let chan = if n_autos = 2 then Some (Model.channel b "c") else None in
+  for a = 0 to n_autos - 1 do
+    let x = Model.fresh_clock b (Printf.sprintf "x%d" a) in
+    let pa = Model.automaton b (Printf.sprintf "P%d" a) in
+    let n_locs = 2 + Random.State.int rng 2 in
+    let locs =
+      Array.init n_locs (fun l ->
+          let invariant =
+            if Random.State.int rng 3 = 0 then
+              [ Model.clock_le x (1 + Random.State.int rng 3) ]
+            else []
+          in
+          Model.location pa (Printf.sprintf "l%d" l) ~invariant)
+    in
+    let n_edges = 1 + Random.State.int rng 4 in
+    for _ = 1 to n_edges do
+      let src = locs.(Random.State.int rng n_locs) in
+      let dst = locs.(Random.State.int rng n_locs) in
+      let clock_guard =
+        List.concat
+          [
+            (if Random.State.bool rng then
+               [ Model.clock_ge x (Random.State.int rng 4) ]
+             else []);
+            (if Random.State.int rng 3 = 0 then
+               [ Model.clock_le x (1 + Random.State.int rng 3) ]
+             else []);
+          ]
+      in
+      let updates =
+        if Random.State.bool rng then [ Model.Reset (x, 0) ] else []
+      in
+      let sync =
+        match chan with
+        | Some c when Random.State.int rng 3 = 0 ->
+          if a = 0 then Model.Emit c else Model.Receive c
+        | Some _ | None -> Model.Tau
+      in
+      Model.edge pa ~src ~dst ~clock_guard ~updates ~sync ()
+    done
+  done;
+  Model.build b
+
+let prop_random_cross_validation =
+  QCheck.Test.make ~name:"random TA: zone and digital engines agree"
+    ~count:150
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun seed -> random_closed_net (Random.State.make [| seed |]))
+           (int_bound 1_000_000))
+       ~print:(fun net ->
+         Printf.sprintf "net with %d automata" (Array.length net.Model.automata)))
+    (fun net ->
+      let zone_keys =
+        discrete_key_set
+          (List.map Zone_graph.discrete_key (Checker.reachable_states net))
+      in
+      let digital_keys = Digital.discrete_parts (Digital.explore net) in
+      Hashtbl.length zone_keys = Hashtbl.length digital_keys
+      && Hashtbl.fold
+           (fun k () acc -> acc && Hashtbl.mem digital_keys k)
+           zone_keys true)
+
+(* ------------------------------------------------------------------ *)
+(* Priced (CORA)                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A (rate r) --[x>=2, cost k]--> B. Min cost = 2r + k. *)
+let priced_line ~rate ~edge_cost =
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let p = Model.automaton b "P" in
+  let l0 = Model.location p "A" in
+  let l1 = Model.location p "B" in
+  Model.edge p ~src:l0 ~dst:l1 ~clock_guard:[ Model.clock_ge x 2 ] ();
+  let net = Model.build b in
+  let cm =
+    {
+      Priced.loc_rate = (fun _ l -> if l = l0 then rate else 0);
+      Priced.move_cost = (fun _ -> edge_cost);
+    }
+  in
+  let target (st : Digital.dstate) = st.Digital.dlocs.(0) = l1 in
+  (net, cm, target)
+
+let test_min_cost_line () =
+  let net, cm, target = priced_line ~rate:3 ~edge_cost:5 in
+  match Priced.min_cost_reach net cm ~target with
+  | Some o ->
+    check_int "2*3+5" 11 o.Priced.cost;
+    check_int "steps: two delays + edge" 3 (List.length o.Priced.steps)
+  | None -> Alcotest.fail "target unreachable"
+
+let test_min_cost_chooses_cheaper () =
+  (* Two routes to B: wait 2 at rate 3 (cost 6), or an immediate edge of
+     cost 100: Dijkstra must take the wait. *)
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let p = Model.automaton b "P" in
+  let l0 = Model.location p "A" in
+  let l1 = Model.location p "B" in
+  Model.edge p ~src:l0 ~dst:l1 ~clock_guard:[ Model.clock_ge x 2 ] ();
+  Model.edge p ~src:l0 ~dst:l1 ~guard:(Expr.Int 1) ();
+  let net = Model.build b in
+  let cm =
+    {
+      Priced.loc_rate = (fun _ l -> if l = l0 then 3 else 0);
+      Priced.move_cost =
+        (fun mv ->
+          (* the expensive edge is the one with a data guard *)
+          let (_, e) = List.hd mv.Zone_graph.participants in
+          if e.Model.data_guard <> None then 100 else 0);
+    }
+  in
+  let target (st : Digital.dstate) = st.Digital.dlocs.(0) = l1 in
+  match Priced.min_cost_reach net cm ~target with
+  | Some o -> check_int "cheap route" 6 o.Priced.cost
+  | None -> Alcotest.fail "unreachable"
+
+let test_min_time_train_gate () =
+  let net = Train_gate.make ~n_trains:2 in
+  let cross = Model.loc_index net 0 "Cross" in
+  let target (st : Digital.dstate) = st.Digital.dlocs.(0) = cross in
+  match Priced.min_time_reach net ~target with
+  | Some o -> check_int "fastest crossing at x=10" 10 o.Priced.cost
+  | None -> Alcotest.fail "unreachable"
+
+(* WCET-style: basic blocks with bounded duration; worst case = sum of
+   upper bounds along the longest branch. *)
+let test_max_cost_wcet () =
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let p = Model.automaton b "P" in
+  let entry = Model.location p "entry" ~invariant:[ Model.clock_le x 2 ] in
+  let fast = Model.location p "fast" ~invariant:[ Model.clock_le x 3 ] in
+  let slow = Model.location p "slow" ~invariant:[ Model.clock_le x 7 ] in
+  let exit_l = Model.location p "exit" in
+  Model.edge p ~src:entry ~dst:fast ~clock_guard:[ Model.clock_ge x 1 ]
+    ~updates:[ Model.Reset (x, 0) ] ();
+  Model.edge p ~src:entry ~dst:slow ~clock_guard:[ Model.clock_ge x 1 ]
+    ~updates:[ Model.Reset (x, 0) ] ();
+  Model.edge p ~src:fast ~dst:exit_l ~clock_guard:[ Model.clock_ge x 1 ] ();
+  Model.edge p ~src:slow ~dst:exit_l ~clock_guard:[ Model.clock_ge x 2 ] ();
+  let net = Model.build b in
+  let cm = { Priced.free with Priced.loc_rate = (fun a _ -> if a = 0 then 1 else 0) } in
+  let target (st : Digital.dstate) = st.Digital.dlocs.(0) = exit_l in
+  (match Priced.max_cost_reach net cm ~target with
+   | `Cost (c, _) -> check_int "WCET = 2 + 7" 9 c
+   | `Unbounded -> Alcotest.fail "unexpected unbounded"
+   | `Unreachable -> Alcotest.fail "unexpected unreachable");
+  (* Min time = 1 + 1 (entry then fast branch). *)
+  match Priced.min_time_reach net ~target with
+  | Some o -> check_int "BCET = 2" 2 o.Priced.cost
+  | None -> Alcotest.fail "unreachable"
+
+let test_max_cost_unbounded () =
+  (* A positive-rate loop that can defer the target forever. *)
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let p = Model.automaton b "P" in
+  let l0 = Model.location p "A" in
+  let l1 = Model.location p "B" in
+  Model.edge p ~src:l0 ~dst:l0 ~clock_guard:[ Model.clock_ge x 1 ]
+    ~updates:[ Model.Reset (x, 0) ] ();
+  Model.edge p ~src:l0 ~dst:l1 ();
+  let net = Model.build b in
+  let cm = { Priced.free with Priced.loc_rate = (fun a _ -> if a = 0 then 1 else 0) } in
+  let target (st : Digital.dstate) = st.Digital.dlocs.(0) = l1 in
+  match Priced.max_cost_reach net cm ~target with
+  | `Unbounded -> ()
+  | `Cost _ | `Unreachable -> Alcotest.fail "expected unbounded WCET"
+
+
+(* ------------------------------------------------------------------ *)
+(* Job-shop scheduling (CORA's optimization application)               *)
+(* ------------------------------------------------------------------ *)
+
+module Jobshop = Priced.Jobshop
+
+let test_jobshop_single_job () =
+  (* One job, durations sum. *)
+  let inst = { Jobshop.machines = 2; jobs = [ [ (0, 2); (1, 3) ] ] } in
+  match Jobshop.optimal inst with
+  | Some s -> check_int "sum of durations" 5 s.Jobshop.makespan
+  | None -> Alcotest.fail "infeasible"
+
+let test_jobshop_parallel () =
+  (* Two independent jobs on different machines run in parallel. *)
+  let inst = { Jobshop.machines = 2; jobs = [ [ (0, 4) ]; [ (1, 3) ] ] } in
+  match Jobshop.optimal inst with
+  | Some s -> check_int "max of durations" 4 s.Jobshop.makespan
+  | None -> Alcotest.fail "infeasible"
+
+let test_jobshop_contention () =
+  (* Known-optimal instance: machine 1's total load of 5 is the bound and
+     a 5-makespan schedule exists. *)
+  let inst =
+    { Jobshop.machines = 2; jobs = [ [ (0, 2); (1, 2) ]; [ (1, 3); (0, 1) ] ] }
+  in
+  check_int "lower bound" 5 (Jobshop.makespan_lower_bound inst);
+  match Jobshop.optimal inst with
+  | Some s ->
+    check_int "optimal makespan" 5 s.Jobshop.makespan;
+    check "schedule steps recorded" true (List.length s.Jobshop.steps > 0)
+  | None -> Alcotest.fail "infeasible"
+
+let test_jobshop_exclusive () =
+  (* Same machine serialises: two 3-unit tasks on one machine take 6. *)
+  let inst = { Jobshop.machines = 1; jobs = [ [ (0, 3) ]; [ (0, 3) ] ] } in
+  match Jobshop.optimal inst with
+  | Some s -> check_int "serialised" 6 s.Jobshop.makespan
+  | None -> Alcotest.fail "infeasible"
+
+let test_jobshop_respects_bound () =
+  (* The optimum never undercuts the admissible lower bound. *)
+  List.iter
+    (fun inst ->
+      match Jobshop.optimal inst with
+      | Some s ->
+        check "optimum >= lower bound" true
+          (s.Jobshop.makespan >= Jobshop.makespan_lower_bound inst)
+      | None -> Alcotest.fail "infeasible")
+    [
+      { Jobshop.machines = 2; jobs = [ [ (0, 1); (1, 2) ]; [ (1, 1); (0, 2) ] ] };
+      { Jobshop.machines = 3; jobs = [ [ (0, 2); (2, 1) ]; [ (1, 2) ]; [ (2, 2); (0, 1) ] ] };
+    ]
+
+let test_jobshop_validation () =
+  (try
+     ignore (Jobshop.optimal { Jobshop.machines = 1; jobs = [ [ (5, 1) ] ] });
+     Alcotest.fail "expected bad machine"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Jobshop.optimal { Jobshop.machines = 1; jobs = [ [ (0, 0) ] ] });
+    Alcotest.fail "expected bad duration"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Games (TIGA)                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Tiny game: env owns an edge to Bad; controller cannot win safety. If
+   the same edge is controllable instead, the controller just never takes
+   it and wins. *)
+let tiny_game ~env_owns_bad =
+  let b = Model.builder () in
+  let p = Model.automaton b "P" in
+  let good = Model.location p "Good" in
+  let bad = Model.location p "Bad" in
+  Model.edge p ~src:good ~dst:bad ~ctrl:(not env_owns_bad) ();
+  let net = Model.build b in
+  let safe (st : Digital.dstate) = st.Digital.dlocs.(0) = good in
+  (net, safe)
+
+let test_tiny_safety_game () =
+  let net, safe = tiny_game ~env_owns_bad:true in
+  let s = Games.solve net (Games.Safety safe) in
+  check "env-owned bad edge loses" false s.Games.initial_winning;
+  let net2, safe2 = tiny_game ~env_owns_bad:false in
+  let s2 = Games.solve net2 (Games.Safety safe2) in
+  check "ctrl-owned bad edge wins" true s2.Games.initial_winning;
+  check "closed loop avoids bad" true (Games.closed_loop_safe s2 ~safe:safe2)
+
+let test_tiny_reach_game () =
+  (* Controller owns the edge to the target: wins reachability. *)
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let p = Model.automaton b "P" in
+  let a = Model.location p "A" ~invariant:[ Model.clock_le x 3 ] in
+  let g = Model.location p "G" in
+  Model.edge p ~src:a ~dst:g ~clock_guard:[ Model.clock_ge x 1 ] ();
+  let net = Model.build b in
+  let target (st : Digital.dstate) = st.Digital.dlocs.(0) = g in
+  let s = Games.solve net (Games.Reach target) in
+  check "reach winnable" true s.Games.initial_winning;
+  check "closed loop reaches" true (Games.closed_loop_reaches s ~target)
+
+let test_tiny_reach_env_blocks () =
+  (* Only the environment can move to the target: conservative semantics
+     says the controller cannot force it (env may idle forever: location
+     has no invariant). *)
+  let b = Model.builder () in
+  let p = Model.automaton b "P" in
+  let a = Model.location p "A" in
+  let g = Model.location p "G" in
+  Model.edge p ~src:a ~dst:g ~ctrl:false ();
+  let net = Model.build b in
+  let target (st : Digital.dstate) = st.Digital.dlocs.(0) = g in
+  let s = Games.solve net (Games.Reach target) in
+  check "env-owned target not forceable" false s.Games.initial_winning
+
+let test_train_game_safety () =
+  let net = Games.Train_game.make ~n_trains:2 () in
+  let safe = Games.Train_game.safe net in
+  (* Without control, the raw game graph contains unsafe states. *)
+  let g = Digital.explore net in
+  let unsafe_reachable =
+    Array.exists (fun st -> not (safe st)) g.Digital.states
+  in
+  check "uncontrolled game can collide" true unsafe_reachable;
+  (* TIGA synthesis: the controller wins and the closed loop is safe. *)
+  let s = Games.solve net (Games.Safety safe) in
+  check "synthesis succeeds" true s.Games.initial_winning;
+  check "closed loop safe" true (Games.closed_loop_safe s ~safe);
+  check "winning region nontrivial" true
+    (Games.winning_count s > 0
+     && Games.winning_count s < Array.length s.Games.graph.Digital.states)
+
+let test_train_game_reach () =
+  let net = Games.Train_game.make ~n_trains:2 () in
+  let target = Games.Train_game.all_crossed_once net in
+  let s = Games.solve net (Games.Reach target) in
+  check "all-cross objective winnable" true s.Games.initial_winning;
+  check "closed loop reaches" true (Games.closed_loop_reaches s ~target)
+
+let () =
+  Alcotest.run "discrete-priced-games"
+    [
+      ( "digital",
+        [
+          Alcotest.test_case "rejects strict" `Quick test_rejects_strict;
+          Alcotest.test_case "cross-validation vs zones" `Slow
+            test_cross_validation;
+          Alcotest.test_case "saturation" `Quick test_digital_delay_saturation;
+          QCheck_alcotest.to_alcotest prop_random_cross_validation;
+        ] );
+      ( "priced",
+        [
+          Alcotest.test_case "min cost line" `Quick test_min_cost_line;
+          Alcotest.test_case "chooses cheaper" `Quick test_min_cost_chooses_cheaper;
+          Alcotest.test_case "min time train-gate" `Slow test_min_time_train_gate;
+          Alcotest.test_case "wcet" `Quick test_max_cost_wcet;
+          Alcotest.test_case "wcet unbounded" `Quick test_max_cost_unbounded;
+        ] );
+      ( "jobshop",
+        [
+          Alcotest.test_case "single job" `Quick test_jobshop_single_job;
+          Alcotest.test_case "parallel" `Quick test_jobshop_parallel;
+          Alcotest.test_case "contention" `Quick test_jobshop_contention;
+          Alcotest.test_case "exclusive" `Quick test_jobshop_exclusive;
+          Alcotest.test_case "bound respected" `Quick test_jobshop_respects_bound;
+          Alcotest.test_case "validation" `Quick test_jobshop_validation;
+        ] );
+      ( "games",
+        [
+          Alcotest.test_case "tiny safety" `Quick test_tiny_safety_game;
+          Alcotest.test_case "tiny reach" `Quick test_tiny_reach_game;
+          Alcotest.test_case "env blocks reach" `Quick test_tiny_reach_env_blocks;
+          Alcotest.test_case "train game safety" `Slow test_train_game_safety;
+          Alcotest.test_case "train game reach" `Slow test_train_game_reach;
+        ] );
+    ]

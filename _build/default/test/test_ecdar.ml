@@ -1,0 +1,149 @@
+(* Tests for the ECDAR layer: timed I/O refinement checking and
+   consistency. *)
+
+module Model = Ta.Model
+
+let check = Alcotest.(check bool)
+
+(* A request/response server answering within [lo, hi], closed with an
+   environment that may always send requests. When [accept_req] is false
+   the server never accepts requests (for input contravariance tests). *)
+let server ?(accept_req = true) ~lo ~hi () =
+  let b = Model.builder () in
+  let y = Model.fresh_clock b "y" in
+  let req = Model.channel b "req" in
+  let resp = Model.channel b "resp" in
+  let s = Model.automaton b "Server" in
+  let idle = Model.location s "Idle" in
+  let busy = Model.location s "Busy" ~invariant:[ Model.clock_le y hi ] in
+  if accept_req then
+    Model.edge s ~src:idle ~dst:busy ~sync:(Model.Receive req)
+      ~updates:[ Model.Reset (y, 0) ] ();
+  Model.edge s ~src:busy ~dst:idle
+    ~clock_guard:[ Model.clock_ge y lo ]
+    ~sync:(Model.Emit resp) ();
+  let env = Model.automaton b "Env" in
+  let e0 = Model.location env "E" in
+  Model.edge env ~src:e0 ~dst:e0 ~sync:(Model.Emit req) ();
+  Model.edge env ~src:e0 ~dst:e0 ~sync:(Model.Receive resp) ();
+  Ecdar.make (Model.build b) ~inputs:[ "req" ] ~outputs:[ "resp" ]
+
+let test_refines_tighter () =
+  let tight = server ~lo:2 ~hi:4 () in
+  let loose = server ~lo:1 ~hi:5 () in
+  let r = Ecdar.refines ~impl:tight ~spec:loose in
+  check "[2,4] refines [1,5]" true r.Ecdar.refines;
+  let r' = Ecdar.refines ~impl:loose ~spec:tight in
+  check "[1,5] does not refine [2,4]" false r'.Ecdar.refines;
+  check "witness produced" true (r'.Ecdar.witness <> None)
+
+let test_refines_reflexive () =
+  let s = server ~lo:2 ~hi:4 () in
+  check "reflexive" true (Ecdar.refines ~impl:s ~spec:s).Ecdar.refines
+
+let test_input_contravariance () =
+  let spec = server ~lo:2 ~hi:4 () in
+  let deaf = server ~accept_req:false ~lo:2 ~hi:4 () in
+  let r = Ecdar.refines ~impl:deaf ~spec in
+  check "refusing a spec input breaks refinement" false r.Ecdar.refines;
+  (* The other way: the spec of the deaf server admits fewer inputs, so a
+     responsive implementation may refine it. *)
+  let r' = Ecdar.refines ~impl:spec ~spec:deaf in
+  check "responsive refines deaf" true r'.Ecdar.refines
+
+let test_alphabet_mismatch () =
+  let s = server ~lo:2 ~hi:4 () in
+  let other =
+    { s with Ecdar.inputs = [ "request" ] }
+  in
+  try
+    ignore (Ecdar.refines ~impl:s ~spec:other);
+    Alcotest.fail "expected alphabet error"
+  with Invalid_argument _ -> ()
+
+let test_consistency () =
+  check "well-formed server consistent" true
+    (Ecdar.consistent (server ~lo:2 ~hi:4 ()));
+  (* Invariant forces y <= 4 but the response needs y >= 5: timelock. *)
+  check "contradictory bounds inconsistent" false
+    (Ecdar.consistent (server ~lo:5 ~hi:4 ()))
+
+
+(* An open client half: emits req, waits for resp. *)
+let client ~name () =
+  let b = Model.builder () in
+  let z = Model.fresh_clock b "z" in
+  let req = Model.channel b "req" in
+  let resp = Model.channel b "resp" in
+  let c = Model.automaton b name in
+  let idle = Model.location c "CIdle" ~invariant:[ Model.clock_le z 6 ] in
+  let wait = Model.location c "CWait" ~invariant:[ Model.clock_le z 6 ] in
+  Model.edge c ~src:idle ~dst:wait
+    ~clock_guard:[ Model.clock_ge z 1 ]
+    ~sync:(Model.Emit req)
+    ~updates:[ Model.Reset (z, 0) ] ();
+  Model.edge c ~src:wait ~dst:idle ~sync:(Model.Receive resp)
+    ~updates:[ Model.Reset (z, 0) ] ();
+  Ecdar.make (Model.build b) ~inputs:[ "resp" ] ~outputs:[ "req" ]
+
+(* An open server half (no environment component). *)
+let server_half ~lo ~hi () =
+  let b = Model.builder () in
+  let y = Model.fresh_clock b "y" in
+  let req = Model.channel b "req" in
+  let resp = Model.channel b "resp" in
+  let s = Model.automaton b "Server" in
+  let idle = Model.location s "Idle" in
+  let busy = Model.location s "Busy" ~invariant:[ Model.clock_le y hi ] in
+  Model.edge s ~src:idle ~dst:busy ~sync:(Model.Receive req)
+    ~updates:[ Model.Reset (y, 0) ] ();
+  Model.edge s ~src:busy ~dst:idle
+    ~clock_guard:[ Model.clock_ge y lo ]
+    ~sync:(Model.Emit resp) ();
+  Ecdar.make (Model.build b) ~inputs:[ "req" ] ~outputs:[ "resp" ]
+
+let test_compose () =
+  let composite =
+    Ecdar.compose (client ~name:"Client" ()) (server_half ~lo:2 ~hi:4 ())
+  in
+  check "composite outputs" true
+    (List.sort compare composite.Ecdar.outputs = [ "req"; "resp" ]);
+  check "no inputs left" true (composite.Ecdar.inputs = []);
+  check "composite consistent" true (Ecdar.consistent composite);
+  check "composite refines itself" true
+    (Ecdar.refines ~impl:composite ~spec:composite).Ecdar.refines
+
+let test_compose_rejects_shared_outputs () =
+  let a = server ~lo:2 ~hi:4 () in
+  try
+    ignore (Ecdar.compose a a);
+    Alcotest.fail "expected shared-output error"
+  with Invalid_argument _ -> ()
+
+let test_conjunction () =
+  let tight = server ~lo:2 ~hi:4 () in
+  let loose = server ~lo:1 ~hi:5 () in
+  let mid = server ~lo:2 ~hi:5 () in
+  check "tight refines both" true
+    (Ecdar.refines_conjunction ~impl:tight ~specs:[ loose; mid ]);
+  check "mid fails the conjunction with tight" false
+    (Ecdar.refines_conjunction ~impl:mid ~specs:[ loose; tight ])
+
+let () =
+  Alcotest.run "ecdar"
+    [
+      ( "refinement",
+        [
+          Alcotest.test_case "tighter refines looser" `Quick test_refines_tighter;
+          Alcotest.test_case "reflexive" `Quick test_refines_reflexive;
+          Alcotest.test_case "input contravariance" `Quick test_input_contravariance;
+          Alcotest.test_case "alphabet mismatch" `Quick test_alphabet_mismatch;
+        ] );
+      ("consistency", [ Alcotest.test_case "timelock" `Quick test_consistency ]);
+      ( "composition",
+        [
+          Alcotest.test_case "structural" `Quick test_compose;
+          Alcotest.test_case "shared outputs" `Quick test_compose_rejects_shared_outputs;
+          Alcotest.test_case "conjunction" `Quick test_conjunction;
+        ] );
+    ]

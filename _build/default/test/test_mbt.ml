@@ -1,0 +1,235 @@
+(* Tests for the model-based-testing layer (Section V): suspension
+   semantics, exact ioco checking, soundness of generated test suites,
+   mutant detection, and the TRON-style online timed tester. *)
+
+module Lts = Mbt.Lts
+module Ioco = Mbt.Ioco
+module Testgen = Mbt.Testgen
+module Rtioco = Mbt.Rtioco
+module Demo = Mbt.Demo
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Suspension semantics                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_closure_and_out () =
+  let spec = Demo.coffee_spec in
+  let s0 = Lts.initial_set spec in
+  check "initial quiescent" true (List.mem Lts.Delta (Lts.out_set spec s0));
+  let paid = Lts.after_input spec s0 "coin" in
+  let out = Lts.out_set spec paid in
+  check "coffee offered" true (List.mem (Lts.Out "coffee") out);
+  check "tea offered" true (List.mem (Lts.Out "tea") out);
+  check "no quiescence after coin" false (List.mem Lts.Delta out)
+
+let test_tau_closure () =
+  let lazy_impl = Demo.coffee_impl_lazy in
+  let paid = Lts.after_input lazy_impl (Lts.initial_set lazy_impl) "coin" in
+  (* The tau to the silent state is inside the closure. *)
+  check_int "two states in closure" 2 (List.length paid);
+  check "delta possible" true (List.mem Lts.Delta (Lts.out_set lazy_impl paid))
+
+let test_input_enabled () =
+  check "spec input-enabled" true (Lts.input_enabled Demo.coffee_spec);
+  check "good impl input-enabled" true (Lts.input_enabled Demo.coffee_impl_good);
+  (* An LTS missing an input somewhere is flagged. *)
+  let partial =
+    Lts.make ~n_states:2 ~start:0 [ (0, Lts.Input "a", 1) ]
+  in
+  check "partial not input-enabled" false (Lts.input_enabled partial)
+
+
+let test_lts_dot () =
+  let dot = Lts.to_dot Demo.coffee_spec in
+  check "digraph" true (Astring.String.is_infix ~affix:"digraph lts" dot);
+  check "labels" true
+    (Astring.String.is_infix ~affix:"coin?" dot
+     && Astring.String.is_infix ~affix:"coffee!" dot)
+
+(* ------------------------------------------------------------------ *)
+(* ioco                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ioco_coffee () =
+  check "good ioco spec" true
+    (Ioco.conforms ~impl:Demo.coffee_impl_good ~spec:Demo.coffee_spec);
+  check "wrong drink not ioco" false
+    (Ioco.conforms ~impl:Demo.coffee_impl_wrong_drink ~spec:Demo.coffee_spec);
+  check "lazy not ioco" false
+    (Ioco.conforms ~impl:Demo.coffee_impl_lazy ~spec:Demo.coffee_spec);
+  (* Reduction is allowed, the converse is not: the spec does not conform
+     to the deterministic implementation. *)
+  check "spec not ioco impl" false
+    (Ioco.conforms ~impl:Demo.coffee_spec ~spec:Demo.coffee_impl_good)
+
+let test_ioco_counterexample () =
+  match Ioco.check ~impl:Demo.coffee_impl_wrong_drink ~spec:Demo.coffee_spec with
+  | Ok _ -> Alcotest.fail "expected counterexample"
+  | Error ce ->
+    check "bad observation is milk" true (ce.Ioco.bad_obs = Lts.Out "milk");
+    check "trace passes through coin" true (List.mem "coin?" ce.Ioco.trace)
+
+let test_ioco_bus () =
+  check "good bus" true (Ioco.conforms ~impl:Demo.bus_impl_good ~spec:Demo.bus_spec);
+  check "lossy bus not ioco" false
+    (Ioco.conforms ~impl:Demo.bus_impl_lossy ~spec:Demo.bus_spec);
+  check "chatty bus not ioco" false
+    (Ioco.conforms ~impl:Demo.bus_impl_chatty ~spec:Demo.bus_spec)
+
+let test_ioco_reflexive () =
+  check "spec ioco itself" true
+    (Ioco.conforms ~impl:Demo.coffee_spec ~spec:Demo.coffee_spec);
+  check "bus ioco itself" true (Ioco.conforms ~impl:Demo.bus_spec ~spec:Demo.bus_spec)
+
+(* ------------------------------------------------------------------ *)
+(* Test generation and execution                                       *)
+(* ------------------------------------------------------------------ *)
+
+let suite spec = Testgen.generate_suite spec ~seed:5 ~count:60 ~depth:8
+
+let test_generation_shape () =
+  let tests = suite Demo.coffee_spec in
+  check_int "sixty tests" 60 (List.length tests);
+  check "tests are nontrivial" true
+    (List.exists (fun t -> Testgen.size t > 3) tests)
+
+let test_soundness () =
+  (* Sound: a conforming implementation never fails a generated test,
+     whatever its internal choices. *)
+  let tests = suite Demo.coffee_spec in
+  let iut = Testgen.lts_iut Demo.coffee_impl_good ~seed:3 in
+  let passes, fails = Testgen.run_suite tests iut ~repetitions:10 in
+  check_int "no failures on conforming impl" 0 fails;
+  check_int "all pass" 60 passes;
+  (* The spec, as its own (nondeterministic) implementation, passes too. *)
+  let self = Testgen.lts_iut Demo.coffee_spec ~seed:4 in
+  let _, fails_self = Testgen.run_suite tests self ~repetitions:10 in
+  check_int "spec-as-impl never fails" 0 fails_self
+
+let test_mutant_detection () =
+  let tests = suite Demo.coffee_spec in
+  let try_mutant impl =
+    let iut = Testgen.lts_iut impl ~seed:9 in
+    let _, fails = Testgen.run_suite tests iut ~repetitions:20 in
+    fails > 0
+  in
+  check "wrong drink detected" true (try_mutant Demo.coffee_impl_wrong_drink);
+  check "lazy impl detected" true (try_mutant Demo.coffee_impl_lazy)
+
+let test_bus_mutants () =
+  let tests = Testgen.generate_suite Demo.bus_spec ~seed:17 ~count:80 ~depth:10 in
+  let run impl seed =
+    let iut = Testgen.lts_iut impl ~seed in
+    snd (Testgen.run_suite tests iut ~repetitions:20)
+  in
+  check_int "good bus passes" 0 (run Demo.bus_impl_good 1);
+  check "lossy detected" true (run Demo.bus_impl_lossy 2 > 0);
+  check "chatty detected" true (run Demo.bus_impl_chatty 3 > 0)
+
+
+let test_generate_all () =
+  let tests = Testgen.generate_all Demo.coffee_spec ~depth:5 in
+  check "systematic suite nonempty" true (List.length tests > 10);
+  (* Soundness of the exhaustive suite too. *)
+  let iut = Testgen.lts_iut Demo.coffee_impl_good ~seed:21 in
+  let _, fails = Testgen.run_suite tests iut ~repetitions:5 in
+  check_int "exhaustive suite sound" 0 fails;
+  (* And it detects both mutants. *)
+  let detects impl seed =
+    let iut = Testgen.lts_iut impl ~seed in
+    snd (Testgen.run_suite tests iut ~repetitions:20) > 0
+  in
+  check "detects wrong drink" true (detects Demo.coffee_impl_wrong_drink 22);
+  check "detects lazy" true (detects Demo.coffee_impl_lazy 23)
+
+let test_generate_all_capped () =
+  let tests = Testgen.generate_all ~max_tests:7 Demo.bus_spec ~depth:8 in
+  check "cap respected" true (List.length tests <= 7)
+
+let test_coverage () =
+  (* The exhaustive suite covers every non-tau transition; a single
+     shallow test does not. *)
+  let full = Testgen.generate_all Demo.coffee_spec ~depth:6 in
+  check "full coverage" true (Testgen.coverage Demo.coffee_spec full >= 0.999);
+  let one = Testgen.generate_suite Demo.coffee_spec ~seed:1 ~count:1 ~depth:1 in
+  check "shallow test covers little" true
+    (Testgen.coverage Demo.coffee_spec one < 0.999);
+  check "coverage grows with suites" true
+    (Testgen.coverage Demo.coffee_spec full
+     >= Testgen.coverage Demo.coffee_spec one)
+
+(* ------------------------------------------------------------------ *)
+(* rtioco / TRON                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let timed_ctx () =
+  let net = Demo.timed_server () in
+  (net, Demo.timed_inputs, Demo.timed_outputs)
+
+let test_rtioco_conforming () =
+  let net, inputs, outputs = timed_ctx () in
+  for seed = 1 to 5 do
+    let iut = Rtioco.spec_iut net ~outputs ~seed in
+    match Rtioco.test net ~inputs ~outputs ~rounds:60 ~seed iut with
+    | Rtioco.T_pass _ -> ()
+    | Rtioco.T_fail { round; reason } ->
+      Alcotest.failf "conforming IUT failed at round %d: %s" round reason
+  done
+
+let test_rtioco_mute () =
+  let net, inputs, outputs = timed_ctx () in
+  let iut = Rtioco.mute_iut (Rtioco.spec_iut net ~outputs ~seed:2) in
+  match Rtioco.test net ~inputs ~outputs ~rounds:200 ~seed:2 iut with
+  | Rtioco.T_fail { reason; _ } ->
+    check "timeliness fault reported" true
+      (Astring.String.is_infix ~affix:"silent" reason)
+  | Rtioco.T_pass _ -> Alcotest.fail "mute IUT must fail"
+
+let test_rtioco_noisy () =
+  let net, inputs, outputs = timed_ctx () in
+  let iut =
+    Rtioco.noisy_iut (Rtioco.spec_iut net ~outputs ~seed:5) ~wrong:"nack" ~every:1
+  in
+  match Rtioco.test net ~inputs ~outputs ~rounds:200 ~seed:5 iut with
+  | Rtioco.T_fail { reason; _ } ->
+    check "wrong output reported" true
+      (Astring.String.is_infix ~affix:"unexpected output" reason)
+  | Rtioco.T_pass _ -> Alcotest.fail "noisy IUT must fail"
+
+let () =
+  Alcotest.run "mbt"
+    [
+      ( "suspension",
+        [
+          Alcotest.test_case "closure/out" `Quick test_closure_and_out;
+          Alcotest.test_case "tau closure" `Quick test_tau_closure;
+          Alcotest.test_case "input enabled" `Quick test_input_enabled;
+          Alcotest.test_case "dot export" `Quick test_lts_dot;
+        ] );
+      ( "ioco",
+        [
+          Alcotest.test_case "coffee" `Quick test_ioco_coffee;
+          Alcotest.test_case "counterexample" `Quick test_ioco_counterexample;
+          Alcotest.test_case "bus" `Quick test_ioco_bus;
+          Alcotest.test_case "reflexive" `Quick test_ioco_reflexive;
+        ] );
+      ( "testgen",
+        [
+          Alcotest.test_case "shape" `Quick test_generation_shape;
+          Alcotest.test_case "soundness" `Quick test_soundness;
+          Alcotest.test_case "mutants" `Quick test_mutant_detection;
+          Alcotest.test_case "bus mutants" `Quick test_bus_mutants;
+          Alcotest.test_case "generate all" `Quick test_generate_all;
+          Alcotest.test_case "generate all capped" `Quick test_generate_all_capped;
+          Alcotest.test_case "coverage" `Quick test_coverage;
+        ] );
+      ( "rtioco",
+        [
+          Alcotest.test_case "conforming passes" `Quick test_rtioco_conforming;
+          Alcotest.test_case "mute fails" `Quick test_rtioco_mute;
+          Alcotest.test_case "noisy fails" `Quick test_rtioco_noisy;
+        ] );
+    ]

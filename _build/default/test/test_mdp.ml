@@ -1,0 +1,253 @@
+(* Tests for the MDP value-iteration engine (the mini-PRISM): closed-form
+   chains, divergence detection, and qcheck properties over randomly
+   generated MDPs. *)
+
+let check = Alcotest.(check bool)
+
+let close ?(tol = 1e-9) a b = abs_float (a -. b) <= tol
+
+let act ?(reward = 0.0) label probs = { Mdp.a_label = label; probs; reward }
+
+(* ------------------------------------------------------------------ *)
+(* Closed forms                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* 0 --1--> 1 --1--> 2(goal): deterministic chain. *)
+let test_chain () =
+  let m =
+    Mdp.make
+      [|
+        [ act "a" [ (1.0, 1) ] ~reward:2.0 ];
+        [ act "b" [ (1.0, 2) ] ~reward:3.0 ];
+        [];
+      |]
+  in
+  let target = [| false; false; true |] in
+  let v, _ = Mdp.reach_prob m ~target ~maximize:true in
+  check "chain reaches" true (close v.(0) 1.0);
+  let r, _ = Mdp.expected_reward m ~target ~maximize:true in
+  check "reward sums" true (close r.(0) 5.0)
+
+(* Geometric retry: success 1/3, retry 2/3 with reward 1 per attempt:
+   E[attempts] = 3. *)
+let test_geometric () =
+  let m =
+    Mdp.make
+      [| [ act "try" [ (1.0 /. 3.0, 1); (2.0 /. 3.0, 0) ] ~reward:1.0 ]; [] |]
+  in
+  let target = [| false; true |] in
+  let v, _ = Mdp.reach_prob m ~target ~maximize:true in
+  check "a.s. success" true (close ~tol:1e-8 v.(0) 1.0);
+  let r, _ = Mdp.expected_reward m ~target ~maximize:true in
+  check "E[attempts] = 3" true (close ~tol:1e-6 r.(0) 3.0)
+
+(* A choice between a safe 0.5 shot and a risky 0.9 shot: max picks
+   0.9, min picks... both eventually reach via retries, so compare the
+   step-bounded values instead. *)
+let test_max_min () =
+  let m =
+    Mdp.make
+      [|
+        [
+          act "safe" [ (0.5, 1); (0.5, 2) ];
+          act "risky" [ (0.9, 1); (0.1, 2) ];
+        ];
+        [];
+        [];
+      |]
+  in
+  let target = [| false; true; false |] in
+  let vmax, _ = Mdp.reach_prob m ~target ~maximize:true in
+  let vmin, _ = Mdp.reach_prob m ~target ~maximize:false in
+  check "max = 0.9" true (close vmax.(0) 0.9);
+  check "min = 0.5" true (close vmin.(0) 0.5)
+
+let test_bounded () =
+  (* Two steps needed: bound 1 gives 0, bound 2 gives 1. *)
+  let m =
+    Mdp.make [| [ act "a" [ (1.0, 1) ] ]; [ act "b" [ (1.0, 2) ] ]; [] |]
+  in
+  let target = [| false; false; true |] in
+  let v1 = Mdp.bounded_reach_prob m ~target ~steps:1 ~maximize:true in
+  let v2 = Mdp.bounded_reach_prob m ~target ~steps:2 ~maximize:true in
+  check "1 step: not yet" true (close v1.(0) 0.0);
+  check "2 steps: there" true (close v2.(0) 1.0)
+
+let test_divergence () =
+  (* The maximizing scheduler can loop forever away from the goal while
+     collecting reward: expected total reward is infinite. *)
+  let m =
+    Mdp.make
+      [|
+        [ act "loop" [ (1.0, 0) ] ~reward:1.0; act "go" [ (1.0, 1) ] ];
+        [];
+      |]
+  in
+  let target = [| false; true |] in
+  let r, _ = Mdp.expected_reward m ~target ~maximize:true in
+  check "max expected reward infinite" true (r.(0) = infinity);
+  (* Minimizing goes straight: 0 reward. *)
+  let rmin, _ = Mdp.expected_reward m ~target ~maximize:false in
+  check "min expected reward 0" true (close rmin.(0) 0.0)
+
+let test_validation () =
+  (try
+     ignore (Mdp.make [| [ act "bad" [ (0.5, 0) ] ] |]);
+     Alcotest.fail "expected invalid distribution"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Mdp.make [| [ act "bad" [ (1.0, 7) ] ] |]);
+    Alcotest.fail "expected bad successor"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Random MDP properties                                               *)
+(* ------------------------------------------------------------------ *)
+
+let random_mdp rng ~n_states ~n_actions =
+  let actions =
+    Array.init n_states (fun _ ->
+        List.init
+          (1 + Random.State.int rng n_actions)
+          (fun k ->
+            (* Two-successor distribution with a random split. *)
+            let p = float_of_int (1 + Random.State.int rng 9) /. 10.0 in
+            let s1 = Random.State.int rng n_states in
+            let s2 = Random.State.int rng n_states in
+            act (Printf.sprintf "a%d" k)
+              [ (p, s1); (1.0 -. p, s2) ]
+              ~reward:(float_of_int (Random.State.int rng 3))))
+  in
+  (* Last state absorbing goal. *)
+  actions.(n_states - 1) <- [];
+  Mdp.make actions
+
+let mdp_arb =
+  QCheck.make
+    QCheck.Gen.(
+      map
+        (fun (seed, n, k) ->
+          let rng = Random.State.make [| seed |] in
+          (random_mdp rng ~n_states:n ~n_actions:k, n))
+        (triple (int_bound 1_000_000) (int_range 2 8) (int_range 1 3)))
+    ~print:(fun (_, n) -> Printf.sprintf "random mdp with %d states" n)
+
+let target_last n = Array.init n (fun i -> i = n - 1)
+
+let prop_probs_in_range =
+  QCheck.Test.make ~name:"reach probabilities lie in [0,1]" ~count:200 mdp_arb
+    (fun (m, n) ->
+      let v, _ = Mdp.reach_prob m ~target:(target_last n) ~maximize:true in
+      Array.for_all (fun p -> p >= -1e-9 && p <= 1.0 +. 1e-9) v)
+
+let prop_max_ge_min =
+  QCheck.Test.make ~name:"max reach >= min reach" ~count:200 mdp_arb
+    (fun (m, n) ->
+      let target = target_last n in
+      let vmax, _ = Mdp.reach_prob m ~target ~maximize:true in
+      let vmin, _ = Mdp.reach_prob m ~target ~maximize:false in
+      Array.for_all2 (fun a b -> a +. 1e-9 >= b) vmax vmin)
+
+let prop_bounded_monotone =
+  QCheck.Test.make ~name:"bounded reach monotone in steps" ~count:200 mdp_arb
+    (fun (m, n) ->
+      let target = target_last n in
+      let v5 = Mdp.bounded_reach_prob m ~target ~steps:5 ~maximize:true in
+      let v10 = Mdp.bounded_reach_prob m ~target ~steps:10 ~maximize:true in
+      Array.for_all2 (fun a b -> a <= b +. 1e-9) v5 v10)
+
+let prop_bounded_below_unbounded =
+  QCheck.Test.make ~name:"bounded reach <= unbounded reach" ~count:200 mdp_arb
+    (fun (m, n) ->
+      let target = target_last n in
+      let vb = Mdp.bounded_reach_prob m ~target ~steps:20 ~maximize:true in
+      let v, _ = Mdp.reach_prob m ~target ~maximize:true in
+      Array.for_all2 (fun a b -> a <= b +. 1e-6) vb v)
+
+let prop_sweeps_agree =
+  QCheck.Test.make ~name:"Jacobi and Gauss-Seidel agree" ~count:200 mdp_arb
+    (fun (m, n) ->
+      let target = target_last n in
+      let vj, _ = Mdp.reach_prob ~sweep:Mdp.Jacobi m ~target ~maximize:true in
+      let vg, _ =
+        Mdp.reach_prob ~sweep:Mdp.Gauss_seidel m ~target ~maximize:true
+      in
+      Array.for_all2 (fun a b -> abs_float (a -. b) < 1e-6) vj vg)
+
+let prop_monte_carlo_agrees =
+  (* For a DTMC (one action per state), the value-iteration answer must
+     agree with straight simulation. *)
+  QCheck.Test.make ~name:"DTMC reach prob matches Monte Carlo" ~count:25
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun (seed, n) ->
+             let rng = Random.State.make [| seed |] in
+             let m =
+               Array.init n (fun i ->
+                   if i = n - 1 then []
+                   else begin
+                     let p = float_of_int (1 + Random.State.int rng 9) /. 10.0 in
+                     [ act "a" [ (p, Random.State.int rng n); (1.0 -. p, Random.State.int rng n) ] ]
+                   end)
+             in
+             (Mdp.make m, n, seed))
+           (pair (int_bound 1_000_000) (int_range 3 6)))
+       ~print:(fun (_, n, seed) -> Printf.sprintf "dtmc n=%d seed=%d" n seed))
+    (fun (m, n, seed) ->
+      let target = target_last n in
+      (* Compare bounded reachability against simulation truncated at the
+         same horizon: the two quantities are identical in expectation,
+         avoiding truncation bias on slow-mixing chains. *)
+      let horizon = 500 in
+      let v = Mdp.bounded_reach_prob m ~target ~steps:horizon ~maximize:true in
+      let rng = Random.State.make [| seed; 99 |] in
+      let runs = 4000 in
+      let hits = ref 0 in
+      for _ = 1 to runs do
+        let rec walk s fuel =
+          if s = n - 1 then incr hits
+          else if fuel > 0 then begin
+            match Mdp.actions m s with
+            | [ a ] ->
+              let roll = Random.State.float rng 1.0 in
+              let rec pick acc = function
+                | [] -> ()
+                | (p, s') :: rest ->
+                  if roll < acc +. p then walk s' (fuel - 1)
+                  else pick (acc +. p) rest
+              in
+              pick 0.0 a.Mdp.probs
+            | _ -> ()
+          end
+        in
+        walk 0 horizon
+      done;
+      let estimate = float_of_int !hits /. float_of_int runs in
+      abs_float (estimate -. v.(0)) < 0.05)
+
+let () =
+  let qtests =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_probs_in_range;
+        prop_max_ge_min;
+        prop_bounded_monotone;
+        prop_bounded_below_unbounded;
+        prop_sweeps_agree;
+        prop_monte_carlo_agrees;
+      ]
+  in
+  Alcotest.run "mdp"
+    [
+      ( "closed-forms",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "geometric" `Quick test_geometric;
+          Alcotest.test_case "max/min" `Quick test_max_min;
+          Alcotest.test_case "bounded" `Quick test_bounded;
+          Alcotest.test_case "divergence" `Quick test_divergence;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ("properties", qtests);
+    ]

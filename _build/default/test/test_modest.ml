@@ -1,0 +1,539 @@
+(* Tests for the MODEST layer: STA construction and classification, the
+   parser (Fig. 5 compiles verbatim), the three backends cross-validated
+   against each other and closed-form values, and the BRP Table I
+   reproduction. *)
+
+module Sta = Modest.Sta
+module Ast = Modest.Ast
+module Parser = Modest.Parser
+module Mprop = Modest.Mprop
+module Mctau = Modest.Mctau
+module Mcpta = Modest.Mcpta
+module Modes = Modest.Modes
+module Brp = Modest.Brp
+module Lexer = Modest.Lexer
+module Model = Ta.Model
+module Expr = Ta.Expr
+module Store = Ta.Store
+
+let check = Alcotest.(check bool)
+
+let close ?(tol = 1e-9) a b = abs_float (a -. b) <= tol
+
+(* ------------------------------------------------------------------ *)
+(* STA builder & classification                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A one-shot lossy sender: s --send--> (0.7 done | 0.3 lost). *)
+let lossy_sta () =
+  let b = Sta.builder () in
+  let sb = Sta.store b in
+  let got = Store.int_var sb "got" in
+  let p = Sta.process b "P" in
+  let s0 = Sta.location p "s0" in
+  let s_done = Sta.location p "done" in
+  let s_lost = Sta.location p "lost" in
+  Sta.edge p ~src:s0
+    ~branches:
+      [
+        (7, [ Model.Assign (Expr.Cell got, Expr.Int 1) ], s_done);
+        (3, [], s_lost);
+      ]
+    ();
+  Sta.build b
+
+let test_classify () =
+  let sta = lossy_sta () in
+  check "no clocks -> MDP" true (Sta.classify sta = Sta.Class_mdp);
+  let t = Brp.make ~n:2 () in
+  check "BRP is a PTA" true (Sta.classify t.Brp.sta = Sta.Class_pta);
+  (* Deterministic weights -> TA. *)
+  let b = Sta.builder () in
+  let x = Sta.fresh_clock b "x" in
+  let p = Sta.process b "P" in
+  let a = Sta.location p "a" in
+  let c = Sta.location p "c" in
+  Sta.edge p ~src:a ~clock_guard:[ Model.clock_ge x 1 ]
+    ~branches:[ (1, [], c) ] ();
+  check "single branches -> TA" true (Sta.classify (Sta.build b) = Sta.Class_ta)
+
+let test_mcpta_simple_prob () =
+  let sta = lossy_sta () in
+  let p_done = Mprop.P_loc ("P", "done") in
+  let v, _ = Mcpta.reach_prob sta p_done ~maximize:true in
+  check "P(done) = 0.7" true (close v 0.7);
+  (* The minimizing scheduler can idle forever (delay self-loop), so the
+     minimum reachability probability is 0 — a classic MDP subtlety. *)
+  let v_min, _ = Mcpta.reach_prob sta p_done ~maximize:false in
+  check "min scheduler idles" true (close v_min 0.0)
+
+let test_mctau_overapprox () =
+  let sta = lossy_sta () in
+  let bounds p = fst (Mctau.prob_bounds sta p) in
+  check "reachable -> [0,1]" true
+    (bounds (Mprop.P_loc ("P", "done")) = `Interval (0.0, 1.0));
+  check "unreachable -> zero" true
+    (bounds
+       (Mprop.P_and
+          (Mprop.P_loc ("P", "done"), Mprop.P_loc ("P", "lost")))
+     = `Zero);
+  check "invariant exact" true
+    (fst
+       (Mctau.invariant_holds sta
+          (Mprop.P_not (Mprop.P_and (Mprop.P_loc ("P", "done"),
+                                     Mprop.P_data (Expr.Eq (Expr.var (Store.find sta.Sta.layout "got"), Expr.Int 0)))))))
+
+(* Two sequential coin flips: P(2 heads) = 0.25; checks branch products
+   and expected steps. *)
+let test_two_flips () =
+  let b = Sta.builder () in
+  let sb = Sta.store b in
+  let heads = Store.int_var sb "heads" in
+  let p = Sta.process b "P" in
+  let s0 = Sta.location p "s0" in
+  let s1 = Sta.location p "s1" in
+  let s2 = Sta.location p "s2" in
+  let inc = Model.Assign (Expr.Cell heads, Expr.Add (Expr.var heads, Expr.Int 1)) in
+  Sta.edge p ~src:s0 ~branches:[ (1, [ inc ], s1); (1, [], s1) ] ();
+  Sta.edge p ~src:s1 ~branches:[ (1, [ inc ], s2); (1, [], s2) ] ();
+  let sta = Sta.build b in
+  let two_heads =
+    Mprop.P_and
+      (Mprop.P_loc ("P", "s2"), Mprop.P_data (Expr.Eq (Expr.var heads, Expr.Int 2)))
+  in
+  let v, _ = Mcpta.reach_prob sta two_heads ~maximize:true in
+  check "P(HH) = 1/4" true (close v 0.25)
+
+(* ------------------------------------------------------------------ *)
+(* Timed PTA: expected time and time-bounded reachability              *)
+(* ------------------------------------------------------------------ *)
+
+(* Wait exactly 3, then flip: 0.5 done / 0.5 retry (wait 3 again). The
+   expected completion time is 3 * E[geometric(1/2)] = 6. *)
+let retry_sta () =
+  let b = Sta.builder () in
+  let x = Sta.fresh_clock b "x" in
+  let p = Sta.process b "P" in
+  let s0 = Sta.location p ~invariant:[ Model.clock_le x 3 ] "s0" in
+  let s_done = Sta.location p "done" in
+  Sta.edge p ~src:s0
+    ~clock_guard:[ Model.clock_ge x 3 ]
+    ~branches:[ (1, [], s_done); (1, [ Model.Reset (x, 0) ], s0) ]
+    ();
+  Sta.build b
+
+let test_expected_time () =
+  let sta = retry_sta () in
+  let v, _ = Mcpta.expected_time sta (Mprop.P_loc ("P", "done")) ~maximize:true in
+  check "E[time] = 6" true (close ~tol:1e-6 v 6.0)
+
+let test_time_bounded () =
+  let sta = retry_sta () in
+  let p_done = Mprop.P_loc ("P", "done") in
+  let v3, _ = Mcpta.time_bounded_reach sta p_done ~bound:3 ~maximize:true in
+  check "P(done within 3) = 1/2" true (close v3 0.5);
+  let v6, _ = Mcpta.time_bounded_reach sta p_done ~bound:6 ~maximize:true in
+  check "P(done within 6) = 3/4" true (close v6 0.75);
+  let v2, _ = Mcpta.time_bounded_reach sta p_done ~bound:2 ~maximize:true in
+  check "P(done within 2) = 0" true (close v2 0.0)
+
+let test_modes_agrees () =
+  let sta = retry_sta () in
+  let obs =
+    Modes.runs sta ~seed:11 ~n:2000 ~horizon:200.0
+      ~watch:[| Mprop.P_loc ("P", "done") |]
+      ~monitors:[||]
+  in
+  let times =
+    Array.map
+      (fun (o : Modes.observation) ->
+        match o.Modes.hits.(0) with Some t -> t | None -> nan)
+      obs
+  in
+  check "all runs complete" true (Array.for_all (fun t -> t = t) times);
+  let mean, _ = Smc.Estimate.mean_std times in
+  check "simulated mean near 6" true (abs_float (mean -. 6.0) < 0.3)
+
+(* ------------------------------------------------------------------ *)
+(* Parser: Fig. 5 and friends                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_model =
+  {|
+  const int TD = 1;
+  int delivered = 0;
+
+  // Fig. 5 of the paper, verbatim modulo the enclosing test harness.
+  process Channel() {
+    clock c;
+    put palt {
+    :98: {= c = 0 =};
+         invariant(c <= TD) get
+    : 2: {==} // message lost
+    }; Channel()
+  }
+
+  process Sender() {
+    put; Sender()
+  }
+
+  process Receiver() {
+    get; {= delivered = 1 =}; Receiver()
+  }
+
+  par { Sender() || Channel() || Receiver() }
+  |}
+
+let test_fig5_parses () =
+  let sta = Parser.parse_and_compile fig5_model in
+  check "three processes" true (Array.length sta.Sta.processes = 3);
+  check "classified PTA" true (Sta.classify sta = Sta.Class_pta);
+  (* The channel's palt has branches 98/2. *)
+  let chan = sta.Sta.processes.(Sta.proc_index sta "Channel") in
+  let palt_edges =
+    Array.to_list chan.Sta.p_out |> List.concat
+    |> List.filter (fun (e : Sta.edge) -> List.length e.Sta.e_branches = 2)
+  in
+  check "one probabilistic edge" true (List.length palt_edges = 1)
+
+(* Same channel, but the sender transmits a single message: the delivery
+   probability is exactly the channel's 98%. *)
+let fig5_once_model =
+  {|
+  const int TD = 1;
+  int delivered = 0;
+  process Channel() {
+    clock c;
+    put palt {
+    :98: {= c = 0 =};
+         invariant(c <= TD) get
+    : 2: {==}
+    }; Channel()
+  }
+  process Sender() { put; stop }
+  process Receiver() { get; {= delivered = 1 =}; Receiver() }
+  par { Sender() || Channel() || Receiver() }
+  |}
+
+let test_fig5_delivery_prob () =
+  let sta = Parser.parse_and_compile fig5_model in
+  let delivered sta =
+    Mprop.P_data
+      (Expr.Ge (Expr.var (Store.find sta.Sta.layout "delivered"), Expr.Int 1))
+  in
+  (* The sender retries forever, so delivery eventually happens a.s. *)
+  let v, _ = Mcpta.reach_prob sta (delivered sta) ~maximize:true in
+  check "delivery a.s." true (close ~tol:1e-6 v 1.0);
+  (* A single-shot sender delivers with the channel's probability. *)
+  let sta1 = Parser.parse_and_compile fig5_once_model in
+  let v1, _ = Mcpta.reach_prob sta1 (delivered sta1) ~maximize:true in
+  check "single-shot delivery = 0.98" true (close ~tol:1e-6 v1 0.98)
+
+let test_parser_errors () =
+  (try
+     ignore (Parser.parse "process P() { when }");
+     Alcotest.fail "expected parse error"
+   with Parser.Parse_error _ -> ());
+  (try
+     ignore (Parser.parse_and_compile "process P() { undeclared_action_with_bad; P() } par { P() } int x = ;");
+     Alcotest.fail "expected parse error"
+   with Parser.Parse_error _ | Lexer.Lex_error _ -> ());
+  try
+    ignore (Parser.parse_and_compile "process P() { P() } par { P() }");
+    Alcotest.fail "expected compile error (actionless recursion)"
+  with Ast.Compile_error _ -> ()
+
+let test_lexer () =
+  let toks = Lexer.tokenize "x <= 10 // comment\n {= y = 1 =}" in
+  let kinds = List.map fst toks in
+  check "lexes" true
+    (kinds
+     = [
+         Lexer.IDENT "x"; Lexer.PUNCT "<="; Lexer.INT 10; Lexer.PUNCT "{=";
+         Lexer.IDENT "y"; Lexer.PUNCT "="; Lexer.INT 1; Lexer.PUNCT "=}";
+         Lexer.EOF;
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* BRP / Table I                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_brp_small_exact () =
+  (* N=1, MAX=1: per-attempt failure q = 1 - 0.98*0.99 = 0.0298;
+     P1 = q^2 (both attempts fail). *)
+  let t = Brp.make ~n:1 ~max_retrans:1 () in
+  let q = 1.0 -. (0.98 *. 0.99) in
+  let v, _ = Mcpta.reach_prob t.Brp.sta (Brp.p1 t) ~maximize:true in
+  check "P1 = q^2" true (close ~tol:1e-9 v (q *. q));
+  (* With one chunk a failure is always on the last chunk: P2 = P1. *)
+  let v2, _ = Mcpta.reach_prob t.Brp.sta (Brp.p2 t) ~maximize:true in
+  check "P2 = P1 for N=1" true (close ~tol:1e-9 v2 (q *. q))
+
+let test_brp_table1_mcpta () =
+  let t = Brp.make () in
+  let row = Brp.run_mcpta t in
+  check "TA1" true row.Brp.mc_ta1;
+  check "TA2" true row.Brp.mc_ta2;
+  check "PA = 0" true (close row.Brp.mc_pa 0.0);
+  check "PB = 0" true (close row.Brp.mc_pb 0.0);
+  (* Paper: 4.233e-4, 2.645e-5, 0.9996, 33.473. *)
+  check "P1 matches paper" true (close ~tol:2e-6 row.Brp.mc_p1 4.233e-4);
+  check "P2 matches paper" true (close ~tol:2e-7 row.Brp.mc_p2 2.645e-5);
+  check "Dmax matches paper" true (abs_float (row.Brp.mc_dmax -. 0.9996) < 5e-4);
+  check "Emax matches paper" true (abs_float (row.Brp.mc_emax -. 33.473) < 0.1)
+
+let test_brp_table1_mctau () =
+  let t = Brp.make () in
+  let row = Brp.run_mctau t in
+  check "TA1 true" true row.Brp.mt_ta1;
+  check "TA2 true" true row.Brp.mt_ta2;
+  check "PA zero" true (row.Brp.mt_pa = `Zero);
+  check "PB zero" true (row.Brp.mt_pb = `Zero);
+  check "P1 unknown" true (row.Brp.mt_p1 = `Interval (0.0, 1.0));
+  check "P2 unknown" true (row.Brp.mt_p2 = `Interval (0.0, 1.0));
+  check "Dmax unknown" true (row.Brp.mt_dmax = `Interval (0.0, 1.0))
+
+let test_brp_table1_modes () =
+  let t = Brp.make () in
+  let row = Brp.run_modes ~runs:1000 t in
+  check "all runs satisfy TA1" true (row.Brp.md_ta1_ok = row.Brp.md_runs);
+  check "all runs satisfy TA2" true (row.Brp.md_ta2_ok = row.Brp.md_runs);
+  check "no PA observations" true (row.Brp.md_pa_obs = 0);
+  check "no PB observations" true (row.Brp.md_pb_obs = 0);
+  check "P1 rare" true (row.Brp.md_p1_obs <= 5);
+  check "Dmax near all runs" true
+    (row.Brp.md_dmax_obs >= row.Brp.md_runs - 10);
+  check "Emax mean near 33.5" true (abs_float (row.Brp.md_emax_mean -. 33.47) < 0.5);
+  check "Emax std near 2.1" true (abs_float (row.Brp.md_emax_std -. 2.14) < 0.8)
+
+let test_brp_scaling () =
+  (* Larger MAX lowers the failure probability. *)
+  let p1_of max_retrans =
+    let t = Brp.make ~n:4 ~max_retrans () in
+    fst (Mcpta.reach_prob t.Brp.sta (Brp.p1 t) ~maximize:true)
+  in
+  let p1_1 = p1_of 1 and p1_3 = p1_of 3 in
+  check "more retries, fewer failures" true (p1_3 < p1_1 /. 100.0)
+
+
+
+
+let test_do_loop () =
+  (* do-loop version of the Fig. 5 recursion: same shape, same class. *)
+  let src = {|
+  const int TD = 1;
+  int delivered = 0;
+  process Channel() {
+    clock c;
+    do {
+      put palt {
+      :98: {= c = 0 =};
+           invariant(c <= TD) get
+      : 2: {==}
+      }
+    }
+  }
+  process Sender() { do { put } }
+  process Receiver() { do { get; {= delivered = 1 =} } }
+  par { Sender() || Channel() || Receiver() }
+  |} in
+  let sta = Parser.parse_and_compile src in
+  check "do-loop compiles" true (Sta.classify sta = Sta.Class_pta);
+  let delivered =
+    Mprop.P_data
+      (Expr.Ge (Expr.var (Store.find sta.Sta.layout "delivered"), Expr.Int 1))
+  in
+  let v, _ = Mcpta.reach_prob sta delivered ~maximize:true in
+  check "delivery a.s. through do-loops" true (close ~tol:1e-6 v 1.0)
+
+
+let test_lexer_comments () =
+  let toks = Lexer.tokenize "a /* multi\nline */ b // tail\n c" in
+  let idents = List.filter_map (function Lexer.IDENT s, _ -> Some s | _ -> None)
+      (List.map (fun (t, l) -> (t, l)) toks) in
+  check "comments skipped" true (idents = [ "a"; "b"; "c" ]);
+  (try
+     ignore (Lexer.tokenize "a /* unterminated");
+     Alcotest.fail "expected lex error"
+   with Lexer.Lex_error _ -> ());
+  try
+    ignore (Lexer.tokenize "a $ b");
+    Alcotest.fail "expected bad char"
+  with Lexer.Lex_error _ -> ()
+
+let test_alt_parses () =
+  let src = {|
+  int choice = 0;
+  process P() {
+    alt {
+    :: a; {= choice = 1 =}
+    :: b; {= choice = 2 =}
+    }; stop
+  }
+  par { P() }
+  |} in
+  let sta = Parser.parse_and_compile src in
+  (* Both alternatives are reachable (nondeterministic choice). *)
+  let chose k =
+    Mprop.P_data (Expr.Eq (Expr.var (Store.find sta.Sta.layout "choice"), Expr.Int k))
+  in
+  let v1, _ = Mcpta.reach_prob sta (chose 1) ~maximize:true in
+  let v2, _ = Mcpta.reach_prob sta (chose 2) ~maximize:true in
+  check "alt branch a reachable" true (close ~tol:1e-9 v1 1.0);
+  check "alt branch b reachable" true (close ~tol:1e-9 v2 1.0);
+  (* But the minimizing scheduler avoids each. *)
+  let v1min, _ = Mcpta.reach_prob sta (chose 1) ~maximize:false in
+  check "alt is nondeterministic" true (close ~tol:1e-9 v1min 0.0)
+
+let test_class_sta_rejected () =
+  (* A strict clock guard puts the model outside PTA: mcpta refuses. *)
+  let b = Sta.builder () in
+  let x = Sta.fresh_clock b "x" in
+  let p = Sta.process b "P" in
+  let s0 = Sta.location p "s0" in
+  let s1 = Sta.location p "s1" in
+  Sta.edge p ~src:s0 ~clock_guard:[ Model.clock_gt x 1 ]
+    ~branches:[ (1, [], s1); (1, [], s0) ] ();
+  let sta = Sta.build b in
+  check "classified STA" true (Sta.classify sta = Sta.Class_sta);
+  try
+    ignore (Modest.Digital_sta.expand sta);
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+
+let test_modes_monitor_violation () =
+  (* A monitor that the model violates on every run is reported false. *)
+  let t = Brp.make ~n:2 () in
+  let impossible =
+    Mprop.P_data (Expr.Lt (Expr.var (Store.find t.Brp.sta.Sta.layout "i"), Expr.Int 1))
+  in
+  let obs =
+    Modes.runs t.Brp.sta ~seed:3 ~n:20 ~horizon:100.0 ~watch:[||]
+      ~monitors:[| impossible |]
+  in
+  check "violated monitor detected in every run" true
+    (Array.for_all (fun (o : Modes.observation) -> not o.Modes.monitors_ok.(0)) obs)
+
+(* ------------------------------------------------------------------ *)
+(* UPPAAL XML export (the mctau export path of Section III)            *)
+(* ------------------------------------------------------------------ *)
+
+module Uppaal_xml = Modest.Uppaal_xml
+
+let test_xml_export_structure () =
+  let xml = Uppaal_xml.of_network (Ta.Train_gate.make ~n_trains:2) in
+  let has affix = Astring.String.is_infix ~affix xml in
+  check "nta document" true (has "<nta>" && has "</nta>");
+  check "declares clocks" true (has "clock x0;" && has "clock x1;");
+  check "declares urgent channel" true (has "urgent chan go0;");
+  check "declares the queue array" true (has "int list[3];");
+  check "templates for all automata" true
+    (has "<name>Train0</name>" && has "<name>Gate</name>");
+  check "committed location marked" true (has "<committed/>");
+  check "sync labels" true (has "appr0!" && has "appr0?");
+  check "system line" true (has "system Train0, Train1, Gate;")
+
+let test_xml_export_escapes () =
+  (* Guards contain <= which must be escaped. *)
+  let xml = Uppaal_xml.of_network (Ta.Train_gate.make ~n_trains:2) in
+  check "no raw <= in labels" true
+    (Astring.String.is_infix ~affix:"&lt;=" xml);
+  check "well-formed: balanced templates" true
+    (let count affix =
+       List.length (String.split_on_char '\n' xml)
+       |> fun _ ->
+       let rec go i acc =
+         match Astring.String.find_sub ~start:i ~sub:affix xml with
+         | Some j -> go (j + 1) (acc + 1)
+         | None -> acc
+       in
+       go 0 0
+     in
+     count "<template>" = count "</template>")
+
+let test_xml_of_sta () =
+  let t = Brp.make ~n:2 () in
+  let xml = Uppaal_xml.of_sta t.Brp.sta in
+  let has affix = Astring.String.is_infix ~affix xml in
+  check "sta exports via mctau" true
+    (has "<name>Sender</name>" && has "<name>ChannelK</name>");
+  check "channels declared" true (has "chan put;")
+
+(* ------------------------------------------------------------------ *)
+(* Randomized contention resolution (backoff)                          *)
+(* ------------------------------------------------------------------ *)
+
+module Backoff = Modest.Backoff
+
+let test_backoff_closed_forms () =
+  let t = Backoff.make () in
+  check "classified PTA" true (Sta.classify t.Backoff.sta = Sta.Class_pta);
+  (* slots=2, round=2: success 1/2 per round. *)
+  check "P(within 2) = 1/2" true (close ~tol:1e-9 (Backoff.success_within t ~bound:2) 0.5);
+  check "P(within 4) = 3/4" true (close ~tol:1e-9 (Backoff.success_within t ~bound:4) 0.75);
+  check "P(within 6) = 7/8" true (close ~tol:1e-9 (Backoff.success_within t ~bound:6) 0.875);
+  check "E[time] = 4" true (close ~tol:1e-6 (Backoff.expected_resolution_time t) 4.0)
+
+let test_backoff_more_slots () =
+  (* slots=4: success per round = 3/4, expected rounds 4/3, E[time] = 8/3. *)
+  let t = Backoff.make ~slots:4 () in
+  check "P(within 2) = 3/4" true (close ~tol:1e-9 (Backoff.success_within t ~bound:2) 0.75);
+  check "E[time] = 8/3" true
+    (close ~tol:1e-6 (Backoff.expected_resolution_time t) (8.0 /. 3.0))
+
+let test_backoff_modes_agrees () =
+  let t = Backoff.make () in
+  let mean, _ = Backoff.simulate_mean_time t ~runs:3000 ~seed:13 in
+  check "simulated mean near 4" true (abs_float (mean -. 4.0) < 0.2)
+
+let () =
+  Alcotest.run "modest"
+    [
+      ( "sta",
+        [
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "mcpta simple" `Quick test_mcpta_simple_prob;
+          Alcotest.test_case "mctau overapprox" `Quick test_mctau_overapprox;
+          Alcotest.test_case "two flips" `Quick test_two_flips;
+        ] );
+      ( "timed",
+        [
+          Alcotest.test_case "expected time" `Quick test_expected_time;
+          Alcotest.test_case "time bounded" `Quick test_time_bounded;
+          Alcotest.test_case "modes agrees" `Slow test_modes_agrees;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "lexer" `Quick test_lexer;
+          Alcotest.test_case "fig5 parses" `Quick test_fig5_parses;
+          Alcotest.test_case "fig5 delivery" `Quick test_fig5_delivery_prob;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "do loop" `Quick test_do_loop;
+          Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+          Alcotest.test_case "alt" `Quick test_alt_parses;
+          Alcotest.test_case "sta rejected by mcpta" `Quick test_class_sta_rejected;
+        ] );
+      ( "modes",
+        [ Alcotest.test_case "monitor violation" `Quick test_modes_monitor_violation ] );
+      ( "uppaal-xml",
+        [
+          Alcotest.test_case "structure" `Quick test_xml_export_structure;
+          Alcotest.test_case "escaping" `Quick test_xml_export_escapes;
+          Alcotest.test_case "sta export" `Quick test_xml_of_sta;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "closed forms" `Quick test_backoff_closed_forms;
+          Alcotest.test_case "more slots" `Quick test_backoff_more_slots;
+          Alcotest.test_case "modes agrees" `Slow test_backoff_modes_agrees;
+        ] );
+      ( "brp",
+        [
+          Alcotest.test_case "small exact" `Quick test_brp_small_exact;
+          Alcotest.test_case "table1 mcpta" `Slow test_brp_table1_mcpta;
+          Alcotest.test_case "table1 mctau" `Slow test_brp_table1_mctau;
+          Alcotest.test_case "table1 modes" `Slow test_brp_table1_modes;
+          Alcotest.test_case "scaling" `Slow test_brp_scaling;
+        ] );
+    ]

@@ -1,0 +1,703 @@
+(* Tests for the timed-automata engine: expressions, stores, the network
+   builder, symbolic semantics, the checker's four query patterns, and the
+   paper's train-gate case study (Fig. 1). *)
+
+module Bound = Zones.Bound
+module Dbm = Zones.Dbm
+module Expr = Ta.Expr
+module Store = Ta.Store
+module Model = Ta.Model
+module Prop = Ta.Prop
+module Zone_graph = Ta.Zone_graph
+module Checker = Ta.Checker
+module Train_gate = Ta.Train_gate
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Expr / Store                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_expr_eval () =
+  let sb = Store.create () in
+  let a = Store.int_var sb ~init:7 "a" in
+  let arr = Store.array_var sb "arr" 3 in
+  let layout = Store.freeze sb in
+  let store = Store.initial layout in
+  store.(arr.Store.off + 1) <- 42;
+  let e = Expr.Add (Expr.var a, Expr.index arr (Expr.Int 1)) in
+  check_int "7+42" 49 (Expr.eval store e);
+  check_int "ite" 1
+    (Expr.eval store (Expr.Ite (Expr.Gt (Expr.var a, Expr.Int 3), Expr.Int 1, Expr.Int 2)));
+  check "bool ops" true
+    (Expr.eval_bool store
+       (Expr.And (Expr.Le (Expr.Int 1, Expr.Int 2), Expr.Not (Expr.Int 0))));
+  (try
+     ignore (Expr.eval store (Expr.index arr (Expr.Int 5)));
+     Alcotest.fail "expected bounds error"
+   with Expr.Eval_error _ -> ());
+  try
+    ignore (Expr.eval store (Expr.Div (Expr.Int 1, Expr.Int 0)));
+    Alcotest.fail "expected division error"
+  with Expr.Eval_error _ -> ()
+
+let test_store_layout () =
+  let sb = Store.create () in
+  let a = Store.int_var sb ~init:3 "a" in
+  let arr = Store.array_var sb ~init:1 "arr" 4 in
+  let b = Store.int_var sb "b" in
+  let layout = Store.freeze sb in
+  check_int "size" 6 (Store.size layout);
+  check_int "offsets" 0 a.Store.off;
+  check_int "array after scalar" 1 arr.Store.off;
+  check_int "b last" 5 b.Store.off;
+  let init = Store.initial layout in
+  check_int "init scalar" 3 init.(0);
+  check_int "init array" 1 init.(2);
+  check_int "init default" 0 init.(5);
+  check "find" true (Store.find layout "arr" == arr);
+  let sb2 = Store.create () in
+  ignore (Store.int_var sb2 "x");
+  try
+    ignore (Store.int_var sb2 "x");
+    Alcotest.fail "expected duplicate error"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Small hand-built networks                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One automaton: A (inv x<=5) --[x>=3]--> B. *)
+let single_automaton () =
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let a = Model.automaton b "P" in
+  let la = Model.location a "A" ~invariant:[ Model.clock_le x 5 ] in
+  let lb = Model.location a "B" in
+  Model.edge a ~src:la ~dst:lb ~clock_guard:[ Model.clock_ge x 3 ] ();
+  (Model.build b, x)
+
+let test_initial_zone () =
+  let net, _x = single_automaton () in
+  let st = Zone_graph.initial net ~ks:net.Model.max_consts in
+  (* Delay-closed within the invariant: x in [0,5]. *)
+  check "x=4 in initial" true (Dbm.satisfies st.zone [| 0.; 4. |]);
+  check "x=6 not" false (Dbm.satisfies st.zone [| 0.; 6. |])
+
+let test_single_reach () =
+  let net, _ = single_automaton () in
+  let q = Prop.Possibly (Prop.loc net "P" "B") in
+  let r = Checker.check net q in
+  check "B reachable" true r.holds;
+  check "trace present" true (r.trace <> None);
+  (* B with x < 3 unreachable: guard forces x>=3 and B has no invariant,
+     but the zone on entry has x>=3. *)
+  let q2 =
+    Prop.Possibly
+      (Prop.And (Prop.loc net "P" "B", Prop.Clock (Model.clock_lt 1 3)))
+  in
+  check "B with x<3 unreachable" false (Checker.check net q2).holds;
+  let q3 =
+    Prop.Invariant
+      (Prop.Imply (Prop.loc net "P" "A", Prop.Clock (Model.clock_le 1 5)))
+  in
+  check "invariant holds in A" true (Checker.check net q3).holds
+
+(* Binary synchronisation: sender S0->S1 on c!, receiver R0->R1 on c?. *)
+let test_binary_sync () =
+  let b = Model.builder () in
+  let c = Model.channel b "c" in
+  let s = Model.automaton b "S" in
+  let s0 = Model.location s "S0" in
+  let s1 = Model.location s "S1" in
+  Model.edge s ~src:s0 ~dst:s1 ~sync:(Model.Emit c) ();
+  let r = Model.automaton b "R" in
+  let r0 = Model.location r "R0" in
+  let r1 = Model.location r "R1" in
+  Model.edge r ~src:r0 ~dst:r1 ~sync:(Model.Receive c) ();
+  let net = Model.build b in
+  (* Both move together: S1&R0 unreachable, S1&R1 reachable. *)
+  let s1f = Prop.loc net "S" "S1" and r0f = Prop.loc net "R" "R0" in
+  let r1f = Prop.loc net "R" "R1" in
+  check "joint move" true
+    (Checker.check net (Prop.Possibly (Prop.And (s1f, r1f)))).holds;
+  check "no lone move" false
+    (Checker.check net (Prop.Possibly (Prop.And (s1f, r0f)))).holds
+
+(* Broadcast: one emitter, two receivers, one with a false data guard. *)
+let test_broadcast () =
+  let b = Model.builder () in
+  let c = Model.channel b ~kind:Model.Broadcast "c" in
+  let sb = Model.store b in
+  let flag = Store.int_var sb "flag" in
+  let s = Model.automaton b "S" in
+  let s0 = Model.location s "S0" in
+  let s1 = Model.location s "S1" in
+  Model.edge s ~src:s0 ~dst:s1 ~sync:(Model.Emit c) ();
+  let mk_receiver name guard =
+    let r = Model.automaton b name in
+    let r0 = Model.location r "R0" in
+    let r1 = Model.location r "R1" in
+    Model.edge r ~src:r0 ~dst:r1 ?guard ~sync:(Model.Receive c) ()
+  in
+  mk_receiver "R1" None;
+  mk_receiver "R2" (Some (Expr.Eq (Expr.var flag, Expr.Int 1)));
+  let net = Model.build b in
+  (* flag=0: R2's guard is false, so only R1 receives. *)
+  let f =
+    Prop.And
+      ( Prop.loc net "S" "S1",
+        Prop.And (Prop.loc net "R1" "R1", Prop.loc net "R2" "R0") )
+  in
+  check "partial broadcast" true (Checker.check net (Prop.Possibly f)).holds;
+  let f2 = Prop.And (Prop.loc net "S" "S1", Prop.loc net "R1" "R0") in
+  check "enabled receiver must join" false
+    (Checker.check net (Prop.Possibly f2)).holds
+
+(* Committed locations take priority over other components' moves: while
+   P sits in its committed location (phase = 1), Q must not fire, so Q can
+   never observe phase = 1. *)
+let test_committed () =
+  let b = Model.builder () in
+  let sb = Model.store b in
+  let phase = Store.int_var sb "phase" in
+  let seen = Store.int_var sb ~init:(-1) "seen" in
+  let p = Model.automaton b "P" in
+  let p0 = Model.location p "P0" in
+  let pc = Model.location p "PC" ~kind:Model.Committed in
+  let p1 = Model.location p "P1" in
+  Model.edge p ~src:p0 ~dst:pc
+    ~updates:[ Model.Assign (Expr.Cell phase, Expr.Int 1) ] ();
+  Model.edge p ~src:pc ~dst:p1
+    ~updates:[ Model.Assign (Expr.Cell phase, Expr.Int 2) ] ();
+  let q = Model.automaton b "Q" in
+  let q0 = Model.location q "Q0" in
+  let q1 = Model.location q "Q1" in
+  Model.edge q ~src:q0 ~dst:q1
+    ~updates:[ Model.Assign (Expr.Cell seen, Expr.var phase) ] ();
+  let net = Model.build b in
+  check "Q never fires during the committed phase" true
+    (Checker.check net
+       (Prop.Invariant (Prop.Data (Expr.Neq (Expr.var seen, Expr.Int 1)))))
+      .holds;
+  check "Q can observe phase 0 and 2" true
+    (Checker.check net
+       (Prop.Possibly (Prop.Data (Expr.Eq (Expr.var seen, Expr.Int 2)))))
+      .holds
+
+(* Urgent location: no time may pass, so a guard x>=1 is unreachable. *)
+let test_urgent_location () =
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let p = Model.automaton b "P" in
+  let p0 = Model.location p "P0" ~kind:Model.Urgent in
+  let p1 = Model.location p "P1" in
+  Model.edge p ~src:p0 ~dst:p1 ~clock_guard:[ Model.clock_ge x 1 ] ();
+  let net = Model.build b in
+  check "urgent forbids delay" false
+    (Checker.check net (Prop.Possibly (Prop.loc net "P" "P1"))).holds
+
+(* Deadlock detection is exact on zones: without an invariant a state may
+   delay past its only guard window and get stuck. *)
+let test_deadlock_exact () =
+  let build ~with_invariant =
+    let b = Model.builder () in
+    let x = Model.fresh_clock b "x" in
+    let p = Model.automaton b "P" in
+    let inv = if with_invariant then [ Model.clock_le x 3 ] else [] in
+    let p0 = Model.location p "A" ~invariant:inv in
+    Model.edge p ~src:p0 ~dst:p0
+      ~clock_guard:[ Model.clock_ge x 2; Model.clock_le x 3 ]
+      ~updates:[ Model.Reset (x, 0) ] ();
+    Model.build b
+  in
+  check "no invariant: deadlock (delay past window)" false
+    (Checker.check (build ~with_invariant:false) Prop.NoDeadlock).holds;
+  check "invariant x<=3: deadlock-free" true
+    (Checker.check (build ~with_invariant:true) Prop.NoDeadlock).holds
+
+(* Liveness: idling forever must count as a counterexample. *)
+let test_liveness_idle () =
+  let build ~with_invariant =
+    let b = Model.builder () in
+    let x = Model.fresh_clock b "x" in
+    let p = Model.automaton b "P" in
+    let inv = if with_invariant then [ Model.clock_le x 5 ] else [] in
+    let p0 = Model.location p "A" ~invariant:inv in
+    let p1 = Model.location p "B" in
+    Model.edge p ~src:p0 ~dst:p1 ~clock_guard:[ Model.clock_ge x 1 ] ();
+    Model.build b
+  in
+  let q net = Prop.Eventually (Prop.loc net "P" "B") in
+  let lazy_net = build ~with_invariant:false in
+  check "can idle forever: A<> B fails" false
+    (Checker.check lazy_net (q lazy_net)).holds;
+  let forced_net = build ~with_invariant:true in
+  check "invariant forces progress: A<> B holds" true
+    (Checker.check forced_net (q forced_net)).holds
+
+let test_liveness_cycle () =
+  (* A and B alternate forever (invariants force moves) and C is only
+     reachable from A: A<> C must fail on the A-B cycle. *)
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let p = Model.automaton b "P" in
+  let la = Model.location p "A" ~invariant:[ Model.clock_le x 1 ] in
+  let lb = Model.location p "B" ~invariant:[ Model.clock_le x 1 ] in
+  let lc = Model.location p "C" in
+  Model.edge p ~src:la ~dst:lb ~updates:[ Model.Reset (x, 0) ] ();
+  Model.edge p ~src:lb ~dst:la ~updates:[ Model.Reset (x, 0) ] ();
+  Model.edge p ~src:la ~dst:lc ();
+  let net = Model.build b in
+  check "cycle avoiding C: A<> C fails" false
+    (Checker.check net (Prop.Eventually (Prop.loc net "P" "C"))).holds;
+  check "E<> C still true" true
+    (Checker.check net (Prop.Possibly (Prop.loc net "P" "C"))).holds
+
+(* ------------------------------------------------------------------ *)
+(* Train-gate (Fig. 1)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_train_gate_safety () =
+  let net = Train_gate.make ~n_trains:3 in
+  let r = Checker.check net (Train_gate.safety net) in
+  check "safety holds (3 trains)" true r.holds;
+  check "explored some states" true (r.stats.Checker.visited > 10)
+
+let test_train_gate_deadlock () =
+  let net = Train_gate.make ~n_trains:3 in
+  check "deadlock-free (3 trains)" true
+    (Checker.check net Train_gate.no_deadlock).holds
+
+let test_train_gate_liveness () =
+  let net = Train_gate.make ~n_trains:2 in
+  check "Train0.Appr --> Train0.Cross" true
+    (Checker.check net (Train_gate.liveness net 0)).holds;
+  check "Train1.Appr --> Train1.Cross" true
+    (Checker.check net (Train_gate.liveness net 1)).holds
+
+let test_train_gate_queue_bound () =
+  let net = Train_gate.make ~n_trains:3 in
+  let len = Store.find net.Model.layout "len" in
+  let q =
+    Prop.Invariant (Prop.Data (Expr.Le (Expr.var len, Expr.Int 3)))
+  in
+  check "queue never overflows" true (Checker.check net q).holds
+
+let test_train_gate_crossing_reachable () =
+  let net = Train_gate.make ~n_trains:2 in
+  check "some train crosses" true
+    (Checker.check net (Prop.Possibly (Train_gate.cross_formula net 0))).holds;
+  (* Two trains never cross together. *)
+  let both =
+    Prop.And (Train_gate.cross_formula net 0, Train_gate.cross_formula net 1)
+  in
+  check "never both" false (Checker.check net (Prop.Possibly both)).holds
+
+(* A broken gate that never stops trains lets two trains cross at once. *)
+let test_broken_gate_unsafe () =
+  let n_trains = 2 in
+  let b = Model.builder () in
+  let appr = Array.init n_trains (fun i -> Model.channel b (Printf.sprintf "appr%d" i)) in
+  let stop = Array.init n_trains (fun i -> Model.channel b (Printf.sprintf "stop%d" i)) in
+  let go = Array.init n_trains (fun i -> Model.channel b (Printf.sprintf "go%d" i)) in
+  let leave = Array.init n_trains (fun i -> Model.channel b (Printf.sprintf "leave%d" i)) in
+  for i = 0 to n_trains - 1 do
+    let x = Model.fresh_clock b (Printf.sprintf "x%d" i) in
+    let a = Model.automaton b (Printf.sprintf "Train%d" i) in
+    let safe = Model.location a "Safe" in
+    let appr_l = Model.location a "Appr" ~invariant:[ Model.clock_le x 20 ] in
+    let stop_l = Model.location a "Stop" in
+    let start_l = Model.location a "Start" ~invariant:[ Model.clock_le x 15 ] in
+    let cross_l = Model.location a "Cross" ~invariant:[ Model.clock_le x 5 ] in
+    Model.set_initial a safe;
+    Model.edge a ~src:safe ~dst:appr_l ~sync:(Model.Emit appr.(i))
+      ~updates:[ Model.Reset (x, 0) ] ();
+    Model.edge a ~src:appr_l ~dst:stop_l ~clock_guard:[ Model.clock_le x 10 ]
+      ~sync:(Model.Receive stop.(i)) ();
+    Model.edge a ~src:stop_l ~dst:start_l ~sync:(Model.Receive go.(i))
+      ~updates:[ Model.Reset (x, 0) ] ();
+    Model.edge a ~src:start_l ~dst:cross_l ~clock_guard:[ Model.clock_ge x 7 ]
+      ~updates:[ Model.Reset (x, 0) ] ();
+    Model.edge a ~src:appr_l ~dst:cross_l ~clock_guard:[ Model.clock_ge x 10 ]
+      ~updates:[ Model.Reset (x, 0) ] ();
+    Model.edge a ~src:cross_l ~dst:safe ~clock_guard:[ Model.clock_ge x 3 ]
+      ~sync:(Model.Emit leave.(i)) ()
+  done;
+  (* Gate that acknowledges everything and never stops anyone. *)
+  let g = Model.automaton b "Gate" in
+  let idle = Model.location g "Idle" in
+  for e = 0 to n_trains - 1 do
+    Model.edge g ~src:idle ~dst:idle ~sync:(Model.Receive appr.(e)) ();
+    Model.edge g ~src:idle ~dst:idle ~sync:(Model.Receive leave.(e)) ()
+  done;
+  let net = Model.build b in
+  let both =
+    Prop.And
+      (Prop.loc net "Train0" "Cross", Prop.loc net "Train1" "Cross")
+  in
+  let r = Checker.check net (Prop.Possibly both) in
+  check "broken gate lets both cross" true r.holds;
+  check "witness trace" true (r.trace <> None)
+
+(* Subsumption ablation: same verdicts, usually fewer states. *)
+let test_subsumption_ablation () =
+  let net = Train_gate.make ~n_trains:2 in
+  let with_sub = Checker.check ~subsumption:true net (Train_gate.safety net) in
+  let without = Checker.check ~subsumption:false net (Train_gate.safety net) in
+  check "same verdict" true (with_sub.holds = without.holds);
+  check "subsumption explores no more states" true
+    (with_sub.stats.Checker.visited <= without.stats.Checker.visited)
+
+
+(* ------------------------------------------------------------------ *)
+(* Fischer's protocol                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Fischer = Ta.Fischer
+
+let test_fischer_mutex () =
+  List.iter
+    (fun n ->
+      let net = Fischer.make ~n () in
+      check
+        (Printf.sprintf "mutex holds for %d processes" n)
+        true
+        (Checker.check net (Fischer.mutex net)).holds;
+      check "cs reachable" true (Checker.check net (Fischer.cs_reachable net)).holds)
+    [ 2; 3 ]
+
+let test_fischer_broken () =
+  (* The textbook bug: waiting only >= k (instead of > k) breaks mutual
+     exclusion. *)
+  let net = Fischer.make ~strict_wait:false ~n:2 () in
+  let r = Checker.check net (Fischer.mutex net) in
+  check "non-strict wait violates mutex" false r.holds;
+  check "counterexample trace" true (r.trace <> None)
+
+let test_fischer_deadlock_free () =
+  let net = Fischer.make ~n:2 () in
+  check "deadlock-free" true (Checker.check net Fischer.no_deadlock).holds
+
+let test_fischer_k_scaling () =
+  (* Larger k only changes timing, not correctness. *)
+  let net = Fischer.make ~k:5 ~n:2 () in
+  check "mutex with k=5" true (Checker.check net (Fischer.mutex net)).holds
+
+
+
+
+let test_dot_export () =
+  let net = Train_gate.make ~n_trains:2 in
+  let dot = Ta.Dot.of_network net in
+  let has affix = Astring.String.is_infix ~affix dot in
+  check "digraph" true (has "digraph network");
+  check "clusters per automaton" true
+    (has "cluster_0" && has "cluster_2" (* 2 trains + gate *));
+  check "sync labels" true (has "appr0!" && has "appr0?");
+  check "balanced braces" true
+    (let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 dot in
+     count '{' = count '}')
+
+
+
+
+let test_rich_trace () =
+  let net, _ = single_automaton () in
+  let r =
+    Checker.check ~rich_trace:true net (Prop.Possibly (Prop.loc net "P" "B"))
+  in
+  match r.Checker.trace with
+  | Some (step :: _) ->
+    check "label present" true (Astring.String.is_infix ~affix:"P.A->B" step);
+    check "state annotation present" true (Astring.String.is_infix ~affix:"@" step);
+    check "zone rendered" true (Astring.String.is_infix ~affix:"x" step)
+  | Some [] | None -> Alcotest.fail "expected a witness trace"
+
+(* ------------------------------------------------------------------ *)
+(* Zone-graph internals: enabling zones and weakest preconditions      *)
+(* ------------------------------------------------------------------ *)
+
+let test_move_enabling_zone_wp () =
+  (* Edge A -> B resets x := 0 but B requires y <= 2 (y not reset): the
+     enabling zone must carry the target invariant back over the reset. *)
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let y = Model.fresh_clock b "y" in
+  let p = Model.automaton b "P" in
+  let la = Model.location p "A" in
+  let lb = Model.location p "B" ~invariant:[ Model.clock_le y 2 ] in
+  Model.edge p ~src:la ~dst:lb ~updates:[ Model.Reset (x, 0) ] ();
+  let net = Model.build b in
+  let locs = [| la |] and store = [||] in
+  match Zone_graph.moves net locs store with
+  | [ mv ] ->
+    let g = Zone_graph.move_enabling_zone net locs store mv in
+    check "y=1 enabled" true (Dbm.satisfies g [| 0.; 5.; 1. |]);
+    check "y=3 disabled (target invariant)" false
+      (Dbm.satisfies g [| 0.; 5.; 3. |]);
+    check "x unconstrained (reset)" true (Dbm.satisfies g [| 0.; 100.; 2. |])
+  | _ -> Alcotest.fail "expected exactly one move"
+
+let test_move_enabling_zone_impossible () =
+  (* Reset x := 5 into an invariant x <= 2: the move can never fire. *)
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let p = Model.automaton b "P" in
+  let la = Model.location p "A" in
+  let lb = Model.location p "B" ~invariant:[ Model.clock_le x 2 ] in
+  Model.edge p ~src:la ~dst:lb ~updates:[ Model.Reset (x, 5) ] ();
+  let net = Model.build b in
+  (match Zone_graph.moves net [| la |] [||] with
+   | [ mv ] ->
+     check "never enabled" true
+       (Dbm.is_empty (Zone_graph.move_enabling_zone net [| la |] [||] mv))
+   | _ -> Alcotest.fail "expected one move");
+  (* And the checker agrees: B is unreachable. *)
+  check "B unreachable" false
+    (Checker.check net (Prop.Possibly (Prop.loc net "P" "B"))).holds
+
+let test_deadlocked_direct () =
+  (* A state whose only guard window is already past is deadlocked. *)
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let p = Model.automaton b "P" in
+  let la = Model.location p "A" in
+  let lb = Model.location p "B" in
+  Model.edge p ~src:la ~dst:lb
+    ~clock_guard:[ Model.clock_ge x 1; Model.clock_le x 2 ] ();
+  let net = Model.build b in
+  let init = Zone_graph.initial net ~ks:net.Model.max_consts in
+  (* The delay-closed initial zone includes x > 2 valuations. *)
+  check "initial state contains deadlocked valuations" true
+    (Checker.deadlocked net init);
+  (* Restricting to the window removes them. *)
+  let inside =
+    { init with Zone_graph.zone = Dbm.constrain init.Zone_graph.zone 1 0 (Bound.le 2) }
+  in
+  check "within the window: not deadlocked" false
+    (Checker.deadlocked net inside)
+
+(* ------------------------------------------------------------------ *)
+(* Network union (parallel composition)                                *)
+(* ------------------------------------------------------------------ *)
+
+let half_sender () =
+  let b = Model.builder () in
+  let c = Model.channel b "c" in
+  let y = Model.fresh_clock b "y" in
+  let s = Model.automaton b "S" in
+  let s0 = Model.location s "S0" in
+  let s1 = Model.location s "S1" in
+  Model.edge s ~src:s0 ~dst:s1 ~clock_guard:[ Model.clock_ge y 1 ]
+    ~sync:(Model.Emit c) ();
+  Model.build b
+
+let half_receiver name =
+  let b = Model.builder () in
+  let c = Model.channel b "c" in
+  let sb = Model.store b in
+  let got = Store.int_var sb "got" in
+  let r = Model.automaton b name in
+  let r0 = Model.location r "R0" in
+  let r1 = Model.location r "R1" in
+  Model.edge r ~src:r0 ~dst:r1 ~sync:(Model.Receive c)
+    ~updates:[ Model.Assign (Expr.Cell got, Expr.Int 1) ] ();
+  Model.build b
+
+let test_union_synchronises () =
+  let net = Model.union (half_sender ()) (half_receiver "R") in
+  check_int "clocks merged" 1 net.Model.n_clocks;
+  check_int "channel merged" 1 (Array.length net.Model.channels);
+  let joint =
+    Prop.And
+      ( Prop.loc net "S" "S1",
+        Prop.And
+          ( Prop.loc net "R" "R1",
+            Prop.Data (Expr.Eq (Expr.var (Store.find net.Model.layout "got"), Expr.Int 1)) ) )
+  in
+  check "joint move across union" true
+    (Checker.check net (Prop.Possibly joint)).holds;
+  let early =
+    Prop.And (Prop.loc net "S" "S1", Prop.Clock (Model.clock_lt 1 1))
+  in
+  check "guard survives remap" false
+    (Checker.check net (Prop.Possibly early)).holds
+
+let test_union_validation () =
+  (try
+     ignore (Model.union (half_receiver "R") (half_receiver "R"));
+     Alcotest.fail "expected duplicate component error"
+   with Invalid_argument _ -> ());
+  let with_prim () =
+    let b = Model.builder () in
+    let p = Model.automaton b "P" in
+    let l0 = Model.location p "L0" in
+    Model.edge p ~src:l0 ~dst:l0 ~updates:[ Model.Prim ("nop", fun _ -> ()) ] ();
+    Model.build b
+  in
+  try
+    ignore (Model.union (half_sender ()) (with_prim ()));
+    Alcotest.fail "expected Prim rejection"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Observer-clock time-bounded queries                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Observer = Ta.Observer
+
+let test_observer_bounded_reach () =
+  (* B is reachable only after x >= 3: within 2 it is not, within 3 it
+     is (at exactly t = 3). *)
+  let net, _ = single_automaton () in
+  let b_f = Prop.loc net "P" "B" in
+  check "not within 2" false (Observer.possibly_within net b_f ~bound:2).Checker.holds;
+  check "within 3" true (Observer.possibly_within net b_f ~bound:3).Checker.holds;
+  check "within 10" true (Observer.possibly_within net b_f ~bound:10).Checker.holds
+
+let test_observer_invariant_until () =
+  let net, _ = single_automaton () in
+  let a_f = Prop.loc net "P" "A" in
+  (* Up to time 2 the system is necessarily still in A... *)
+  check "A holds until 2" true
+    (Observer.invariant_until net a_f ~bound:2).Checker.holds;
+  (* ...but by time 4 it may have moved to B. *)
+  check "A can be left by 4" false
+    (Observer.invariant_until net a_f ~bound:4).Checker.holds
+
+let test_observer_train_gate () =
+  let net = Ta.Train_gate.make ~n_trains:2 in
+  let cross = Ta.Train_gate.cross_formula net 0 in
+  (* Minimum crossing time is 10 (matches the CORA result). *)
+  check "no crossing within 9" false
+    (Observer.possibly_within net cross ~bound:9).Checker.holds;
+  check "crossing within 10" true
+    (Observer.possibly_within net cross ~bound:10).Checker.holds
+
+(* ------------------------------------------------------------------ *)
+(* Random-network properties                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Small random closed networks (shared-variable free): reachability
+   verdicts must not depend on the subsumption optimisation. *)
+let random_net rng =
+  let n_autos = 1 + Random.State.int rng 2 in
+  let b = Model.builder () in
+  for a = 0 to n_autos - 1 do
+    let x = Model.fresh_clock b (Printf.sprintf "x%d" a) in
+    let pa = Model.automaton b (Printf.sprintf "P%d" a) in
+    let n_locs = 2 + Random.State.int rng 2 in
+    let locs =
+      Array.init n_locs (fun l ->
+          let invariant =
+            if Random.State.int rng 3 = 0 then
+              [ Model.clock_le x (1 + Random.State.int rng 4) ]
+            else []
+          in
+          Model.location pa (Printf.sprintf "l%d" l) ~invariant)
+    in
+    for _ = 1 to 1 + Random.State.int rng 4 do
+      let src = locs.(Random.State.int rng n_locs) in
+      let dst = locs.(Random.State.int rng n_locs) in
+      let clock_guard =
+        if Random.State.bool rng then
+          [ Model.clock_ge x (Random.State.int rng 5) ]
+        else []
+      in
+      let updates =
+        if Random.State.bool rng then [ Model.Reset (x, 0) ] else []
+      in
+      Model.edge pa ~src ~dst ~clock_guard ~updates ()
+    done
+  done;
+  Model.build b
+
+let prop_subsumption_preserves_verdicts =
+  QCheck.Test.make ~name:"subsumption preserves reachability verdicts"
+    ~count:150
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun seed ->
+             let rng = Random.State.make [| seed |] in
+             (random_net rng, seed))
+           (int_bound 1_000_000))
+       ~print:(fun (_, seed) -> Printf.sprintf "net seed=%d" seed))
+    (fun (net, seed) ->
+      let rng = Random.State.make [| seed; 1 |] in
+      let a = Random.State.int rng (Array.length net.Model.automata) in
+      let locs = net.Model.automata.(a).Model.locations in
+      let l = Random.State.int rng (Array.length locs) in
+      let q = Prop.Possibly (Prop.Loc (a, l)) in
+      let on = (Checker.check ~subsumption:true net q).Checker.holds in
+      let off = (Checker.check ~subsumption:false net q).Checker.holds in
+      on = off)
+
+let () =
+  Alcotest.run "ta"
+    [
+      ( "expr-store",
+        [
+          Alcotest.test_case "expr eval" `Quick test_expr_eval;
+          Alcotest.test_case "store layout" `Quick test_store_layout;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "initial zone" `Quick test_initial_zone;
+          Alcotest.test_case "single reach" `Quick test_single_reach;
+          Alcotest.test_case "binary sync" `Quick test_binary_sync;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "committed" `Quick test_committed;
+          Alcotest.test_case "urgent location" `Quick test_urgent_location;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "deadlock exact" `Quick test_deadlock_exact;
+          Alcotest.test_case "liveness idle" `Quick test_liveness_idle;
+          Alcotest.test_case "liveness cycle" `Quick test_liveness_cycle;
+        ] );
+      ( "rich-trace",
+        [ Alcotest.test_case "annotated witness" `Quick test_rich_trace ] );
+      ( "zone-graph",
+        [
+          Alcotest.test_case "wp of target invariant" `Quick
+            test_move_enabling_zone_wp;
+          Alcotest.test_case "impossible move" `Quick
+            test_move_enabling_zone_impossible;
+          Alcotest.test_case "deadlocked direct" `Quick test_deadlocked_direct;
+        ] );
+      ( "union",
+        [
+          Alcotest.test_case "synchronises" `Quick test_union_synchronises;
+          Alcotest.test_case "validation" `Quick test_union_validation;
+        ] );
+      ( "dot",
+        [ Alcotest.test_case "export" `Quick test_dot_export ] );
+      ( "observer",
+        [
+          Alcotest.test_case "bounded reach" `Quick test_observer_bounded_reach;
+          Alcotest.test_case "invariant until" `Quick test_observer_invariant_until;
+          Alcotest.test_case "train-gate bound" `Quick test_observer_train_gate;
+        ] );
+      ( "random",
+        [ QCheck_alcotest.to_alcotest prop_subsumption_preserves_verdicts ] );
+      ( "fischer",
+        [
+          Alcotest.test_case "mutex" `Quick test_fischer_mutex;
+          Alcotest.test_case "broken variant" `Quick test_fischer_broken;
+          Alcotest.test_case "deadlock-free" `Quick test_fischer_deadlock_free;
+          Alcotest.test_case "k scaling" `Quick test_fischer_k_scaling;
+        ] );
+      ( "train-gate",
+        [
+          Alcotest.test_case "safety" `Quick test_train_gate_safety;
+          Alcotest.test_case "deadlock-free" `Quick test_train_gate_deadlock;
+          Alcotest.test_case "liveness" `Slow test_train_gate_liveness;
+          Alcotest.test_case "queue bound" `Quick test_train_gate_queue_bound;
+          Alcotest.test_case "crossing" `Quick test_train_gate_crossing_reachable;
+          Alcotest.test_case "broken gate unsafe" `Quick test_broken_gate_unsafe;
+          Alcotest.test_case "subsumption ablation" `Quick test_subsumption_ablation;
+        ] );
+    ]

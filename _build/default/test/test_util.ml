@@ -1,0 +1,167 @@
+(* Tests for the shared utility substrate: the binary heap behind the
+   priced Dijkstra and Tarjan's SCC behind the WCET/liveness passes. *)
+
+module Pqueue = Quant_util.Pqueue
+module Scc = Quant_util.Scc
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Priority queue                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter
+    (fun (p, v) -> Pqueue.push q ~priority:p v)
+    [ (5, "e"); (1, "a"); (3, "c"); (2, "b"); (4, "d") ];
+  check_int "length" 5 (Pqueue.length q);
+  let rec drain acc =
+    match Pqueue.pop_min q with
+    | Some (_, v) -> drain (v :: acc)
+    | None -> List.rev acc
+  in
+  check "min-first order" true (drain [] = [ "a"; "b"; "c"; "d"; "e" ]);
+  check "empty after drain" true (Pqueue.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q ~priority:7 v) [ 1; 2; 3; 4 ];
+  let rec drain acc =
+    match Pqueue.pop_min q with
+    | Some (_, v) -> drain (v :: acc)
+    | None -> List.rev acc
+  in
+  check "ties pop in insertion order" true (drain [] = [ 1; 2; 3; 4 ])
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains in sorted priority order" ~count:300
+    QCheck.(list (int_range (-1000) 1000))
+    (fun priorities ->
+      let q = Pqueue.create () in
+      List.iter (fun p -> Pqueue.push q ~priority:p p) priorities;
+      let rec drain acc =
+        match Pqueue.pop_min q with
+        | Some (p, _) -> drain (p :: acc)
+        | None -> List.rev acc
+      in
+      let drained = drain [] in
+      drained = List.sort compare priorities)
+
+let test_pqueue_interleaved () =
+  (* Pushes interleaved with pops must still respect the heap order. *)
+  let q = Pqueue.create () in
+  Pqueue.push q ~priority:10 10;
+  Pqueue.push q ~priority:1 1;
+  (match Pqueue.pop_min q with
+   | Some (1, 1) -> ()
+   | _ -> Alcotest.fail "expected 1");
+  Pqueue.push q ~priority:5 5;
+  Pqueue.push q ~priority:0 0;
+  check "min after interleaving" true (Pqueue.pop_min q = Some (0, 0));
+  check "then 5" true (Pqueue.pop_min q = Some (5, 5));
+  check "then 10" true (Pqueue.pop_min q = Some (10, 10))
+
+(* ------------------------------------------------------------------ *)
+(* Strongly connected components                                       *)
+(* ------------------------------------------------------------------ *)
+
+let scc_of edges n =
+  let succs = Array.make n [] in
+  List.iter (fun (a, b) -> succs.(a) <- b :: succs.(a)) edges;
+  Scc.compute ~n ~succs:(fun v -> succs.(v))
+
+let test_scc_cycle () =
+  (* 0 -> 1 -> 2 -> 0 is one component; 3 alone. *)
+  let comp, n = scc_of [ (0, 1); (1, 2); (2, 0); (2, 3) ] 4 in
+  check_int "two components" 2 n;
+  check "cycle collapsed" true (comp.(0) = comp.(1) && comp.(1) = comp.(2));
+  check "sink separate" true (comp.(3) <> comp.(0))
+
+let test_scc_dag_order () =
+  (* In a DAG every node is its own component and edges point from
+     higher to lower component ids (reverse topological numbering). *)
+  let edges = [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let comp, n = scc_of edges 4 in
+  check_int "four components" 4 n;
+  List.iter
+    (fun (a, b) -> check "edge decreases comp id" true (comp.(a) > comp.(b)))
+    edges
+
+let test_scc_self_loop () =
+  let comp, n = scc_of [ (0, 0); (0, 1) ] 2 in
+  check_int "self loop is its own scc" 2 n;
+  check "distinct" true (comp.(0) <> comp.(1))
+
+let prop_scc_sound =
+  (* Random graphs: (a) mutually reachable nodes share a component;
+     (b) edges never increase the component id (reverse topological). *)
+  QCheck.Test.make ~name:"scc components consistent with reachability"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun (seed, n) ->
+             let rng = Random.State.make [| seed |] in
+             let edges = ref [] in
+             for _ = 1 to 2 * n do
+               edges :=
+                 (Random.State.int rng n, Random.State.int rng n) :: !edges
+             done;
+             (!edges, n))
+           (pair (int_bound 1_000_000) (int_range 2 12)))
+       ~print:(fun (edges, n) ->
+         Printf.sprintf "n=%d edges=%s" n
+           (String.concat ","
+              (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) edges))))
+    (fun (edges, n) ->
+      let succs = Array.make n [] in
+      List.iter (fun (a, b) -> succs.(a) <- b :: succs.(a)) edges;
+      let comp, _ = Scc.compute ~n ~succs:(fun v -> succs.(v)) in
+      (* Reachability matrix by DFS. *)
+      let reach = Array.make_matrix n n false in
+      for s = 0 to n - 1 do
+        let rec visit v =
+          if not reach.(s).(v) then begin
+            reach.(s).(v) <- true;
+            List.iter visit succs.(v)
+          end
+        in
+        List.iter visit succs.(s)
+      done;
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if a <> b then begin
+            let mutually = reach.(a).(b) && reach.(b).(a) in
+            if mutually && comp.(a) <> comp.(b) then ok := false;
+            if (not mutually) && comp.(a) = comp.(b) then ok := false
+          end
+        done
+      done;
+      List.iter
+        (fun (a, b) -> if comp.(a) < comp.(b) then ok := false)
+        edges;
+      !ok)
+
+let () =
+  let qtests =
+    List.map QCheck_alcotest.to_alcotest [ prop_pqueue_sorts; prop_scc_sound ]
+  in
+  Alcotest.run "util"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "order" `Quick test_pqueue_order;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "interleaved" `Quick test_pqueue_interleaved;
+        ] );
+      ( "scc",
+        [
+          Alcotest.test_case "cycle" `Quick test_scc_cycle;
+          Alcotest.test_case "dag order" `Quick test_scc_dag_order;
+          Alcotest.test_case "self loop" `Quick test_scc_self_loop;
+        ] );
+      ("properties", qtests);
+    ]
