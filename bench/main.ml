@@ -473,6 +473,73 @@ let ablations () =
    | None -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Exploration-engine instrumentation + hash-consing ablation          *)
+(* ------------------------------------------------------------------ *)
+
+let engine () =
+  header "Exploration engine (stats + hash-consing ablation)";
+  (* Each row: one checker run on the shared engine core, with zone
+     hash-consing on or off. With interning, equal zones share one
+     representative and the store's subset/equality tests short-circuit
+     on pointer equality, trading full DBM scans for [dbm_phys_eq] hits. *)
+  let runs =
+    [
+      ("fischer-5/mutex", lazy (Ta.Fischer.make ~n:5 ()),
+       fun net -> Ta.Fischer.mutex net);
+      ("train-gate-4/safety", lazy (Ta.Train_gate.make ~n_trains:4),
+       fun net -> Ta.Train_gate.safety net);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, net, query) ->
+        let net = Lazy.force net in
+        List.map
+          (fun hashcons ->
+            let r = Ta.Checker.check ~hashcons net (query net) in
+            let tag =
+              Printf.sprintf "%s/%s" name
+                (if hashcons then "hashcons" else "no-hashcons")
+            in
+            Printf.printf
+              "%-34s %-9s visited %6d  phys-eq %8d  full-cmp %9d  %.2fs\n"
+              tag
+              (if r.Ta.Checker.holds then "satisfied" else "VIOLATED")
+              r.Ta.Checker.stats.Ta.Checker.visited
+              r.Ta.Checker.stats.Ta.Checker.dbm_phys_eq
+              r.Ta.Checker.stats.Ta.Checker.dbm_full_cmp
+              r.Ta.Checker.stats.Ta.Checker.time_s;
+            (tag, r.Ta.Checker.holds, r.Ta.Checker.stats))
+          [ true; false ])
+      runs
+  in
+  List.iter
+    (fun (name, _, _) ->
+      let find tag =
+        let _, _, s = List.find (fun (t, _, _) -> t = tag) rows in
+        s
+      in
+      let on = find (name ^ "/hashcons")
+      and off = find (name ^ "/no-hashcons") in
+      Printf.printf
+        "%-24s full DBM comparisons: %d -> %d with hash-consing (saved %d)\n"
+        name off.Ta.Checker.dbm_full_cmp on.Ta.Checker.dbm_full_cmp
+        (off.Ta.Checker.dbm_full_cmp - on.Ta.Checker.dbm_full_cmp))
+    runs;
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (tag, holds, stats) ->
+      Printf.fprintf oc "  {\"run\": %S, \"holds\": %b, \"stats\": %s}%s\n" tag
+        holds
+        (Engine.Stats.to_json stats)
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_engine.json (%d runs)\n" (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -567,7 +634,7 @@ let () =
   let all =
     [
       ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-      ("ablations", ablations); ("micro", micro);
+      ("ablations", ablations); ("engine", engine); ("micro", micro);
     ]
   in
   let args = Array.to_list Sys.argv |> List.tl in

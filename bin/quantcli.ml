@@ -16,18 +16,32 @@ open Cmdliner
 let trains_arg =
   Arg.(value & opt int 3 & info [ "trains" ] ~docv:"N" ~doc:"Number of trains.")
 
+let stats_json_arg =
+  Arg.(
+    value & flag
+    & info [ "stats-json" ]
+        ~doc:"Print per-query engine statistics as one JSON object per line.")
+
+(* One line per query: verdict plus the engine run's counters. *)
+let show_query ~stats_json name (r : Ta.Checker.result) =
+  if stats_json then
+    Printf.printf
+      "{\"query\": %S, \"holds\": %b, \"stats\": %s}\n"
+      name r.Ta.Checker.holds
+      (Engine.Stats.to_json r.Ta.Checker.stats)
+  else
+    Printf.printf "%-34s %-9s (%d states)\n" name
+      (if r.Ta.Checker.holds then "satisfied" else "VIOLATED")
+      r.Ta.Checker.stats.Ta.Checker.visited
+
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
 (* ------------------------------------------------------------------ *)
 
-let verify trains =
+let verify trains stats_json =
   let net = Ta.Train_gate.make ~n_trains:trains in
-  let show name (r : Ta.Checker.result) =
-    Printf.printf "%-34s %-9s (%d states)\n" name
-      (if r.Ta.Checker.holds then "satisfied" else "VIOLATED")
-      r.Ta.Checker.stats.Ta.Checker.visited
-  in
+  let show = show_query ~stats_json in
   show "safety" (Ta.Checker.check net (Ta.Train_gate.safety net));
   show "no deadlock" (Ta.Checker.check net Ta.Train_gate.no_deadlock);
   if trains <= 3 then
@@ -35,7 +49,7 @@ let verify trains =
 
 let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Model check the train-gate (Fig. 1).")
-    Term.(const verify $ trains_arg)
+    Term.(const verify $ trains_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -179,20 +193,16 @@ let modest_cmd =
   Cmd.v (Cmd.info "modest" ~doc:"Parse, classify or export a MODEST model.")
     Term.(const modest_check $ file $ xml $ dot)
 
-let fischer n =
+let fischer n stats_json =
   let net = Ta.Fischer.make ~n () in
-  let show name (r : Ta.Checker.result) =
-    Printf.printf "%-22s %-9s (%d states)\n" name
-      (if r.Ta.Checker.holds then "satisfied" else "VIOLATED")
-      r.Ta.Checker.stats.Ta.Checker.visited
-  in
+  let show = show_query ~stats_json in
   show "mutual exclusion" (Ta.Checker.check net (Ta.Fischer.mutex net));
   show "deadlock-free" (Ta.Checker.check net Ta.Fischer.no_deadlock)
 
 let fischer_cmd =
   let n = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Processes.") in
   Cmd.v (Cmd.info "fischer" ~doc:"Verify Fischer's mutual exclusion.")
-    Term.(const fischer $ n)
+    Term.(const fischer $ n $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 

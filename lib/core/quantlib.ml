@@ -9,9 +9,12 @@
       and the mctau / mcpta / modes backends with the BRP case study.
     - {!Bip}: the BIP component framework with D-Finder and DALA.
     - {!Mbt}: ioco model-based testing and the TRON-style online tester.
-    - {!Ecdar}: timed I/O refinement. *)
+    - {!Ecdar}: timed I/O refinement.
+    - {!Engine}: the shared symbolic exploration core (state stores,
+      search orders, per-run instrumentation) every checker runs on. *)
 
 module Zones = Zones
+module Engine = Engine
 module Ta = Ta
 module Discrete = Discrete
 module Priced = Priced

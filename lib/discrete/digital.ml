@@ -125,42 +125,25 @@ type graph = {
   transitions : dtrans list array;
 }
 
-let explore ?(max_states = 2_000_000) net =
-  let index = Hashtbl.create 65536 in
-  let states = ref [] and n = ref 0 in
-  let trans = Hashtbl.create 65536 in
-  let id_of st =
-    match Hashtbl.find_opt index st with
-    | Some id -> (id, false)
-    | None ->
-      let id = !n in
-      incr n;
-      if !n > max_states then failwith "Digital.explore: state limit exceeded";
-      Hashtbl.replace index st id;
-      states := st :: !states;
-      (id, true)
+let explore_stats ?(max_states = 2_000_000) net =
+  let store = Engine.Store.discrete ~key:Fun.id () in
+  let succ st = List.map (fun t -> (t, t.target)) (successors net st) in
+  let out =
+    Engine.Core.run ~max_states ~record_edges:true ~store ~successors:succ
+      ~on_state:(fun _ -> None)
+      ~init:(initial net) ()
   in
-  let queue = Queue.create () in
-  let init = initial net in
-  let id0, _ = id_of init in
-  Queue.push (id0, init) queue;
-  while not (Queue.is_empty queue) do
-    let id, st = Queue.pop queue in
-    let ts = successors net st in
-    List.iter
-      (fun t ->
-        let id', fresh = id_of t.target in
-        ignore id';
-        if fresh then Queue.push (id', t.target) queue)
-      ts;
-    Hashtbl.replace trans id ts
-  done;
-  {
-    states = Array.of_list (List.rev !states);
-    index;
-    transitions =
-      Array.init !n (fun i -> try Hashtbl.find trans i with Not_found -> []);
-  }
+  if out.Engine.Core.stats.Engine.Stats.truncated then
+    failwith "Digital.explore: state limit exceeded";
+  let states = out.Engine.Core.states in
+  let index = Hashtbl.create (2 * Array.length states) in
+  Array.iteri (fun id st -> Hashtbl.replace index st id) states;
+  (* Every successor is either [Added] or a [Dup] under a discrete store,
+     so the recorded edges are exactly the generated transition lists. *)
+  let transitions = Array.map (List.map fst) out.Engine.Core.edges in
+  ({ states; index; transitions }, out.Engine.Core.stats)
+
+let explore ?max_states net = fst (explore_stats ?max_states net)
 
 let discrete_parts g =
   let tbl = Hashtbl.create 4096 in

@@ -49,9 +49,15 @@ type graph = {
   transitions : dtrans list array; (* by source state id *)
 }
 
-(** [explore net] builds the reachable graph.
+(** [explore net] builds the reachable graph, breadth-first on the shared
+    {!Engine.Core} with a {!Engine.Store.discrete} store.
     @raise Failure when [max_states] (default 2_000_000) is exceeded. *)
 val explore : ?max_states:int -> Ta.Model.network -> graph
+
+(** [explore_stats net] is {!explore} and the engine's per-run
+    instrumentation (visited, stored, peak frontier, wall-clock time). *)
+val explore_stats :
+  ?max_states:int -> Ta.Model.network -> graph * Engine.Stats.t
 
 (** [discrete_parts g] is the set of reachable (locations, store) pairs,
     for cross-validation against the zone engine. *)

@@ -1,0 +1,159 @@
+module Pqueue = Quant_util.Pqueue
+module Dbm = Zones.Dbm
+
+type 's order = Bfs | Dfs | Priority of ('s -> int)
+
+type ('s, 'l) node = { state : 's; parent : int; label : 'l option }
+
+type ('s, 'l, 'a) outcome = {
+  found : ('a * ('l * 's) list) option;
+  states : 's array;
+  parents : (int * 'l option) array;
+  edges : ('l * int) list array;
+  stats : Stats.t;
+}
+
+let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
+    ~successors ~on_state ~init () =
+  let t0 = Unix.gettimeofday () in
+  let cmp0 = Dbm.cmp_stats () in
+  let arena : ('s, 'l) node Arena.t = Arena.create () in
+  let bfs = Queue.create () in
+  let dfs = ref [] in
+  let pq = Pqueue.create () in
+  let frontier_len = ref 0 in
+  let peak = ref 0 in
+  let push_frontier id pri =
+    (match order with
+     | Bfs -> Queue.push id bfs
+     | Dfs -> dfs := id :: !dfs
+     | Priority _ -> Pqueue.push pq ~priority:pri id);
+    incr frontier_len;
+    if !frontier_len > !peak then peak := !frontier_len
+  in
+  let pop_frontier () =
+    let popped =
+      match order with
+      | Bfs -> if Queue.is_empty bfs then None else Some (Queue.pop bfs)
+      | Dfs -> (
+          match !dfs with
+          | [] -> None
+          | id :: rest ->
+            dfs := rest;
+            Some id)
+      | Priority _ -> Option.map snd (Pqueue.pop_min pq)
+    in
+    if popped <> None then decr frontier_len;
+    popped
+  in
+  let pri_of st = match order with Priority f -> f st | Bfs | Dfs -> 0 in
+  let edge_tbl = Hashtbl.create (if record_edges then 4096 else 1) in
+  let add_edge src label dst =
+    if record_edges then begin
+      let old =
+        match Hashtbl.find_opt edge_tbl src with Some e -> e | None -> []
+      in
+      Hashtbl.replace edge_tbl src ((label, dst) :: old)
+    end
+  in
+  let visited = ref 0 in
+  let subsumed = ref 0 in
+  let dropped = ref 0 in
+  let truncated = ref false in
+  (* Offer [st] to the store; on acceptance commit it to the arena and the
+     frontier. Returns the id the state lives under, [None] if covered. *)
+  let enqueue ~parent ~label st =
+    match store.Store.insert st ~id:(Arena.size arena) with
+    | Store.Added { dropped = d } ->
+      dropped := !dropped + d;
+      let id = Arena.add arena { state = st; parent; label } in
+      push_frontier id (pri_of st);
+      Some id
+    | Store.Dup id' ->
+      incr subsumed;
+      Some id'
+    | Store.Covered ->
+      incr subsumed;
+      None
+  in
+  (match store.Store.insert init ~id:0 with
+   | Store.Added { dropped = d } ->
+     dropped := !dropped + d;
+     let id = Arena.add arena { state = init; parent = -1; label = None } in
+     push_frontier id (pri_of init)
+   | Store.Dup _ | Store.Covered ->
+     invalid_arg "Engine: store rejected the initial state");
+  let found = ref None in
+  let running = ref true in
+  while !running do
+    match pop_frontier () with
+    | None -> running := false
+    | Some id ->
+      let node = Arena.get arena id in
+      if not (store.Store.stale node.state) then begin
+        incr visited;
+        if !visited > max_states || Arena.size arena > max_states then begin
+          truncated := true;
+          running := false
+        end
+        else begin
+          match on_state node.state with
+          | Some payload ->
+            found := Some (payload, id);
+            running := false
+          | None ->
+            List.iter
+              (fun (label, st') ->
+                match enqueue ~parent:id ~label:(Some label) st' with
+                | Some id' -> add_edge id label id'
+                | None -> ())
+              (successors node.state)
+        end
+      end
+  done;
+  let trace_to id =
+    let rec walk id acc =
+      if id < 0 then acc
+      else begin
+        let n = Arena.get arena id in
+        match n.label with
+        | None -> acc
+        | Some l -> walk n.parent ((l, n.state) :: acc)
+      end
+    in
+    walk id []
+  in
+  let cmp1 = Dbm.cmp_stats () in
+  let n = Arena.size arena in
+  let states = Array.init n (fun i -> (Arena.get arena i).state) in
+  let parents =
+    Array.init n (fun i ->
+        let nd = Arena.get arena i in
+        (nd.parent, nd.label))
+  in
+  let edges =
+    if record_edges then
+      Array.init n (fun i ->
+          match Hashtbl.find_opt edge_tbl i with
+          | Some e -> List.rev e
+          | None -> [])
+    else [||]
+  in
+  {
+    found = Option.map (fun (p, id) -> (p, trace_to id)) !found;
+    states;
+    parents;
+    edges;
+    stats =
+      {
+        Stats.visited = !visited;
+        stored = store.Store.size ();
+        subsumed = !subsumed;
+        dropped = !dropped;
+        peak_frontier = !peak;
+        truncated = !truncated;
+        time_s = Unix.gettimeofday () -. t0;
+        dbm_phys_eq = cmp1.Dbm.phys_hits - cmp0.Dbm.phys_hits;
+        dbm_full_cmp = cmp1.Dbm.full_scans - cmp0.Dbm.full_scans;
+      };
+  }

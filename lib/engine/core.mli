@@ -1,0 +1,57 @@
+(** The generic symbolic exploration core.
+
+    One passed/waiting loop serves every backend: the UPPAAL-style
+    checker, CORA's cost-optimal search, the digital-clock graph builder
+    that TIGA games and ECDAR refinement run on. The pieces that differ
+    per backend plug in:
+
+    - the {e state store} ({!Store.t}) decides coverage/subsumption;
+    - the {e search order} picks BFS, DFS or a priority queue;
+    - [successors] generates the labelled transition relation on the fly;
+    - [on_state] may short-circuit with a payload (witness found).
+
+    The core owns the node arena, parent links and trace reconstruction,
+    and reports a {!Stats.t} for every run. *)
+
+type 's order =
+  | Bfs
+  | Dfs
+  | Priority of ('s -> int)
+      (** smallest priority first; ties broken by insertion order *)
+
+type ('s, 'l) node = { state : 's; parent : int; label : 'l option }
+
+type ('s, 'l, 'a) outcome = {
+  found : ('a * ('l * 's) list) option;
+      (** the payload returned by [on_state], with the labelled steps of
+          a run from the initial state to the state that produced it *)
+  states : 's array;  (** arena states, indexed by id; id 0 is initial *)
+  parents : (int * 'l option) array;
+      (** discovery parent and edge label per id; [(-1, None)] for the
+          initial state *)
+  edges : ('l * int) list array;
+      (** per-id successor edges in generation order, only when
+          [record_edges] (empty array otherwise). Edges to states the
+          store answered [Covered] for are not recorded, so meaningful
+          graph building requires an exact store. *)
+  stats : Stats.t;
+}
+
+(** [run ~store ~successors ~on_state ~init ()] explores from [init]
+    until [on_state] returns a payload, the frontier drains, or
+    [max_states] is exceeded (reported as [stats.truncated]; callers
+    choose whether that is an error). With a {!Store.best_cost} store and
+    a [Priority] order this is exactly Dijkstra: re-improved states are
+    re-enqueued and stale arena entries are skipped at pop time.
+
+    @raise Invalid_argument if the store rejects the initial state. *)
+val run :
+  ?max_states:int ->
+  ?order:'s order ->
+  ?record_edges:bool ->
+  store:'s Store.t ->
+  successors:('s -> ('l * 's) list) ->
+  on_state:('s -> 'a option) ->
+  init:'s ->
+  unit ->
+  ('s, 'l, 'a) outcome

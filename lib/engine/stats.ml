@@ -1,0 +1,45 @@
+type t = {
+  visited : int;
+  stored : int;
+  subsumed : int;
+  dropped : int;
+  peak_frontier : int;
+  truncated : bool;
+  time_s : float;
+  dbm_phys_eq : int;
+  dbm_full_cmp : int;
+}
+
+let zero =
+  {
+    visited = 0;
+    stored = 0;
+    subsumed = 0;
+    dropped = 0;
+    peak_frontier = 0;
+    truncated = false;
+    time_s = 0.0;
+    dbm_phys_eq = 0;
+    dbm_full_cmp = 0;
+  }
+
+let basic ~visited ~stored = { zero with visited; stored }
+
+let store_hit_rate t =
+  let attempts = t.stored + t.dropped + t.subsumed in
+  if attempts = 0 then 0.0 else float_of_int t.subsumed /. float_of_int attempts
+
+let to_json t =
+  Printf.sprintf
+    "{\"visited\":%d,\"stored\":%d,\"subsumed\":%d,\"dropped\":%d,\
+     \"peak_frontier\":%d,\"store_hit_rate\":%.4f,\"truncated\":%b,\
+     \"time_s\":%.6f,\"dbm_phys_eq\":%d,\"dbm_full_cmp\":%d}"
+    t.visited t.stored t.subsumed t.dropped t.peak_frontier (store_hit_rate t)
+    t.truncated t.time_s t.dbm_phys_eq t.dbm_full_cmp
+
+let pp ppf t =
+  Format.fprintf ppf
+    "visited %d, stored %d, subsumed %d, dropped %d, peak frontier %d, hit \
+     rate %.2f, %.3fs"
+    t.visited t.stored t.subsumed t.dropped t.peak_frontier (store_hit_rate t)
+    t.time_s

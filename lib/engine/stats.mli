@@ -1,0 +1,35 @@
+(** Per-run instrumentation of the exploration core.
+
+    Every {!Core.run} returns one of these; front ends ({e quantcli},
+    {e bench}) print it as JSON so performance trajectories can be
+    compared across revisions. *)
+
+type t = {
+  visited : int;  (** states popped from the frontier and processed *)
+  stored : int;  (** states currently kept in the state store *)
+  subsumed : int;
+      (** candidate states rejected because a stored state covers them
+          (equal, including, or cheaper, depending on the store) *)
+  dropped : int;  (** stored states evicted by a stronger newcomer *)
+  peak_frontier : int;  (** maximum frontier (waiting list) length *)
+  truncated : bool;  (** the [max_states] bound stopped the run *)
+  time_s : float;  (** wall-clock seconds for the run *)
+  dbm_phys_eq : int;
+      (** DBM comparisons settled by pointer equality during the run
+          (nonzero only when zones are hash-consed) *)
+  dbm_full_cmp : int;  (** DBM comparisons that scanned matrix entries *)
+}
+
+val zero : t
+
+(** [basic ~visited ~stored] — all other counters zero; for analyses that
+    derive their numbers outside the core (e.g. liveness graph passes). *)
+val basic : visited:int -> stored:int -> t
+
+(** Fraction of store insertions rejected as already covered. *)
+val store_hit_rate : t -> float
+
+(** One-line JSON object with every counter. *)
+val to_json : t -> string
+
+val pp : Format.formatter -> t -> unit

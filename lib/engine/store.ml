@@ -1,0 +1,97 @@
+module Dbm = Zones.Dbm
+
+type verdict =
+  | Added of { dropped : int }
+  | Dup of int
+  | Covered
+
+type 's t = {
+  name : string;
+  insert : 's -> id:int -> verdict;
+  stale : 's -> bool;
+  size : unit -> int;
+}
+
+let no_stale _ = false
+
+let discrete ~key () =
+  let tbl = Hashtbl.create 4096 in
+  {
+    name = "discrete";
+    insert =
+      (fun s ~id ->
+        let k = key s in
+        match Hashtbl.find_opt tbl k with
+        | Some id' -> Dup id'
+        | None ->
+          Hashtbl.replace tbl k id;
+          Added { dropped = 0 });
+    stale = no_stale;
+    size = (fun () -> Hashtbl.length tbl);
+  }
+
+let exact ~key ~zone () =
+  let tbl = Hashtbl.create 4096 in
+  (* discrete key -> (zone, id) list, exact zone equality *)
+  let count = ref 0 in
+  {
+    name = "exact";
+    insert =
+      (fun s ~id ->
+        let k = key s and z = zone s in
+        let entries =
+          match Hashtbl.find_opt tbl k with Some e -> e | None -> []
+        in
+        match List.find_opt (fun (z', _) -> Dbm.equal z z') entries with
+        | Some (_, id') -> Dup id'
+        | None ->
+          Hashtbl.replace tbl k ((z, id) :: entries);
+          incr count;
+          Added { dropped = 0 });
+    stale = no_stale;
+    size = (fun () -> !count);
+  }
+
+let subsume ~key ~zone () =
+  let tbl = Hashtbl.create 4096 in
+  (* discrete key -> zone list; stored zones are pairwise incomparable *)
+  let count = ref 0 in
+  {
+    name = "subsume";
+    insert =
+      (fun s ~id:_ ->
+        let k = key s and z = zone s in
+        let entries =
+          match Hashtbl.find_opt tbl k with Some e -> e | None -> []
+        in
+        if List.exists (fun z' -> Dbm.subset z z') entries then Covered
+        else begin
+          let kept = List.filter (fun z' -> not (Dbm.subset z' z)) entries in
+          let dropped = List.length entries - List.length kept in
+          Hashtbl.replace tbl k (z :: kept);
+          count := !count + 1 - dropped;
+          Added { dropped }
+        end);
+    stale = no_stale;
+    size = (fun () -> !count);
+  }
+
+let best_cost ~key ~cost () =
+  let best = Hashtbl.create 4096 in
+  {
+    name = "best-cost";
+    insert =
+      (fun s ~id:_ ->
+        let k = key s and c = cost s in
+        match Hashtbl.find_opt best k with
+        | Some old when old <= c -> Covered
+        | prev ->
+          Hashtbl.replace best k c;
+          Added { dropped = (match prev with Some _ -> 1 | None -> 0) });
+    stale =
+      (fun s ->
+        match Hashtbl.find_opt best (key s) with
+        | Some b -> cost s > b
+        | None -> false);
+    size = (fun () -> Hashtbl.length best);
+  }

@@ -1,0 +1,40 @@
+(** Pluggable state stores (passed lists) for the exploration core.
+
+    A store decides, for every candidate state, whether it is new work or
+    already covered by something seen before. The four implementations
+    cover the backends' needs:
+
+    - {!discrete}: structural equality on the whole state (digital-clock
+      graphs: TIGA games, ECDAR views, {e modes}).
+    - {!exact}: exact zone equality under a discrete key (liveness
+      graphs, the subsumption-off ablation).
+    - {!subsume}: inclusion subsumption — a candidate covered by a stored
+      zone is rejected, stored zones strictly inside the candidate are
+      evicted (UPPAAL-style safety/reachability).
+    - {!best_cost}: keep only the cheapest cost per key, re-opening a
+      state when a cheaper path arrives (CORA's Dijkstra).
+
+    Each constructor returns a fresh, independent store. *)
+
+type verdict =
+  | Added of { dropped : int }
+      (** stored under the candidate id; [dropped] weaker entries evicted *)
+  | Dup of int  (** exactly equal to the state already stored as [id] *)
+  | Covered  (** covered by a stored state; no id of its own *)
+
+type 's t = {
+  name : string;
+  insert : 's -> id:int -> verdict;
+      (** [insert s ~id] offers [s] for storage under the candidate [id]
+          (the id it will get if accepted). *)
+  stale : 's -> bool;
+      (** [stale s] at pop time: the stored information superseding [s]
+          arrived after it was enqueued, so skip it. Only {!best_cost}
+          ever answers [true]. *)
+  size : unit -> int;  (** states currently stored *)
+}
+
+val discrete : key:('s -> 'k) -> unit -> 's t
+val exact : key:('s -> 'k) -> zone:('s -> Zones.Dbm.t) -> unit -> 's t
+val subsume : key:('s -> 'k) -> zone:('s -> Zones.Dbm.t) -> unit -> 's t
+val best_cost : key:('s -> 'k) -> cost:('s -> int) -> unit -> 's t

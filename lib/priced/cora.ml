@@ -1,6 +1,5 @@
 module Digital = Discrete.Digital
 module Zone_graph = Ta.Zone_graph
-module Pqueue = Quant_util.Pqueue
 
 type cost_model = {
   loc_rate : int -> int -> int;
@@ -9,7 +8,12 @@ type cost_model = {
 
 let free = { loc_rate = (fun _ _ -> 0); move_cost = (fun _ -> 0) }
 
-type outcome = { cost : int; steps : string list; explored : int }
+type outcome = {
+  cost : int;
+  steps : string list;
+  explored : int;
+  stats : Engine.Stats.t;
+}
 
 let rate_of net cm (st : Digital.dstate) =
   let total = ref 0 in
@@ -27,52 +31,35 @@ let trans_label (t : Digital.dtrans) =
   | `Delay -> "delay"
   | `Act mv -> mv.Zone_graph.mv_label
 
-(* Dijkstra on the digital graph, generated on the fly. *)
+(* Dijkstra on the digital graph, generated on the fly: the engine core
+   with a [best_cost] store and a cost-priority frontier. States carry
+   their accumulated cost; re-improved states are re-enqueued and stale
+   entries skipped at pop time, so a popped state's cost is optimal. *)
 let min_cost_reach net cm ~target =
-  let best : (Digital.dstate, int) Hashtbl.t = Hashtbl.create 4096 in
-  let parent : (Digital.dstate, Digital.dstate * string) Hashtbl.t =
-    Hashtbl.create 4096
+  let store = Engine.Store.best_cost ~key:fst ~cost:snd () in
+  let successors (st, cost) =
+    List.map
+      (fun t ->
+        (trans_label t, (t.Digital.target, cost + trans_cost net cm st t)))
+      (Digital.successors net st)
   in
-  let queue = Pqueue.create () in
-  let init = Digital.initial net in
-  Hashtbl.replace best init 0;
-  Pqueue.push queue ~priority:0 init;
-  let explored = ref 0 in
-  let result = ref None in
-  let rec steps_to st acc =
-    match Hashtbl.find_opt parent st with
-    | None -> acc
-    | Some (prev, label) -> steps_to prev (label :: acc)
+  let on_state (st, cost) = if target st then Some cost else None in
+  let out =
+    Engine.Core.run ~max_states:max_int ~order:(Engine.Core.Priority snd)
+      ~store ~successors ~on_state
+      ~init:(Digital.initial net, 0)
+      ()
   in
-  let rec loop () =
-    match Pqueue.pop_min queue with
-    | None -> ()
-    | Some (cost, st) ->
-      (* Skip stale queue entries. *)
-      if cost > (try Hashtbl.find best st with Not_found -> max_int) then loop ()
-      else if target st then
-        result := Some { cost; steps = steps_to st []; explored = !explored }
-      else begin
-        incr explored;
-        List.iter
-          (fun t ->
-            let c' = cost + trans_cost net cm st t in
-            let better =
-              match Hashtbl.find_opt best t.Digital.target with
-              | None -> true
-              | Some old -> c' < old
-            in
-            if better then begin
-              Hashtbl.replace best t.Digital.target c';
-              Hashtbl.replace parent t.Digital.target (st, trans_label t);
-              Pqueue.push queue ~priority:c' t.Digital.target
-            end)
-          (Digital.successors net st);
-        loop ()
-      end
-  in
-  loop ();
-  !result
+  Option.map
+    (fun (cost, steps) ->
+      {
+        cost;
+        steps = List.map fst steps;
+        (* The target pop itself is not an expansion. *)
+        explored = out.Engine.Core.stats.Engine.Stats.visited - 1;
+        stats = out.Engine.Core.stats;
+      })
+    out.Engine.Core.found
 
 (* Longest path to the target over the reachable digital graph, via the
    SCC condensation: a cycle (SCC) containing a positive-cost edge from

@@ -23,11 +23,14 @@ val free : cost_model
 type outcome = {
   cost : int;
   steps : string list;  (** labels of an optimal run, ["delay"] for waits *)
-  explored : int;
+  explored : int;  (** digital states expanded before the target popped *)
+  stats : Engine.Stats.t;  (** the engine run's full instrumentation *)
 }
 
 (** [min_cost_reach net cm ~target] is the cheapest cost to reach a state
-    whose discrete part satisfies [target], or [None] if unreachable. *)
+    whose discrete part satisfies [target], or [None] if unreachable.
+    Runs Dijkstra on the shared {!Engine.Core}: a {!Engine.Store.best_cost}
+    store with a cost-priority frontier. *)
 val min_cost_reach :
   Ta.Model.network ->
   cost_model ->

@@ -2,96 +2,64 @@ module Dbm = Zones.Dbm
 module Fed = Zones.Fed
 module Bound = Zones.Bound
 
-type stats = { visited : int; stored : int }
+type stats = Engine.Stats.t = {
+  visited : int;
+  stored : int;
+  subsumed : int;
+  dropped : int;
+  peak_frontier : int;
+  truncated : bool;
+  time_s : float;
+  dbm_phys_eq : int;
+  dbm_full_cmp : int;
+}
+
 type result = { holds : bool; trace : string list option; stats : stats }
 
 (* ------------------------------------------------------------------ *)
-(* Passed/waiting exploration with optional inclusion subsumption       *)
+(* Exploration on the shared engine core                                *)
 (* ------------------------------------------------------------------ *)
 
-type node = {
-  st : Zone_graph.state;
-  parent : int; (* -1 for the initial node *)
-  label : string;
-}
+let state_key (st : Zone_graph.state) = Zone_graph.discrete_key st
+let state_zone (st : Zone_graph.state) = st.Zone_graph.zone
 
-(* Insert [zone] into the passed list for its discrete key. Returns false
-   when an already-stored zone subsumes it. With subsumption on, stored
-   zones that the new one strictly contains are dropped. *)
-let insert_passed ~subsumption passed key zone =
-  let existing = try Hashtbl.find passed key with Not_found -> [] in
-  if subsumption then begin
-    if List.exists (fun z -> Dbm.subset zone z) existing then false
-    else begin
-      let kept = List.filter (fun z -> not (Dbm.subset z zone)) existing in
-      Hashtbl.replace passed key (zone :: kept);
-      true
-    end
-  end
-  else if List.exists (fun z -> Dbm.equal zone z) existing then false
-  else begin
-    Hashtbl.replace passed key (zone :: existing);
-    true
-  end
+(* With [hashcons], every fresh zone is interned so that equal zones
+   share one representative and the store's [Dbm.equal]/[Dbm.subset]
+   checks short-circuit on pointer equality. *)
+let canon ~hashcons (st : Zone_graph.state) =
+  if hashcons then { st with Zone_graph.zone = Dbm.intern st.Zone_graph.zone }
+  else st
 
-(* Generic breadth-first exploration. [on_state] is called once per fresh
-   symbolic state and may short-circuit by returning a payload. With
-   [rich_trace], witness steps carry the symbolic state they reach. *)
-let explore ?(subsumption = true) ?(max_states = 1_000_000)
+(* Generic exploration. [on_state] is called once per fresh symbolic
+   state and may short-circuit by returning a payload. With [rich_trace],
+   witness steps carry the symbolic state they reach. *)
+let explore ?(subsumption = true) ?(hashcons = true) ?(max_states = 1_000_000)
     ?(rich_trace = false) net ~ks ~on_state =
-  let passed = Hashtbl.create 4096 in
-  let nodes : node array ref = ref [||] in
-  let n_nodes = ref 0 in
-  let push node =
-    if !n_nodes = Array.length !nodes then begin
-      let fresh = Array.make (max 256 (2 * !n_nodes)) node in
-      Array.blit !nodes 0 fresh 0 !n_nodes;
-      nodes := fresh
-    end;
-    !nodes.(!n_nodes) <- node;
-    incr n_nodes;
-    !n_nodes - 1
+  let store =
+    if subsumption then Engine.Store.subsume ~key:state_key ~zone:state_zone ()
+    else Engine.Store.exact ~key:state_key ~zone:state_zone ()
   in
-  let trace_to id =
-    let render (n : node) =
-      if rich_trace then
-        Format.asprintf "%s  @@ %a" n.label (Zone_graph.pp_state net) n.st
-      else n.label
-    in
-    let rec walk id acc =
-      if id < 0 then acc
-      else begin
-        let n = !nodes.(id) in
-        walk n.parent (if n.parent < 0 then acc else render n :: acc)
-      end
-    in
-    walk id []
+  let successors st =
+    List.map
+      (fun (label, st') -> (label, canon ~hashcons st'))
+      (Zone_graph.successors net ~ks st)
   in
-  let queue = Queue.create () in
-  let visited = ref 0 in
-  let init = Zone_graph.initial net ~ks in
-  ignore
-    (insert_passed ~subsumption passed (Zone_graph.discrete_key init) init.zone);
-  Queue.push (push { st = init; parent = -1; label = "init" }) queue;
-  let outcome = ref None in
-  while !outcome = None && not (Queue.is_empty queue) do
-    let id = Queue.pop queue in
-    let node = !nodes.(id) in
-    incr visited;
-    if !visited > max_states then
-      failwith "Checker: state limit exceeded (model too large or diverging)";
-    (match on_state node.st with
-     | Some payload -> outcome := Some (payload, trace_to id)
-     | None ->
-       List.iter
-         (fun (label, st') ->
-           let key = Zone_graph.discrete_key st' in
-           if insert_passed ~subsumption passed key st'.Zone_graph.zone then
-             Queue.push (push { st = st'; parent = id; label }) queue)
-         (Zone_graph.successors net ~ks node.st))
-  done;
-  let stored = Hashtbl.fold (fun _ zs acc -> acc + List.length zs) passed 0 in
-  (!outcome, { visited = !visited; stored })
+  let out =
+    Engine.Core.run ~max_states ~store ~successors ~on_state
+      ~init:(canon ~hashcons (Zone_graph.initial net ~ks))
+      ()
+  in
+  if out.Engine.Core.stats.truncated then
+    failwith "Checker: state limit exceeded (model too large or diverging)";
+  let render (label, st) =
+    if rich_trace then
+      Format.asprintf "%s  @@ %a" label (Zone_graph.pp_state net) st
+    else label
+  in
+  ( Option.map
+      (fun (payload, steps) -> (payload, List.map render steps))
+      out.Engine.Core.found,
+    out.Engine.Core.stats )
 
 (* ------------------------------------------------------------------ *)
 (* Deadlock                                                             *)
@@ -126,56 +94,33 @@ type graph = {
   parents : (int * string) array; (* for diagnostic traces *)
 }
 
-let build_graph ?(max_states = 1_000_000) net ~ks =
-  let table = Hashtbl.create 4096 in
-  (* discrete key -> (zone, id) list, exact equality *)
-  let states = ref [] and n = ref 0 in
-  let succs = Hashtbl.create 4096 in
-  let parents = Hashtbl.create 4096 in
-  let id_of st =
-    let key = Zone_graph.discrete_key st in
-    let entries = try Hashtbl.find table key with Not_found -> [] in
-    match
-      List.find_opt (fun (z, _) -> Dbm.equal z st.Zone_graph.zone) entries
-    with
-    | Some (_, id) -> (id, false)
-    | None ->
-      let id = !n in
-      incr n;
-      if !n > max_states then
-        failwith "Checker: state limit exceeded during liveness exploration";
-      Hashtbl.replace table key ((st.Zone_graph.zone, id) :: entries);
-      states := st :: !states;
-      (id, true)
+let build_graph ?(max_states = 1_000_000) ?(hashcons = true) net ~ks =
+  let store = Engine.Store.exact ~key:state_key ~zone:state_zone () in
+  let successors st =
+    List.map
+      (fun (label, st') -> (label, canon ~hashcons st'))
+      (Zone_graph.successors net ~ks st)
   in
-  let queue = Queue.create () in
-  let init = Zone_graph.initial net ~ks in
-  let init_id, _ = id_of init in
-  Hashtbl.replace parents init_id (-1, "init");
-  Queue.push (init_id, init) queue;
-  while not (Queue.is_empty queue) do
-    let id, st = Queue.pop queue in
-    let kids =
-      List.map
-        (fun (label, st') ->
-          let id', fresh = id_of st' in
-          if fresh then begin
-            Hashtbl.replace parents id' (id, label);
-            Queue.push (id', st') queue
-          end;
-          id')
-        (Zone_graph.successors net ~ks st)
-    in
-    Hashtbl.replace succs id kids
-  done;
-  let states_arr = Array.of_list (List.rev !states) in
-  let succs_arr =
-    Array.init !n (fun i -> try Hashtbl.find succs i with Not_found -> [])
+  let out =
+    Engine.Core.run ~max_states ~record_edges:true ~store ~successors
+      ~on_state:(fun _ -> None)
+      ~init:(canon ~hashcons (Zone_graph.initial net ~ks))
+      ()
   in
-  let parents_arr =
-    Array.init !n (fun i -> try Hashtbl.find parents i with Not_found -> (-1, "?"))
+  if out.Engine.Core.stats.truncated then
+    failwith "Checker: state limit exceeded during liveness exploration";
+  let parents =
+    Array.map
+      (fun (parent, label) ->
+        (parent, match label with Some l -> l | None -> if parent < 0 then "init" else "?"))
+      out.Engine.Core.parents
   in
-  { states = states_arr; succs = succs_arr; parents = parents_arr }
+  ( {
+      states = out.Engine.Core.states;
+      succs = Array.map (List.map snd) out.Engine.Core.edges;
+      parents;
+    },
+    out.Engine.Core.stats )
 
 (* A discrete node can let time diverge iff delay is allowed at all (no
    committed/urgent location, no enabled urgent synchronisation) and no
@@ -233,16 +178,16 @@ let trace_in_graph graph id =
 (* Top-level check                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let check_reach ?subsumption ?max_states ?rich_trace net f =
+let check_reach ?subsumption ?hashcons ?max_states ?rich_trace net f =
   let ks = Prop.merge_constants net f in
   let on_state st = if Prop.holds_somewhere net st f then Some () else None in
-  explore ?subsumption ?max_states ?rich_trace net ~ks ~on_state
+  explore ?subsumption ?hashcons ?max_states ?rich_trace net ~ks ~on_state
 
 let check_liveness ?max_states ?(from_initial_only = false) net ~p ~q =
   if not (Prop.crisp p && Prop.crisp q) then
     invalid_arg "Checker: leads-to operands must not contain clock atoms";
   let ks = Array.copy net.Model.max_consts in
-  let graph = build_graph ?max_states net ~ks in
+  let graph, gstats = build_graph ?max_states net ~ks in
   let is_q id = Prop.eval_crisp net graph.states.(id) q in
   let starts = ref [] in
   if from_initial_only then begin
@@ -256,21 +201,23 @@ let check_liveness ?max_states ?(from_initial_only = false) net ~p ~q =
           starts := id :: !starts)
       graph.states;
   let failing = all_paths_reach graph net ~is_q (List.rev !starts) in
-  let stats = { visited = Array.length graph.states; stored = Array.length graph.states } in
+  let stats = gstats in
   match failing with
   | None -> { holds = true; trace = None; stats }
   | Some id -> { holds = false; trace = Some (trace_in_graph graph id); stats }
 
-let check ?subsumption ?max_states ?rich_trace net query =
+let check ?subsumption ?hashcons ?max_states ?rich_trace net query =
   match query with
   | Prop.Possibly f ->
-    let outcome, stats = check_reach ?subsumption ?max_states ?rich_trace net f in
+    let outcome, stats =
+      check_reach ?subsumption ?hashcons ?max_states ?rich_trace net f
+    in
     (match outcome with
      | Some ((), trace) -> { holds = true; trace = Some trace; stats }
      | None -> { holds = false; trace = None; stats })
   | Prop.Invariant f ->
     let outcome, stats =
-      check_reach ?subsumption ?max_states ?rich_trace net (Prop.Not f)
+      check_reach ?subsumption ?hashcons ?max_states ?rich_trace net (Prop.Not f)
     in
     (match outcome with
      | Some ((), trace) -> { holds = false; trace = Some trace; stats }
@@ -279,7 +226,7 @@ let check ?subsumption ?max_states ?rich_trace net query =
     let ks = Array.copy net.Model.max_consts in
     let on_state st = if deadlocked net st then Some () else None in
     let outcome, stats =
-      explore ?subsumption ?max_states ?rich_trace net ~ks ~on_state
+      explore ?subsumption ?hashcons ?max_states ?rich_trace net ~ks ~on_state
     in
     (match outcome with
      | Some ((), trace) -> { holds = false; trace = Some trace; stats }
@@ -290,7 +237,7 @@ let check ?subsumption ?max_states ?rich_trace net query =
       invalid_arg "Checker: A<> operand must not contain clock atoms";
     check_liveness ?max_states ~from_initial_only:true net ~p:Prop.True ~q:f
 
-let reachable_states ?subsumption ?max_states net =
+let reachable_states ?subsumption ?hashcons ?max_states net =
   let ks = Array.copy net.Model.max_consts in
   let acc = ref [] in
   let on_state st =
@@ -298,6 +245,6 @@ let reachable_states ?subsumption ?max_states net =
     None
   in
   let (_ : (unit * string list) option * stats) =
-    explore ?subsumption ?max_states net ~ks ~on_state
+    explore ?subsumption ?hashcons ?max_states net ~ks ~on_state
   in
   List.rev !acc

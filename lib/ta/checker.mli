@@ -5,11 +5,25 @@
     deadlock-freedom, over the zone graph with inclusion subsumption
     (except for liveness, which needs the exact graph). The deadlock test
     is exact, using federation subtraction: a valuation deadlocks when no
-    delay can ever enable another move. *)
+    delay can ever enable another move.
 
-type stats = {
+    The exploration itself runs on the shared {!Engine.Core} with a
+    {!Engine.Store.subsume} (or {!Engine.Store.exact}) store; this module
+    only contributes the zone-graph successor relation, the properties
+    and the deadlock predicate. *)
+
+(** Per-run instrumentation, re-exported from {!Engine.Stats.t} so that
+    field accesses through [Ta.Checker] keep working. *)
+type stats = Engine.Stats.t = {
   visited : int;  (** symbolic states popped from the waiting list *)
   stored : int;  (** symbolic states kept in the passed list *)
+  subsumed : int;  (** candidates covered by (or equal to) stored states *)
+  dropped : int;  (** stored states evicted by a larger candidate *)
+  peak_frontier : int;  (** maximum waiting-list length *)
+  truncated : bool;  (** [max_states] hit (reported as [Failure] here) *)
+  time_s : float;  (** wall-clock exploration time *)
+  dbm_phys_eq : int;  (** DBM comparisons settled by pointer equality *)
+  dbm_full_cmp : int;  (** DBM comparisons needing a full scan *)
 }
 
 type result = {
@@ -23,12 +37,16 @@ type result = {
 (** [check net q] verifies query [q]. [subsumption] (default true) turns
     inclusion checking on the passed list on/off (ablation switch); it is
     ignored for liveness queries, which always use the exact graph.
+    [hashcons] (default true) interns every zone in the global
+    {!Zones.Dbm.intern} table so equal zones share one representative and
+    comparisons short-circuit on pointer equality (ablation switch).
     [rich_trace] (default false) annotates every witness step with the
     symbolic state it reaches. [max_states] (default 1_000_000) aborts
     pathological explorations.
     @raise Failure if the exploration exceeds [max_states]. *)
 val check :
   ?subsumption:bool ->
+  ?hashcons:bool ->
   ?max_states:int ->
   ?rich_trace:bool ->
   Model.network ->
@@ -44,6 +62,7 @@ val deadlocked : Model.network -> Zone_graph.state -> bool
     digital-clocks engine. *)
 val reachable_states :
   ?subsumption:bool ->
+  ?hashcons:bool ->
   ?max_states:int ->
   Model.network ->
   Zone_graph.state list

@@ -185,17 +185,82 @@ let intersect t1 t2 =
     if !changed then close_inplace t else t
   end
 
-let subset t1 t2 =
-  assert (t1.dim = t2.dim);
-  is_empty t1
-  ||
-  let ok = ref true in
-  for k = 0 to (t1.dim * t1.dim) - 1 do
-    if t1.m.(k) > t2.m.(k) then ok := false
-  done;
-  !ok
+(* Comparison instrumentation: every [equal]/[subset] call either
+   short-circuits on physical equality (cheap, counts as a phys hit) or
+   scans the matrices (counts as a full scan). Interning (below) is what
+   makes the fast path fire; the counters let benchmarks measure it. *)
+type cmp_stats = {
+  phys_hits : int;  (** comparisons settled by pointer equality *)
+  full_scans : int;  (** comparisons that scanned matrix entries *)
+  intern_hits : int;  (** [intern] calls that found an existing DBM *)
+  intern_misses : int;  (** [intern] calls that added a fresh DBM *)
+}
 
-let equal t1 t2 = t1.dim = t2.dim && (t1.m = t2.m || (is_empty t1 && is_empty t2))
+let c_phys = ref 0
+let c_full = ref 0
+let c_ihit = ref 0
+let c_imiss = ref 0
+
+let cmp_stats () =
+  {
+    phys_hits = !c_phys;
+    full_scans = !c_full;
+    intern_hits = !c_ihit;
+    intern_misses = !c_imiss;
+  }
+
+let reset_cmp_stats () =
+  c_phys := 0;
+  c_full := 0;
+  c_ihit := 0;
+  c_imiss := 0
+
+let subset t1 t2 =
+  if t1 == t2 || t1.m == t2.m then begin
+    incr c_phys;
+    true
+  end
+  else begin
+    incr c_full;
+    assert (t1.dim = t2.dim);
+    is_empty t1
+    ||
+    let ok = ref true in
+    for k = 0 to (t1.dim * t1.dim) - 1 do
+      if t1.m.(k) > t2.m.(k) then ok := false
+    done;
+    !ok
+  end
+
+let equal t1 t2 =
+  if t1 == t2 || t1.m == t2.m then begin
+    incr c_phys;
+    true
+  end
+  else begin
+    incr c_full;
+    t1.dim = t2.dim && (t1.m = t2.m || (is_empty t1 && is_empty t2))
+  end
+
+(* Hash-consing: canonical DBMs are interned in a weak set so that equal
+   zones share one representative, giving [equal]/[subset] their
+   pointer-equality fast path and deduplicating passed-list storage. The
+   set is weak: representatives no longer referenced by any store are
+   collected. Safe because every exported operation copies before
+   mutating. *)
+module Hc = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b = a.dim = b.dim && a.m = b.m
+  let hash a = Hashtbl.hash a.m
+end)
+
+let hc_table = Hc.create 4096
+
+let intern t =
+  let r = Hc.merge hc_table t in
+  if r == t then incr c_imiss else incr c_ihit;
+  r
 
 let relation t1 t2 =
   match subset t1 t2, subset t2 t1 with

@@ -77,6 +77,25 @@ val sample : Random.State.t -> t -> float array option
 (** Structural hash, compatible with {!equal}. *)
 val hash : t -> int
 
+(** [intern z] returns the canonical shared representative of [z]: equal
+    zones intern to the same (physically equal) DBM, so later
+    {!equal}/{!subset} checks between interned zones short-circuit on
+    pointer equality. The intern table is weak — representatives are
+    collected once no store references them. *)
+val intern : t -> t
+
+(** Counters for {!equal}/{!subset}/{!intern} since the last
+    {!reset_cmp_stats}; exploration engines report per-run deltas. *)
+type cmp_stats = {
+  phys_hits : int;  (** comparisons settled by pointer equality *)
+  full_scans : int;  (** comparisons that scanned matrix entries *)
+  intern_hits : int;  (** [intern] calls that found an existing DBM *)
+  intern_misses : int;  (** [intern] calls that added a fresh DBM *)
+}
+
+val cmp_stats : unit -> cmp_stats
+val reset_cmp_stats : unit -> unit
+
 (** [pp ~names ppf z] prints the non-trivial constraints, e.g.
     ["x<=5 & y-x<2"]. [names.(i)] names clock [i] ([names.(0)] unused). *)
 val pp : ?names:string array -> Format.formatter -> t -> unit

@@ -1,0 +1,339 @@
+(* Tests for the shared exploration engine: the pluggable state stores
+   (discrete / exact / subsume / best-cost), the search orders, trace
+   reconstruction, truncation reporting, the node arena, and hash-consed
+   DBM interning. *)
+
+module Dbm = Zones.Dbm
+module Bound = Zones.Bound
+module Store = Engine.Store
+module Core = Engine.Core
+module Stats = Engine.Stats
+module Arena = Engine.Arena
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built zones over two clocks                                    *)
+(* ------------------------------------------------------------------ *)
+
+let zone_x_le n = Dbm.constrain (Dbm.universal ~clocks:2) 1 0 (Bound.le n)
+let zone_y_le n = Dbm.constrain (Dbm.universal ~clocks:2) 2 0 (Bound.le n)
+
+(* ------------------------------------------------------------------ *)
+(* Stores                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_discrete_store () =
+  let s = Store.discrete ~key:Fun.id () in
+  (match s.Store.insert "a" ~id:0 with
+   | Store.Added { dropped } -> check_int "no evictions" 0 dropped
+   | _ -> Alcotest.fail "first insert must be Added");
+  (match s.Store.insert "b" ~id:1 with
+   | Store.Added _ -> ()
+   | _ -> Alcotest.fail "distinct state must be Added");
+  (match s.Store.insert "a" ~id:2 with
+   | Store.Dup id -> check_int "dup reports original id" 0 id
+   | _ -> Alcotest.fail "repeat insert must be Dup");
+  check_int "two states stored" 2 (s.Store.size ());
+  check "discrete stores are never stale" false (s.Store.stale "a")
+
+let test_exact_store () =
+  let s = Store.exact ~key:fst ~zone:snd () in
+  (match s.Store.insert (0, zone_x_le 3) ~id:0 with
+   | Store.Added _ -> ()
+   | _ -> Alcotest.fail "first insert must be Added");
+  (* Equal zone under the same key: duplicate, pointing at the original. *)
+  (match s.Store.insert (0, zone_x_le 3) ~id:1 with
+   | Store.Dup id -> check_int "dup id" 0 id
+   | _ -> Alcotest.fail "equal zone must be Dup");
+  (* A strictly larger zone is still a distinct state for an exact store. *)
+  (match s.Store.insert (0, zone_x_le 5) ~id:1 with
+   | Store.Added _ -> ()
+   | _ -> Alcotest.fail "unequal zone must be Added");
+  (* Same zone under another key is unrelated. *)
+  (match s.Store.insert (1, zone_x_le 3) ~id:2 with
+   | Store.Added _ -> ()
+   | _ -> Alcotest.fail "other key must be Added");
+  check_int "three states stored" 3 (s.Store.size ())
+
+let test_subsume_store () =
+  let s = Store.subsume ~key:fst ~zone:snd () in
+  (match s.Store.insert (0, zone_x_le 1) ~id:0 with
+   | Store.Added _ -> ()
+   | _ -> Alcotest.fail "first insert must be Added");
+  (* Incomparable zone: kept alongside. *)
+  (match s.Store.insert (0, zone_y_le 1) ~id:1 with
+   | Store.Added { dropped } -> check_int "incomparable evicts nothing" 0 dropped
+   | _ -> Alcotest.fail "incomparable zone must be Added");
+  check_int "two incomparable zones stored" 2 (s.Store.size ());
+  (* Equal to a stored zone: covered. *)
+  (match s.Store.insert (0, zone_x_le 1) ~id:2 with
+   | Store.Covered -> ()
+   | _ -> Alcotest.fail "equal zone must be Covered");
+  (* Strictly inside a stored zone: covered. *)
+  (match s.Store.insert (0, Dbm.constrain (zone_x_le 1) 2 0 (Bound.le 0)) ~id:2 with
+   | Store.Covered -> ()
+   | _ -> Alcotest.fail "included zone must be Covered");
+  (* Strictly containing both stored zones: both must be dropped. *)
+  (match s.Store.insert (0, Dbm.universal ~clocks:2) ~id:2 with
+   | Store.Added { dropped } -> check_int "both stored zones evicted" 2 dropped
+   | _ -> Alcotest.fail "superset zone must be Added");
+  check_int "only the superset remains" 1 (s.Store.size ());
+  (* Zones under other keys are untouched by eviction. *)
+  (match s.Store.insert (1, zone_x_le 1) ~id:3 with
+   | Store.Added { dropped } -> check_int "other key untouched" 0 dropped
+   | _ -> Alcotest.fail "other key must be Added")
+
+let test_best_cost_store () =
+  let s = Store.best_cost ~key:fst ~cost:snd () in
+  (match s.Store.insert ("a", 5) ~id:0 with
+   | Store.Added _ -> ()
+   | _ -> Alcotest.fail "first insert must be Added");
+  (* Worse cost: covered by the cheaper stored entry. *)
+  (match s.Store.insert ("a", 7) ~id:1 with
+   | Store.Covered -> ()
+   | _ -> Alcotest.fail "worse cost must be Covered");
+  (* Better cost: re-opens the state, evicting the old bound. *)
+  (match s.Store.insert ("a", 3) ~id:1 with
+   | Store.Added { dropped } -> check_int "old bound evicted" 1 dropped
+   | _ -> Alcotest.fail "better cost must be Added");
+  check "superseded entry is stale" true (s.Store.stale ("a", 5));
+  check "current best is not stale" false (s.Store.stale ("a", 3));
+  check_int "one key stored" 1 (s.Store.size ())
+
+(* ------------------------------------------------------------------ *)
+(* The core loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A small diamond over ints: 0 -> {1, 2} -> 3, plus a tail 3 -> 4. *)
+let diamond n =
+  if n = 0 then [ ("a", 1); ("b", 2) ]
+  else if n = 1 || n = 2 then [ ("c", 3) ]
+  else if n = 3 then [ ("d", 4) ]
+  else []
+
+let run_diamond ?order ~on_state () =
+  Core.run ?order
+    ~store:(Store.discrete ~key:Fun.id ())
+    ~successors:diamond ~on_state ~init:0 ()
+
+let test_core_bfs_trace () =
+  let out = run_diamond ~on_state:(fun n -> if n = 4 then Some n else None) () in
+  (match out.Core.found with
+   | Some (4, steps) ->
+     (* BFS reaches 3 first through 1 (discovery order). *)
+     Alcotest.(check (list string))
+       "witness labels" [ "a"; "c"; "d" ]
+       (List.map fst steps);
+     Alcotest.(check (list int)) "witness states" [ 1; 3; 4 ] (List.map snd steps)
+   | _ -> Alcotest.fail "expected to find 4");
+  check_int "five states discovered" 5 (Array.length out.Core.states);
+  check_int "initial state is id 0" 0 out.Core.states.(0);
+  (* 3 and 4 popped? visited counts pops up to the hit. *)
+  check "visited all five" true (out.Core.stats.Stats.visited = 5);
+  check "one duplicate (3 via 2)" true (out.Core.stats.Stats.subsumed >= 1);
+  check "frontier was tracked" true (out.Core.stats.Stats.peak_frontier >= 2);
+  check "not truncated" false out.Core.stats.Stats.truncated
+
+let test_core_exhaustive () =
+  let out = run_diamond ~on_state:(fun _ -> None) () in
+  check "nothing found" true (out.Core.found = None);
+  check_int "all states visited" 5 out.Core.stats.Stats.visited;
+  check_int "all states stored" 5 out.Core.stats.Stats.stored
+
+let test_core_dfs () =
+  let order = ref [] in
+  let out =
+    run_diamond ~order:Core.Dfs
+      ~on_state:(fun n ->
+        order := n :: !order;
+        None)
+      ()
+  in
+  check "dfs drains" true (out.Core.found = None);
+  (match List.rev !order with
+   | 0 :: next :: _ ->
+     (* DFS pops the most recently pushed successor first. *)
+     check_int "last successor first" 2 next
+   | _ -> Alcotest.fail "expected at least two pops")
+
+let test_core_priority () =
+  (* Priority by value: pops ascending regardless of push order. *)
+  let popped = ref [] in
+  let succ n = if n = 0 then [ ("x", 9); ("x", 4); ("x", 7) ] else [] in
+  let (_ : (int, string, unit) Core.outcome) =
+    Core.run ~order:(Core.Priority Fun.id)
+      ~store:(Store.discrete ~key:Fun.id ())
+      ~successors:succ
+      ~on_state:(fun n ->
+        popped := n :: !popped;
+        None)
+      ~init:0 ()
+  in
+  Alcotest.(check (list int)) "ascending pops" [ 0; 4; 7; 9 ] (List.rev !popped)
+
+let test_core_dijkstra () =
+  (* Weighted graph: 0 -5-> 2, 0 -1-> 1, 1 -1-> 2, 2 -1-> 3. The cheap
+     route to 3 costs 3; the direct edge to 2 is re-opened at cost 2. *)
+  let edges = function
+    | 0 -> [ (5, 2); (1, 1) ]
+    | 1 -> [ (1, 2) ]
+    | 2 -> [ (1, 3) ]
+    | _ -> []
+  in
+  let successors (n, c) =
+    List.map (fun (w, m) -> (Printf.sprintf "%d->%d" n m, (m, c + w))) (edges n)
+  in
+  let out =
+    Core.run
+      ~order:(Core.Priority snd)
+      ~store:(Store.best_cost ~key:fst ~cost:snd ())
+      ~successors
+      ~on_state:(fun (n, c) -> if n = 3 then Some c else None)
+      ~init:(0, 0) ()
+  in
+  (match out.Core.found with
+   | Some (cost, steps) ->
+     check_int "optimal cost" 3 cost;
+     Alcotest.(check (list string))
+       "optimal path" [ "0->1"; "1->2"; "2->3" ]
+       (List.map fst steps)
+   | None -> Alcotest.fail "3 must be reachable");
+  (* The cost-5 entry for node 2 was superseded and skipped at pop. *)
+  check "stale entry recorded as dropped" true (out.Core.stats.Stats.dropped >= 1)
+
+let test_core_truncation () =
+  (* An infinite chain: the engine must stop and report, not raise. *)
+  let out =
+    Core.run ~max_states:10
+      ~store:(Store.discrete ~key:Fun.id ())
+      ~successors:(fun n -> [ ("s", n + 1) ])
+      ~on_state:(fun _ -> None)
+      ~init:0 ()
+  in
+  check "truncated reported" true out.Core.stats.Stats.truncated;
+  check "nothing found" true (out.Core.found = None);
+  check "visited bounded" true (out.Core.stats.Stats.visited <= 11)
+
+let test_core_record_edges () =
+  let out =
+    Core.run ~record_edges:true
+      ~store:(Store.discrete ~key:Fun.id ())
+      ~successors:diamond
+      ~on_state:(fun _ -> None)
+      ~init:0 ()
+  in
+  check_int "edge rows per state" 5 (Array.length out.Core.edges);
+  (* Both edges into 3 survive, including the duplicate via 2. *)
+  let into_3 =
+    Array.fold_left
+      (fun acc row ->
+        acc + List.length (List.filter (fun (_, dst) -> dst = 3) row))
+      0 out.Core.edges
+  in
+  check_int "duplicate edge recorded" 2 into_3;
+  (* Generation order is preserved per node. *)
+  Alcotest.(check (list string))
+    "labels out of 0" [ "a"; "b" ]
+    (List.map fst out.Core.edges.(0))
+
+let test_core_rejecting_init () =
+  let store = Store.discrete ~key:Fun.id () in
+  (match store.Store.insert 0 ~id:0 with
+   | Store.Added _ -> ()
+   | _ -> Alcotest.fail "setup insert");
+  try
+    ignore
+      (Core.run ~store
+         ~successors:(fun _ -> [])
+         ~on_state:(fun _ -> None)
+         ~init:0 ());
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Arena                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_arena_growth () =
+  let a = Arena.create () in
+  for i = 0 to 999 do
+    check_int "append-only ids" i (Arena.add a i)
+  done;
+  check_int "size" 1000 (Arena.size a);
+  check_int "random access" 123 (Arena.get a 123);
+  check_int "to_array keeps order" 999 (Arena.to_array a).(999);
+  (try
+     ignore (Arena.get a 1000);
+     Alcotest.fail "expected out-of-range failure"
+   with Invalid_argument _ -> ());
+  let seen = ref 0 in
+  Arena.iteri (fun i v -> if i = v then incr seen) a;
+  check_int "iteri covers everything" 1000 !seen
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consed DBMs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_intern_physical_equality () =
+  let z1 = Dbm.intern (zone_x_le 3) in
+  let z2 = Dbm.intern (zone_x_le 3) in
+  check "equal zones share one representative" true (z1 == z2);
+  check "distinct zones stay distinct" false (z1 == Dbm.intern (zone_x_le 4));
+  (* The pointer-equality fast path is counted, not scanned. *)
+  Dbm.reset_cmp_stats ();
+  check "subset via fast path" true (Dbm.subset z1 z2);
+  check "equal via fast path" true (Dbm.equal z1 z2);
+  let c = Dbm.cmp_stats () in
+  check_int "two fast-path hits" 2 c.Dbm.phys_hits;
+  check_int "no full scans" 0 c.Dbm.full_scans;
+  (* Structurally equal but not interned: full scan. *)
+  check "slow path still correct" true (Dbm.equal (zone_x_le 3) (zone_x_le 3));
+  check "full scan counted" true ((Dbm.cmp_stats ()).Dbm.full_scans >= 1)
+
+let test_stats_json () =
+  let s =
+    {
+      Stats.visited = 3; stored = 2; subsumed = 1; dropped = 0;
+      peak_frontier = 2; truncated = false; time_s = 0.5;
+      dbm_phys_eq = 4; dbm_full_cmp = 6;
+    }
+  in
+  let j = Stats.to_json s in
+  List.iter
+    (fun affix -> check affix true (Astring.String.is_infix ~affix j))
+    [
+      "\"visited\":3"; "\"stored\":2"; "\"subsumed\":1"; "\"dropped\":0";
+      "\"peak_frontier\":2"; "\"truncated\":false"; "\"dbm_phys_eq\":4";
+      "\"dbm_full_cmp\":6"; "\"store_hit_rate\":";
+    ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "stores",
+        [
+          Alcotest.test_case "discrete" `Quick test_discrete_store;
+          Alcotest.test_case "exact" `Quick test_exact_store;
+          Alcotest.test_case "subsume" `Quick test_subsume_store;
+          Alcotest.test_case "best-cost" `Quick test_best_cost_store;
+        ] );
+      ( "core",
+        [
+          Alcotest.test_case "bfs trace" `Quick test_core_bfs_trace;
+          Alcotest.test_case "exhaustive" `Quick test_core_exhaustive;
+          Alcotest.test_case "dfs order" `Quick test_core_dfs;
+          Alcotest.test_case "priority order" `Quick test_core_priority;
+          Alcotest.test_case "dijkstra" `Quick test_core_dijkstra;
+          Alcotest.test_case "truncation" `Quick test_core_truncation;
+          Alcotest.test_case "record edges" `Quick test_core_record_edges;
+          Alcotest.test_case "rejecting init" `Quick test_core_rejecting_init;
+        ] );
+      ( "arena", [ Alcotest.test_case "growth" `Quick test_arena_growth ] );
+      ( "hashcons",
+        [
+          Alcotest.test_case "interning" `Quick test_intern_physical_equality;
+          Alcotest.test_case "stats json" `Quick test_stats_json;
+        ] );
+    ]

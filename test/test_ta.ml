@@ -350,6 +350,76 @@ let test_subsumption_ablation () =
   check "subsumption explores no more states" true
     (with_sub.stats.Checker.visited <= without.stats.Checker.visited)
 
+(* Two paths producing the exact same symbolic state: the second insert is
+   rejected as already covered (equal counts as inclusion). *)
+let test_subsumption_equal_zone () =
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let p = Model.automaton b "P" in
+  let la = Model.location p "A" in
+  let lb = Model.location p "B" in
+  Model.edge p ~src:la ~dst:lb ~updates:[ Model.Reset (x, 0) ] ();
+  Model.edge p ~src:la ~dst:lb ~updates:[ Model.Reset (x, 0) ] ();
+  let net = Model.build b in
+  let r = Checker.check net (Prop.Possibly Prop.False) in
+  check "exhaustive run" false r.holds;
+  check "equal re-reach subsumed" true (r.stats.Checker.subsumed >= 1);
+  check "nothing evicted" true (r.stats.Checker.dropped = 0)
+
+(* Successively weaker guards into the same location: each later zone
+   strictly contains the earlier stored one, which must be evicted. *)
+let test_subsumption_drops_weaker () =
+  let b = Model.builder () in
+  let x = Model.fresh_clock b "x" in
+  let p = Model.automaton b "P" in
+  let la = Model.location p "A" in
+  let lb = Model.location p "B" in
+  (* Successors are generated in reverse edge order, so the tightest zone
+     (x>=3) is stored first and each later, strictly larger zone evicts
+     the one before it. *)
+  Model.edge p ~src:la ~dst:lb ~clock_guard:[ Model.clock_ge x 1 ] ();
+  Model.edge p ~src:la ~dst:lb ~clock_guard:[ Model.clock_ge x 2 ] ();
+  Model.edge p ~src:la ~dst:lb ~clock_guard:[ Model.clock_ge x 3 ] ();
+  let net = Model.build b in
+  let r = Checker.check net (Prop.Possibly Prop.False) in
+  check "exhaustive run" false r.holds;
+  (* x>=2 evicts the stored x>=3 zone, then x>=1 evicts x>=2. *)
+  check "widening zones evict stored ones" true (r.stats.Checker.dropped >= 2)
+
+(* max_states truncation surfaces as the historical Failure, both on the
+   subsumption path and on the exact liveness graph. *)
+let test_max_states_truncation () =
+  let net = Train_gate.make ~n_trains:2 in
+  (try
+     ignore (Checker.check ~max_states:3 net (Train_gate.safety net));
+     Alcotest.fail "expected Failure"
+   with Failure msg ->
+     check "reachability message" true
+       (Astring.String.is_infix ~affix:"state limit" msg));
+  try
+    ignore (Checker.check ~max_states:3 net (Train_gate.liveness net 0));
+    Alcotest.fail "expected Failure"
+  with Failure msg ->
+    check "liveness message" true
+      (Astring.String.is_infix ~affix:"state limit" msg)
+
+(* Hash-consing ablation: identical verdicts and exploration size; with
+   interning on, part of the DBM comparisons collapse to pointer checks. *)
+let test_hashcons_ablation () =
+  let net = Ta.Fischer.make ~n:3 () in
+  let q = Ta.Fischer.mutex net in
+  let on = Checker.check ~hashcons:true net q in
+  let off = Checker.check ~hashcons:false net q in
+  check "same verdict" true (on.holds = off.holds);
+  check "same exploration" true
+    (on.stats.Checker.visited = off.stats.Checker.visited);
+  check "fast path taken" true (on.stats.Checker.dbm_phys_eq > 0);
+  check "full scans reduced" true
+    (on.stats.Checker.dbm_full_cmp < off.stats.Checker.dbm_full_cmp);
+  check "reduction accounts for the hits" true
+    (off.stats.Checker.dbm_full_cmp
+     <= on.stats.Checker.dbm_full_cmp + on.stats.Checker.dbm_phys_eq)
+
 
 (* ------------------------------------------------------------------ *)
 (* Fischer's protocol                                                  *)
@@ -699,5 +769,15 @@ let () =
           Alcotest.test_case "crossing" `Quick test_train_gate_crossing_reachable;
           Alcotest.test_case "broken gate unsafe" `Quick test_broken_gate_unsafe;
           Alcotest.test_case "subsumption ablation" `Quick test_subsumption_ablation;
+        ] );
+      ( "engine-integration",
+        [
+          Alcotest.test_case "equal zone subsumed" `Quick
+            test_subsumption_equal_zone;
+          Alcotest.test_case "weaker zones dropped" `Quick
+            test_subsumption_drops_weaker;
+          Alcotest.test_case "max-states truncation" `Quick
+            test_max_states_truncation;
+          Alcotest.test_case "hashcons ablation" `Quick test_hashcons_ablation;
         ] );
     ]
