@@ -496,7 +496,12 @@ let engine () =
         let net = Lazy.force net in
         List.map
           (fun hashcons ->
+            (* Fresh telemetry per run, so the embedded snapshot holds
+               exactly this exploration's metrics and span timings. *)
+            Obs.reset ();
             let r = Ta.Checker.check ~hashcons net (query net) in
+            let metrics = Obs.Metrics.snapshot () in
+            let spans = Obs.Span.timings_json () in
             let tag =
               Printf.sprintf "%s/%s" name
                 (if hashcons then "hashcons" else "no-hashcons")
@@ -509,14 +514,14 @@ let engine () =
               r.Ta.Checker.stats.Ta.Checker.dbm_phys_eq
               r.Ta.Checker.stats.Ta.Checker.dbm_full_cmp
               r.Ta.Checker.stats.Ta.Checker.time_s;
-            (tag, r.Ta.Checker.holds, r.Ta.Checker.stats))
+            (tag, r.Ta.Checker.holds, r.Ta.Checker.stats, metrics, spans))
           [ true; false ])
       runs
   in
   List.iter
     (fun (name, _, _) ->
       let find tag =
-        let _, _, s = List.find (fun (t, _, _) -> t = tag) rows in
+        let _, _, s, _, _ = List.find (fun (t, _, _, _, _) -> t = tag) rows in
         s
       in
       let on = find (name ^ "/hashcons")
@@ -526,16 +531,23 @@ let engine () =
         name off.Ta.Checker.dbm_full_cmp on.Ta.Checker.dbm_full_cmp
         (off.Ta.Checker.dbm_full_cmp - on.Ta.Checker.dbm_full_cmp))
     runs;
+  let entries =
+    Obs.Json.Arr
+      (List.map
+         (fun (tag, holds, stats, metrics, spans) ->
+           Obs.Json.Obj
+             [
+               ("run", Obs.Json.Str tag);
+               ("holds", Obs.Json.Bool holds);
+               ("stats", Engine.Stats.to_json_value stats);
+               ("metrics", metrics);
+               ("spans", spans);
+             ])
+         rows)
+  in
   let oc = open_out "BENCH_engine.json" in
-  output_string oc "[\n";
-  List.iteri
-    (fun i (tag, holds, stats) ->
-      Printf.fprintf oc "  {\"run\": %S, \"holds\": %b, \"stats\": %s}%s\n" tag
-        holds
-        (Engine.Stats.to_json stats)
-        (if i < List.length rows - 1 then "," else ""))
-    rows;
-  output_string oc "]\n";
+  output_string oc (Obs.Json.to_string entries);
+  output_char oc '\n';
   close_out oc;
   Printf.printf "wrote BENCH_engine.json (%d runs)\n" (List.length rows)
 

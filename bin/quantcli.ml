@@ -25,10 +25,14 @@ let stats_json_arg =
 (* One line per query: verdict plus the engine run's counters. *)
 let show_query ~stats_json name (r : Ta.Checker.result) =
   if stats_json then
-    Printf.printf
-      "{\"query\": %S, \"holds\": %b, \"stats\": %s}\n"
-      name r.Ta.Checker.holds
-      (Engine.Stats.to_json r.Ta.Checker.stats)
+    print_endline
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            [
+              ("query", Obs.Json.Str name);
+              ("holds", Obs.Json.Bool r.Ta.Checker.holds);
+              ("stats", Engine.Stats.to_json_value r.Ta.Checker.stats);
+            ]))
   else
     Printf.printf "%-34s %-9s (%d states)\n" name
       (if r.Ta.Checker.holds then "satisfied" else "VIOLATED")
@@ -38,8 +42,46 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry flags, shared by every subcommand: --trace streams span
+   events to a JSONL file while the command runs; --report writes one
+   JSON snapshot (metrics + span timings + GC) when it finishes, even
+   if the analysis raised. *)
 
-let verify trains stats_json =
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write span trace events to $(docv), one JSON object per line.")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON run report (metrics, span timings, GC statistics) \
+           to $(docv) on exit.")
+
+let obs_term = Term.(const (fun t r -> (t, r)) $ trace_arg $ report_arg)
+
+let with_obs (trace, report) f =
+  (match trace with
+   | Some file -> Obs.Sink.set (Obs.Sink.jsonl file)
+   | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      (match report with
+       | Some file -> Obs.Report.to_file file ()
+       | None -> ());
+      (* Restore (and flush/close) the sink. *)
+      Obs.Sink.set Obs.Sink.null)
+    f
+
+(* ------------------------------------------------------------------ *)
+
+let verify obs trains stats_json =
+  with_obs obs @@ fun () ->
   let net = Ta.Train_gate.make ~n_trains:trains in
   let show = show_query ~stats_json in
   show "safety" (Ta.Checker.check net (Ta.Train_gate.safety net));
@@ -49,11 +91,12 @@ let verify trains stats_json =
 
 let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Model check the train-gate (Fig. 1).")
-    Term.(const verify $ trains_arg $ stats_json_arg)
+    Term.(const verify $ obs_term $ trains_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 
-let smc trains runs seed =
+let smc obs trains runs seed =
+  with_obs obs @@ fun () ->
   let net = Ta.Train_gate.make ~n_trains:trains in
   let config =
     { Smc.Stochastic.rates = (fun auto _ -> 1.0 +. float_of_int auto) }
@@ -74,11 +117,12 @@ let smc_cmd =
     Arg.(value & opt int 500 & info [ "runs" ] ~docv:"RUNS" ~doc:"Simulation runs.")
   in
   Cmd.v (Cmd.info "smc" ~doc:"Statistical model checking CDF (Fig. 4).")
-    Term.(const smc $ trains_arg $ runs $ seed_arg)
+    Term.(const smc $ obs_term $ trains_arg $ runs $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 
-let synth trains =
+let synth obs trains =
+  with_obs obs @@ fun () ->
   let net = Games.Train_game.make ~n_trains:trains () in
   let safe = Games.Train_game.safe net in
   let s = Games.solve net (Games.Safety safe) in
@@ -88,11 +132,12 @@ let synth trains =
 
 let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize the train-game controller (Figs. 2-3).")
-    Term.(const synth $ trains_arg)
+    Term.(const synth $ obs_term $ trains_arg)
 
 (* ------------------------------------------------------------------ *)
 
-let wcet () =
+let wcet obs () =
+  with_obs obs @@ fun () ->
   let net = Ta.Train_gate.make ~n_trains:2 in
   let cross = Ta.Model.loc_index net 0 "Cross" in
   let target st = st.Discrete.Digital.dlocs.(0) = cross in
@@ -102,11 +147,12 @@ let wcet () =
 
 let wcet_cmd =
   Cmd.v (Cmd.info "wcet" ~doc:"Priced reachability demo (UPPAAL-CORA).")
-    Term.(const wcet $ const ())
+    Term.(const wcet $ obs_term $ const ())
 
 (* ------------------------------------------------------------------ *)
 
-let brp backend =
+let brp obs backend =
+  with_obs obs @@ fun () ->
   let t = Modest.Brp.make () in
   match backend with
   | "mctau" ->
@@ -143,11 +189,12 @@ let brp_cmd =
       & info [ "backend" ] ~docv:"B" ~doc:"Backend: mctau, mcpta or modes.")
   in
   Cmd.v (Cmd.info "brp" ~doc:"BRP analysis, one Table I column.")
-    Term.(const brp $ backend)
+    Term.(const brp $ obs_term $ backend)
 
 (* ------------------------------------------------------------------ *)
 
-let modest_check file xml dot =
+let modest_check obs file xml dot =
+  with_obs obs @@ fun () ->
   let src =
     let ic = open_in file in
     let n = in_channel_length ic in
@@ -191,9 +238,10 @@ let modest_cmd =
     Arg.(value & flag & info [ "dot" ] ~doc:"Export the TA overapproximation to Graphviz dot.")
   in
   Cmd.v (Cmd.info "modest" ~doc:"Parse, classify or export a MODEST model.")
-    Term.(const modest_check $ file $ xml $ dot)
+    Term.(const modest_check $ obs_term $ file $ xml $ dot)
 
-let fischer n stats_json =
+let fischer obs n stats_json =
+  with_obs obs @@ fun () ->
   let net = Ta.Fischer.make ~n () in
   let show = show_query ~stats_json in
   show "mutual exclusion" (Ta.Checker.check net (Ta.Fischer.mutex net));
@@ -202,11 +250,12 @@ let fischer n stats_json =
 let fischer_cmd =
   let n = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Processes.") in
   Cmd.v (Cmd.info "fischer" ~doc:"Verify Fischer's mutual exclusion.")
-    Term.(const fischer $ n $ stats_json_arg)
+    Term.(const fischer $ obs_term $ n $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 
-let bip_cmd_impl seed =
+let bip_cmd_impl obs seed =
+  with_obs obs @@ fun () ->
   let d = Bip.Dala.make ~controlled:true () in
   let report = Bip.Dfinder.prove d.Bip.Dala.sys in
   Printf.printf "deadlock-freedom: %s\n"
@@ -219,11 +268,12 @@ let bip_cmd_impl seed =
 
 let bip_cmd =
   Cmd.v (Cmd.info "bip" ~doc:"DALA verification and fault injection.")
-    Term.(const bip_cmd_impl $ seed_arg)
+    Term.(const bip_cmd_impl $ obs_term $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 
-let mbt seed =
+let mbt obs seed =
+  with_obs obs @@ fun () ->
   let tests = Mbt.Testgen.generate_suite Mbt.Demo.bus_spec ~seed ~count:50 ~depth:10 in
   let battery name impl =
     let iut = Mbt.Testgen.lts_iut impl ~seed in
@@ -236,7 +286,7 @@ let mbt seed =
 
 let mbt_cmd =
   Cmd.v (Cmd.info "mbt" ~doc:"ioco test generation and execution demo.")
-    Term.(const mbt $ seed_arg)
+    Term.(const mbt $ obs_term $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -1,6 +1,14 @@
 type state = { locs : int array; stores : int array array }
 type scheduler = First | Random of Random.State.t
 
+(* Engine instruments: enabled/inhibited are counted in [filtered] (the
+   single choke point both execution and exhaustive reachability go
+   through); fired interactions are counted where a scheduler commits. *)
+let m_fired = Obs.counter "bip.interactions_fired"
+let m_enabled = Obs.counter "bip.interactions_enabled"
+let m_inhibited = Obs.counter "bip.priority_inhibited"
+let m_steps = Obs.counter "bip.steps"
+
 let initial (sys : System.t) =
   {
     locs = Array.map (fun (c : Component.t) -> c.Component.initial_loc) sys.components;
@@ -55,9 +63,14 @@ let filtered (sys : System.t) st =
         && List.for_all (fun p -> List.mem p pb) pa)
       en
   in
-  List.filter
-    (fun a -> not (inhibited_by_priority a || inhibited_by_maximality a))
-    en
+  let kept =
+    List.filter
+      (fun a -> not (inhibited_by_priority a || inhibited_by_maximality a))
+      en
+  in
+  Obs.Metrics.Counter.add m_enabled (List.length en);
+  Obs.Metrics.Counter.add m_inhibited (List.length en - List.length kept);
+  kept
 
 let copy_state st =
   { locs = Array.copy st.locs; stores = Array.map Array.copy st.stores }
@@ -97,6 +110,7 @@ let fire (sys : System.t) sched st (i : System.interaction) =
   st'
 
 let step sys sched st =
+  Obs.Metrics.Counter.incr m_steps;
   match filtered sys st with
   | [] -> None
   | choices ->
@@ -105,6 +119,7 @@ let step sys sched st =
       | First -> List.hd choices
       | Random rng -> List.nth choices (Random.State.int rng (List.length choices))
     in
+    Obs.Metrics.Counter.incr m_fired;
     Some (i, fire sys sched st i)
 
 let run sys sched ~steps =
@@ -126,6 +141,7 @@ type reach_result = {
 let state_key st = (st.locs, st.stores)
 
 let reachable ?(max_states = 1_000_000) sys =
+  Obs.Span.with_ ~name:"bip.reachable" @@ fun () ->
   let seen = Hashtbl.create 4096 in
   let queue = Queue.create () in
   let states = ref [] and deadlocks = ref [] in

@@ -11,9 +11,12 @@
     - {!Mbt}: ioco model-based testing and the TRON-style online tester.
     - {!Ecdar}: timed I/O refinement.
     - {!Engine}: the shared symbolic exploration core (state stores,
-      search orders, per-run instrumentation) every checker runs on. *)
+      search orders, per-run instrumentation) every checker runs on.
+    - {!Obs}: the telemetry layer (metrics registry, span tracing, run
+      reports, JSON) all of the above publish into. *)
 
 module Zones = Zones
+module Obs = Obs
 module Engine = Engine
 module Ta = Ta
 module Discrete = Discrete

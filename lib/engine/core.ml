@@ -1,6 +1,19 @@
 module Pqueue = Quant_util.Pqueue
 module Dbm = Zones.Dbm
 
+(* Engine instruments on the default Obs registry: handles are resolved
+   once here; the loop below pays one mutable write per update. *)
+let m_runs = Obs.counter "engine.runs"
+let m_visited = Obs.counter "engine.visited"
+let m_stored = Obs.counter "engine.stored"
+let m_subsumed = Obs.counter "engine.subsumed"
+let m_dropped = Obs.counter "engine.dropped"
+let m_reopened = Obs.counter "engine.reopened"
+let m_truncated = Obs.counter "engine.truncated"
+let m_peak_frontier = Obs.gauge "engine.peak_frontier"
+let m_fanout = Obs.histogram "engine.fanout"
+let m_run_wall = Obs.histogram "engine.run_wall_s"
+
 type 's order = Bfs | Dfs | Priority of ('s -> int)
 
 type ('s, 'l) node = { state : 's; parent : int; label : 'l option }
@@ -15,6 +28,7 @@ type ('s, 'l, 'a) outcome = {
 
 let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
     ~successors ~on_state ~init () =
+  Obs.Span.with_ ~name:"engine.run" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let cmp0 = Dbm.cmp_stats () in
   let arena : ('s, 'l) node Arena.t = Arena.create () in
@@ -59,13 +73,15 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
   let visited = ref 0 in
   let subsumed = ref 0 in
   let dropped = ref 0 in
+  let reopened = ref 0 in
   let truncated = ref false in
   (* Offer [st] to the store; on acceptance commit it to the arena and the
      frontier. Returns the id the state lives under, [None] if covered. *)
   let enqueue ~parent ~label st =
     match store.Store.insert st ~id:(Arena.size arena) with
-    | Store.Added { dropped = d } ->
+    | Store.Added { dropped = d; reopened = r } ->
       dropped := !dropped + d;
+      if r then incr reopened;
       let id = Arena.add arena { state = st; parent; label } in
       push_frontier id (pri_of st);
       Some id
@@ -77,7 +93,7 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
       None
   in
   (match store.Store.insert init ~id:0 with
-   | Store.Added { dropped = d } ->
+   | Store.Added { dropped = d; reopened = _ } ->
      dropped := !dropped + d;
      let id = Arena.add arena { state = init; parent = -1; label = None } in
      push_frontier id (pri_of init)
@@ -102,12 +118,15 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
             found := Some (payload, id);
             running := false
           | None ->
+            let succs = successors node.state in
+            Obs.Metrics.Histogram.observe m_fanout
+              (float_of_int (List.length succs));
             List.iter
               (fun (label, st') ->
                 match enqueue ~parent:id ~label:(Some label) st' with
                 | Some id' -> add_edge id label id'
                 | None -> ())
-              (successors node.state)
+              succs
         end
       end
   done;
@@ -139,21 +158,35 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
           | None -> [])
     else [||]
   in
+  let stats =
+    {
+      Stats.visited = !visited;
+      stored = store.Store.size ();
+      subsumed = !subsumed;
+      dropped = !dropped;
+      reopened = !reopened;
+      peak_frontier = !peak;
+      truncated = !truncated;
+      time_s = Unix.gettimeofday () -. t0;
+      dbm_phys_eq = cmp1.Dbm.phys_hits - cmp0.Dbm.phys_hits;
+      dbm_full_cmp = cmp1.Dbm.full_scans - cmp0.Dbm.full_scans;
+    }
+  in
+  (* Publish the run's counters to the registry (bulk adds at the end of
+     the run: the loop above never touches a hashtable). *)
+  Obs.Metrics.Counter.incr m_runs;
+  Obs.Metrics.Counter.add m_visited stats.Stats.visited;
+  Obs.Metrics.Counter.add m_stored stats.Stats.stored;
+  Obs.Metrics.Counter.add m_subsumed stats.Stats.subsumed;
+  Obs.Metrics.Counter.add m_dropped stats.Stats.dropped;
+  Obs.Metrics.Counter.add m_reopened stats.Stats.reopened;
+  if stats.Stats.truncated then Obs.Metrics.Counter.incr m_truncated;
+  Obs.Metrics.Gauge.set_max m_peak_frontier (float_of_int stats.Stats.peak_frontier);
+  Obs.Metrics.Histogram.observe m_run_wall stats.Stats.time_s;
   {
     found = Option.map (fun (p, id) -> (p, trace_to id)) !found;
     states;
     parents;
     edges;
-    stats =
-      {
-        Stats.visited = !visited;
-        stored = store.Store.size ();
-        subsumed = !subsumed;
-        dropped = !dropped;
-        peak_frontier = !peak;
-        truncated = !truncated;
-        time_s = Unix.gettimeofday () -. t0;
-        dbm_phys_eq = cmp1.Dbm.phys_hits - cmp0.Dbm.phys_hits;
-        dbm_full_cmp = cmp1.Dbm.full_scans - cmp0.Dbm.full_scans;
-      };
+    stats;
   }

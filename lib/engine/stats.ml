@@ -3,6 +3,7 @@ type t = {
   stored : int;
   subsumed : int;
   dropped : int;
+  reopened : int;
   peak_frontier : int;
   truncated : bool;
   time_s : float;
@@ -16,6 +17,7 @@ let zero =
     stored = 0;
     subsumed = 0;
     dropped = 0;
+    reopened = 0;
     peak_frontier = 0;
     truncated = false;
     time_s = 0.0;
@@ -25,21 +27,36 @@ let zero =
 
 let basic ~visited ~stored = { zero with visited; stored }
 
+(* "Attempts" are insertions the store answered definitively: kept,
+   evicted-by or covered-by an incomparable state. Re-opened best-cost
+   states are counted separately in [reopened] — a re-opening is new
+   work, not a cache answer — so CORA runs report both numbers instead
+   of folding re-openings into the hit rate's denominator. *)
 let store_hit_rate t =
   let attempts = t.stored + t.dropped + t.subsumed in
   if attempts = 0 then 0.0 else float_of_int t.subsumed /. float_of_int attempts
 
-let to_json t =
-  Printf.sprintf
-    "{\"visited\":%d,\"stored\":%d,\"subsumed\":%d,\"dropped\":%d,\
-     \"peak_frontier\":%d,\"store_hit_rate\":%.4f,\"truncated\":%b,\
-     \"time_s\":%.6f,\"dbm_phys_eq\":%d,\"dbm_full_cmp\":%d}"
-    t.visited t.stored t.subsumed t.dropped t.peak_frontier (store_hit_rate t)
-    t.truncated t.time_s t.dbm_phys_eq t.dbm_full_cmp
+let to_json_value t =
+  Obs.Json.Obj
+    [
+      ("visited", Obs.Json.Int t.visited);
+      ("stored", Obs.Json.Int t.stored);
+      ("subsumed", Obs.Json.Int t.subsumed);
+      ("dropped", Obs.Json.Int t.dropped);
+      ("reopened", Obs.Json.Int t.reopened);
+      ("peak_frontier", Obs.Json.Int t.peak_frontier);
+      ("store_hit_rate", Obs.Json.Float (store_hit_rate t));
+      ("truncated", Obs.Json.Bool t.truncated);
+      ("time_s", Obs.Json.Float t.time_s);
+      ("dbm_phys_eq", Obs.Json.Int t.dbm_phys_eq);
+      ("dbm_full_cmp", Obs.Json.Int t.dbm_full_cmp);
+    ]
+
+let to_json t = Obs.Json.to_string (to_json_value t)
 
 let pp ppf t =
   Format.fprintf ppf
-    "visited %d, stored %d, subsumed %d, dropped %d, peak frontier %d, hit \
-     rate %.2f, %.3fs"
-    t.visited t.stored t.subsumed t.dropped t.peak_frontier (store_hit_rate t)
-    t.time_s
+    "visited %d, stored %d, subsumed %d, dropped %d, reopened %d, peak \
+     frontier %d, hit rate %.2f, %.3fs"
+    t.visited t.stored t.subsumed t.dropped t.reopened t.peak_frontier
+    (store_hit_rate t) t.time_s

@@ -2,7 +2,8 @@
 
     Every {!Core.run} returns one of these; front ends ({e quantcli},
     {e bench}) print it as JSON so performance trajectories can be
-    compared across revisions. *)
+    compared across revisions. The same counters are also published to
+    the {!Obs} default metrics registry under [engine.*] names. *)
 
 type t = {
   visited : int;  (** states popped from the frontier and processed *)
@@ -11,6 +12,10 @@ type t = {
       (** candidate states rejected because a stored state covers them
           (equal, including, or cheaper, depending on the store) *)
   dropped : int;  (** stored states evicted by a stronger newcomer *)
+  reopened : int;
+      (** best-cost re-openings: a stored state re-admitted because a
+          cheaper path to it arrived (CORA's Dijkstra; always 0 for the
+          other stores) *)
   peak_frontier : int;  (** maximum frontier (waiting list) length *)
   truncated : bool;  (** the [max_states] bound stopped the run *)
   time_s : float;  (** wall-clock seconds for the run *)
@@ -26,10 +31,20 @@ val zero : t
     derive their numbers outside the core (e.g. liveness graph passes). *)
 val basic : visited:int -> stored:int -> t
 
-(** Fraction of store insertions rejected as already covered. *)
+(** Fraction of store insertions rejected as already covered.
+
+    "Attempts" counts [stored + dropped + subsumed] and deliberately
+    {e excludes} re-opened best-cost states: a re-opening (tracked in
+    the [reopened] field) is genuinely new work for the frontier, not a
+    store answer, so best-cost (CORA) runs report a meaningful hit rate
+    plus an explicit re-opening count rather than a diluted rate. *)
 val store_hit_rate : t -> float
 
-(** One-line JSON object with every counter. *)
+(** One-line JSON object with every counter (escaping-correct, via
+    {!Obs.Json}). *)
 val to_json : t -> string
+
+(** The same object as a JSON value, for embedding in larger reports. *)
+val to_json_value : t -> Obs.Json.t
 
 val pp : Format.formatter -> t -> unit

@@ -1,7 +1,7 @@
 module Dbm = Zones.Dbm
 
 type verdict =
-  | Added of { dropped : int }
+  | Added of { dropped : int; reopened : bool }
   | Dup of int
   | Covered
 
@@ -25,7 +25,7 @@ let discrete ~key () =
         | Some id' -> Dup id'
         | None ->
           Hashtbl.replace tbl k id;
-          Added { dropped = 0 });
+          Added { dropped = 0; reopened = false });
     stale = no_stale;
     size = (fun () -> Hashtbl.length tbl);
   }
@@ -47,7 +47,7 @@ let exact ~key ~zone () =
         | None ->
           Hashtbl.replace tbl k ((z, id) :: entries);
           incr count;
-          Added { dropped = 0 });
+          Added { dropped = 0; reopened = false });
     stale = no_stale;
     size = (fun () -> !count);
   }
@@ -70,7 +70,7 @@ let subsume ~key ~zone () =
           let dropped = List.length entries - List.length kept in
           Hashtbl.replace tbl k (z :: kept);
           count := !count + 1 - dropped;
-          Added { dropped }
+          Added { dropped; reopened = false }
         end);
     stale = no_stale;
     size = (fun () -> !count);
@@ -87,7 +87,9 @@ let best_cost ~key ~cost () =
         | Some old when old <= c -> Covered
         | prev ->
           Hashtbl.replace best k c;
-          Added { dropped = (match prev with Some _ -> 1 | None -> 0) });
+          (* A previous entry means this key is being re-opened on a
+             cheaper path: report it as such, not as an eviction. *)
+          Added { dropped = 0; reopened = prev <> None });
     stale =
       (fun s ->
         match Hashtbl.find_opt best (key s) with

@@ -17,8 +17,12 @@
     Each constructor returns a fresh, independent store. *)
 
 type verdict =
-  | Added of { dropped : int }
-      (** stored under the candidate id; [dropped] weaker entries evicted *)
+  | Added of { dropped : int; reopened : bool }
+      (** stored under the candidate id; [dropped] weaker {e distinct}
+          entries evicted. [reopened] is true when the accepted state
+          re-opens a previously settled key on a cheaper path
+          ({!best_cost} only) — re-openings are not counted in
+          [dropped]. *)
   | Dup of int  (** exactly equal to the state already stored as [id] *)
   | Covered  (** covered by a stored state; no id of its own *)
 

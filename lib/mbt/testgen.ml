@@ -132,23 +132,52 @@ type iut = {
 
 type verdict = V_pass | V_fail
 
+(* Test-runner instruments: stimuli and observations are split by the
+   verdict of the execution they belong to, so a report shows how much
+   interaction each verdict class cost. *)
+let m_executions = Obs.counter "mbt.executions"
+let m_pass = Obs.counter "mbt.verdict_pass"
+let m_fail = Obs.counter "mbt.verdict_fail"
+let m_stimuli_pass = Obs.counter "mbt.stimuli.pass"
+let m_stimuli_fail = Obs.counter "mbt.stimuli.fail"
+let m_obs_pass = Obs.counter "mbt.observations.pass"
+let m_obs_fail = Obs.counter "mbt.observations.fail"
+let m_events_per_test = Obs.histogram "mbt.events_per_test"
+
 let execute test iut =
   iut.reset ();
+  let stimuli = ref 0 and observations = ref 0 in
   let rec walk = function
     | Pass -> V_pass
     | Fail -> V_fail
     | Stimulate (a, k) ->
+      incr stimuli;
       iut.stimulate a;
       walk k
     | Observe branches -> (
+        incr observations;
         let o = iut.observe () in
         match List.assoc_opt o branches with
         | Some k -> walk k
         | None -> V_fail (* unlisted observation: alphabet violation *))
   in
-  walk test
+  let verdict = walk test in
+  Obs.Metrics.Counter.incr m_executions;
+  (match verdict with
+   | V_pass ->
+     Obs.Metrics.Counter.incr m_pass;
+     Obs.Metrics.Counter.add m_stimuli_pass !stimuli;
+     Obs.Metrics.Counter.add m_obs_pass !observations
+   | V_fail ->
+     Obs.Metrics.Counter.incr m_fail;
+     Obs.Metrics.Counter.add m_stimuli_fail !stimuli;
+     Obs.Metrics.Counter.add m_obs_fail !observations);
+  Obs.Metrics.Histogram.observe m_events_per_test
+    (float_of_int (!stimuli + !observations));
+  verdict
 
 let run_suite tests iut ~repetitions =
+  Obs.Span.with_ ~name:"mbt.suite" @@ fun () ->
   let passes = ref 0 and fails = ref 0 in
   List.iter
     (fun t ->

@@ -4,6 +4,13 @@ module Bound = Zones.Bound
 
 type scheduler = Asap_uniform
 
+(* Simulator instruments: an "event" is one fired move (internal or
+   synchronised pair); the event-queue depth is the number of candidate
+   moves the scheduler chose among at that step. *)
+let m_runs = Obs.counter "modes.runs"
+let m_events = Obs.counter "modes.events"
+let m_queue_depth = Obs.histogram "modes.queue_depth"
+
 type observation = {
   hits : float option array;
   monitors_ok : bool array;
@@ -151,6 +158,9 @@ let advance st d =
    enabling instant (within invariants) and fire there. *)
 let step (sta : Sta.t) rng st =
   let candidates = candidate_moves sta st in
+  Obs.Metrics.Counter.incr m_events;
+  Obs.Metrics.Histogram.observe m_queue_depth
+    (float_of_int (List.length candidates));
   let now = List.filter (fun (lo, _, _) -> lo <= 1e-12) candidates in
   match now with
   | _ :: _ ->
@@ -222,8 +232,10 @@ let run ?(scheduler = Asap_uniform) (sta : Sta.t) ~seed ~horizon ~watch
       | Some st' -> loop st' (steps + 1)
   in
   let final, steps = loop (initial sta) 0 in
+  Obs.Metrics.Counter.incr m_runs;
   { hits; monitors_ok; end_time = final.mtime; steps }
 
 let runs ?scheduler sta ~seed ~n ~horizon ~watch ~monitors =
+  Obs.Span.with_ ~name:"modes.batch" @@ fun () ->
   Array.init n (fun k ->
       run ?scheduler sta ~seed:(seed + (k * 7919)) ~horizon ~watch ~monitors)

@@ -1,0 +1,31 @@
+(** Escaping-correct JSON building and parsing.
+
+    Every JSON string the tools emit (engine stats, bench entries,
+    [--stats-json], run reports, trace events) goes through this builder,
+    so a model or query name containing a quote or a newline can never
+    produce invalid output. The parser exists for round-trip tests and
+    smoke validation; it accepts exactly the standard grammar (no
+    comments, no trailing commas). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values print as [null] *)
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+
+(** [member key j] — field lookup, [None] on missing key or non-object. *)
+val member : string -> t -> t option
+
+(** Numeric coercion: [Int] and [Float] both answer. *)
+val to_float_opt : t -> float option
+
+exception Parse_error of string
+
+(** @raise Parse_error on malformed input. *)
+val parse : string -> t

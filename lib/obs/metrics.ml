@@ -1,0 +1,206 @@
+(* Named counters, gauges and log-scale histograms.
+
+   Hot-path cost is one mutable-field update (counter/gauge) or a
+   [frexp] plus two array updates (histogram); metric handles are
+   resolved by name once, at module initialisation of the instrumented
+   code, never inside a loop. Resetting a registry zeroes values in
+   place so cached handles stay valid across bench iterations. *)
+
+(* Histogram buckets are powers of two: bucket [i] holds values in
+   [2^(min_exp+i), 2^(min_exp+i+1)). With min_exp = -20 the range spans
+   ~1 microsecond to ~1 M (seconds, states, queue lengths...), which
+   covers every quantity we track; out-of-range values clamp to the
+   first/last bucket. *)
+let min_exp = -20
+let n_buckets = 41
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  buckets : int array;
+}
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float; mutable g_set : bool }
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_histogram of histogram
+
+type registry = { tbl : (string, metric) Hashtbl.t }
+
+module Registry = struct
+  type t = registry
+
+  let create () = { tbl = Hashtbl.create 64 }
+  let default = create ()
+
+  let reset t =
+    Hashtbl.iter
+      (fun _ m ->
+        match m with
+        | M_counter c -> c.c <- 0
+        | M_gauge g ->
+          g.g <- 0.0;
+          g.g_set <- false
+        | M_histogram h ->
+          h.h_count <- 0;
+          h.h_sum <- 0.0;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity;
+          Array.fill h.buckets 0 n_buckets 0)
+      t.tbl
+
+  let names t =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t.tbl []
+    |> List.sort String.compare
+end
+
+let find_or_register (reg : registry) name make classify =
+  match Hashtbl.find_opt reg.tbl name with
+  | Some m -> (
+      match classify m with
+      | Some v -> v
+      | None -> invalid_arg ("Obs.Metrics: " ^ name ^ " registered with another kind"))
+  | None ->
+    let v, m = make () in
+    Hashtbl.replace reg.tbl name m;
+    v
+
+module Counter = struct
+  type t = counter
+
+  let make ?(registry = Registry.default) name =
+    find_or_register registry name
+      (fun () ->
+        let c = { c = 0 } in
+        (c, M_counter c))
+      (function M_counter c -> Some c | _ -> None)
+
+  let incr t = t.c <- t.c + 1
+  let add t n = t.c <- t.c + n
+  let value t = t.c
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make ?(registry = Registry.default) name =
+    find_or_register registry name
+      (fun () ->
+        let g = { g = 0.0; g_set = false } in
+        (g, M_gauge g))
+      (function M_gauge g -> Some g | _ -> None)
+
+  let set t v =
+    t.g <- v;
+    t.g_set <- true
+
+  let set_max t v = if (not t.g_set) || v > t.g then set t v
+  let value t = t.g
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let make ?(registry = Registry.default) name =
+    find_or_register registry name
+      (fun () ->
+        let h =
+          {
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = infinity;
+            h_max = neg_infinity;
+            buckets = Array.make n_buckets 0;
+          }
+        in
+        (h, M_histogram h))
+      (function M_histogram h -> Some h | _ -> None)
+
+  let bucket_of v =
+    if v <= 0.0 then 0
+    else begin
+      (* frexp: v = m * 2^e with m in [0.5, 1), so v lies in
+         [2^(e-1), 2^e) and belongs to bucket (e-1) - min_exp. *)
+      let _, e = Float.frexp v in
+      let i = e - 1 - min_exp in
+      if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+    end
+
+  (* Inclusive upper edge of bucket [i] (values right below 2^(...+1)). *)
+  let bucket_upper i = Float.pow 2.0 (float_of_int (min_exp + i + 1))
+
+  let observe t v =
+    t.h_count <- t.h_count + 1;
+    t.h_sum <- t.h_sum +. v;
+    if v < t.h_min then t.h_min <- v;
+    if v > t.h_max then t.h_max <- v;
+    let i = bucket_of v in
+    t.buckets.(i) <- t.buckets.(i) + 1
+
+  let count t = t.h_count
+  let sum t = t.h_sum
+  let mean t = if t.h_count = 0 then nan else t.h_sum /. float_of_int t.h_count
+
+  (* Quantile estimate: the upper edge of the first bucket whose
+     cumulative count reaches [q * count], clamped to the observed
+     min/max (exact when a bucket holds a single distinct value). *)
+  let quantile t q =
+    if t.h_count = 0 then nan
+    else begin
+      let rank = q *. float_of_int t.h_count in
+      let rec walk i cum =
+        if i >= n_buckets then t.h_max
+        else begin
+          let cum = cum + t.buckets.(i) in
+          if float_of_int cum >= rank then
+            Float.min t.h_max (Float.max t.h_min (bucket_upper i))
+          else walk (i + 1) cum
+        end
+      in
+      walk 0 0
+    end
+end
+
+let metric_json = function
+  | M_counter c -> Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int c.c) ]
+  | M_gauge g -> Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Float g.g) ]
+  | M_histogram h ->
+    let filled =
+      Array.to_list
+        (Array.mapi (fun i n -> (i, n)) h.buckets)
+      |> List.filter (fun (_, n) -> n > 0)
+      |> List.map (fun (i, n) ->
+             Json.Obj [ ("le", Json.Float (Histogram.bucket_upper i)); ("n", Json.Int n) ])
+    in
+    Json.Obj
+      [
+        ("type", Json.Str "histogram");
+        ("count", Json.Int h.h_count);
+        ("sum", Json.Float h.h_sum);
+        ("min", Json.Float (if h.h_count = 0 then 0.0 else h.h_min));
+        ("max", Json.Float (if h.h_count = 0 then 0.0 else h.h_max));
+        ("p50", Json.Float (if h.h_count = 0 then 0.0 else Histogram.quantile h 0.5));
+        ("p90", Json.Float (if h.h_count = 0 then 0.0 else Histogram.quantile h 0.9));
+        ("buckets", Json.Arr filled);
+      ]
+
+(* Only metrics touched since the last reset appear, so snapshots stay
+   small and bench entries list exactly the instruments the run hit. *)
+let touched = function
+  | M_counter c -> c.c <> 0
+  | M_gauge g -> g.g_set
+  | M_histogram h -> h.h_count > 0
+
+let snapshot ?(registry = Registry.default) () =
+  let fields =
+    Registry.names registry
+    |> List.filter_map (fun name ->
+           let m = Hashtbl.find registry.tbl name in
+           if touched m then Some (name, metric_json m) else None)
+  in
+  Json.Obj fields

@@ -1,0 +1,76 @@
+(** The metrics registry: named counters, gauges and log-scale
+    histograms with cheap hot-path updates.
+
+    Handles are obtained once by name ({!Counter.make} is idempotent:
+    the same name in the same registry returns the same handle) and then
+    updated with a single mutable-field write — resolve them at module
+    initialisation, not inside loops. {!Registry.reset} zeroes values in
+    place, so handles survive bench iterations.
+
+    A snapshot lists only the metrics touched since the last reset. *)
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  (** The process-wide registry every instrument uses by default. *)
+  val default : t
+
+  (** Zero all values, keeping registrations (handles stay valid). *)
+  val reset : t -> unit
+
+  (** Registered names, sorted. *)
+  val names : t -> string list
+end
+
+module Counter : sig
+  type t
+
+  val make : ?registry:Registry.t -> string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : ?registry:Registry.t -> string -> t
+  val set : t -> float -> unit
+
+  (** Keep the maximum of all [set_max] values since the last reset. *)
+  val set_max : t -> float -> unit
+
+  val value : t -> float
+end
+
+(** Histograms bucket positive values by powers of two: bucket [i]
+    holds \[2^(i-20), 2^(i-19)); zero/negative values land in bucket 0,
+    out-of-range values clamp. 41 buckets cover ~1e-6 .. ~1e6 — DBM
+    sizes, successor fan-outs and per-run wall times alike. *)
+module Histogram : sig
+  type t
+
+  val make : ?registry:Registry.t -> string -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  (** [nan] when empty. *)
+  val mean : t -> float
+
+  (** [quantile h q] — upper edge of the first bucket whose cumulative
+      count reaches [q * count], clamped to the observed min/max.
+      [nan] when empty. *)
+  val quantile : t -> float -> float
+
+  (** [bucket_of v] — index of the bucket [v] falls into. *)
+  val bucket_of : float -> int
+
+  (** Exclusive upper edge of bucket [i]: [2.0 ** (i - 19)]. *)
+  val bucket_upper : int -> float
+end
+
+(** JSON object: one field per touched metric, sorted by name. *)
+val snapshot : ?registry:Registry.t -> unit -> Json.t

@@ -1,0 +1,29 @@
+(** Telemetry for every analysis backend: a metrics registry
+    ({!Metrics}: counters, gauges, log-scale histograms), span-based
+    tracing to pluggable sinks ({!Span}, {!Sink}), run reports
+    ({!Report}) and the shared escaping-correct JSON builder ({!Json}).
+
+    Conventions: metric and span names are dotted lower-case paths
+    prefixed with the owning subsystem ([engine.visited],
+    [smc.run_wall_s], [bip.interactions_fired]); durations are in
+    seconds. Instruments resolve their handles once at module
+    initialisation and update them with single mutable writes, so the
+    null sink (the default) keeps hot loops at full speed. *)
+
+module Json = Json
+module Metrics = Metrics
+module Sink = Sink
+module Span = Span
+module Report = Report
+
+(** Shorthands on the default registry. *)
+let counter name = Metrics.Counter.make name
+
+let gauge name = Metrics.Gauge.make name
+let histogram name = Metrics.Histogram.make name
+
+(** Reset the default registry and the span aggregates — the start of a
+    fresh measured run. *)
+let reset () =
+  Metrics.Registry.reset Metrics.Registry.default;
+  Span.reset ()

@@ -1,0 +1,32 @@
+(* The run report: one JSON snapshot combining the metrics registry,
+   span timing aggregates and GC statistics — everything a bench or CI
+   run needs to make two revisions comparable. *)
+
+let gc_json () =
+  let s = Gc.quick_stat () in
+  Json.Obj
+    [
+      ("minor_words", Json.Float s.Gc.minor_words);
+      ("major_words", Json.Float s.Gc.major_words);
+      ("promoted_words", Json.Float s.Gc.promoted_words);
+      ("minor_collections", Json.Int s.Gc.minor_collections);
+      ("major_collections", Json.Int s.Gc.major_collections);
+      ("compactions", Json.Int s.Gc.compactions);
+      ("heap_words", Json.Int s.Gc.heap_words);
+      ("top_heap_words", Json.Int s.Gc.top_heap_words);
+    ]
+
+let make ?registry () =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("metrics", Metrics.snapshot ?registry ());
+      ("spans", Span.timings_json ());
+      ("gc", gc_json ());
+    ]
+
+let to_file path ?registry () =
+  let oc = open_out path in
+  output_string oc (Json.to_string (make ?registry ()));
+  output_char oc '\n';
+  close_out oc

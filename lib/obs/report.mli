@@ -1,0 +1,18 @@
+(** The run report: a JSON snapshot of every observability source.
+
+    Shape (all fields always present):
+    {v
+    { "version": 1,
+      "metrics": { "<name>": {"type": "counter", ...}, ... },
+      "spans":   { "<name>": {"count", "total_s", "max_s"}, ... },
+      "gc":      { "minor_words", ..., "top_heap_words" } }
+    v} *)
+
+(** [make ()] snapshots the registry (default: {!Metrics.Registry.default}),
+    the span aggregates and [Gc.quick_stat]. *)
+val make : ?registry:Metrics.Registry.t -> unit -> Json.t
+
+(** GC statistics alone, as embedded in {!make}. *)
+val gc_json : unit -> Json.t
+
+val to_file : string -> ?registry:Metrics.Registry.t -> unit -> unit

@@ -1,0 +1,73 @@
+(* Pluggable destinations for trace events. The null sink is the
+   default and costs one physical-equality test per span, so
+   instrumentation stays free when tracing is off. *)
+
+type event =
+  | Span_start of { name : string; depth : int; t : float }
+  | Span_end of { name : string; depth : int; t : float; dur_s : float; ok : bool }
+
+type t = { emit : event -> unit; close : unit -> unit }
+
+let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+let is_null t = t == null
+
+let stderr_pretty () =
+  {
+    emit =
+      (fun ev ->
+        match ev with
+        | Span_start { name; depth; _ } ->
+          Printf.eprintf "%s> %s\n%!" (String.make (2 * depth) ' ') name
+        | Span_end { name; depth; dur_s; ok; _ } ->
+          Printf.eprintf "%s< %s  %.6fs%s\n%!"
+            (String.make (2 * depth) ' ')
+            name dur_s
+            (if ok then "" else "  (raised)"));
+    close = (fun () -> ());
+  }
+
+let event_json ev =
+  match ev with
+  | Span_start { name; depth; t } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "start");
+        ("span", Json.Str name);
+        ("depth", Json.Int depth);
+        ("t", Json.Float t);
+      ]
+  | Span_end { name; depth; t; dur_s; ok } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "end");
+        ("span", Json.Str name);
+        ("depth", Json.Int depth);
+        ("t", Json.Float t);
+        ("dur_s", Json.Float dur_s);
+        ("ok", Json.Bool ok);
+      ]
+
+(* One JSON object per line; flushed on close. *)
+let jsonl path =
+  let oc = open_out path in
+  {
+    emit =
+      (fun ev ->
+        output_string oc (Json.to_string (event_json ev));
+        output_char oc '\n');
+    close = (fun () -> close_out oc);
+  }
+
+let memory () =
+  let events = ref [] in
+  ( { emit = (fun ev -> events := ev :: !events); close = (fun () -> ()) },
+    fun () -> List.rev !events )
+
+let current = ref null
+
+(* Installing a sink closes the previous one (except the shared null). *)
+let set t =
+  if not (is_null !current) then !current.close ();
+  current := t
+
+let emit ev = !current.emit ev

@@ -1,0 +1,39 @@
+(** Trace-event sinks.
+
+    Spans emit structured events to the currently installed sink. The
+    default {!null} sink drops everything at the cost of a pointer
+    comparison, so hot paths may stay instrumented unconditionally. *)
+
+type event =
+  | Span_start of { name : string; depth : int; t : float }
+      (** [t] is absolute time (seconds since the epoch). *)
+  | Span_end of {
+      name : string;
+      depth : int;
+      t : float;
+      dur_s : float;
+      ok : bool;  (** [false] when the span body raised *)
+    }
+
+type t = { emit : event -> unit; close : unit -> unit }
+
+val null : t
+val is_null : t -> bool
+
+(** Indented [> name] / [< name dur] lines on stderr. *)
+val stderr_pretty : unit -> t
+
+(** One JSON object per event, one per line, written to [path]
+    ("JSONL"); the file is closed when the sink is replaced. *)
+val jsonl : string -> t
+
+(** In-memory sink for tests: returns the sink and a function yielding
+    the events recorded so far, in emission order. *)
+val memory : unit -> t * (unit -> event list)
+
+(** [set s] installs [s] as the process-wide sink, closing the previous
+    one. *)
+val set : t -> unit
+
+val current : t ref
+val emit : event -> unit

@@ -1,0 +1,77 @@
+(* Nestable timed spans. Besides feeding the installed sink, every span
+   updates an in-process aggregate (count / total / max per name) that
+   the run report serialises, so timing data survives even with the
+   null sink. Single-domain use is assumed, like the rest of the
+   library. *)
+
+type agg = {
+  mutable a_count : int;
+  mutable a_total_s : float;
+  mutable a_max_s : float;
+}
+
+let aggregates : (string, agg) Hashtbl.t = Hashtbl.create 32
+let depth = ref 0
+
+let reset () =
+  Hashtbl.reset aggregates;
+  depth := 0
+
+let record name dur_s =
+  let a =
+    match Hashtbl.find_opt aggregates name with
+    | Some a -> a
+    | None ->
+      let a = { a_count = 0; a_total_s = 0.0; a_max_s = 0.0 } in
+      Hashtbl.replace aggregates name a;
+      a
+  in
+  a.a_count <- a.a_count + 1;
+  a.a_total_s <- a.a_total_s +. dur_s;
+  if dur_s > a.a_max_s then a.a_max_s <- dur_s
+
+let with_ ~name f =
+  let tracing = not (Sink.is_null !Sink.current) in
+  let d = !depth in
+  let t0 = Unix.gettimeofday () in
+  if tracing then Sink.emit (Sink.Span_start { name; depth = d; t = t0 });
+  incr depth;
+  let finish ok =
+    let t1 = Unix.gettimeofday () in
+    let dur_s = t1 -. t0 in
+    depth := d;
+    record name dur_s;
+    (* Re-read the sink: the body may have installed one. *)
+    if not (Sink.is_null !Sink.current) then
+      Sink.emit (Sink.Span_end { name; depth = d; t = t1; dur_s; ok })
+  in
+  match f () with
+  | v ->
+    finish true;
+    v
+  | exception e ->
+    finish false;
+    raise e
+
+type timing = { name : string; count : int; total_s : float; max_s : float }
+
+let timings () =
+  Hashtbl.fold
+    (fun name a acc ->
+      { name; count = a.a_count; total_s = a.a_total_s; max_s = a.a_max_s }
+      :: acc)
+    aggregates []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let timings_json () =
+  Json.Obj
+    (List.map
+       (fun t ->
+         ( t.name,
+           Json.Obj
+             [
+               ("count", Json.Int t.count);
+               ("total_s", Json.Float t.total_s);
+               ("max_s", Json.Float t.max_s);
+             ] ))
+       (timings ()))

@@ -1,0 +1,23 @@
+(** Span-based tracing: nestable named timers.
+
+    [with_ ~name f] runs [f], emitting [Span_start]/[Span_end] events to
+    the installed {!Sink} and folding the duration into a per-name
+    aggregate (count, total, max) that {!Report} serialises. The span is
+    closed — and the nesting depth restored — whether [f] returns or
+    raises; a raising body is reported with [ok = false]. *)
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+
+(** Current nesting depth (0 outside any span). *)
+val depth : int ref
+
+type timing = { name : string; count : int; total_s : float; max_s : float }
+
+(** Aggregated timings since the last {!reset}, sorted by name. *)
+val timings : unit -> timing list
+
+(** The same, as a JSON object keyed by span name. *)
+val timings_json : unit -> Json.t
+
+(** Drop all aggregates and reset the depth. *)
+val reset : unit -> unit

@@ -259,7 +259,15 @@ let step net cfg rng (st : cstate) =
              from the new state. *)
           Some st'))
 
+(* SMC sampler instruments: one sample = one simulated run; accepted
+   means the stop predicate was hit within the horizon. *)
+let m_samples = Obs.counter "smc.samples"
+let m_accepted = Obs.counter "smc.accepted"
+let m_rejected = Obs.counter "smc.rejected"
+let m_run_wall = Obs.histogram "smc.run_wall_s"
+
 let simulate net cfg rng ~horizon ~stop =
+  let t0 = Unix.gettimeofday () in
   let rec loop st fuel =
     if stop st then (st, Some st.ctime)
     else if st.ctime > horizon || fuel = 0 then (st, None)
@@ -268,9 +276,16 @@ let simulate net cfg rng ~horizon ~stop =
       | None -> (st, None)
       | Some st' -> loop st' (fuel - 1)
   in
-  loop (initial_cstate net) 100_000
+  let result = loop (initial_cstate net) 100_000 in
+  Obs.Metrics.Counter.incr m_samples;
+  (match snd result with
+   | Some _ -> Obs.Metrics.Counter.incr m_accepted
+   | None -> Obs.Metrics.Counter.incr m_rejected);
+  Obs.Metrics.Histogram.observe m_run_wall (Unix.gettimeofday () -. t0);
+  result
 
 let hitting_times net cfg ~seed ~runs ~horizon ~stop =
+  Obs.Span.with_ ~name:"smc.batch" @@ fun () ->
   Array.init runs (fun k ->
       let rng = Random.State.make [| seed; k |] in
       let _, hit = simulate net cfg rng ~horizon ~stop in

@@ -7,6 +7,7 @@ type stats = Engine.Stats.t = {
   stored : int;
   subsumed : int;
   dropped : int;
+  reopened : int;
   peak_frontier : int;
   truncated : bool;
   time_s : float;

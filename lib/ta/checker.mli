@@ -19,6 +19,7 @@ type stats = Engine.Stats.t = {
   stored : int;  (** symbolic states kept in the passed list *)
   subsumed : int;  (** candidates covered by (or equal to) stored states *)
   dropped : int;  (** stored states evicted by a larger candidate *)
+  reopened : int;  (** best-cost re-openings (0 for zone stores) *)
   peak_frontier : int;  (** maximum waiting-list length *)
   truncated : bool;  (** [max_states] hit (reported as [Failure] here) *)
   time_s : float;  (** wall-clock exploration time *)

@@ -27,7 +27,7 @@ let zone_y_le n = Dbm.constrain (Dbm.universal ~clocks:2) 2 0 (Bound.le n)
 let test_discrete_store () =
   let s = Store.discrete ~key:Fun.id () in
   (match s.Store.insert "a" ~id:0 with
-   | Store.Added { dropped } -> check_int "no evictions" 0 dropped
+   | Store.Added { dropped; _ } -> check_int "no evictions" 0 dropped
    | _ -> Alcotest.fail "first insert must be Added");
   (match s.Store.insert "b" ~id:1 with
    | Store.Added _ -> ()
@@ -64,7 +64,7 @@ let test_subsume_store () =
    | _ -> Alcotest.fail "first insert must be Added");
   (* Incomparable zone: kept alongside. *)
   (match s.Store.insert (0, zone_y_le 1) ~id:1 with
-   | Store.Added { dropped } -> check_int "incomparable evicts nothing" 0 dropped
+   | Store.Added { dropped; _ } -> check_int "incomparable evicts nothing" 0 dropped
    | _ -> Alcotest.fail "incomparable zone must be Added");
   check_int "two incomparable zones stored" 2 (s.Store.size ());
   (* Equal to a stored zone: covered. *)
@@ -77,12 +77,12 @@ let test_subsume_store () =
    | _ -> Alcotest.fail "included zone must be Covered");
   (* Strictly containing both stored zones: both must be dropped. *)
   (match s.Store.insert (0, Dbm.universal ~clocks:2) ~id:2 with
-   | Store.Added { dropped } -> check_int "both stored zones evicted" 2 dropped
+   | Store.Added { dropped; _ } -> check_int "both stored zones evicted" 2 dropped
    | _ -> Alcotest.fail "superset zone must be Added");
   check_int "only the superset remains" 1 (s.Store.size ());
   (* Zones under other keys are untouched by eviction. *)
   (match s.Store.insert (1, zone_x_le 1) ~id:3 with
-   | Store.Added { dropped } -> check_int "other key untouched" 0 dropped
+   | Store.Added { dropped; _ } -> check_int "other key untouched" 0 dropped
    | _ -> Alcotest.fail "other key must be Added")
 
 let test_best_cost_store () =
@@ -94,9 +94,11 @@ let test_best_cost_store () =
   (match s.Store.insert ("a", 7) ~id:1 with
    | Store.Covered -> ()
    | _ -> Alcotest.fail "worse cost must be Covered");
-  (* Better cost: re-opens the state, evicting the old bound. *)
+  (* Better cost: re-opens the state rather than evicting a rival. *)
   (match s.Store.insert ("a", 3) ~id:1 with
-   | Store.Added { dropped } -> check_int "old bound evicted" 1 dropped
+   | Store.Added { dropped; reopened } ->
+     check_int "re-opening is not an eviction" 0 dropped;
+     check "re-opening reported" true reopened
    | _ -> Alcotest.fail "better cost must be Added");
   check "superseded entry is stale" true (s.Store.stale ("a", 5));
   check "current best is not stale" false (s.Store.stale ("a", 3));
@@ -201,7 +203,7 @@ let test_core_dijkstra () =
        (List.map fst steps)
    | None -> Alcotest.fail "3 must be reachable");
   (* The cost-5 entry for node 2 was superseded and skipped at pop. *)
-  check "stale entry recorded as dropped" true (out.Core.stats.Stats.dropped >= 1)
+  check "re-opening recorded" true (out.Core.stats.Stats.reopened >= 1)
 
 let test_core_truncation () =
   (* An infinite chain: the engine must stop and report, not raise. *)
@@ -296,7 +298,7 @@ let test_stats_json () =
   let s =
     {
       Stats.visited = 3; stored = 2; subsumed = 1; dropped = 0;
-      peak_frontier = 2; truncated = false; time_s = 0.5;
+      reopened = 0; peak_frontier = 2; truncated = false; time_s = 0.5;
       dbm_phys_eq = 4; dbm_full_cmp = 6;
     }
   in
@@ -305,8 +307,8 @@ let test_stats_json () =
     (fun affix -> check affix true (Astring.String.is_infix ~affix j))
     [
       "\"visited\":3"; "\"stored\":2"; "\"subsumed\":1"; "\"dropped\":0";
-      "\"peak_frontier\":2"; "\"truncated\":false"; "\"dbm_phys_eq\":4";
-      "\"dbm_full_cmp\":6"; "\"store_hit_rate\":";
+      "\"reopened\":0"; "\"peak_frontier\":2"; "\"truncated\":false";
+      "\"dbm_phys_eq\":4"; "\"dbm_full_cmp\":6"; "\"store_hit_rate\":";
     ]
 
 let () =

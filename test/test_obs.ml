@@ -1,0 +1,291 @@
+(* Tests for the telemetry layer: log-scale histogram bucketing and
+   quantiles, span nesting and unwind-on-exception, in-memory sink
+   ordering, and JSON round-tripping of a full run report. *)
+
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Sink = Obs.Sink
+module Span = Obs.Span
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_escaping () =
+  let j =
+    Json.Obj
+      [
+        ("plain", Json.Str "hello");
+        ("quoted", Json.Str "say \"hi\"");
+        ("control", Json.Str "a\nb\tc\\d");
+      ]
+  in
+  let s = Json.to_string j in
+  (* The emitted text must parse back to the same tree. *)
+  Alcotest.(check bool) "round-trips" true (Json.parse s = j);
+  check "raw quote is escaped" false
+    (Astring.String.is_infix ~affix:"say \"hi" s);
+  check "newline is escaped" false (String.contains s '\n')
+
+let test_json_values () =
+  let cases =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Int 42;
+      Json.Int (-17);
+      Json.Float 0.125;
+      Json.Float 1.6466010092540363;
+      Json.Str "";
+      Json.Arr [ Json.Int 1; Json.Arr []; Json.Obj [] ];
+      Json.Obj [ ("k", Json.Arr [ Json.Null ]) ];
+    ]
+  in
+  List.iter
+    (fun j -> check (Json.to_string j) true (Json.parse (Json.to_string j) = j))
+    cases;
+  (* Non-finite floats degrade to null rather than invalid JSON. *)
+  check_str "nan is null" "null" (Json.to_string (Json.Float nan));
+  check_str "inf is null" "null" (Json.to_string (Json.Float infinity));
+  (* Whitespace and nesting on the parser side. *)
+  check "whitespace accepted" true
+    (Json.parse " { \"a\" : [ 1 , 2.5 , \"x\" ] } "
+     = Json.Obj [ ("a", Json.Arr [ Json.Int 1; Json.Float 2.5; Json.Str "x" ]) ]);
+  check "trailing garbage rejected" true
+    (match Json.parse "{} x" with
+     | exception Json.Parse_error _ -> true
+     | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_gauge () =
+  let reg = Metrics.Registry.create () in
+  let c = Metrics.Counter.make ~registry:reg "c" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 4;
+  check_int "counter accumulates" 5 (Metrics.Counter.value c);
+  (* Same name, same handle. *)
+  let c' = Metrics.Counter.make ~registry:reg "c" in
+  Metrics.Counter.incr c';
+  check_int "same name is same counter" 6 (Metrics.Counter.value c);
+  let g = Metrics.Gauge.make ~registry:reg "g" in
+  Metrics.Gauge.set_max g 3.0;
+  Metrics.Gauge.set_max g 1.0;
+  check_float "set_max keeps max" 3.0 (Metrics.Gauge.value g);
+  Metrics.Registry.reset reg;
+  check_int "reset zeroes counter" 0 (Metrics.Counter.value c);
+  check_float "reset zeroes gauge" 0.0 (Metrics.Gauge.value g);
+  (* A name registered as one kind cannot be another. *)
+  check "kind clash rejected" true
+    (match Metrics.Gauge.make ~registry:reg "c" with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_histogram_buckets () =
+  (* Bucket i holds [2^(i-20), 2^(i-19)): 1.0 starts the bucket whose
+     upper edge is 2.0. *)
+  check_int "1.0" 20 (Metrics.Histogram.bucket_of 1.0);
+  check_int "1.999 same bucket" 20 (Metrics.Histogram.bucket_of 1.999);
+  check_int "2.0 next bucket" 21 (Metrics.Histogram.bucket_of 2.0);
+  check_int "0.5 previous bucket" 19 (Metrics.Histogram.bucket_of 0.5);
+  check_int "zero clamps to first" 0 (Metrics.Histogram.bucket_of 0.0);
+  check_int "negative clamps to first" 0 (Metrics.Histogram.bucket_of (-3.0));
+  check_int "tiny clamps to first" 0 (Metrics.Histogram.bucket_of 1e-12);
+  check_int "huge clamps to last" 40 (Metrics.Histogram.bucket_of 1e12);
+  check_float "upper edge of bucket 20" 2.0 (Metrics.Histogram.bucket_upper 20);
+  check_float "upper edge of bucket 19" 1.0 (Metrics.Histogram.bucket_upper 19);
+  (* Every positive finite value lands in the bucket below its upper
+     edge. *)
+  List.iter
+    (fun v ->
+      let i = Metrics.Histogram.bucket_of v in
+      check (Printf.sprintf "%g below upper edge" v) true
+        (v < Metrics.Histogram.bucket_upper i || i = 40);
+      check (Printf.sprintf "%g at/above lower edge" v) true
+        (i = 0 || v >= Metrics.Histogram.bucket_upper (i - 1)))
+    [ 1e-6; 0.01; 0.5; 1.0; 3.0; 64.0; 1e5 ]
+
+let test_histogram_quantiles () =
+  let reg = Metrics.Registry.create () in
+  let h = Metrics.Histogram.make ~registry:reg "h" in
+  check "empty quantile is nan" true (Float.is_nan (Metrics.Histogram.quantile h 0.5));
+  List.iter (Metrics.Histogram.observe h) [ 1.0; 1.0; 1.0; 2.0; 4.0; 8.0 ];
+  check_int "count" 6 (Metrics.Histogram.count h);
+  check_float "sum" 17.0 (Metrics.Histogram.sum h);
+  check_float "mean" (17.0 /. 6.0) (Metrics.Histogram.mean h);
+  (* Median: three of six samples sit in the [1,2) bucket, so the
+     estimate is that bucket's upper edge. *)
+  check_float "p50 is first bucket's edge" 2.0 (Metrics.Histogram.quantile h 0.5);
+  (* The maximum clamps to the observed max, not the bucket edge. *)
+  check_float "p100 clamps to max" 8.0 (Metrics.Histogram.quantile h 1.0);
+  (* A tiny quantile still answers from the first non-empty bucket,
+     clamped to the observed min from below. *)
+  check "p1 within observed range" true (Metrics.Histogram.quantile h 0.01 >= 1.0)
+
+let test_snapshot_touched_only () =
+  let reg = Metrics.Registry.create () in
+  let c = Metrics.Counter.make ~registry:reg "used" in
+  let (_ : Metrics.Counter.t) = Metrics.Counter.make ~registry:reg "untouched" in
+  Metrics.Counter.incr c;
+  let snap = Metrics.snapshot ~registry:reg () in
+  check "touched metric present" true (Json.member "used" snap <> None);
+  check "untouched metric absent" true (Json.member "untouched" snap = None)
+
+(* ------------------------------------------------------------------ *)
+(* Spans and sinks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let span_name = function
+  | Sink.Span_start { name; _ } -> "start:" ^ name
+  | Sink.Span_end { name; _ } -> "end:" ^ name
+
+let test_span_nesting_and_sink_order () =
+  Span.reset ();
+  let sink, events = Sink.memory () in
+  Sink.set sink;
+  Fun.protect ~finally:(fun () -> Sink.set Sink.null) @@ fun () ->
+  Span.with_ ~name:"outer" (fun () ->
+      Span.with_ ~name:"inner1" (fun () -> ());
+      Span.with_ ~name:"inner2" (fun () -> ()));
+  let evs = events () in
+  Alcotest.(check (list string))
+    "events in emission order"
+    [
+      "start:outer"; "start:inner1"; "end:inner1"; "start:inner2";
+      "end:inner2"; "end:outer";
+    ]
+    (List.map span_name evs);
+  (* Depths: outer at 0, inners at 1. *)
+  List.iter
+    (fun ev ->
+      match ev with
+      | Sink.Span_start { name; depth; _ } | Sink.Span_end { name; depth; _ } ->
+        check_int ("depth of " ^ name) (if name = "outer" then 0 else 1) depth)
+    evs;
+  (* Aggregates saw all three names, once each. *)
+  let timings = Span.timings () in
+  Alcotest.(check (list string))
+    "aggregate names" [ "inner1"; "inner2"; "outer" ]
+    (List.map (fun t -> t.Span.name) timings);
+  List.iter (fun t -> check_int t.Span.name 1 t.Span.count) timings
+
+let test_span_unwind_on_exception () =
+  Span.reset ();
+  let sink, events = Sink.memory () in
+  Sink.set sink;
+  Fun.protect ~finally:(fun () -> Sink.set Sink.null) @@ fun () ->
+  check "exception propagates" true
+    (match
+       Span.with_ ~name:"outer" (fun () ->
+           Span.with_ ~name:"boom" (fun () -> failwith "boom"))
+     with
+    | exception Failure _ -> true
+    | () -> false);
+  check_int "depth restored after raise" 0 !Span.depth;
+  (* Both spans were closed, innermost first, with ok = false. *)
+  let ends =
+    List.filter_map
+      (function
+        | Sink.Span_end { name; ok; _ } -> Some (name, ok)
+        | Sink.Span_start _ -> None)
+      (events ())
+  in
+  Alcotest.(check (list (pair string bool)))
+    "both spans closed as failed"
+    [ ("boom", false); ("outer", false) ]
+    ends;
+  (* A failed span still feeds the aggregates. *)
+  check "failed span aggregated" true
+    (List.exists (fun t -> t.Span.name = "boom") (Span.timings ()));
+  (* And the next span starts at depth 0 again. *)
+  Span.with_ ~name:"after" (fun () -> ());
+  check "recovered" true
+    (List.exists
+       (function
+         | Sink.Span_start { name = "after"; depth = 0; _ } -> true
+         | _ -> false)
+       (events ()))
+
+(* ------------------------------------------------------------------ *)
+(* Run report                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_roundtrip () =
+  Obs.reset ();
+  let c = Obs.counter "test.counter" in
+  Obs.Metrics.Counter.add c 7;
+  let h = Obs.histogram "test.hist" in
+  Obs.Metrics.Histogram.observe h 0.5;
+  Obs.Metrics.Histogram.observe h 3.0;
+  Span.with_ ~name:"test.span" (fun () -> ());
+  let report = Obs.Report.make () in
+  (* Serialise, parse back, and compare trees: the builder and parser
+     must agree on every construct a real report uses. *)
+  let text = Json.to_string report in
+  let back = Json.parse text in
+  check "report round-trips" true (back = report);
+  (* Structure: the three sections are present and populated. *)
+  let metrics = Option.get (Json.member "metrics" back) in
+  check "counter in report" true
+    (Json.member "test.counter" metrics
+    = Some (Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int 7) ]));
+  (match Json.member "test.hist" metrics with
+   | Some hist ->
+     check "histogram count" true (Json.member "count" hist = Some (Json.Int 2));
+     check "histogram sum" true
+       (match Json.member "sum" hist with
+        | Some s -> Json.to_float_opt s = Some 3.5
+        | None -> false)
+   | None -> Alcotest.fail "histogram missing from report");
+  (match Json.member "spans" back with
+   | Some spans ->
+     (match Json.member "test.span" spans with
+      | Some span ->
+        check "span count serialised" true
+          (Json.member "count" span = Some (Json.Int 1));
+        check "span total present" true (Json.member "total_s" span <> None)
+      | None -> Alcotest.fail "span missing from report")
+   | None -> Alcotest.fail "spans section missing");
+  (match Json.member "gc" back with
+   | Some gc ->
+     check "gc stats populated" true
+       (match Json.member "minor_words" gc with
+        | Some w -> (match Json.to_float_opt w with Some f -> f > 0.0 | None -> false)
+        | None -> false);
+     check "heap words present" true (Json.member "heap_words" gc <> None)
+   | None -> Alcotest.fail "gc section missing");
+  Obs.reset ()
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "value round-trips" `Quick test_json_values;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter+gauge" `Quick test_counter_gauge;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "snapshot touched-only" `Quick test_snapshot_touched_only;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting + sink order" `Quick
+            test_span_nesting_and_sink_order;
+          Alcotest.test_case "unwind on exception" `Quick
+            test_span_unwind_on_exception;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "JSON round-trip" `Quick test_report_roundtrip ] );
+    ]
