@@ -552,6 +552,87 @@ let engine () =
   Printf.printf "wrote BENCH_engine.json (%d runs)\n" (List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel pool scaling: SMC + modes batches at 1/2/4 domains         *)
+(* ------------------------------------------------------------------ *)
+
+let par () =
+  header "Parallel pool scaling (SMC + modes, 1/2/4 domains)";
+  let net = Ta.Train_gate.make ~n_trains:4 in
+  let config =
+    { Smc.Stochastic.rates = (fun auto _ -> 1.0 +. float_of_int auto) }
+  in
+  let q = { Smc.horizon = 100.0; goal = Ta.Train_gate.cross_formula net 0 } in
+  let brp = Modest.Brp.make () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let row jobs =
+    (* Fresh telemetry per row, so metrics and the per-domain span
+       breakdown belong to exactly this pool size. *)
+    Obs.reset ();
+    Par.Pool.with_pool ~jobs @@ fun pool ->
+    let itv, smc_s =
+      time (fun () ->
+          Smc.probability ~pool ~config ~seed:42 ~runs:2000 net q)
+    in
+    let md, modes_s =
+      time (fun () -> Modest.Brp.run_modes ~pool ~runs:2000 ~seed:42 brp)
+    in
+    let metrics = Obs.Metrics.snapshot () in
+    let span_domains = Obs.Span.domain_timings_json () in
+    Printf.printf
+      "jobs %d  smc %6.2fs  modes %6.2fs  p=%.4f [%.4f,%.4f]  Dmax %d\n" jobs
+      smc_s modes_s itv.Smc.Estimate.p_hat itv.Smc.Estimate.low
+      itv.Smc.Estimate.high md.Modest.Brp.md_dmax_obs;
+    (jobs, smc_s, modes_s, itv, md, metrics, span_domains)
+  in
+  let rows = List.map row [ 1; 2; 4 ] in
+  (* Determinism check across pool sizes: the interval and the modes
+     observations must not depend on the number of domains. *)
+  let _, _, _, itv0, md0, _, _ = List.hd rows in
+  List.iter
+    (fun (jobs, _, _, itv, md, _, _) ->
+      if itv <> itv0 || md <> md0 then begin
+        Printf.eprintf "FAIL: results at jobs=%d differ from jobs=1\n" jobs;
+        exit 1
+      end)
+    (List.tl rows);
+  print_endline "determinism: intervals and observations identical across pool sizes";
+  let _, smc_base, modes_base, _, _, _, _ = List.hd rows in
+  let entries =
+    Obs.Json.Arr
+      (List.map
+         (fun (jobs, smc_s, modes_s, itv, md, metrics, span_domains) ->
+           Obs.Json.Obj
+             [
+               ("jobs", Obs.Json.Int jobs);
+               ("smc_wall_s", Obs.Json.Float smc_s);
+               ("modes_wall_s", Obs.Json.Float modes_s);
+               ("smc_speedup", Obs.Json.Float (smc_base /. smc_s));
+               ("modes_speedup", Obs.Json.Float (modes_base /. modes_s));
+               ( "interval",
+                 Obs.Json.Obj
+                   [
+                     ("p_hat", Obs.Json.Float itv.Smc.Estimate.p_hat);
+                     ("low", Obs.Json.Float itv.Smc.Estimate.low);
+                     ("high", Obs.Json.Float itv.Smc.Estimate.high);
+                     ("trials", Obs.Json.Int itv.Smc.Estimate.trials);
+                   ] );
+               ("modes_dmax_obs", Obs.Json.Int md.Modest.Brp.md_dmax_obs);
+               ("metrics", metrics);
+               ("span_domains", span_domains);
+             ])
+         rows)
+  in
+  let oc = open_out "BENCH_par.json" in
+  output_string oc (Obs.Json.to_string entries);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_par.json (%d pool sizes)\n" (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -646,7 +727,8 @@ let () =
   let all =
     [
       ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-      ("ablations", ablations); ("engine", engine); ("micro", micro);
+      ("ablations", ablations); ("engine", engine); ("par", par);
+      ("micro", micro);
     ]
   in
   let args = Array.to_list Sys.argv |> List.tl in

@@ -6,6 +6,7 @@
      synth    UPPAAL-TIGA controller synthesis for the train game
      wcet     UPPAAL-CORA min/max cost reachability demo
      brp      the MODEST BRP with one of the three backends (Table I)
+     modes    BRP discrete-event simulation, sharded across --jobs domains
      modest   parse a MODEST file, classify, report reachable states
      bip      DALA verification and fault injection
      mbt      ioco test generation / execution demo *)
@@ -40,6 +41,17 @@ let show_query ~stats_json name (r : Ta.Checker.result) =
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let jobs_arg =
+  let env =
+    Cmd.Env.info "QUANTLIB_JOBS" ~doc:"Default value for $(b,--jobs)."
+  in
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N" ~env
+        ~doc:
+          "Worker domains for Monte-Carlo run batches (1 = sequential). \
+           Results are identical for every value of $(docv).")
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry flags, shared by every subcommand: --trace streams span
@@ -95,29 +107,59 @@ let verify_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let smc obs trains runs seed =
+let smc obs model trains runs seed jobs =
   with_obs obs @@ fun () ->
-  let net = Ta.Train_gate.make ~n_trains:trains in
-  let config =
-    { Smc.Stochastic.rates = (fun auto _ -> 1.0 +. float_of_int auto) }
-  in
-  let grid = List.init 8 (fun k -> 10.0 +. (12.0 *. float_of_int k)) in
-  for i = 0 to trains - 1 do
-    let series =
-      Smc.cdf ~config ~runs ~seed:(seed + i) net
-        ~goal:(Ta.Train_gate.cross_formula net i) ~horizon:100.0 ~grid
+  Par.Pool.with_pool ~jobs @@ fun pool ->
+  match model with
+  | "train-gate" ->
+    let net = Ta.Train_gate.make ~n_trains:trains in
+    let config =
+      { Smc.Stochastic.rates = (fun auto _ -> 1.0 +. float_of_int auto) }
     in
-    Printf.printf "train %d:" i;
-    List.iter (fun (t, p) -> Printf.printf " %.0f:%.2f" t p) series;
-    print_newline ()
-  done
+    let grid = List.init 8 (fun k -> 10.0 +. (12.0 *. float_of_int k)) in
+    for i = 0 to trains - 1 do
+      let series =
+        Smc.cdf ~pool ~config ~runs ~seed:(seed + i) net
+          ~goal:(Ta.Train_gate.cross_formula net i) ~horizon:100.0 ~grid
+      in
+      Printf.printf "train %d:" i;
+      List.iter (fun (t, p) -> Printf.printf " %.0f:%.2f" t p) series;
+      print_newline ()
+    done
+  | "fischer" ->
+    let net = Ta.Fischer.make ~n:trains () in
+    for i = 0 to trains - 1 do
+      let itv =
+        Smc.probability ~pool ~runs ~seed:(seed + i) net
+          {
+            Smc.horizon = 30.0;
+            goal = Ta.Prop.Loc (i, Ta.Model.loc_index net i "cs");
+          }
+      in
+      Printf.printf "process %d: p=%.4f [%.4f,%.4f] (%d runs)\n" i
+        itv.Smc.Estimate.p_hat itv.Smc.Estimate.low itv.Smc.Estimate.high
+        itv.Smc.Estimate.trials
+    done
+  | other ->
+    Printf.eprintf "unknown model %s (train-gate|fischer)\n" other;
+    exit 1
 
 let smc_cmd =
   let runs =
     Arg.(value & opt int 500 & info [ "runs" ] ~docv:"RUNS" ~doc:"Simulation runs.")
   in
+  let model =
+    Arg.(
+      value
+      & opt string "train-gate"
+      & info [ "model" ] ~docv:"M"
+          ~doc:
+            "Model to analyse: $(b,train-gate) (CDF series, Fig. 4) or \
+             $(b,fischer) (probability of each process entering its \
+             critical section).")
+  in
   Cmd.v (Cmd.info "smc" ~doc:"Statistical model checking CDF (Fig. 4).")
-    Term.(const smc $ obs_term $ trains_arg $ runs $ seed_arg)
+    Term.(const smc $ obs_term $ model $ trains_arg $ runs $ seed_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -180,6 +222,30 @@ let brp obs backend =
       r.Modest.Brp.md_p1_obs r.Modest.Brp.md_p2_obs r.Modest.Brp.md_dmax_obs
       r.Modest.Brp.md_emax_mean r.Modest.Brp.md_emax_std
   | other -> Printf.eprintf "unknown backend %s (mctau|mcpta|modes)\n" other
+
+(* Discrete-event simulation of the BRP STA on the modes backend, with
+   the run batch sharded across --jobs domains. Same output line as
+   `brp --backend modes`. *)
+let modes obs runs seed jobs =
+  with_obs obs @@ fun () ->
+  Par.Pool.with_pool ~jobs @@ fun pool ->
+  let t = Modest.Brp.make () in
+  let r = Modest.Brp.run_modes ~pool ~runs ~seed t in
+  Printf.printf
+    "TA1 %d/%d TA2 %d/%d PA %d PB %d P1 %d P2 %d Dmax %d Emax mu=%.3f sigma=%.3f\n"
+    r.Modest.Brp.md_ta1_ok r.Modest.Brp.md_runs r.Modest.Brp.md_ta2_ok
+    r.Modest.Brp.md_runs r.Modest.Brp.md_pa_obs r.Modest.Brp.md_pb_obs
+    r.Modest.Brp.md_p1_obs r.Modest.Brp.md_p2_obs r.Modest.Brp.md_dmax_obs
+    r.Modest.Brp.md_emax_mean r.Modest.Brp.md_emax_std
+
+let modes_cmd =
+  let runs =
+    Arg.(
+      value & opt int 2000 & info [ "runs" ] ~docv:"RUNS" ~doc:"Simulation runs.")
+  in
+  Cmd.v
+    (Cmd.info "modes" ~doc:"Simulate the BRP with the modes backend.")
+    Term.(const modes $ obs_term $ runs $ seed_arg $ jobs_arg)
 
 let brp_cmd =
   let backend =
@@ -297,6 +363,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            verify_cmd; smc_cmd; synth_cmd; wcet_cmd; brp_cmd; modest_cmd;
-            fischer_cmd; bip_cmd; mbt_cmd;
+            verify_cmd; smc_cmd; synth_cmd; wcet_cmd; brp_cmd; modes_cmd;
+            modest_cmd; fischer_cmd; bip_cmd; mbt_cmd;
           ]))

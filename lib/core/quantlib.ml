@@ -13,10 +13,13 @@
     - {!Engine}: the shared symbolic exploration core (state stores,
       search orders, per-run instrumentation) every checker runs on.
     - {!Obs}: the telemetry layer (metrics registry, span tracing, run
-      reports, JSON) all of the above publish into. *)
+      reports, JSON) all of the above publish into.
+    - {!Par}: the deterministic domain pool the Monte-Carlo backends
+      ({!Smc}, {!Modest.Modes}) shard their run batches on. *)
 
 module Zones = Zones
 module Obs = Obs
+module Par = Par
 module Engine = Engine
 module Ta = Ta
 module Discrete = Discrete

@@ -223,11 +223,11 @@ type modes_row = {
   md_emax_std : float;
 }
 
-let run_modes ?(runs = 10_000) ?(seed = 42) ?(dmax_bound = 64.0) t =
+let run_modes ?pool ?(runs = 10_000) ?(seed = 42) ?(dmax_bound = 64.0) t =
   let watch = [| pa t; pb t; p1 t; p2 t; success t; finished t |] in
   let monitors = [| ta1 t; ta2 t |] in
   let horizon = float_of_int (t.n * ((t.max_retrans + 1) * ((2 * t.td) + 1))) +. 10.0 in
-  let obs = Modes.runs t.sta ~seed ~n:runs ~horizon ~watch ~monitors in
+  let obs = Modes.runs ?pool t.sta ~seed ~n:runs ~horizon ~watch ~monitors in
   let count f = Array.fold_left (fun acc o -> if f o then acc + 1 else acc) 0 obs in
   let hit k (o : Modes.observation) = o.Modes.hits.(k) <> None in
   let finish_times =

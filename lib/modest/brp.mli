@@ -89,4 +89,10 @@ type modes_row = {
   md_emax_std : float;
 }
 
-val run_modes : ?runs:int -> ?seed:int -> ?dmax_bound:float -> t -> modes_row
+val run_modes :
+  ?pool:Par.Pool.t ->
+  ?runs:int ->
+  ?seed:int ->
+  ?dmax_bound:float ->
+  t ->
+  modes_row

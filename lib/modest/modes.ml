@@ -235,7 +235,9 @@ let run ?(scheduler = Asap_uniform) (sta : Sta.t) ~seed ~horizon ~watch
   Obs.Metrics.Counter.incr m_runs;
   { hits; monitors_ok; end_time = final.mtime; steps }
 
-let runs ?scheduler sta ~seed ~n ~horizon ~watch ~monitors =
+let runs ?pool ?scheduler sta ~seed ~n ~horizon ~watch ~monitors =
   Obs.Span.with_ ~name:"modes.batch" @@ fun () ->
-  Array.init n (fun k ->
+  (* Run k is fully determined by its derived seed, so the batch shards
+     across a pool without changing any observation. *)
+  Par.map_range ?pool ~lo:0 ~hi:n (fun k ->
       run ?scheduler sta ~seed:(seed + (k * 7919)) ~horizon ~watch ~monitors)

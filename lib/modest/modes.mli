@@ -32,8 +32,10 @@ val run :
   observation
 
 (** [runs sta ~seed ~n ~horizon ~watch ~monitors] — [n] independent runs
-    with derived seeds. *)
+    with derived seeds (run [k] uses [seed + k * 7919]). Sharding across
+    [?pool] changes wall-clock time only, never an observation. *)
 val runs :
+  ?pool:Par.Pool.t ->
   ?scheduler:scheduler ->
   Sta.t ->
   seed:int ->

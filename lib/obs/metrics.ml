@@ -1,10 +1,17 @@
-(* Named counters, gauges and log-scale histograms.
+(* Named counters, gauges and log-scale histograms — domain-safe.
 
-   Hot-path cost is one mutable-field update (counter/gauge) or a
-   [frexp] plus two array updates (histogram); metric handles are
-   resolved by name once, at module initialisation of the instrumented
-   code, never inside a loop. Resetting a registry zeroes values in
-   place so cached handles stay valid across bench iterations. *)
+   Hot-path cost is one atomic update (counter/gauge) or a [frexp] plus
+   a few atomic updates (histogram); metric handles are resolved by name
+   once, at module initialisation of the instrumented code, never inside
+   a loop. Instruments may be updated concurrently from several domains
+   (the lib/par worker pool does): counters use fetch-and-add, gauges a
+   single atomic cell, histogram scalars CAS retry loops — no update is
+   ever lost. Resetting a registry zeroes values in place so cached
+   handles stay valid across bench iterations. Registration, reset and
+   snapshot serialise on a per-registry mutex; a snapshot taken while
+   another domain updates reads each cell atomically but is not a
+   consistent cut across cells (count/sum of a histogram mid-observe may
+   disagree by one sample — fine for telemetry). *)
 
 (* Histogram buckets are powers of two: bucket [i] holds values in
    [2^(min_exp+i), 2^(min_exp+i+1)). With min_exp = -20 the range spans
@@ -15,51 +22,67 @@ let min_exp = -20
 let n_buckets = 41
 
 type histogram = {
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-  buckets : int array;
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+  h_min : float Atomic.t;
+  h_max : float Atomic.t;
+  buckets : int Atomic.t array;
 }
 
-type counter = { mutable c : int }
-type gauge = { mutable g : float; mutable g_set : bool }
+type counter = int Atomic.t
+
+(* Value and has-it-been-set travel together so concurrent [set_max]
+   calls can race through one CAS loop. *)
+type gauge = (float * bool) Atomic.t
 
 type metric =
   | M_counter of counter
   | M_gauge of gauge
   | M_histogram of histogram
 
-type registry = { tbl : (string, metric) Hashtbl.t }
+type registry = { tbl : (string, metric) Hashtbl.t; lock : Mutex.t }
+
+(* CAS retry update of a single cell. The boxed value read by [get] is
+   physically the one compared by [compare_and_set], so the loop is
+   lock-free and loses no update. *)
+let rec atomic_update cell f =
+  let cur = Atomic.get cell in
+  let next = f cur in
+  if not (Atomic.compare_and_set cell cur next) then atomic_update cell f
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 module Registry = struct
   type t = registry
 
-  let create () = { tbl = Hashtbl.create 64 }
+  let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
   let default = create ()
 
   let reset t =
+    locked t.lock @@ fun () ->
     Hashtbl.iter
       (fun _ m ->
         match m with
-        | M_counter c -> c.c <- 0
-        | M_gauge g ->
-          g.g <- 0.0;
-          g.g_set <- false
+        | M_counter c -> Atomic.set c 0
+        | M_gauge g -> Atomic.set g (0.0, false)
         | M_histogram h ->
-          h.h_count <- 0;
-          h.h_sum <- 0.0;
-          h.h_min <- infinity;
-          h.h_max <- neg_infinity;
-          Array.fill h.buckets 0 n_buckets 0)
+          Atomic.set h.h_count 0;
+          Atomic.set h.h_sum 0.0;
+          Atomic.set h.h_min infinity;
+          Atomic.set h.h_max neg_infinity;
+          Array.iter (fun b -> Atomic.set b 0) h.buckets)
       t.tbl
 
   let names t =
+    locked t.lock @@ fun () ->
     Hashtbl.fold (fun name _ acc -> name :: acc) t.tbl []
     |> List.sort String.compare
 end
 
 let find_or_register (reg : registry) name make classify =
+  locked reg.lock @@ fun () ->
   match Hashtbl.find_opt reg.tbl name with
   | Some m -> (
       match classify m with
@@ -76,13 +99,13 @@ module Counter = struct
   let make ?(registry = Registry.default) name =
     find_or_register registry name
       (fun () ->
-        let c = { c = 0 } in
+        let c = Atomic.make 0 in
         (c, M_counter c))
       (function M_counter c -> Some c | _ -> None)
 
-  let incr t = t.c <- t.c + 1
-  let add t n = t.c <- t.c + n
-  let value t = t.c
+  let incr t = Atomic.incr t
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let value t = Atomic.get t
 end
 
 module Gauge = struct
@@ -91,16 +114,17 @@ module Gauge = struct
   let make ?(registry = Registry.default) name =
     find_or_register registry name
       (fun () ->
-        let g = { g = 0.0; g_set = false } in
+        let g = Atomic.make (0.0, false) in
         (g, M_gauge g))
       (function M_gauge g -> Some g | _ -> None)
 
-  let set t v =
-    t.g <- v;
-    t.g_set <- true
+  let set t v = Atomic.set t (v, true)
 
-  let set_max t v = if (not t.g_set) || v > t.g then set t v
-  let value t = t.g
+  let set_max t v =
+    atomic_update t (fun (cur, is_set) ->
+        if is_set && cur >= v then (cur, is_set) else (v, true))
+
+  let value t = fst (Atomic.get t)
 end
 
 module Histogram = struct
@@ -111,11 +135,11 @@ module Histogram = struct
       (fun () ->
         let h =
           {
-            h_count = 0;
-            h_sum = 0.0;
-            h_min = infinity;
-            h_max = neg_infinity;
-            buckets = Array.make n_buckets 0;
+            h_count = Atomic.make 0;
+            h_sum = Atomic.make 0.0;
+            h_min = Atomic.make infinity;
+            h_max = Atomic.make neg_infinity;
+            buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
           }
         in
         (h, M_histogram h))
@@ -135,30 +159,34 @@ module Histogram = struct
   let bucket_upper i = Float.pow 2.0 (float_of_int (min_exp + i + 1))
 
   let observe t v =
-    t.h_count <- t.h_count + 1;
-    t.h_sum <- t.h_sum +. v;
-    if v < t.h_min then t.h_min <- v;
-    if v > t.h_max then t.h_max <- v;
-    let i = bucket_of v in
-    t.buckets.(i) <- t.buckets.(i) + 1
+    Atomic.incr t.h_count;
+    atomic_update t.h_sum (fun s -> s +. v);
+    atomic_update t.h_min (fun m -> if v < m then v else m);
+    atomic_update t.h_max (fun m -> if v > m then v else m);
+    Atomic.incr t.buckets.(bucket_of v)
 
-  let count t = t.h_count
-  let sum t = t.h_sum
-  let mean t = if t.h_count = 0 then nan else t.h_sum /. float_of_int t.h_count
+  let count t = Atomic.get t.h_count
+  let sum t = Atomic.get t.h_sum
+
+  let mean t =
+    let n = count t in
+    if n = 0 then nan else sum t /. float_of_int n
 
   (* Quantile estimate: the upper edge of the first bucket whose
      cumulative count reaches [q * count], clamped to the observed
      min/max (exact when a bucket holds a single distinct value). *)
   let quantile t q =
-    if t.h_count = 0 then nan
+    let total = count t in
+    if total = 0 then nan
     else begin
-      let rank = q *. float_of_int t.h_count in
+      let h_min = Atomic.get t.h_min and h_max = Atomic.get t.h_max in
+      let rank = q *. float_of_int total in
       let rec walk i cum =
-        if i >= n_buckets then t.h_max
+        if i >= n_buckets then h_max
         else begin
-          let cum = cum + t.buckets.(i) in
+          let cum = cum + Atomic.get t.buckets.(i) in
           if float_of_int cum >= rank then
-            Float.min t.h_max (Float.max t.h_min (bucket_upper i))
+            Float.min h_max (Float.max h_min (bucket_upper i))
           else walk (i + 1) cum
         end
       in
@@ -167,40 +195,45 @@ module Histogram = struct
 end
 
 let metric_json = function
-  | M_counter c -> Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int c.c) ]
-  | M_gauge g -> Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Float g.g) ]
+  | M_counter c ->
+    Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int (Atomic.get c)) ]
+  | M_gauge g ->
+    Json.Obj
+      [ ("type", Json.Str "gauge"); ("value", Json.Float (fst (Atomic.get g))) ]
   | M_histogram h ->
+    let n = Atomic.get h.h_count in
     let filled =
-      Array.to_list
-        (Array.mapi (fun i n -> (i, n)) h.buckets)
+      Array.to_list (Array.mapi (fun i b -> (i, Atomic.get b)) h.buckets)
       |> List.filter (fun (_, n) -> n > 0)
       |> List.map (fun (i, n) ->
-             Json.Obj [ ("le", Json.Float (Histogram.bucket_upper i)); ("n", Json.Int n) ])
+             Json.Obj
+               [ ("le", Json.Float (Histogram.bucket_upper i)); ("n", Json.Int n) ])
     in
     Json.Obj
       [
         ("type", Json.Str "histogram");
-        ("count", Json.Int h.h_count);
-        ("sum", Json.Float h.h_sum);
-        ("min", Json.Float (if h.h_count = 0 then 0.0 else h.h_min));
-        ("max", Json.Float (if h.h_count = 0 then 0.0 else h.h_max));
-        ("p50", Json.Float (if h.h_count = 0 then 0.0 else Histogram.quantile h 0.5));
-        ("p90", Json.Float (if h.h_count = 0 then 0.0 else Histogram.quantile h 0.9));
+        ("count", Json.Int n);
+        ("sum", Json.Float (Atomic.get h.h_sum));
+        ("min", Json.Float (if n = 0 then 0.0 else Atomic.get h.h_min));
+        ("max", Json.Float (if n = 0 then 0.0 else Atomic.get h.h_max));
+        ("p50", Json.Float (if n = 0 then 0.0 else Histogram.quantile h 0.5));
+        ("p90", Json.Float (if n = 0 then 0.0 else Histogram.quantile h 0.9));
         ("buckets", Json.Arr filled);
       ]
 
 (* Only metrics touched since the last reset appear, so snapshots stay
    small and bench entries list exactly the instruments the run hit. *)
 let touched = function
-  | M_counter c -> c.c <> 0
-  | M_gauge g -> g.g_set
-  | M_histogram h -> h.h_count > 0
+  | M_counter c -> Atomic.get c <> 0
+  | M_gauge g -> snd (Atomic.get g)
+  | M_histogram h -> Atomic.get h.h_count > 0
 
 let snapshot ?(registry = Registry.default) () =
   let fields =
-    Registry.names registry
-    |> List.filter_map (fun name ->
-           let m = Hashtbl.find registry.tbl name in
+    locked registry.lock @@ fun () ->
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry.tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.filter_map (fun (name, m) ->
            if touched m then Some (name, metric_json m) else None)
   in
   Json.Obj fields

@@ -1,11 +1,17 @@
 (** The metrics registry: named counters, gauges and log-scale
-    histograms with cheap hot-path updates.
+    histograms with cheap, domain-safe hot-path updates.
 
     Handles are obtained once by name ({!Counter.make} is idempotent:
     the same name in the same registry returns the same handle) and then
-    updated with a single mutable-field write — resolve them at module
-    initialisation, not inside loops. {!Registry.reset} zeroes values in
-    place, so handles survive bench iterations.
+    updated with a single atomic write — resolve them at module
+    initialisation, not inside loops. Updates may come concurrently from
+    several domains (the [Par] worker pool does this): counters use
+    fetch-and-add, gauges one atomic cell, histogram scalars CAS retry
+    loops — no update is lost. {!Registry.reset} zeroes values in
+    place, so handles survive bench iterations; registration, reset and
+    snapshot serialise on a per-registry mutex. A snapshot racing
+    updates reads each cell atomically but is not a consistent cut
+    across cells.
 
     A snapshot lists only the metrics touched since the last reset. *)
 

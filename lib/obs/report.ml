@@ -22,6 +22,7 @@ let make ?registry () =
       ("version", Json.Int 1);
       ("metrics", Metrics.snapshot ?registry ());
       ("spans", Span.timings_json ());
+      ("span_domains", Span.domain_timings_json ());
       ("gc", gc_json ());
     ]
 

@@ -5,8 +5,13 @@
     { "version": 1,
       "metrics": { "<name>": {"type": "counter", ...}, ... },
       "spans":   { "<name>": {"count", "total_s", "max_s"}, ... },
+      "span_domains": { "<domain-id>": { "<name>": {...} }, ... },
       "gc":      { "minor_words", ..., "top_heap_words" } }
-    v} *)
+    v}
+
+    [span_domains] breaks the span aggregates out by recording domain
+    (domain 0 is the main domain) — under a [Par] pool it shows how a
+    parallel section's time split across the workers. *)
 
 (** [make ()] snapshots the registry (default: {!Metrics.Registry.default}),
     the span aggregates and [Gc.quick_stat]. *)

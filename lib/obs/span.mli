@@ -1,15 +1,19 @@
-(** Span-based tracing: nestable named timers.
+(** Span-based tracing: nestable named timers, domain-safe.
 
     [with_ ~name f] runs [f], emitting [Span_start]/[Span_end] events to
-    the installed {!Sink} and folding the duration into a per-name
-    aggregate (count, total, max) that {!Report} serialises. The span is
-    closed — and the nesting depth restored — whether [f] returns or
-    raises; a raising body is reported with [ok = false]. *)
+    the installed {!Sink} and folding the duration into per-name
+    aggregates (count, total, max) that {!Report} serialises — one
+    global table and one keyed by the recording domain, so a parallel
+    section's time can be broken out per worker. The span is closed —
+    and the nesting depth restored — whether [f] returns or raises; a
+    raising body is reported with [ok = false]. Nesting depth is
+    domain-local; aggregate updates and sink emission serialise on an
+    internal mutex. *)
 
 val with_ : name:string -> (unit -> 'a) -> 'a
 
-(** Current nesting depth (0 outside any span). *)
-val depth : int ref
+(** Current nesting depth in this domain (0 outside any span). *)
+val depth : unit -> int
 
 type timing = { name : string; count : int; total_s : float; max_s : float }
 
@@ -19,5 +23,13 @@ val timings : unit -> timing list
 (** The same, as a JSON object keyed by span name. *)
 val timings_json : unit -> Json.t
 
-(** Drop all aggregates and reset the depth. *)
+(** Per-domain aggregates since the last {!reset}, sorted by domain id
+    then name. Domain 0 is the main domain; worker domains get fresh
+    ids when their pool is created. *)
+val domain_timings : unit -> (int * timing) list
+
+(** The same, as a JSON object [{ "<domain-id>": { "<span>": {...} } }]. *)
+val domain_timings_json : unit -> Json.t
+
+(** Drop all aggregates and reset this domain's depth. *)
 val reset : unit -> unit

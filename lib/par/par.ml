@@ -1,0 +1,350 @@
+(* Deterministic parallel execution on OCaml 5 domains.
+
+   Everything here preserves one invariant: the observable result of a
+   combinator depends only on its inputs, never on scheduling. Work is
+   fanned out over index ranges, every result is stored at its index,
+   and ordered consumers ([fold_until]) read strictly in index order —
+   so jobs:4 and jobs:1 agree bit for bit, which the SMC backends rely
+   on for reproducible estimates. *)
+
+exception Cancelled
+
+module Cancel = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let set t = Atomic.set t true
+  let is_set t = Atomic.get t
+end
+
+(* Pool instruments: one task = one map_range/fold_until submission;
+   chunks count actual claimed-and-computed index blocks. *)
+let m_tasks = Obs.counter "par.tasks"
+let m_chunks = Obs.counter "par.chunks"
+let m_cancelled = Obs.counter "par.cancelled_tasks"
+let m_spec_discarded = Obs.counter "par.spec_chunks_discarded"
+let g_jobs = Obs.gauge "par.jobs"
+
+module Pool = struct
+  (* jobs - 1 long-lived worker domains blocked on [has_task]; the
+     submitting domain is the jobs-th worker. One task at a time: the
+     submitter publishes a worker body under the mutex, bumps the
+     generation, and joins by waiting for [active] to drain. Worker
+     bodies never raise — the combinators capture exceptions into
+     shared slots and re-raise after the join. *)
+  type t = {
+    n_jobs : int;
+    mutex : Mutex.t;
+    has_task : Condition.t;
+    task_done : Condition.t;
+    mutable body : (unit -> unit) option;
+    mutable generation : int;
+    mutable active : int;
+    mutable closing : bool;
+    mutable domains : unit Domain.t list;
+  }
+
+  let jobs t = t.n_jobs
+
+  let worker t =
+    let rec loop seen =
+      Mutex.lock t.mutex;
+      while t.generation = seen && not t.closing do
+        Condition.wait t.has_task t.mutex
+      done;
+      if t.closing then Mutex.unlock t.mutex
+      else begin
+        let gen = t.generation in
+        let body = match t.body with Some b -> b | None -> assert false in
+        Mutex.unlock t.mutex;
+        body ();
+        Mutex.lock t.mutex;
+        t.active <- t.active - 1;
+        if t.active = 0 then Condition.broadcast t.task_done;
+        Mutex.unlock t.mutex;
+        loop gen
+      end
+    in
+    loop 0
+
+  let create ~jobs =
+    if jobs < 1 then invalid_arg "Par.Pool.create: jobs must be >= 1";
+    let t =
+      {
+        n_jobs = jobs;
+        mutex = Mutex.create ();
+        has_task = Condition.create ();
+        task_done = Condition.create ();
+        body = None;
+        generation = 0;
+        active = 0;
+        closing = false;
+        domains = [];
+      }
+    in
+    t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    if t.closing then Mutex.unlock t.mutex
+    else begin
+      t.closing <- true;
+      Condition.broadcast t.has_task;
+      Mutex.unlock t.mutex;
+      List.iter Domain.join t.domains;
+      t.domains <- []
+    end
+
+  let with_pool ~jobs f =
+    let t = create ~jobs in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+  let run t ~leader ~worker =
+    if t.n_jobs = 1 then leader ()
+    else begin
+      (* Per-domain span so run reports break worker time out by domain. *)
+      let worker () = Obs.Span.with_ ~name:"par.worker" worker in
+      Mutex.lock t.mutex;
+      if t.closing then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Par.Pool.run: pool is shut down"
+      end;
+      assert (t.body = None);
+      t.body <- Some worker;
+      t.generation <- t.generation + 1;
+      t.active <- t.n_jobs - 1;
+      Condition.broadcast t.has_task;
+      Mutex.unlock t.mutex;
+      let outcome =
+        match leader () with
+        | () -> Ok ()
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      while t.active > 0 do
+        Condition.wait t.task_done t.mutex
+      done;
+      t.body <- None;
+      Mutex.unlock t.mutex;
+      match outcome with
+      | Ok () -> ()
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+    end
+end
+
+let effective_jobs pool = match pool with None -> 1 | Some p -> Pool.jobs p
+
+(* ~8 chunks per worker bound the claim-counter contention; the 256 cap
+   keeps cancellation latency low on big ranges. *)
+let chunk_size ~chunk ~n ~jobs =
+  match chunk with
+  | Some c -> max 1 c
+  | None -> max 1 (min 256 ((n + (8 * jobs) - 1) / (8 * jobs)))
+
+(* First worker exception, with its backtrace, wins. *)
+let record_failure slot e =
+  let bt = Printexc.get_raw_backtrace () in
+  ignore (Atomic.compare_and_set slot None (Some (e, bt)))
+
+let reraise_failure slot =
+  match Atomic.get slot with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let map_range ?pool ?cancel ?chunk ~lo ~hi f =
+  let n = hi - lo in
+  if n < 0 then invalid_arg "Par.map_range: hi < lo";
+  let jobs = effective_jobs pool in
+  let cancelled () =
+    match cancel with None -> false | Some c -> Cancel.is_set c
+  in
+  Obs.Metrics.Counter.incr m_tasks;
+  Obs.Metrics.Gauge.set g_jobs (float_of_int jobs);
+  if n = 0 then [||]
+  else if jobs = 1 then begin
+    let chunk = chunk_size ~chunk ~n ~jobs in
+    let out = Array.make n None in
+    let i = ref lo in
+    while !i < hi do
+      if cancelled () then raise Cancelled;
+      let stop = min hi (!i + chunk) in
+      for k = !i to stop - 1 do
+        out.(k - lo) <- Some (f k)
+      done;
+      Obs.Metrics.Counter.incr m_chunks;
+      i := stop
+    done;
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+  else begin
+    let pool = Option.get pool in
+    let chunk = chunk_size ~chunk ~n ~jobs in
+    let n_chunks = (n + chunk - 1) / chunk in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let out = Array.make n None in
+    (* Leader and workers run the same claim loop; results land at their
+       index, so who computes what is irrelevant to the output. *)
+    let body () =
+      let rec claim () =
+        if Option.is_none (Atomic.get failure) && not (cancelled ()) then begin
+          let c = Atomic.fetch_and_add next 1 in
+          if c < n_chunks then begin
+            let start = lo + (c * chunk) in
+            let stop = min hi (start + chunk) in
+            (try
+               for k = start to stop - 1 do
+                 out.(k - lo) <- Some (f k)
+               done;
+               Obs.Metrics.Counter.incr m_chunks
+             with e -> record_failure failure e);
+            claim ()
+          end
+        end
+      in
+      claim ()
+    in
+    Pool.run pool ~leader:body ~worker:body;
+    reraise_failure failure;
+    if cancelled () && Array.exists Option.is_none out then begin
+      Obs.Metrics.Counter.incr m_cancelled;
+      raise Cancelled
+    end;
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+type 'acc step =
+  | Continue of 'acc
+  | Stop of 'acc
+
+let fold_until ?pool ?chunk ~lo ~hi ~f ~init ~step () =
+  let n = hi - lo in
+  if n < 0 then invalid_arg "Par.fold_until: hi < lo";
+  let jobs = effective_jobs pool in
+  Obs.Metrics.Counter.incr m_tasks;
+  Obs.Metrics.Gauge.set g_jobs (float_of_int jobs);
+  if n = 0 then (init, 0)
+  else if jobs = 1 then begin
+    (* Sequential: no speculation, the reference semantics. *)
+    let rec go acc k =
+      if k >= hi then (acc, n)
+      else
+        match step acc k (f k) with
+        | Continue acc -> go acc (k + 1)
+        | Stop acc -> (acc, k - lo + 1)
+    in
+    go init lo
+  end
+  else begin
+    let pool = Option.get pool in
+    let chunk = chunk_size ~chunk ~n ~jobs in
+    let n_chunks = (n + chunk - 1) / chunk in
+    (* Workers speculate at most [window] chunks beyond the consumption
+       point, bounding wasted samples after an early stop. *)
+    let window = 4 * jobs in
+    let next = Atomic.make 0 in
+    let consumed = Atomic.make 0 in
+    let stopped = Atomic.make false in
+    let failure = Atomic.make None in
+    let out = Array.make n None in
+    let ready = Array.init n_chunks (fun _ -> Atomic.make false) in
+    let compute c =
+      let start = lo + (c * chunk) in
+      let stop = min hi (start + chunk) in
+      (try
+         for k = start to stop - 1 do
+           out.(k - lo) <- Some (f k)
+         done;
+         Obs.Metrics.Counter.incr m_chunks
+       with e ->
+         record_failure failure e;
+         Atomic.set stopped true);
+      (* The Atomic.set publishes the chunk's plain writes to the
+         consuming domain (release/acquire). *)
+      Atomic.set ready.(c) true
+    in
+    let worker () =
+      let rec loop () =
+        if not (Atomic.get stopped) && Option.is_none (Atomic.get failure) then begin
+          let peek = Atomic.get next in
+          if peek < n_chunks then
+            if peek >= Atomic.get consumed + window then begin
+              Domain.cpu_relax ();
+              loop ()
+            end
+            else begin
+              let c = Atomic.fetch_and_add next 1 in
+              if c < n_chunks then begin
+                compute c;
+                loop ()
+              end
+            end
+        end
+      in
+      loop ()
+    in
+    let acc = ref init in
+    let n_consumed = ref 0 in
+    let leader () =
+      Fun.protect
+        ~finally:(fun () ->
+          (* Release window-waiting workers whatever ended the fold. *)
+          Atomic.set stopped true)
+        (fun () ->
+          let rec wait_ready c =
+            if (not (Atomic.get ready.(c))) && Option.is_none (Atomic.get failure) then begin
+              (* Help compute if the needed chunk is still unclaimed;
+                 otherwise a worker has it in flight — spin briefly. *)
+              if Atomic.get next <= c then begin
+                let c' = Atomic.fetch_and_add next 1 in
+                if c' < n_chunks then compute c'
+              end
+              else Domain.cpu_relax ();
+              wait_ready c
+            end
+          in
+          let value k =
+            match out.(k - lo) with Some v -> v | None -> assert false
+          in
+          let rec consume c =
+            if c < n_chunks && Option.is_none (Atomic.get failure) then begin
+              wait_ready c;
+              if Option.is_none (Atomic.get failure) then begin
+                let start = lo + (c * chunk) in
+                let stop = min hi (start + chunk) in
+                let rec eat k =
+                  if k >= stop then true
+                  else
+                    match step !acc k (value k) with
+                    | Continue a ->
+                      acc := a;
+                      incr n_consumed;
+                      eat (k + 1)
+                    | Stop a ->
+                      acc := a;
+                      incr n_consumed;
+                      false
+                in
+                if eat start then begin
+                  Atomic.incr consumed;
+                  consume (c + 1)
+                end
+              end
+            end
+          in
+          consume 0)
+    in
+    Pool.run pool ~leader ~worker;
+    reraise_failure failure;
+    (* Chunks computed speculatively past the stop point were wasted. *)
+    let done_chunks =
+      Array.fold_left
+        (fun acc r -> if Atomic.get r then acc + 1 else acc)
+        0 ready
+    in
+    let consumed_chunks = (!n_consumed + chunk - 1) / chunk in
+    if done_chunks > consumed_chunks then
+      Obs.Metrics.Counter.add m_spec_discarded (done_chunks - consumed_chunks);
+    (!acc, !n_consumed)
+  end

@@ -1,0 +1,113 @@
+(** Deterministic domain-pool parallel execution.
+
+    The statistical backends (UPPAAL-SMC sampling, the [modes]
+    simulator) are Monte-Carlo engines whose runs are independent and
+    individually seeded, so they parallelise without changing any
+    result: work is fanned out over {e index ranges} and every result is
+    keyed by its index, never by completion order. The two combinators
+    below guarantee that the observable outcome for a given input is
+    identical whatever the pool size or the scheduling — [jobs:4] is
+    bit-for-bit the same as [jobs:1], only faster.
+
+    Pools are created once and reused across workloads ({!Pool.create}
+    spawns [jobs - 1] long-lived worker domains; the submitting domain
+    is the [jobs]-th worker). One task runs at a time per pool; pools
+    must be driven from a single domain and must not be used from inside
+    one of their own tasks. *)
+
+(** Raised by {!map_range} when its cancellation token was set before
+    every index was computed. *)
+exception Cancelled
+
+(** Cooperative cancellation: a token shared between the submitter and
+    the workers, checked at chunk boundaries. *)
+module Cancel : sig
+  type t
+
+  val create : unit -> t
+
+  (** Request cancellation (idempotent, domain-safe). *)
+  val set : t -> unit
+
+  val is_set : t -> bool
+end
+
+module Pool : sig
+  type t
+
+  (** [create ~jobs] spawns [jobs - 1] worker domains that block until
+      work is submitted. [jobs = 1] is the sequential pool: no domains,
+      every combinator degenerates to an ordinary loop.
+      @raise Invalid_argument when [jobs < 1]. *)
+  val create : jobs:int -> t
+
+  val jobs : t -> int
+
+  (** Stop and join the worker domains. The pool must not be used
+      afterwards. Idempotent. *)
+  val shutdown : t -> unit
+
+  (** [with_pool ~jobs f] — [f] over a fresh pool, shut down on exit
+      (also on exceptions). *)
+  val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+  (** Low-level: run [worker] on every pooled domain and [leader] on the
+      calling domain, returning when all have finished. [worker] must
+      not raise (capture into shared state instead); a [leader]
+      exception is re-raised after the workers drained. Building block
+      for the combinators below; prefer those. *)
+  val run : t -> leader:(unit -> unit) -> worker:(unit -> unit) -> unit
+end
+
+(** [map_range ~pool ~lo ~hi f] is [[| f lo; ...; f (hi-1) |]], computed
+    in parallel chunks. Results are placed by index, so the returned
+    array is independent of scheduling; [f] must be safe to call
+    concurrently from several domains (pure, or touching only atomic /
+    per-call state).
+
+    The first exception some [f i] raises is captured and re-raised in
+    the caller (with its backtrace) once the workers have drained;
+    remaining chunks are abandoned. If [cancel] is set before every
+    index was computed, outstanding chunks are abandoned and
+    {!Cancelled} is raised — a token set only after the last index
+    still returns the full array.
+
+    [chunk] is the number of consecutive indices a worker claims at a
+    time (default: range split ~8 ways per worker, capped at 256). *)
+val map_range :
+  ?pool:Pool.t ->
+  ?cancel:Cancel.t ->
+  ?chunk:int ->
+  lo:int ->
+  hi:int ->
+  (int -> 'a) ->
+  'a array
+
+(** Verdict of one {!fold_until} consumption step. *)
+type 'acc step =
+  | Continue of 'acc
+  | Stop of 'acc
+
+(** [fold_until ~pool ~lo ~hi ~f ~init ~step ()] folds [step] over
+    [f lo], [f (lo+1)], ... {e strictly in index order} until [step]
+    returns [Stop] or the range is exhausted, returning the final
+    accumulator and the number of indices consumed.
+
+    With a pool, workers compute [f] speculatively ahead of the fold
+    (bounded to a few chunks beyond the consumption point) while the
+    calling domain consumes the ready prefix; once [Stop] is reached the
+    outstanding chunks are cancelled and their speculative results
+    discarded. Because consumption order is the index order and [f i]
+    depends only on [i], the result is identical to the sequential fold
+    for every pool size — this is how SPRT hypothesis testing samples in
+    parallel yet returns the sequential verdict. *)
+val fold_until :
+  ?pool:Pool.t ->
+  ?chunk:int ->
+  lo:int ->
+  hi:int ->
+  f:(int -> 'a) ->
+  init:'acc ->
+  step:('acc -> int -> 'a -> 'acc step) ->
+  unit ->
+  'acc * int

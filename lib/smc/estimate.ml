@@ -46,25 +46,73 @@ let chernoff_runs ~eps ~alpha =
 
 type sprt_result = { accept_h0 : bool; samples : int }
 
+(* Incremental SPRT: the log-likelihood ratio of H1 over H0 as an
+   immutable state advanced one Bernoulli outcome at a time. Exposing
+   the step lets callers feed outcomes computed elsewhere — in
+   particular outcomes sampled speculatively in parallel and consumed in
+   index order, which makes the parallel verdict identical to the
+   sequential one. *)
+module Sprt = struct
+  type t = {
+    s_theta : float;
+    s_max_samples : int;
+    s_log_a : float;
+    s_log_b : float;
+    s_inc_true : float;
+    s_inc_false : float;
+    s_llr : float;
+    s_n : int;
+    s_successes : int;
+  }
+
+  type status = Undecided of t | Decided of sprt_result
+
+  let start ?(max_samples = 1_000_000) ~theta ~delta ~alpha ~beta () =
+    let p0 = min 1.0 (theta +. delta) and p1 = max 0.0 (theta -. delta) in
+    {
+      s_theta = theta;
+      s_max_samples = max_samples;
+      s_log_a = log ((1.0 -. beta) /. alpha);
+      s_log_b = log (beta /. (1.0 -. alpha));
+      s_inc_true = log (p1 /. p0);
+      s_inc_false = log ((1.0 -. p1) /. (1.0 -. p0));
+      s_llr = 0.0;
+      s_n = 0;
+      s_successes = 0;
+    }
+
+  let samples t = t.s_n
+
+  (* The empirical-frequency verdict forced when the sample budget is
+     exhausted without either threshold being crossed. *)
+  let force t =
+    {
+      accept_h0 =
+        float_of_int t.s_successes /. float_of_int t.s_n >= t.s_theta;
+      samples = t.s_n;
+    }
+
+  let step t x =
+    let llr = t.s_llr +. (if x then t.s_inc_true else t.s_inc_false) in
+    let n = t.s_n + 1 in
+    let successes = if x then t.s_successes + 1 else t.s_successes in
+    let t = { t with s_llr = llr; s_n = n; s_successes = successes } in
+    if llr >= t.s_log_a then Decided { accept_h0 = false; samples = n }
+    else if llr <= t.s_log_b then Decided { accept_h0 = true; samples = n }
+    else if n >= t.s_max_samples then Decided (force t)
+    else Undecided t
+end
+
 let sprt ?(max_samples = 1_000_000) ~theta ~delta ~alpha ~beta sample =
-  let p0 = min 1.0 (theta +. delta) and p1 = max 0.0 (theta -. delta) in
-  let log_a = log ((1.0 -. beta) /. alpha) in
-  let log_b = log (beta /. (1.0 -. alpha)) in
-  (* Log-likelihood ratio of H1 over H0, updated per Bernoulli sample. *)
-  let rec loop llr n successes =
-    if llr >= log_a then { accept_h0 = false; samples = n }
-    else if llr <= log_b then { accept_h0 = true; samples = n }
-    else if n >= max_samples then
-      { accept_h0 = float_of_int successes /. float_of_int n >= theta; samples = n }
-    else begin
-      let x = sample () in
-      let delta_llr =
-        if x then log (p1 /. p0) else log ((1.0 -. p1) /. (1.0 -. p0))
-      in
-      loop (llr +. delta_llr) (n + 1) (if x then successes + 1 else successes)
-    end
-  in
-  loop 0.0 0 0
+  if max_samples <= 0 then { accept_h0 = false; samples = 0 }
+  else begin
+    let rec loop st =
+      match Sprt.step st (sample ()) with
+      | Sprt.Decided r -> r
+      | Sprt.Undecided st -> loop st
+    in
+    loop (Sprt.start ~max_samples ~theta ~delta ~alpha ~beta ())
+  end
 
 let mean_std xs =
   let n = Array.length xs in

@@ -20,6 +20,41 @@ val chernoff_runs : eps:float -> alpha:float -> int
 (** SPRT verdict for H0: p >= theta + delta against H1: p <= theta - delta. *)
 type sprt_result = { accept_h0 : bool; samples : int }
 
+(** Incremental SPRT: the test as an immutable state advanced one
+    Bernoulli outcome at a time. Feeding outcomes to {!Sprt.step} in
+    index order yields exactly the verdict of {!val:sprt} on the same
+    outcome sequence — which is what lets [Smc.hypothesis] sample
+    speculatively in parallel without changing the result. *)
+module Sprt : sig
+  type t
+
+  type status = Undecided of t | Decided of sprt_result
+
+  (** [start ~theta ~delta ~alpha ~beta ()] — fresh test with zero
+      samples consumed. [max_samples] defaults to 1_000_000. *)
+  val start :
+    ?max_samples:int ->
+    theta:float ->
+    delta:float ->
+    alpha:float ->
+    beta:float ->
+    unit ->
+    t
+
+  (** Number of outcomes consumed so far. *)
+  val samples : t -> int
+
+  (** Consume one Bernoulli outcome. Returns [Decided] when a
+      log-likelihood threshold is crossed or [max_samples] is reached
+      (then the verdict falls back to comparing the empirical frequency
+      with [theta]). *)
+  val step : t -> bool -> status
+
+  (** Force the empirical-frequency verdict now (requires at least one
+      consumed sample). *)
+  val force : t -> sprt_result
+end
+
 (** [sprt ~theta ~delta ~alpha ~beta sample] draws Bernoulli samples until
     one hypothesis is accepted; [alpha]/[beta] are the error bounds.
     [max_samples] (default 1_000_000) forces a decision by comparison

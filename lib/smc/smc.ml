@@ -11,11 +11,12 @@ let stop_of net goal (st : Stochastic.cstate) =
 
 let default_runs () = Estimate.chernoff_runs ~eps:0.05 ~alpha:0.05
 
-let probability ?(config = Stochastic.default_config) ?(seed = 42) ?runs net q =
+let probability ?pool ?(config = Stochastic.default_config) ?(seed = 42) ?runs
+    net q =
   assert (Ta.Prop.crisp q.goal);
   let runs = match runs with Some r -> r | None -> default_runs () in
   let times =
-    Stochastic.hitting_times net config ~seed ~runs ~horizon:q.horizon
+    Stochastic.hitting_times ?pool net config ~seed ~runs ~horizon:q.horizon
       ~stop:(stop_of net q.goal)
   in
   let successes =
@@ -26,27 +27,50 @@ let probability ?(config = Stochastic.default_config) ?(seed = 42) ?runs net q =
   in
   Estimate.wilson ~successes ~trials:runs ()
 
-let hypothesis ?(config = Stochastic.default_config) ?(seed = 42)
+(* SPRT over Bernoulli outcomes sampled speculatively: sample index [k]
+   always draws from [| seed; k |], and [Par.fold_until] feeds the
+   outcomes to the incremental test strictly in index order, so the
+   verdict is the one the sequential test reaches on the same stream.
+   Outcomes are produced in super-batches so an early verdict does not
+   leave max_samples worth of speculative work behind. *)
+let hypothesis ?pool ?(config = Stochastic.default_config) ?(seed = 42)
     ?(delta = 0.01) net q ~theta =
   assert (Ta.Prop.crisp q.goal);
-  let counter = ref 0 in
-  let sample () =
-    incr counter;
-    let rng = Random.State.make [| seed; !counter |] in
-    let _, hit =
-      Stochastic.simulate net config rng ~horizon:q.horizon
-        ~stop:(stop_of net q.goal)
-    in
+  Obs.Span.with_ ~name:"smc.sprt" @@ fun () ->
+  let stop = stop_of net q.goal in
+  let sample k =
+    let rng = Random.State.make [| seed; k |] in
+    let _, hit = Stochastic.simulate net config rng ~horizon:q.horizon ~stop in
     match hit with Some h -> h <= q.horizon | None -> false
   in
-  Estimate.sprt ~theta ~delta ~alpha:0.05 ~beta:0.05 sample
+  let max_samples = 1_000_000 in
+  let batch = 4096 in
+  let rec go st lo =
+    let hi = min max_samples (lo + batch) in
+    let verdict = ref None in
+    let st', _consumed =
+      Par.fold_until ?pool ~lo ~hi ~f:sample ~init:st
+        ~step:(fun st _k x ->
+          match Estimate.Sprt.step st x with
+          | Estimate.Sprt.Decided r ->
+            verdict := Some r;
+            Par.Stop st
+          | Estimate.Sprt.Undecided st' -> Par.Continue st')
+        ()
+    in
+    match !verdict with
+    | Some r -> r
+    | None ->
+      if hi >= max_samples then Estimate.Sprt.force st' else go st' hi
+  in
+  go (Estimate.Sprt.start ~max_samples ~theta ~delta ~alpha:0.05 ~beta:0.05 ()) 0
 
-let cdf ?(config = Stochastic.default_config) ?(seed = 42) ?runs net ~goal
-    ~horizon ~grid =
+let cdf ?pool ?(config = Stochastic.default_config) ?(seed = 42) ?runs net
+    ~goal ~horizon ~grid =
   assert (Ta.Prop.crisp goal);
   let runs = match runs with Some r -> r | None -> default_runs () in
   let times =
-    Stochastic.hitting_times net config ~seed ~runs ~horizon
+    Stochastic.hitting_times ?pool net config ~seed ~runs ~horizon
       ~stop:(stop_of net goal)
   in
   let fraction bound =
@@ -67,12 +91,12 @@ type hitting_stats = {
   runs : int;
 }
 
-let hitting_time ?(config = Stochastic.default_config) ?(seed = 42) ?runs net
-    ~goal ~horizon =
+let hitting_time ?pool ?(config = Stochastic.default_config) ?(seed = 42) ?runs
+    net ~goal ~horizon =
   assert (Ta.Prop.crisp goal);
   let runs = match runs with Some r -> r | None -> default_runs () in
   let times =
-    Stochastic.hitting_times net config ~seed ~runs ~horizon
+    Stochastic.hitting_times ?pool net config ~seed ~runs ~horizon
       ~stop:(stop_of net goal)
   in
   let hits = Array.to_list times |> List.filter_map Fun.id in

@@ -2,7 +2,15 @@
 
     Answers [Pr[<=T](<> f)] queries by Monte-Carlo simulation under the
     stochastic semantics of {!Stochastic}, with the estimators of
-    {!Estimate}. Deterministically seeded throughout. *)
+    {!Estimate}.
+
+    {b Seed-derivation contract.} Every entry point below is
+    deterministic in its [seed]: the [k]-th Monte-Carlo run (counting
+    from 0) always draws from the stream [Random.State.make [| seed; k |]]
+    — never from a shared mutable stream. Because a run's randomness
+    depends only on [(seed, k)], batches shard freely across a [Par]
+    pool: passing [?pool] changes wall-clock time, not one byte of any
+    estimate, interval or verdict. *)
 
 module Stochastic : module type of Stochastic
 module Estimate : module type of Estimate
@@ -15,6 +23,7 @@ type query = {
 (** [probability net q] estimates [Pr[<=T](<> goal)].
     [runs] defaults to the Chernoff bound for [eps]=0.05, [alpha]=0.05. *)
 val probability :
+  ?pool:Par.Pool.t ->
   ?config:Stochastic.config ->
   ?seed:int ->
   ?runs:int ->
@@ -23,8 +32,13 @@ val probability :
   Estimate.interval
 
 (** [hypothesis net q ~theta] tests H0: [Pr >= theta] by SPRT with
-    indifference [delta] (default 0.01) and error bounds 0.05. *)
+    indifference [delta] (default 0.01) and error bounds 0.05. Sample
+    [k] draws from [| seed; k |]; under a pool, outcomes are sampled
+    speculatively in batches but consumed in index order, and sampling
+    is cancelled once the verdict is reached — the verdict and its
+    [samples] count equal the sequential ones. *)
 val hypothesis :
+  ?pool:Par.Pool.t ->
   ?config:Stochastic.config ->
   ?seed:int ->
   ?delta:float ->
@@ -37,6 +51,7 @@ val hypothesis :
     time bound in [grid], the fraction of runs whose hitting time is
     within the bound — the cumulative distribution of Fig. 4. *)
 val cdf :
+  ?pool:Par.Pool.t ->
   ?config:Stochastic.config ->
   ?seed:int ->
   ?runs:int ->
@@ -57,6 +72,7 @@ type hitting_stats = {
 }
 
 val hitting_time :
+  ?pool:Par.Pool.t ->
   ?config:Stochastic.config ->
   ?seed:int ->
   ?runs:int ->

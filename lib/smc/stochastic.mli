@@ -44,8 +44,11 @@ val simulate :
   cstate * float option
 
 (** [hitting_times net cfg ~seed ~runs ~horizon ~stop] collects one
-    optional hitting time per run (deterministically seeded). *)
+    optional hitting time per run. Run [k] draws from the stream
+    [Random.State.make [| seed; k |]], so the result array depends only
+    on [seed] — with or without a [pool] the bytes are identical. *)
 val hitting_times :
+  ?pool:Par.Pool.t ->
   Ta.Model.network ->
   config ->
   seed:int ->

@@ -189,7 +189,7 @@ let test_span_unwind_on_exception () =
      with
     | exception Failure _ -> true
     | () -> false);
-  check_int "depth restored after raise" 0 !Span.depth;
+  check_int "depth restored after raise" 0 (Span.depth ());
   (* Both spans were closed, innermost first, with ok = false. *)
   let ends =
     List.filter_map
@@ -213,6 +213,103 @@ let test_span_unwind_on_exception () =
          | Sink.Span_start { name = "after"; depth = 0; _ } -> true
          | _ -> false)
        (events ()))
+
+(* ------------------------------------------------------------------ *)
+(* Domain-safety: concurrent updates must lose nothing                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_counters () =
+  let reg = Metrics.Registry.create () in
+  let c = Metrics.Counter.make ~registry:reg "par.c" in
+  let g = Metrics.Gauge.make ~registry:reg "par.g" in
+  let h = Metrics.Histogram.make ~registry:reg "par.h" in
+  let per_domain = 25_000 in
+  let body () =
+    for i = 1 to per_domain do
+      Metrics.Counter.incr c;
+      Metrics.Gauge.set_max g (float_of_int i);
+      Metrics.Histogram.observe h 1.0
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn body) in
+  Array.iter Domain.join domains;
+  (* Every increment from every domain must be visible: counters and
+     histogram scalars are atomics, not plain refs. *)
+  check_int "no lost counter increments" (4 * per_domain)
+    (Metrics.Counter.value c);
+  check "gauge max survived the race" true
+    (Metrics.Gauge.value g = float_of_int per_domain);
+  check_int "no lost observations" (4 * per_domain) (Metrics.Histogram.count h);
+  check "sum exact" true
+    (Metrics.Histogram.sum h = float_of_int (4 * per_domain))
+
+let test_reset_racing_snapshot () =
+  (* Reset and snapshot race from two domains while two more keep
+     writing: nothing crashes and every snapshot parses into the
+     registered shapes (registry mutations are mutex-guarded). *)
+  let reg = Metrics.Registry.create () in
+  let c = Metrics.Counter.make ~registry:reg "race.c" in
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Metrics.Counter.incr c
+        done)
+  in
+  let resetter =
+    Domain.spawn (fun () ->
+        for _ = 1 to 500 do
+          Metrics.Registry.reset reg;
+          Domain.cpu_relax ()
+        done)
+  in
+  let ok = ref true in
+  for _ = 1 to 500 do
+    match Metrics.snapshot ~registry:reg () with
+    | Json.Obj fields ->
+      List.iter
+        (fun (_, v) ->
+          match Json.member "type" v with
+          | Some (Json.Str _) -> ()
+          | _ -> ok := false)
+        fields
+    | _ -> ok := false
+  done;
+  Domain.join resetter;
+  Atomic.set stop true;
+  Domain.join writer;
+  check "snapshots stayed well-formed under reset race" true !ok;
+  (* After the dust settles the counter still works. *)
+  Metrics.Registry.reset reg;
+  Metrics.Counter.incr c;
+  check_int "counter usable after race" 1 (Metrics.Counter.value c)
+
+let test_span_domain_breakdown () =
+  Obs.reset ();
+  Span.with_ ~name:"main.work" (fun () -> ());
+  let d =
+    Domain.spawn (fun () -> Span.with_ ~name:"worker.work" (fun () -> ()))
+  in
+  Domain.join d;
+  let by_domain = Span.domain_timings () in
+  let names_of id =
+    List.filter_map
+      (fun (d, t) -> if d = id then Some t.Span.name else None)
+      by_domain
+  in
+  check "main domain recorded" true
+    (List.mem "main.work" (names_of (Domain.self () :> int)));
+  check "worker span attributed to another domain" true
+    (List.exists
+       (fun (d, t) ->
+         d <> (Domain.self () :> int) && t.Span.name = "worker.work")
+       by_domain);
+  (* The global aggregate still sees both. *)
+  Alcotest.(check (list string))
+    "global aggregate merges domains"
+    [ "main.work"; "worker.work" ]
+    (List.map (fun t -> t.Span.name) (Span.timings ()));
+  Obs.reset ()
 
 (* ------------------------------------------------------------------ *)
 (* Run report                                                          *)
@@ -285,6 +382,15 @@ let () =
             test_span_nesting_and_sink_order;
           Alcotest.test_case "unwind on exception" `Quick
             test_span_unwind_on_exception;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "no lost updates from 4 domains" `Quick
+            test_concurrent_counters;
+          Alcotest.test_case "reset racing snapshot" `Quick
+            test_reset_racing_snapshot;
+          Alcotest.test_case "per-domain span breakdown" `Quick
+            test_span_domain_breakdown;
         ] );
       ( "report",
         [ Alcotest.test_case "JSON round-trip" `Quick test_report_roundtrip ] );

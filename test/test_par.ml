@@ -1,0 +1,164 @@
+(* The deterministic domain pool: scheduling must never leak into
+   results. Covers map_range against its sequential reference,
+   bit-identical SMC under jobs=1 and jobs=4, exception propagation from
+   workers, cooperative cancellation, pool reuse, and the ordered
+   fold_until used by the SPRT. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* map_range                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_range_matches_sequential () =
+  Par.Pool.with_pool ~jobs:4 @@ fun pool ->
+  List.iter
+    (fun (lo, hi, chunk) ->
+      let f k = (k * k) + lo in
+      let expected = Array.init (max 0 (hi - lo)) (fun i -> f (lo + i)) in
+      let got = Par.map_range ~pool ?chunk ~lo ~hi f in
+      check
+        (Printf.sprintf "range [%d,%d) chunk %s" lo hi
+           (match chunk with Some c -> string_of_int c | None -> "auto"))
+        true
+        (got = expected))
+    [
+      (0, 1000, None);
+      (0, 1000, Some 1);
+      (0, 1000, Some 7);
+      (5, 42, Some 3);
+      (3, 3, None);
+      (0, 1, None);
+    ]
+
+let test_exception_propagates_and_pool_survives () =
+  let pool = Par.Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) @@ fun () ->
+  check "worker exception re-raised at join" true
+    (match
+       Par.map_range ~pool ~lo:0 ~hi:10_000 (fun k ->
+           if k = 7_777 then failwith "boom";
+           k)
+     with
+    | exception Failure msg -> msg = "boom"
+    | _ -> false);
+  (* The pool is still usable after a failed task. *)
+  let again = Par.map_range ~pool ~lo:0 ~hi:100 (fun k -> k * 2) in
+  check "pool survives a failed task" true
+    (again = Array.init 100 (fun k -> k * 2))
+
+let test_cancellation_stops_outstanding_chunks () =
+  Par.Pool.with_pool ~jobs:4 @@ fun pool ->
+  let n = 200_000 in
+  let cancel = Par.Cancel.create () in
+  let computed = Atomic.make 0 in
+  check "cancelled batch raises" true
+    (match
+       Par.map_range ~pool ~cancel ~lo:0 ~hi:n (fun _ ->
+           if Atomic.fetch_and_add computed 1 = 100 then Par.Cancel.set cancel)
+     with
+    | exception Par.Cancelled -> true
+    | _ -> false);
+  (* Workers re-check the token between chunks, so cancellation leaves
+     the bulk of the range uncomputed. *)
+  check "outstanding chunks were skipped" true (Atomic.get computed < n / 2);
+  (* A fresh batch on the same pool is unaffected by the spent token. *)
+  let again = Par.map_range ~pool ~lo:0 ~hi:50 Fun.id in
+  check "pool usable after cancellation" true (again = Array.init 50 Fun.id)
+
+let test_pool_reuse_across_workloads () =
+  let pool = Par.Pool.create ~jobs:3 in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) @@ fun () ->
+  check_int "jobs" 3 (Par.Pool.jobs pool);
+  let a = Par.map_range ~pool ~lo:0 ~hi:500 (fun k -> k + 1) in
+  let b = Par.map_range ~pool ~lo:0 ~hi:500 (fun k -> k * 3) in
+  check "first workload" true (a = Array.init 500 (fun k -> k + 1));
+  check "second workload on same pool" true
+    (b = Array.init 500 (fun k -> k * 3))
+
+(* ------------------------------------------------------------------ *)
+(* fold_until                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fold_sum ?pool () =
+  Par.fold_until ?pool ~lo:0 ~hi:100_000
+    ~f:(fun k -> k mod 97)
+    ~init:0
+    ~step:(fun acc _k x ->
+      let acc = acc + x in
+      if acc >= 123_456 then Par.Stop acc else Par.Continue acc)
+    ()
+
+let test_fold_until_deterministic () =
+  let seq_acc, seq_n = fold_sum () in
+  Par.Pool.with_pool ~jobs:4 @@ fun pool ->
+  let par_acc, par_n = fold_sum ~pool () in
+  check_int "accumulator identical" seq_acc par_acc;
+  check_int "consumed count identical" seq_n par_n;
+  check "stopped early" true (seq_n < 100_000)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism: SMC on Fischer                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_smc_fischer_deterministic () =
+  let net = Ta.Fischer.make ~n:3 () in
+  let q =
+    {
+      Smc.horizon = 30.0;
+      goal = Ta.Prop.Loc (0, Ta.Model.loc_index net 0 "cs");
+    }
+  in
+  let seq = Smc.probability ~seed:11 ~runs:200 net q in
+  let par =
+    Par.Pool.with_pool ~jobs:4 @@ fun pool ->
+    Smc.probability ~pool ~seed:11 ~runs:200 net q
+  in
+  check "interval identical under jobs=4" true (seq = par);
+  check "estimate non-trivial" true (seq.Smc.Estimate.p_hat > 0.0)
+
+let test_sprt_deterministic () =
+  let net = Ta.Fischer.make ~n:3 () in
+  let q =
+    {
+      Smc.horizon = 30.0;
+      goal = Ta.Prop.Loc (0, Ta.Model.loc_index net 0 "cs");
+    }
+  in
+  let seq = Smc.hypothesis ~seed:11 net q ~theta:0.5 in
+  let par =
+    Par.Pool.with_pool ~jobs:4 @@ fun pool ->
+    Smc.hypothesis ~pool ~seed:11 net q ~theta:0.5
+  in
+  check "verdict identical under jobs=4" true
+    (seq.Smc.Estimate.accept_h0 = par.Smc.Estimate.accept_h0);
+  check_int "sample count identical" seq.Smc.Estimate.samples
+    par.Smc.Estimate.samples
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "map_range",
+        [
+          Alcotest.test_case "matches sequential" `Quick
+            test_map_range_matches_sequential;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates_and_pool_survives;
+          Alcotest.test_case "cancellation" `Quick
+            test_cancellation_stops_outstanding_chunks;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse_across_workloads;
+        ] );
+      ( "fold_until",
+        [
+          Alcotest.test_case "ordered fold deterministic" `Quick
+            test_fold_until_deterministic;
+        ] );
+      ( "smc",
+        [
+          Alcotest.test_case "Fischer interval jobs=1 vs 4" `Quick
+            test_smc_fischer_deterministic;
+          Alcotest.test_case "SPRT verdict jobs=1 vs 4" `Quick
+            test_sprt_deterministic;
+        ] );
+    ]
