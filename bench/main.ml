@@ -633,6 +633,66 @@ let par () =
   Printf.printf "wrote BENCH_par.json (%d pool sizes)\n" (List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* Differential fuzz harness: sweep throughput per oracle family        *)
+(* ------------------------------------------------------------------ *)
+
+let gen () =
+  header "Differential oracle harness (cases/s per family, jobs 1/4)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let cases = 400 in
+  let row family jobs =
+    Obs.reset ();
+    let report, wall =
+      time (fun () ->
+          Gen.Harness.run
+            { Gen.Harness.default with seed = 42; cases; jobs;
+              families = [ family ] })
+    in
+    let name = Gen.Oracle.family_name family in
+    Printf.printf "%-14s jobs %d  %6.2fs  %8.0f cases/s  agreed %d skipped %d\n"
+      name jobs wall
+      (float_of_int cases /. wall)
+      report.Gen.Harness.r_agreed
+      (List.length report.Gen.Harness.r_skipped);
+    if report.Gen.Harness.r_divergences <> [] then begin
+      Printf.eprintf "FAIL: unexpected divergence in %s sweep\n" name;
+      exit 1
+    end;
+    (name, jobs, wall, report)
+  in
+  let rows =
+    List.concat_map
+      (fun family -> List.map (row family) [ 1; 4 ])
+      Gen.Oracle.all_families
+  in
+  let entries =
+    Obs.Json.Arr
+      (List.map
+         (fun (name, jobs, wall, report) ->
+           Obs.Json.Obj
+             [
+               ("family", Obs.Json.Str name);
+               ("jobs", Obs.Json.Int jobs);
+               ("cases", Obs.Json.Int cases);
+               ("wall_s", Obs.Json.Float wall);
+               ("cases_per_s", Obs.Json.Float (float_of_int cases /. wall));
+               ("agreed", Obs.Json.Int report.Gen.Harness.r_agreed);
+               ( "skipped",
+                 Obs.Json.Int (List.length report.Gen.Harness.r_skipped) );
+             ])
+         rows)
+  in
+  let oc = open_out "BENCH_gen.json" in
+  output_string oc (Obs.Json.to_string entries);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_gen.json (%d rows)\n" (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -728,7 +788,7 @@ let () =
     [
       ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
       ("ablations", ablations); ("engine", engine); ("par", par);
-      ("micro", micro);
+      ("gen", gen); ("micro", micro);
     ]
   in
   let args = Array.to_list Sys.argv |> List.tl in

@@ -9,7 +9,8 @@
      modes    BRP discrete-event simulation, sharded across --jobs domains
      modest   parse a MODEST file, classify, report reachable states
      bip      DALA verification and fault injection
-     mbt      ioco test generation / execution demo *)
+     mbt      ioco test generation / execution demo
+     fuzz     differential fuzzing of the backends against each other *)
 
 open Quantlib
 open Cmdliner
@@ -356,6 +357,103 @@ let mbt_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let fuzz obs seed cases jobs families no_shrink inject out =
+  with_obs obs @@ fun () ->
+  let families =
+    match families with
+    | [] -> Gen.Oracle.all_families
+    | names ->
+      List.map
+        (fun n ->
+          match Gen.Oracle.family_of_name n with
+          | Some f -> f
+          | None ->
+            Printf.eprintf "fuzz: unknown family %S (known: %s)\n" n
+              (String.concat ", "
+                 (List.map Gen.Oracle.family_name Gen.Oracle.all_families));
+            exit 2)
+        names
+  in
+  (match inject with
+   | None -> ()
+   | Some "dbm-up" -> Zones.Dbm.inject_fault (Some Zones.Dbm.Broken_up)
+   | Some "dbm-intersect" -> Zones.Dbm.inject_fault (Some Zones.Dbm.Unclosed_intersect)
+   | Some other ->
+     Printf.eprintf "fuzz: unknown fault %S (known: dbm-up, dbm-intersect)\n" other;
+     exit 2);
+  let cfg =
+    {
+      Gen.Harness.default with
+      seed;
+      cases;
+      jobs;
+      families;
+      shrink = not no_shrink;
+    }
+  in
+  let report = Gen.Harness.run cfg in
+  Zones.Dbm.inject_fault None;
+  print_string (Gen.Harness.render report);
+  (match out with
+   | Some file ->
+     let oc = open_out file in
+     output_string oc (Obs.Json.to_string (Gen.Harness.report_json report));
+     output_char oc '\n';
+     close_out oc
+   | None -> ());
+  if report.Gen.Harness.r_divergences <> [] then exit 1
+
+let fuzz_cmd =
+  let cases_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "cases" ] ~docv:"N" ~doc:"Number of generated cases.")
+  in
+  let families_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "family" ] ~docv:"NAME"
+          ~doc:
+            "Restrict to one oracle family (repeatable): ta-reach, priced, \
+             mdp-vi, smc-ci, bip-deadlock. Default: all, round-robin.")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report divergences without minimizing them.")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"FAULT"
+          ~doc:
+            "Inject a known fault before sweeping — the harness's own \
+             mutation smoke test. dbm-up breaks the zone engine's delay \
+             operation and must make a ta-reach sweep exit 1; dbm-intersect \
+             leaks non-canonical DBMs on the deadlock-check path (caught by \
+             the DBM property tests rather than this sweep).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the JSON report (including shrunk repros) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random models cross-checked across backends. \
+          Exits 1 when any divergence is found; every case is reproducible \
+          from (seed, index).")
+    Term.(
+      const fuzz $ obs_term $ seed_arg $ cases_arg $ jobs_arg $ families_arg
+      $ no_shrink_arg $ inject_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   let doc = "Quantitative modeling and analysis of embedded systems." in
   let info = Cmd.info "quantcli" ~version:"1.0" ~doc in
@@ -364,5 +462,5 @@ let () =
        (Cmd.group info
           [
             verify_cmd; smc_cmd; synth_cmd; wcet_cmd; brp_cmd; modes_cmd;
-            modest_cmd; fischer_cmd; bip_cmd; mbt_cmd;
+            modest_cmd; fischer_cmd; bip_cmd; mbt_cmd; fuzz_cmd;
           ]))

@@ -15,7 +15,10 @@
     - {!Obs}: the telemetry layer (metrics registry, span tracing, run
       reports, JSON) all of the above publish into.
     - {!Par}: the deterministic domain pool the Monte-Carlo backends
-      ({!Smc}, {!Modest.Modes}) shard their run batches on. *)
+      ({!Smc}, {!Modest.Modes}) shard their run batches on.
+    - {!Gen}: seeded random-model generators and the differential
+      oracle harness that cross-checks the backends against each
+      other. *)
 
 module Zones = Zones
 module Obs = Obs
@@ -31,4 +34,5 @@ module Modest = Modest
 module Bip = Bip
 module Mbt = Mbt
 module Ecdar = Ecdar
+module Gen = Gen
 module Util = Quant_util

@@ -1,0 +1,197 @@
+type config = {
+  seed : int;
+  cases : int;
+  jobs : int;
+  families : Oracle.family list;
+  shrink : bool;
+  max_probes : int;
+}
+
+let default =
+  {
+    seed = 42;
+    cases = 100;
+    jobs = 1;
+    families = Oracle.all_families;
+    shrink = true;
+    max_probes = 2000;
+  }
+
+let m_cases = Obs.counter "gen.cases"
+let m_skipped = Obs.counter "gen.skipped"
+let m_divergences = Obs.counter "gen.divergences"
+let m_shrink_steps = Obs.counter "gen.shrink_steps"
+
+let family_tag fam =
+  let rec go i = function
+    | [] -> assert false
+    | f :: rest -> if f = fam then i else go (i + 1) rest
+  in
+  go 0 Oracle.all_families
+
+let case_of cfg i =
+  let fams = Array.of_list cfg.families in
+  let fam = fams.(i mod Array.length fams) in
+  let rng = Rng.(child (child (make cfg.seed) (family_tag fam)) i) in
+  Oracle.generate fam rng
+
+type divergence = {
+  d_index : int;
+  d_family : Oracle.family;
+  d_message : string;
+  d_case : Oracle.case;
+  d_shrunk : Oracle.case;
+  d_shrunk_message : string;
+  d_shrink_steps : int;
+}
+
+type report = {
+  r_seed : int;
+  r_cases : int;
+  r_families : Oracle.family list;
+  r_agreed : int;
+  r_skipped : (int * string) list;
+  r_divergences : divergence list;
+}
+
+(* Greedy shrink: scan the single-step candidates in order, commit to
+   the first that still diverges, repeat until none does (local
+   minimum) or the probe budget runs out. *)
+let shrink_diverged ~max_probes case message =
+  let probes = ref 0 in
+  let rec go case message steps =
+    let rec first = function
+      | [] -> None
+      | c :: rest ->
+        if !probes >= max_probes then None
+        else begin
+          incr probes;
+          match Oracle.check c with
+          | Diverge m -> Some (c, m)
+          | Agree | Skip _ -> first rest
+        end
+    in
+    match first (Oracle.shrinks case) with
+    | Some (c, m) -> go c m (steps + 1)
+    | None -> (case, message, steps)
+  in
+  go case message 0
+
+let run cfg =
+  if cfg.cases < 0 then invalid_arg "Gen.Harness.run: negative cases";
+  if cfg.families = [] then invalid_arg "Gen.Harness.run: no families";
+  let eval i =
+    let case = case_of cfg i in
+    (case, Oracle.check case)
+  in
+  let results =
+    if cfg.jobs <= 1 then Array.init cfg.cases eval
+    else
+      Par.Pool.with_pool ~jobs:cfg.jobs (fun pool ->
+          Par.map_range ~pool ~lo:0 ~hi:cfg.cases eval)
+  in
+  let agreed = ref 0 in
+  let skipped = ref [] in
+  let divergences = ref [] in
+  Array.iteri
+    (fun i (case, verdict) ->
+      match verdict with
+      | Oracle.Agree -> incr agreed
+      | Oracle.Skip msg -> skipped := (i, msg) :: !skipped
+      | Oracle.Diverge msg ->
+        let shrunk, shrunk_msg, steps =
+          if cfg.shrink then
+            shrink_diverged ~max_probes:cfg.max_probes case msg
+          else (case, msg, 0)
+        in
+        Obs.Metrics.Counter.add m_shrink_steps steps;
+        divergences :=
+          {
+            d_index = i;
+            d_family = Oracle.family_of_case case;
+            d_message = msg;
+            d_case = case;
+            d_shrunk = shrunk;
+            d_shrunk_message = shrunk_msg;
+            d_shrink_steps = steps;
+          }
+          :: !divergences)
+    results;
+  Obs.Metrics.Counter.add m_cases cfg.cases;
+  Obs.Metrics.Counter.add m_skipped (List.length !skipped);
+  Obs.Metrics.Counter.add m_divergences (List.length !divergences);
+  {
+    r_seed = cfg.seed;
+    r_cases = cfg.cases;
+    r_families = cfg.families;
+    r_agreed = !agreed;
+    r_skipped = List.rev !skipped;
+    r_divergences = List.rev !divergences;
+  }
+
+(* The render must not mention [jobs]: a sweep's output is required to
+   be byte-identical across pool sizes. *)
+let render r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "fuzz: seed=%d cases=%d families=%s\n" r.r_seed r.r_cases
+       (String.concat "," (List.map Oracle.family_name r.r_families)));
+  Buffer.add_string buf
+    (Printf.sprintf "agreed=%d skipped=%d diverged=%d\n" r.r_agreed
+       (List.length r.r_skipped)
+       (List.length r.r_divergences));
+  List.iter
+    (fun (i, msg) ->
+      Buffer.add_string buf (Printf.sprintf "skip case %d: %s\n" i msg))
+    r.r_skipped;
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "DIVERGENCE case %d (%s): %s\n" d.d_index
+           (Oracle.family_name d.d_family)
+           d.d_message);
+      if d.d_shrink_steps > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  shrunk (%d steps): %s\n" d.d_shrink_steps
+             d.d_shrunk_message);
+      Buffer.add_string buf
+        (Printf.sprintf "  repro: let case = %s\n" (Oracle.to_ocaml d.d_shrunk)))
+    r.r_divergences;
+  Buffer.contents buf
+
+let report_json r =
+  Obs.Json.Obj
+    [
+      ("seed", Obs.Json.Int r.r_seed);
+      ("cases", Obs.Json.Int r.r_cases);
+      ( "families",
+        Obs.Json.Arr
+          (List.map (fun f -> Obs.Json.Str (Oracle.family_name f)) r.r_families)
+      );
+      ("agreed", Obs.Json.Int r.r_agreed);
+      ("skipped", Obs.Json.Int (List.length r.r_skipped));
+      ("diverged", Obs.Json.Int (List.length r.r_divergences));
+      ( "skips",
+        Obs.Json.Arr
+          (List.map
+             (fun (i, msg) ->
+               Obs.Json.Obj
+                 [ ("case", Obs.Json.Int i); ("reason", Obs.Json.Str msg) ])
+             r.r_skipped) );
+      ( "divergences",
+        Obs.Json.Arr
+          (List.map
+             (fun d ->
+               Obs.Json.Obj
+                 [
+                   ("case", Obs.Json.Int d.d_index);
+                   ("family", Obs.Json.Str (Oracle.family_name d.d_family));
+                   ("message", Obs.Json.Str d.d_message);
+                   ("original", Oracle.to_json d.d_case);
+                   ("shrunk", Oracle.to_json d.d_shrunk);
+                   ("shrunk_message", Obs.Json.Str d.d_shrunk_message);
+                   ("shrink_steps", Obs.Json.Int d.d_shrink_steps);
+                   ("repro", Obs.Json.Str (Oracle.to_ocaml d.d_shrunk));
+                 ])
+             r.r_divergences) );
+    ]

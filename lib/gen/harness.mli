@@ -1,0 +1,54 @@
+(** The differential-fuzzing harness: deterministic case sweep, greedy
+    shrinking of divergences, and reproducible reporting.
+
+    Case [i] of a sweep is drawn from the splittable stream
+    [Rng.(make seed |> child (family tag) |> child i)] — reproducible
+    from [(seed, i)] alone. Evaluation fans out over a {!Par} pool with
+    results keyed by index, and shrinking runs sequentially afterwards,
+    so a sweep's report is byte-identical for every [jobs] value. *)
+
+type config = {
+  seed : int;
+  cases : int;
+  jobs : int;
+  families : Oracle.family list;  (** case [i] uses family [i mod n] *)
+  shrink : bool;
+  max_probes : int;
+      (** cap on candidate evaluations during one divergence's shrink *)
+}
+
+val default : config
+
+(** [case_of cfg i] — the case the sweep evaluates at index [i]
+    (exposed so a printed seed/index pair can be replayed directly). *)
+val case_of : config -> int -> Oracle.case
+
+type divergence = {
+  d_index : int;
+  d_family : Oracle.family;
+  d_message : string;
+  d_case : Oracle.case;
+  d_shrunk : Oracle.case;  (** [= d_case] when shrinking is off *)
+  d_shrunk_message : string;
+  d_shrink_steps : int;  (** accepted reductions *)
+}
+
+type report = {
+  r_seed : int;
+  r_cases : int;
+  r_families : Oracle.family list;
+  r_agreed : int;
+  r_skipped : (int * string) list;  (** (index, reason), index order *)
+  r_divergences : divergence list;  (** index order *)
+}
+
+(** [run cfg] sweeps, shrinks, and updates the [gen.*] metrics
+    ([gen.cases], [gen.skipped], [gen.divergences], [gen.shrink_steps]). *)
+val run : config -> report
+
+(** Deterministic human-readable report (independent of [jobs]). *)
+val render : report -> string
+
+(** Machine-readable artifact: config echo, counts, and for every
+    divergence the original and shrunk case plus an OCaml repro. *)
+val report_json : report -> Obs.Json.t

@@ -1,0 +1,181 @@
+type spec = { m_states : int; m_acts : (int * int) list list array }
+
+let gen ~max_acts ?(max_states = 8) rng =
+  let r = Rng.state rng in
+  let int n = Random.State.int r n in
+  let n = 3 + int (max 1 (max_states - 2)) in
+  let gen_action s =
+    let k = 1 + int (min 3 (n - 1 - s)) in
+    (* Draw k distinct successors in s+1 .. n-1. *)
+    let pool = Array.init (n - 1 - s) (fun i -> s + 1 + i) in
+    for i = Array.length pool - 1 downto 1 do
+      let j = int (i + 1) in
+      let t = pool.(i) in
+      pool.(i) <- pool.(j);
+      pool.(j) <- t
+    done;
+    List.init k (fun i -> (1 + int 4, pool.(i)))
+  in
+  let m_acts =
+    Array.init n (fun s ->
+        if s = n - 1 then []
+        else
+          let na = if max_acts = 1 then 1 else 1 + int max_acts in
+          List.init na (fun _ -> gen_action s))
+  in
+  { m_states = n; m_acts }
+
+let generate ?max_states rng = gen ~max_acts:2 ?max_states rng
+let generate_dtmc ?max_states rng = gen ~max_acts:1 ?max_states rng
+
+let probs dist =
+  let total = float_of_int (List.fold_left (fun a (w, _) -> a + w) 0 dist) in
+  let k = List.length dist in
+  let acc = ref 0.0 in
+  List.mapi
+    (fun i (w, s) ->
+      let p =
+        if i = k - 1 then 1.0 -. !acc else float_of_int w /. total
+      in
+      acc := !acc +. p;
+      (p, s))
+    dist
+
+let build spec =
+  Mdp.make
+    (Array.map
+       (List.map (fun dist -> { Mdp.a_label = ""; probs = probs dist; reward = 0.0 }))
+       spec.m_acts)
+
+let target spec = Array.init spec.m_states (fun s -> s = spec.m_states - 1)
+
+let exact spec ~maximize =
+  let n = spec.m_states in
+  let v = Array.make n 0.0 in
+  v.(n - 1) <- 1.0;
+  for s = n - 2 downto 0 do
+    match spec.m_acts.(s) with
+    | [] -> ()
+    | acts ->
+      let vals =
+        List.map
+          (fun dist ->
+            List.fold_left (fun a (p, t) -> a +. (p *. v.(t))) 0.0 (probs dist))
+          acts
+      in
+      v.(s) <-
+        List.fold_left
+          (if maximize then Float.max else Float.min)
+          (List.hd vals) (List.tl vals)
+  done;
+  v
+
+let simulate spec r =
+  let s = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match spec.m_acts.(!s) with
+    | [] -> continue := false
+    | dist :: _ ->
+      let u = Random.State.float r 1.0 in
+      let rec pick acc = function
+        | [ (_, t) ] -> t
+        | (p, t) :: rest -> if u < acc +. p then t else pick (acc +. p) rest
+        | [] -> assert false
+      in
+      s := pick 0.0 (probs dist)
+  done;
+  !s = spec.m_states - 1
+
+let shrinks spec =
+  let cands = ref [] in
+  let add s = cands := s :: !cands in
+  Array.iteri
+    (fun s acts ->
+      let n_acts = List.length acts in
+      (* Drop an action (state may become absorbing). *)
+      List.iteri
+        (fun i _ ->
+          if n_acts > 1 || s > 0 then
+            add
+              {
+                spec with
+                m_acts =
+                  Array.mapi
+                    (fun j a ->
+                      if j = s then List.filteri (fun k _ -> k <> i) a else a)
+                    spec.m_acts;
+              })
+        acts;
+      (* Drop a successor from a multi-successor distribution. *)
+      List.iteri
+        (fun i dist ->
+          if List.length dist > 1 then
+            List.iteri
+              (fun k _ ->
+                add
+                  {
+                    spec with
+                    m_acts =
+                      Array.mapi
+                        (fun j a ->
+                          if j <> s then a
+                          else
+                            List.mapi
+                              (fun ai d ->
+                                if ai = i then List.filteri (fun x _ -> x <> k) d
+                                else d)
+                              a)
+                        spec.m_acts;
+                  })
+              dist)
+        acts)
+    spec.m_acts;
+  List.rev !cands
+
+let to_json spec =
+  Obs.Json.Obj
+    [
+      ("kind", Obs.Json.Str "mdp");
+      ("states", Obs.Json.Int spec.m_states);
+      ( "acts",
+        Obs.Json.Arr
+          (Array.to_list
+             (Array.map
+                (fun acts ->
+                  Obs.Json.Arr
+                    (List.map
+                       (fun dist ->
+                         Obs.Json.Arr
+                           (List.map
+                              (fun (w, s) ->
+                                Obs.Json.Arr [ Obs.Json.Int w; Obs.Json.Int s ])
+                              dist))
+                       acts))
+                spec.m_acts)) );
+    ]
+
+let to_ocaml spec =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{ Quantlib.Gen.Mdp_gen.m_states = %d; m_acts = [|"
+       spec.m_states);
+  Array.iteri
+    (fun i acts ->
+      if i > 0 then Buffer.add_string buf "; ";
+      Buffer.add_string buf "[";
+      List.iteri
+        (fun j dist ->
+          if j > 0 then Buffer.add_string buf "; ";
+          Buffer.add_string buf "[";
+          List.iteri
+            (fun k (w, s) ->
+              if k > 0 then Buffer.add_string buf "; ";
+              Buffer.add_string buf (Printf.sprintf "(%d, %d)" w s))
+            dist;
+          Buffer.add_string buf "]")
+        acts;
+      Buffer.add_string buf "]")
+    spec.m_acts;
+  Buffer.add_string buf "|] }";
+  Buffer.contents buf

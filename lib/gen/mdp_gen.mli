@@ -1,0 +1,49 @@
+(** Random acyclic MDPs (and DTMCs) for differential testing.
+
+    States are [0 .. m_states - 1]; every action's successors are
+    strictly higher-indexed, so the MDP is acyclic and optimal
+    reachability probabilities have an exact finite-horizon solution by
+    backward induction — the independent oracle that value iteration is
+    checked against. The target is always the last state.
+
+    Distributions are stored as integer weights so specs stay
+    first-order data; {!build} and {!exact} share one weight-to-float
+    conversion, keeping both sides of the comparison bit-compatible. *)
+
+type spec = {
+  m_states : int;
+  m_acts : (int * int) list list array;
+      (** per state: its actions; each action a list of
+          [(weight, successor)] with [successor > state]. An empty
+          action list makes the state absorbing. *)
+}
+
+(** [generate rng] draws an acyclic MDP spec. *)
+val generate : ?max_states:int -> Rng.t -> spec
+
+(** [generate_dtmc rng] — at most one action per state: a DTMC, the
+    substrate for the SMC-vs-exact oracle. *)
+val generate_dtmc : ?max_states:int -> Rng.t -> spec
+
+(** Weight list to a distribution summing to exactly 1.0 (the last
+    probability is computed as the complement). *)
+val probs : (int * int) list -> (float * int) list
+
+val build : spec -> Mdp.t
+
+val target : spec -> bool array
+
+(** [exact spec ~maximize] — optimal reachability probabilities by
+    backward induction (exact on acyclic models, up to float rounding
+    shared with {!build}). *)
+val exact : spec -> maximize:bool -> float array
+
+(** [simulate spec state run] — one seeded run from state 0 of a DTMC
+    spec (first action per state); [true] iff the target is reached. *)
+val simulate : spec -> Random.State.t -> bool
+
+val shrinks : spec -> spec list
+val to_json : spec -> Obs.Json.t
+
+(** Self-contained OCaml literal (a [Quantlib.Gen.Mdp_gen.spec]). *)
+val to_ocaml : spec -> string

@@ -1,0 +1,7 @@
+type t = { rev_path : int list }
+
+let make seed = { rev_path = [ seed ] }
+let child t i = { rev_path = i :: t.rev_path }
+
+let state t =
+  Random.State.make (Array.of_list (List.rev t.rev_path))

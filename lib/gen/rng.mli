@@ -1,0 +1,22 @@
+(** Splittable, path-based PRNG for reproducible case generation.
+
+    A node is identified by the path of split indices from its root
+    seed; the stream drawn at a node is [Random.State.make] over that
+    path. Because a child's stream depends only on [(seed, path)] — not
+    on how many draws its siblings made — every generated case is
+    reproducible from [(seed, index)] alone, and cases can be generated
+    in any order or on any domain with identical results. This is the
+    seed-derivation contract of the differential harness, mirroring the
+    [[| seed; k |]] per-run streams of {!Smc}. *)
+
+type t
+
+(** [make seed] is the root node. *)
+val make : int -> t
+
+(** [child t i] is the [i]-th split of [t]; independent of any draws. *)
+val child : t -> int -> t
+
+(** [state t] materializes the node's stream. Each call returns a fresh
+    state positioned at the beginning of the same sequence. *)
+val state : t -> Random.State.t

@@ -1,0 +1,562 @@
+module Model = Ta.Model
+module Expr = Ta.Expr
+
+type guard = { g_clock : int; g_ge : bool; g_const : int }
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_guards : guard list;
+  e_var_guard : (int * int) option;
+  e_resets : int list;
+  e_assign : (int * int) option;
+  e_sync : (int * bool) option;
+}
+
+type auto = {
+  a_locs : int;
+  a_urgent : bool array;
+  a_inv : (int * int) option array;
+  a_rates : int array;
+  a_ecost : int array array;
+  a_edges : edge list;
+}
+
+type spec = {
+  s_clocks : int;
+  s_chans : int;
+  s_vars : int array;
+  s_autos : auto array;
+  s_target : int * int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let generate ?(max_autos = 4) ?(max_clocks = 3) ?(max_chans = 2)
+    ?(max_vars = 2) ?(cmax = 5) rng =
+  let r = Rng.state rng in
+  let int n = Random.State.int r n in
+  let n_autos = 1 + int max_autos in
+  let s_clocks = 1 + int max_clocks in
+  let s_chans = int (max_chans + 1) in
+  let n_vars = int (max_vars + 1) in
+  let s_vars = Array.init n_vars (fun _ -> 2 + int 3) in
+  let gen_edge locs =
+    let e_src = int locs and e_dst = int locs in
+    let n_guards = int 3 in
+    let e_guards =
+      List.init n_guards (fun _ ->
+          { g_clock = int s_clocks; g_ge = int 2 = 0; g_const = int (cmax + 1) })
+    in
+    let e_var_guard =
+      if n_vars > 0 && int 4 = 0 then begin
+        let v = int n_vars in
+        Some (v, int s_vars.(v))
+      end
+      else None
+    in
+    let e_resets =
+      List.filter (fun _ -> int 4 = 0) (List.init s_clocks Fun.id)
+    in
+    let e_assign =
+      if n_vars > 0 && int 3 = 0 then begin
+        let v = int n_vars in
+        Some (v, 1 + int (s_vars.(v) - 1))
+      end
+      else None
+    in
+    let e_sync =
+      if s_chans > 0 && int 3 = 0 then Some (int s_chans, int 2 = 0) else None
+    in
+    { e_src; e_dst; e_guards; e_var_guard; e_resets; e_assign; e_sync }
+  in
+  let gen_auto () =
+    let locs = 2 + int 3 in
+    let a_urgent = Array.init locs (fun _ -> int 8 = 0) in
+    let a_inv =
+      Array.init locs (fun _ ->
+          if int 3 = 0 then Some (int s_clocks, 1 + int cmax) else None)
+    in
+    let a_rates = Array.init locs (fun _ -> int 3) in
+    let a_ecost = Array.init locs (fun _ -> Array.init locs (fun _ -> int 3)) in
+    let n_edges = locs + 1 + int 3 in
+    let a_edges = List.init n_edges (fun _ -> gen_edge locs) in
+    { a_locs = locs; a_urgent; a_inv; a_rates; a_ecost; a_edges }
+  in
+  let s_autos = Array.init n_autos (fun _ -> gen_auto ()) in
+  let ta = int n_autos in
+  let s_target = (ta, int s_autos.(ta).a_locs) in
+  { s_clocks; s_chans; s_vars; s_autos; s_target }
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration into a Ta.Model network                                 *)
+(* ------------------------------------------------------------------ *)
+
+let build spec =
+  let b = Model.builder () in
+  let clocks =
+    Array.init spec.s_clocks (fun i ->
+        Model.fresh_clock b (Printf.sprintf "x%d" (i + 1)))
+  in
+  let chans =
+    Array.init spec.s_chans (fun i -> Model.channel b (Printf.sprintf "c%d" i))
+  in
+  let vars =
+    Array.mapi
+      (fun i _m -> Ta.Store.int_var (Model.store b) (Printf.sprintf "v%d" i))
+      spec.s_vars
+  in
+  Array.iteri
+    (fun ai a ->
+      let ab = Model.automaton b (Printf.sprintf "A%d" ai) in
+      for l = 0 to a.a_locs - 1 do
+        let kind = if a.a_urgent.(l) then Model.Urgent else Model.Normal in
+        let invariant =
+          match a.a_inv.(l) with
+          | Some (c, k) -> [ Model.clock_le clocks.(c) k ]
+          | None -> []
+        in
+        ignore (Model.location ab ~kind ~invariant (Printf.sprintf "l%d" l))
+      done;
+      List.iter
+        (fun e ->
+          let clock_guard =
+            List.map
+              (fun g ->
+                if g.g_ge then Model.clock_ge clocks.(g.g_clock) g.g_const
+                else Model.clock_le clocks.(g.g_clock) g.g_const)
+              e.e_guards
+          in
+          let guard =
+            Option.map
+              (fun (v, k) -> Expr.Eq (Expr.var vars.(v), Expr.Int k))
+              e.e_var_guard
+          in
+          let sync =
+            match e.e_sync with
+            | None -> Model.Tau
+            | Some (c, true) -> Model.Emit chans.(c)
+            | Some (c, false) -> Model.Receive chans.(c)
+          in
+          let updates =
+            List.map (fun c -> Model.Reset (clocks.(c), 0)) e.e_resets
+            @ (match e.e_assign with
+              | Some (v, d) ->
+                [
+                  Model.Assign
+                    ( Expr.Cell vars.(v),
+                      Expr.Mod
+                        ( Expr.Add (Expr.var vars.(v), Expr.Int d),
+                          Expr.Int spec.s_vars.(v) ) );
+                ]
+              | None -> [])
+          in
+          Model.edge ab ~src:e.e_src ~dst:e.e_dst ?guard ~clock_guard ~sync
+            ~updates ())
+        a.a_edges)
+    spec.s_autos;
+  Model.build b
+
+let cost_model spec =
+  {
+    Priced.loc_rate = (fun a l -> spec.s_autos.(a).a_rates.(l));
+    move_cost =
+      (fun mv ->
+        List.fold_left
+          (fun acc (ai, (e : Model.edge)) ->
+            acc + spec.s_autos.(ai).a_ecost.(e.Model.src).(e.Model.dst))
+          0 mv.Ta.Zone_graph.participants);
+  }
+
+let target_formula spec =
+  let a, l = spec.s_target in
+  Ta.Prop.Loc (a, l)
+
+let target_pred spec (st : Discrete.Digital.dstate) =
+  let a, l = spec.s_target in
+  st.Discrete.Digital.dlocs.(a) = l
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let map_edges f spec =
+  {
+    spec with
+    s_autos =
+      Array.map
+        (fun a -> { a with a_edges = List.filter_map f a.a_edges })
+        spec.s_autos;
+  }
+
+let remove_auto spec i =
+  let autos =
+    spec.s_autos |> Array.to_list
+    |> List.filteri (fun j _ -> j <> i)
+    |> Array.of_list
+  in
+  let ta, tl = spec.s_target in
+  let ta = if ta > i then ta - 1 else ta in
+  { spec with s_autos = autos; s_target = (ta, tl) }
+
+let remove_clock spec c =
+  let remap x = if x > c then x - 1 else x in
+  let fix_edge e =
+    Some
+      {
+        e with
+        e_guards =
+          List.filter_map
+            (fun g ->
+              if g.g_clock = c then None
+              else Some { g with g_clock = remap g.g_clock })
+            e.e_guards;
+        e_resets =
+          List.filter_map
+            (fun x -> if x = c then None else Some (remap x))
+            e.e_resets;
+      }
+  in
+  let spec = map_edges fix_edge spec in
+  {
+    spec with
+    s_clocks = spec.s_clocks - 1;
+    s_autos =
+      Array.map
+        (fun a ->
+          {
+            a with
+            a_inv =
+              Array.map
+                (function
+                  | Some (x, _) when x = c -> None
+                  | Some (x, k) -> Some (remap x, k)
+                  | None -> None)
+                a.a_inv;
+          })
+        spec.s_autos;
+  }
+
+let remove_var spec v =
+  let remap x = if x > v then x - 1 else x in
+  let vars =
+    spec.s_vars |> Array.to_list
+    |> List.filteri (fun j _ -> j <> v)
+    |> Array.of_list
+  in
+  let fix_edge e =
+    Some
+      {
+        e with
+        e_var_guard =
+          (match e.e_var_guard with
+          | Some (x, _) when x = v -> None
+          | Some (x, k) -> Some (remap x, k)
+          | None -> None);
+        e_assign =
+          (match e.e_assign with
+          | Some (x, _) when x = v -> None
+          | Some (x, d) -> Some (remap x, d)
+          | None -> None);
+      }
+  in
+  { (map_edges fix_edge spec) with s_vars = vars }
+
+let remove_chan spec c =
+  let fix_edge e =
+    Some
+      {
+        e with
+        e_sync =
+          (match e.e_sync with
+          | Some (x, _) when x = c -> None
+          | Some (x, emit) -> Some ((if x > c then x - 1 else x), emit)
+          | None -> None);
+      }
+  in
+  { (map_edges fix_edge spec) with s_chans = spec.s_chans - 1 }
+
+let remove_edge spec ai idx =
+  {
+    spec with
+    s_autos =
+      Array.mapi
+        (fun j a ->
+          if j <> ai then a
+          else { a with a_edges = List.filteri (fun k _ -> k <> idx) a.a_edges })
+        spec.s_autos;
+  }
+
+let update_edge spec ai idx f =
+  {
+    spec with
+    s_autos =
+      Array.mapi
+        (fun j a ->
+          if j <> ai then a
+          else
+            {
+              a with
+              a_edges = List.mapi (fun k e -> if k = idx then f e else e) a.a_edges;
+            })
+        spec.s_autos;
+  }
+
+let update_auto spec ai f =
+  {
+    spec with
+    s_autos = Array.mapi (fun j a -> if j = ai then f a else a) spec.s_autos;
+  }
+
+let shrinks spec =
+  let cands = ref [] in
+  let add s = cands := s :: !cands in
+  let n_autos = Array.length spec.s_autos in
+  (* Drop whole automata (never the target's). *)
+  if n_autos > 1 then
+    for i = 0 to n_autos - 1 do
+      if i <> fst spec.s_target then add (remove_auto spec i)
+    done;
+  (* Drop clocks, variables, channels. *)
+  if spec.s_clocks > 1 then
+    for c = 0 to spec.s_clocks - 1 do
+      add (remove_clock spec c)
+    done;
+  for v = 0 to Array.length spec.s_vars - 1 do
+    add (remove_var spec v)
+  done;
+  for c = 0 to spec.s_chans - 1 do
+    add (remove_chan spec c)
+  done;
+  (* Drop edges. *)
+  Array.iteri
+    (fun ai a ->
+      List.iteri (fun idx _ -> add (remove_edge spec ai idx)) a.a_edges)
+    spec.s_autos;
+  (* Strip edge decorations and location attributes. *)
+  Array.iteri
+    (fun ai a ->
+      List.iteri
+        (fun idx e ->
+          if e.e_sync <> None then
+            add (update_edge spec ai idx (fun e -> { e with e_sync = None }));
+          if e.e_guards <> [] then
+            add (update_edge spec ai idx (fun e -> { e with e_guards = [] }));
+          if e.e_resets <> [] then
+            add (update_edge spec ai idx (fun e -> { e with e_resets = [] }));
+          if e.e_var_guard <> None then
+            add (update_edge spec ai idx (fun e -> { e with e_var_guard = None }));
+          if e.e_assign <> None then
+            add (update_edge spec ai idx (fun e -> { e with e_assign = None })))
+        a.a_edges;
+      Array.iteri
+        (fun l inv ->
+          if inv <> None then
+            add
+              (update_auto spec ai (fun a ->
+                   let a_inv = Array.copy a.a_inv in
+                   a_inv.(l) <- None;
+                   { a with a_inv })))
+        a.a_inv;
+      Array.iteri
+        (fun l u ->
+          if u then
+            add
+              (update_auto spec ai (fun a ->
+                   let a_urgent = Array.copy a.a_urgent in
+                   a_urgent.(l) <- false;
+                   { a with a_urgent })))
+        a.a_urgent)
+    spec.s_autos;
+  (* Halve constants (guards and invariants). *)
+  Array.iteri
+    (fun ai a ->
+      List.iteri
+        (fun idx e ->
+          List.iteri
+            (fun gi g ->
+              if g.g_const > 0 then
+                add
+                  (update_edge spec ai idx (fun e ->
+                       {
+                         e with
+                         e_guards =
+                           List.mapi
+                             (fun k g ->
+                               if k = gi then { g with g_const = g.g_const / 2 }
+                               else g)
+                             e.e_guards;
+                       })))
+            e.e_guards)
+        a.a_edges;
+      Array.iteri
+        (fun l inv ->
+          match inv with
+          | Some (c, k) when k > 0 ->
+            add
+              (update_auto spec ai (fun a ->
+                   let a_inv = Array.copy a.a_inv in
+                   a_inv.(l) <- Some (c, k / 2);
+                   { a with a_inv }))
+          | _ -> ())
+        a.a_inv)
+    spec.s_autos;
+  List.rev !cands
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_guard g =
+  Obs.Json.Obj
+    [
+      ("clock", Obs.Json.Int g.g_clock);
+      ("op", Obs.Json.Str (if g.g_ge then ">=" else "<="));
+      ("const", Obs.Json.Int g.g_const);
+    ]
+
+let json_of_pair (a, b) = Obs.Json.Arr [ Obs.Json.Int a; Obs.Json.Int b ]
+
+let json_of_edge e =
+  Obs.Json.Obj
+    [
+      ("src", Obs.Json.Int e.e_src);
+      ("dst", Obs.Json.Int e.e_dst);
+      ("guards", Obs.Json.Arr (List.map json_of_guard e.e_guards));
+      ( "var_guard",
+        match e.e_var_guard with
+        | Some p -> json_of_pair p
+        | None -> Obs.Json.Null );
+      ("resets", Obs.Json.Arr (List.map (fun c -> Obs.Json.Int c) e.e_resets));
+      ( "assign",
+        match e.e_assign with Some p -> json_of_pair p | None -> Obs.Json.Null
+      );
+      ( "sync",
+        match e.e_sync with
+        | Some (c, emit) ->
+          Obs.Json.Obj
+            [ ("chan", Obs.Json.Int c); ("emit", Obs.Json.Bool emit) ]
+        | None -> Obs.Json.Null );
+    ]
+
+let to_json spec =
+  let json_of_auto a =
+    Obs.Json.Obj
+      [
+        ("locs", Obs.Json.Int a.a_locs);
+        ( "urgent",
+          Obs.Json.Arr
+            (Array.to_list (Array.map (fun b -> Obs.Json.Bool b) a.a_urgent)) );
+        ( "inv",
+          Obs.Json.Arr
+            (Array.to_list
+               (Array.map
+                  (function
+                    | Some p -> json_of_pair p
+                    | None -> Obs.Json.Null)
+                  a.a_inv)) );
+        ( "rates",
+          Obs.Json.Arr
+            (Array.to_list (Array.map (fun k -> Obs.Json.Int k) a.a_rates)) );
+        ("edges", Obs.Json.Arr (List.map json_of_edge a.a_edges));
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ("kind", Obs.Json.Str "ta");
+      ("clocks", Obs.Json.Int spec.s_clocks);
+      ("chans", Obs.Json.Int spec.s_chans);
+      ( "vars",
+        Obs.Json.Arr
+          (Array.to_list (Array.map (fun m -> Obs.Json.Int m) spec.s_vars)) );
+      ( "autos",
+        Obs.Json.Arr (Array.to_list (Array.map json_of_auto spec.s_autos)) );
+      ("target", json_of_pair spec.s_target);
+    ]
+
+(* OCaml-literal printing: the repro a failing case embeds is the spec
+   itself, so reproducing a divergence is `Oracle.check (Ta spec)`. *)
+
+let buf_list buf pp xs =
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_string buf "; ";
+      pp x)
+    xs;
+  Buffer.add_string buf "]"
+
+let buf_array buf pp xs =
+  Buffer.add_string buf "[|";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_string buf "; ";
+      pp x)
+    xs;
+  Buffer.add_string buf "|]"
+
+let buf_opt buf pp = function
+  | None -> Buffer.add_string buf "None"
+  | Some x ->
+    Buffer.add_string buf "Some ";
+    pp x
+
+let buf_int_pair buf (a, b) = Buffer.add_string buf (Printf.sprintf "(%d, %d)" a b)
+
+let to_ocaml spec =
+  let buf = Buffer.create 1024 in
+  let str s = Buffer.add_string buf s in
+  let int i = str (string_of_int i) in
+  let edge e =
+    str "{ e_src = ";
+    int e.e_src;
+    str "; e_dst = ";
+    int e.e_dst;
+    str "; e_guards = ";
+    buf_list buf
+      (fun g ->
+        str
+          (Printf.sprintf "{ g_clock = %d; g_ge = %b; g_const = %d }" g.g_clock
+             g.g_ge g.g_const))
+      e.e_guards;
+    str "; e_var_guard = ";
+    buf_opt buf (buf_int_pair buf) e.e_var_guard;
+    str "; e_resets = ";
+    buf_list buf int e.e_resets;
+    str "; e_assign = ";
+    buf_opt buf (buf_int_pair buf) e.e_assign;
+    str "; e_sync = ";
+    buf_opt buf
+      (fun (c, emit) -> str (Printf.sprintf "(%d, %b)" c emit))
+      e.e_sync;
+    str " }"
+  in
+  let auto a =
+    str "{ a_locs = ";
+    int a.a_locs;
+    str "; a_urgent = ";
+    buf_array buf (fun b -> str (string_of_bool b)) a.a_urgent;
+    str "; a_inv = ";
+    buf_array buf (buf_opt buf (buf_int_pair buf)) a.a_inv;
+    str "; a_rates = ";
+    buf_array buf int a.a_rates;
+    str "; a_ecost = ";
+    buf_array buf (fun row -> buf_array buf int row) a.a_ecost;
+    str "; a_edges = ";
+    buf_list buf edge a.a_edges;
+    str " }"
+  in
+  str "{ Quantlib.Gen.Ta_gen.s_clocks = ";
+  int spec.s_clocks;
+  str "; s_chans = ";
+  int spec.s_chans;
+  str "; s_vars = ";
+  buf_array buf int spec.s_vars;
+  str "; s_autos = ";
+  buf_array buf auto spec.s_autos;
+  str "; s_target = ";
+  buf_int_pair buf spec.s_target;
+  str " }";
+  Buffer.contents buf

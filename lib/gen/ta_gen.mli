@@ -1,0 +1,81 @@
+(** Random closed timed-automata networks for differential testing.
+
+    A {!spec} is a plain-data description of a network of timed
+    automata: bounded clocks and constants, non-strict single-clock
+    guards and invariants (so the model is {e closed and diagonal-free}
+    — the class on which digital-clocks analysis is exact and the
+    zone engine can be cross-checked against it), resets, binary
+    channels, and bounded discrete variables (guards [v = k], updates
+    [v := (v + d) mod m]). Cost annotations (location rates, edge
+    costs) ride along for the priced oracle and are ignored otherwise.
+
+    Specs, not built networks, are what the shrinker transforms: they
+    are first-order data, so dropping an automaton or lowering a
+    constant is a pure record update, and a minimized spec prints as a
+    self-contained OCaml literal. *)
+
+(** Single-clock non-strict constraint: [x >= c] ([g_ge]) or [x <= c].
+    Clocks are 0-based here; {!build} maps them to DBM indices 1..n. *)
+type guard = { g_clock : int; g_ge : bool; g_const : int }
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_guards : guard list;
+  e_var_guard : (int * int) option;  (** variable index, required value *)
+  e_resets : int list;  (** clocks reset to 0 *)
+  e_assign : (int * int) option;  (** [v := (v + d) mod modulus.(v)] *)
+  e_sync : (int * bool) option;  (** channel index, [true] = emit *)
+}
+
+type auto = {
+  a_locs : int;
+  a_urgent : bool array;  (** per location *)
+  a_inv : (int * int) option array;  (** per location: [clock <= const] *)
+  a_rates : int array;  (** per-location cost rate (priced oracle) *)
+  a_ecost : int array array;  (** firing cost by (src, dst) (priced) *)
+  a_edges : edge list;
+}
+
+type spec = {
+  s_clocks : int;  (** >= 1 *)
+  s_chans : int;  (** binary, non-urgent channels *)
+  s_vars : int array;  (** per-variable modulus (values 0..m-1) *)
+  s_autos : auto array;
+  s_target : int * int;  (** reachability target: automaton, location *)
+}
+
+(** [generate rng] draws a well-formed spec. Size caps keep the digital
+    state space small enough for exhaustive cross-checking. *)
+val generate :
+  ?max_autos:int ->
+  ?max_clocks:int ->
+  ?max_chans:int ->
+  ?max_vars:int ->
+  ?cmax:int ->
+  Rng.t ->
+  spec
+
+(** [build spec] elaborates the spec through the {!Ta.Model} builder.
+    The result is always closed ({!Discrete.Digital.is_closed}). *)
+val build : spec -> Ta.Model.network
+
+(** Cost model from the spec's rate/cost annotations; a move's cost is
+    the sum of its participating edges' [(src, dst)] entries. *)
+val cost_model : spec -> Priced.cost_model
+
+(** Target as a crisp formula / digital-state predicate. *)
+val target_formula : spec -> Ta.Prop.formula
+
+val target_pred : spec -> Discrete.Digital.dstate -> bool
+
+(** Single-step shrink candidates, most aggressive first: drop an
+    automaton (never the target's), drop a clock / variable / channel,
+    drop an edge, strip syncs / invariants / urgency, halve constants,
+    strip guards / resets / assignments. Every candidate builds. *)
+val shrinks : spec -> spec list
+
+val to_json : spec -> Obs.Json.t
+
+(** Self-contained OCaml literal of the spec (a [Quantlib.Gen.Ta_gen.spec]). *)
+val to_ocaml : spec -> string

@@ -99,11 +99,23 @@ let constrain t i j b =
     end
   end
 
+(* Fault injection for the differential oracle harness: a deliberately
+   broken DBM operation, switched on only by tests and `quantcli fuzz
+   --inject`, so the harness can prove it detects real backend bugs.
+   [Broken_up] makes [up] forget to open the upper bound of the highest
+   clock (time stops for it); [Unclosed_intersect] skips re-closing
+   after [intersect], leaking non-canonical DBMs into subsumption. *)
+type fault = Broken_up | Unclosed_intersect
+
+let injected_fault = ref None
+let inject_fault f = injected_fault := f
+
 let up t =
   if is_empty t then t
   else begin
     let t = copy t in
-    for i = 1 to t.dim - 1 do
+    let hi = if !injected_fault = Some Broken_up then t.dim - 2 else t.dim - 1 in
+    for i = 1 to hi do
       t.m.((i * t.dim) + 0) <- inf
     done;
     t
@@ -182,7 +194,9 @@ let intersect t1 t2 =
         changed := true
       end
     done;
-    if !changed then close_inplace t else t
+    if !changed && !injected_fault <> Some Unclosed_intersect then
+      close_inplace t
+    else t
   end
 
 (* Comparison instrumentation: every [equal]/[subset] call either

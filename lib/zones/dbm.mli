@@ -96,6 +96,18 @@ type cmp_stats = {
 val cmp_stats : unit -> cmp_stats
 val reset_cmp_stats : unit -> unit
 
+(** Deliberately broken DBM operations for fault injection — the
+    mutation smoke test of the differential oracle harness ({!Gen}
+    library) flips one on and must then observe a cross-backend
+    divergence. [Broken_up] stops time for the highest clock in {!up};
+    [Unclosed_intersect] skips the re-closure after {!intersect},
+    leaking non-canonical DBMs. Never enabled outside tests. *)
+type fault = Broken_up | Unclosed_intersect
+
+(** [inject_fault (Some f)] switches the fault on, [inject_fault None]
+    restores correct behaviour. *)
+val inject_fault : fault option -> unit
+
 (** [pp ~names ppf z] prints the non-trivial constraints, e.g.
     ["x<=5 & y-x<2"]. [names.(i)] names clock [i] ([names.(0)] unused). *)
 val pp : ?names:string array -> Format.formatter -> t -> unit

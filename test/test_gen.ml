@@ -1,0 +1,247 @@
+(* The differential oracle harness: clean sweeps across every oracle
+   pair must report zero divergences; an injected DBM fault must be
+   detected and shrunk to a tiny repro; and every case must be
+   reproducible from (seed, index) alone. *)
+
+module Rng = Gen.Rng
+module Oracle = Gen.Oracle
+module Harness = Gen.Harness
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Splittable PRNG                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_reproducible () =
+  let draw rng = Random.State.int (Rng.state rng) 1_000_000 in
+  let a = Rng.(child (make 42) 7) in
+  let b = Rng.(child (make 42) 7) in
+  check_int "same path, same stream" (draw a) (draw b);
+  check "sibling streams differ" true
+    (draw Rng.(child (make 42) 8) <> draw a);
+  check "different seeds differ" true
+    (draw Rng.(child (make 43) 7) <> draw a);
+  (* A child's stream does not depend on draws made at the parent. *)
+  let parent = Rng.make 42 in
+  let st = Rng.state parent in
+  ignore (Random.State.int st 10);
+  check_int "child independent of parent draws"
+    (draw (Rng.child parent 3))
+    (draw Rng.(child (make 42) 3))
+
+(* ------------------------------------------------------------------ *)
+(* Generators produce well-formed models                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cases_build () =
+  (* Every generated case elaborates without raising, and every one of
+     its single-step shrink candidates does too. *)
+  List.iter
+    (fun fam ->
+      for i = 0 to 19 do
+        let rng = Rng.(child (child (make 9) 100) i) in
+        let case = Oracle.generate fam rng in
+        let build c =
+          match c with
+          | Oracle.Ta s | Oracle.Pr s -> ignore (Gen.Ta_gen.build s)
+          | Oracle.Md s | Oracle.Sm s -> ignore (Gen.Mdp_gen.build s)
+          | Oracle.Bi s -> ignore (Gen.Bip_gen.build s)
+        in
+        build case;
+        List.iter build (Oracle.shrinks case)
+      done)
+    Oracle.all_families
+
+let test_case_json_roundtrips () =
+  List.iter
+    (fun fam ->
+      for i = 0 to 9 do
+        let rng = Rng.(child (child (make 11) 200) i) in
+        let j = Oracle.to_json (Oracle.generate fam rng) in
+        check
+          (Printf.sprintf "%s case %d json" (Oracle.family_name fam) i)
+          true
+          (Obs.Json.parse (Obs.Json.to_string j) = j)
+      done)
+    Oracle.all_families
+
+let test_mdp_exact_matches_probs () =
+  (* The weight-to-float conversion sums to exactly 1.0. *)
+  for i = 0 to 49 do
+    let rng = Rng.(child (child (make 5) 300) i) in
+    let spec = Gen.Mdp_gen.generate rng in
+    Array.iter
+      (List.iter (fun dist ->
+           let total =
+             List.fold_left (fun a (p, _) -> a +. p) 0.0 (Gen.Mdp_gen.probs dist)
+           in
+           check "distribution sums to 1" true (total = 1.0)))
+      spec.Gen.Mdp_gen.m_acts
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Clean sweeps: zero divergences                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_200 () =
+  let r = Harness.run { Harness.default with seed = 42; cases = 200 } in
+  check_int "no divergences" 0 (List.length r.Harness.r_divergences);
+  check_int "everything conclusive" 200
+    (r.Harness.r_agreed + List.length r.Harness.r_skipped)
+
+(* The acceptance sweep: 1000 fixed-seed cases across all five oracle
+   pairs. *)
+let test_sweep_1000 () =
+  let r = Harness.run { Harness.default with seed = 42; cases = 1000 } in
+  check_int "no divergences in 1000 cases" 0
+    (List.length r.Harness.r_divergences)
+
+let test_reproducible_sweeps () =
+  let cfg = { Harness.default with seed = 7; cases = 60 } in
+  let a = Harness.render (Harness.run cfg) in
+  let b = Harness.render (Harness.run cfg) in
+  check "same config, same report" true (a = b);
+  let c = Harness.render (Harness.run { cfg with seed = 8 }) in
+  check "different seed, different report" true
+    (a <> c
+    || (* identical summaries are possible; the cases must differ *)
+    Harness.case_of cfg 0 <> Harness.case_of { cfg with seed = 8 } 0)
+
+let test_case_of_replay () =
+  (* The printed (seed, index) pair is enough to rebuild the case. *)
+  let cfg = { Harness.default with seed = 13; cases = 25 } in
+  for i = 0 to 24 do
+    check
+      (Printf.sprintf "case %d replays" i)
+      true
+      (Harness.case_of cfg i = Harness.case_of { cfg with jobs = 4 } i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Mutation smoke test                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mutation_detected_and_shrunk () =
+  (* A deliberately broken DBM [up] must surface as a zone-vs-digital
+     divergence, and the shrinker must reduce it to a tiny model. *)
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Zones.Dbm.inject_fault None)
+      (fun () ->
+        Zones.Dbm.inject_fault (Some Zones.Dbm.Broken_up);
+        Harness.run
+          {
+            Harness.default with
+            seed = 42;
+            cases = 100;
+            families = [ Oracle.Ta_reach ];
+          })
+  in
+  let divs = report.Harness.r_divergences in
+  check "fault detected" true (divs <> []);
+  List.iter
+    (fun d ->
+      match d.Harness.d_shrunk with
+      | Oracle.Ta spec ->
+        check "shrunk to <= 3 automata" true
+          (Array.length spec.Gen.Ta_gen.s_autos <= 3);
+        check "shrunk to <= 2 clocks" true (spec.Gen.Ta_gen.s_clocks <= 2);
+        check "shrink made progress" true (d.Harness.d_shrink_steps > 0)
+      | _ -> Alcotest.fail "divergence outside the ta-reach family")
+    divs;
+  (* With the fault removed, the same corpus is clean again. *)
+  let clean =
+    Harness.run
+      {
+        Harness.default with
+        seed = 42;
+        cases = 100;
+        families = [ Oracle.Ta_reach ];
+      }
+  in
+  check_int "clean after restore" 0 (List.length clean.Harness.r_divergences)
+
+let test_mutation_repro_is_self_contained () =
+  (* The OCaml repro printed for a shrunk divergence mentions the fully
+     qualified spec type, so it can be pasted into any scope. *)
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Zones.Dbm.inject_fault None)
+      (fun () ->
+        Zones.Dbm.inject_fault (Some Zones.Dbm.Broken_up);
+        Harness.run
+          {
+            Harness.default with
+            seed = 42;
+            cases = 100;
+            families = [ Oracle.Ta_reach ];
+          })
+  in
+  List.iter
+    (fun d ->
+      let repro = Oracle.to_ocaml d.Harness.d_shrunk in
+      check "repro is qualified" true
+        (Astring.String.is_prefix ~affix:"Quantlib.Gen.Oracle." repro);
+      check "repro mentions the spec type" true
+        (Astring.String.is_infix ~affix:"Quantlib.Gen.Ta_gen" repro))
+    report.Harness.r_divergences
+
+(* ------------------------------------------------------------------ *)
+(* Report artifact                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_json_valid () =
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Zones.Dbm.inject_fault None)
+      (fun () ->
+        Zones.Dbm.inject_fault (Some Zones.Dbm.Broken_up);
+        Harness.run
+          {
+            Harness.default with
+            seed = 42;
+            cases = 100;
+            families = [ Oracle.Ta_reach ];
+          })
+  in
+  let j = Harness.report_json report in
+  let parsed = Obs.Json.parse (Obs.Json.to_string j) in
+  check "artifact round-trips" true (parsed = j);
+  match Obs.Json.member "diverged" j with
+  | Some (Obs.Json.Int n) ->
+    check "artifact counts divergences" true
+      (n = List.length report.Harness.r_divergences && n > 0)
+  | _ -> Alcotest.fail "artifact missing diverged count"
+
+let () =
+  Alcotest.run "gen"
+    [
+      ( "rng",
+        [ Alcotest.test_case "splittable reproducible" `Quick test_rng_reproducible ] );
+      ( "generators",
+        [
+          Alcotest.test_case "cases and shrinks build" `Quick test_cases_build;
+          Alcotest.test_case "case json round-trips" `Quick
+            test_case_json_roundtrips;
+          Alcotest.test_case "distributions sum to 1" `Quick
+            test_mdp_exact_matches_probs;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "200 cases, zero divergences" `Quick test_sweep_200;
+          Alcotest.test_case "1000 cases, zero divergences" `Slow
+            test_sweep_1000;
+          Alcotest.test_case "reproducible" `Quick test_reproducible_sweeps;
+          Alcotest.test_case "(seed, index) replay" `Quick test_case_of_replay;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "fault detected and shrunk" `Quick
+            test_mutation_detected_and_shrunk;
+          Alcotest.test_case "repro self-contained" `Quick
+            test_mutation_repro_is_self_contained;
+          Alcotest.test_case "artifact json" `Quick test_report_json_valid;
+        ] );
+    ]

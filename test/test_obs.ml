@@ -63,6 +63,64 @@ let test_json_values () =
      | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* JSON round-trip fuzz: parse (to_string v) = v over generated values
+   with nasty strings (escapes, control bytes, UTF-8), integral floats
+   (which print with a ".0" marker) and deep nesting. Non-finite floats
+   are excluded: they deliberately degrade to [null].                  *)
+(* ------------------------------------------------------------------ *)
+
+let json_gen =
+  QCheck.Gen.(
+    let str_gen =
+      let nasty =
+        [
+          ""; "\""; "\\"; "\\\\"; "a\nb"; "\t"; "\r\n"; "\x01\x02";
+          "caf\xc3\xa9" (* café *); "\xe2\x82\xac" (* € *); "\xf0\x9f\x90\xab";
+          "end\\"; "\"quoted\""; "nul\x00byte"; "/slash/";
+        ]
+      in
+      oneof [ oneofl nasty; string_size (int_bound 12) ]
+    in
+    let float_gen =
+      oneof
+        [
+          map float_of_int (int_range (-1000) 1000) (* integral *)
+          ; float_bound_inclusive 1.0
+          ; map (fun f -> f *. 1e18) (float_bound_inclusive 1.0);
+        ]
+    in
+    let leaf =
+      oneof
+        [
+          return Json.Null;
+          map (fun b -> Json.Bool b) bool;
+          map (fun i -> Json.Int i) int;
+          map (fun f -> Json.Float f) float_gen;
+          map (fun s -> Json.Str s) str_gen;
+        ]
+    in
+    let rec value depth =
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            (2, map (fun l -> Json.Arr l) (list_size (int_bound 4) (value (depth - 1))));
+            ( 2,
+              map
+                (fun l -> Json.Obj l)
+                (list_size (int_bound 4) (pair str_gen (value (depth - 1)))) );
+          ]
+    in
+    (* Depth up to 8: exercises deep nesting in both printer and parser. *)
+    int_bound 8 >>= value)
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"parse (to_string v) = v" ~count:1000
+    (QCheck.make json_gen ~print:Json.to_string)
+    (fun v -> Json.parse (Json.to_string v) = v)
+
+(* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -368,6 +426,7 @@ let () =
         [
           Alcotest.test_case "escaping" `Quick test_json_escaping;
           Alcotest.test_case "value round-trips" `Quick test_json_values;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
         ] );
       ( "metrics",
         [

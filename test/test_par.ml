@@ -136,6 +136,19 @@ let test_sprt_deterministic () =
   check_int "sample count identical" seq.Smc.Estimate.samples
     par.Smc.Estimate.samples
 
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism: the differential fuzz harness               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_sweep_deterministic () =
+  (* The harness fans cases out over the pool; its rendered report (the
+     seed-corpus output of `quantcli fuzz`) must be byte-identical for
+     every jobs value. *)
+  let cfg = { Gen.Harness.default with seed = 42; cases = 100; jobs = 1 } in
+  let seq = Gen.Harness.render (Gen.Harness.run cfg) in
+  let par = Gen.Harness.render (Gen.Harness.run { cfg with jobs = 4 }) in
+  check "fuzz report byte-identical under jobs=4" true (String.equal seq par)
+
 let () =
   Alcotest.run "par"
     [
@@ -160,5 +173,10 @@ let () =
             test_smc_fischer_deterministic;
           Alcotest.test_case "SPRT verdict jobs=1 vs 4" `Quick
             test_sprt_deterministic;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "sweep report jobs=1 vs 4" `Quick
+            test_fuzz_sweep_deterministic;
         ] );
     ]

@@ -59,6 +59,49 @@ let test_sprt () =
   in
   check "H0 rejected for low p" false r2.Estimate.accept_h0
 
+(* Differential: feeding a pre-drawn outcome sequence to the
+   incremental Sprt state machine one sample at a time must give
+   exactly the verdict and sample count of the one-shot [sprt] on the
+   same sequence — the property Smc.hypothesis relies on to sample
+   speculatively in parallel. *)
+let prop_sprt_incremental_vs_batch =
+  QCheck.Test.make ~name:"Sprt.step replays sprt verdict and sample count"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_bound 1_000_000)
+           (float_bound_inclusive 1.0)
+           (float_range 0.1 0.9))
+       ~print:(fun (seed, p, theta) ->
+         Printf.sprintf "seed=%d p=%f theta=%f" seed p theta))
+    (fun (seed, p, theta) ->
+      let max_samples = 400 in
+      let outcomes =
+        let rng = Random.State.make [| seed |] in
+        Array.init max_samples (fun _ -> Random.State.float rng 1.0 < p)
+      in
+      let batch =
+        let i = ref 0 in
+        Estimate.sprt ~max_samples ~theta ~delta:0.05 ~alpha:0.05 ~beta:0.05
+          (fun () ->
+            let o = outcomes.(!i) in
+            incr i;
+            o)
+      in
+      let incremental =
+        let rec go st i =
+          match Estimate.Sprt.step st outcomes.(i) with
+          | Estimate.Sprt.Decided r -> r
+          | Estimate.Sprt.Undecided st -> go st (i + 1)
+        in
+        go
+          (Estimate.Sprt.start ~max_samples ~theta ~delta:0.05 ~alpha:0.05
+             ~beta:0.05 ())
+          0
+      in
+      batch.Estimate.accept_h0 = incremental.Estimate.accept_h0
+      && batch.Estimate.samples = incremental.Estimate.samples)
+
 let test_mean_std () =
   let m, s = Estimate.mean_std [| 1.0; 2.0; 3.0; 4.0 |] in
   check_float "mean" 2.5 m;
@@ -268,6 +311,7 @@ let () =
           Alcotest.test_case "wilson narrows" `Quick test_wilson_narrows;
           Alcotest.test_case "chernoff" `Quick test_chernoff;
           Alcotest.test_case "sprt" `Quick test_sprt;
+          QCheck_alcotest.to_alcotest prop_sprt_incremental_vs_batch;
           Alcotest.test_case "mean/std" `Quick test_mean_std;
           Alcotest.test_case "confidence widths" `Quick test_confidence_widths;
         ] );

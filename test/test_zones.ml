@@ -265,6 +265,60 @@ let prop_roundtrip =
       Dbm.equal a (Dbm.of_array ~clocks:n (Dbm.to_array a)))
 
 (* ------------------------------------------------------------------ *)
+(* Canonical-form invariants. [of_array] re-closes its input, so a DBM
+   is in canonical form exactly when rebuilding it from its own raw
+   bounds is a structural no-op.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_canonical n z = Dbm.to_array z = Dbm.to_array (Dbm.of_array ~clocks:n (Dbm.to_array z))
+
+let prop_canonical_idempotent =
+  QCheck.Test.make ~name:"canonicalization is idempotent" ~count:500
+    dbm_pair_arb (fun (n, a, _) ->
+      let once = Dbm.of_array ~clocks:n (Dbm.to_array a) in
+      let twice = Dbm.of_array ~clocks:n (Dbm.to_array once) in
+      Dbm.to_array once = Dbm.to_array twice)
+
+let prop_intern_phys_equal =
+  QCheck.Test.make ~name:"intern is pointer-equal on equal zones" ~count:500
+    dbm_pair_arb (fun (n, a, b) ->
+      (* A structurally equal copy built through an independent path
+         must intern to the very same representative. *)
+      let a' = Dbm.of_array ~clocks:n (Dbm.to_array a) in
+      Dbm.intern a == Dbm.intern a'
+      && (not (Dbm.equal a b)) = not (Dbm.intern a == Dbm.intern b))
+
+let prop_ops_preserve_canonical =
+  QCheck.Test.make ~name:"up/reset/intersect preserve canonical form"
+    ~count:500 dbm_pair_arb (fun (n, a, b) ->
+      is_canonical n (Dbm.up a)
+      && is_canonical n (Dbm.reset a 1 3)
+      && is_canonical n (Dbm.intersect a b))
+
+(* Mutation coverage: the injectable DBM faults must be visible to the
+   invariants this suite checks, otherwise the properties are too weak
+   to defend them. *)
+let test_fault_injection_observable () =
+  Fun.protect
+    ~finally:(fun () -> Dbm.inject_fault None)
+    (fun () ->
+      (* Broken_up stops time for the highest clock. *)
+      Dbm.inject_fault (Some Dbm.Broken_up);
+      let z = Dbm.up (Dbm.zero ~clocks:2) in
+      check "broken up pins the last clock" false
+        (Dbm.satisfies z [| 0.; 5.; 5. |]);
+      (* Unclosed_intersect skips re-closure: x1<=5 /\ x2-x1<=3 must
+         derive x2<=8, the broken version leaves it unconstrained. *)
+      Dbm.inject_fault (Some Dbm.Unclosed_intersect);
+      let a = Dbm.constrain (Dbm.universal ~clocks:2) 1 0 (Bound.le 5) in
+      let b = Dbm.constrain (Dbm.universal ~clocks:2) 2 1 (Bound.le 3) in
+      check "unclosed intersect is not canonical" false
+        (is_canonical 2 (Dbm.intersect a b));
+      Dbm.inject_fault None;
+      check "restored intersect is canonical" true
+        (is_canonical 2 (Dbm.intersect a b)))
+
+(* ------------------------------------------------------------------ *)
 (* Federation unit tests                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -336,6 +390,9 @@ let () =
         prop_extrapolate_widens;
         prop_equal_hash;
         prop_roundtrip;
+        prop_canonical_idempotent;
+        prop_intern_phys_equal;
+        prop_ops_preserve_canonical;
         prop_fed_union_inter;
         prop_fed_diff;
         prop_fed_subset_reflexive;
@@ -359,6 +416,8 @@ let () =
           Alcotest.test_case "reset/copy/free" `Quick test_reset_copy_free;
           Alcotest.test_case "extrapolate" `Quick test_extrapolate_widen;
           Alcotest.test_case "pretty-print" `Quick test_pp;
+          Alcotest.test_case "fault injection observable" `Quick
+            test_fault_injection_observable;
         ] );
       ( "fed",
         [
