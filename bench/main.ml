@@ -473,15 +473,17 @@ let ablations () =
    | None -> ())
 
 (* ------------------------------------------------------------------ *)
-(* Exploration-engine instrumentation + hash-consing ablation          *)
+(* Exploration-engine instrumentation + hash-consing/codec ablations   *)
 (* ------------------------------------------------------------------ *)
 
 let engine () =
-  header "Exploration engine (stats + hash-consing ablation)";
-  (* Each row: one checker run on the shared engine core, with zone
-     hash-consing on or off. With interning, equal zones share one
-     representative and the store's subset/equality tests short-circuit
-     on pointer equality, trading full DBM scans for [dbm_phys_eq] hits. *)
+  header "Exploration engine (stats + hash-consing / packed-codec ablations)";
+  (* Each row: one checker run on the shared engine core, across three
+     configurations. "packed" is the default (packed-codec store keys +
+     zone hash-consing); "poly" swaps the store keys back to the
+     polymorphic-hash tuples; "no-hashcons" disables zone interning. The
+     packed-vs-poly pair exposes the codec's throughput and store-memory
+     delta, the hashcons pair the saved full DBM scans. *)
   let runs =
     [
       ("fischer-5/mutex", lazy (Ta.Fischer.make ~n:5 ()),
@@ -490,55 +492,73 @@ let engine () =
        fun net -> Ta.Train_gate.safety net);
     ]
   in
+  let variants =
+    [ ("packed", true, true); ("poly", false, true); ("no-hashcons", true, false) ]
+  in
   let rows =
     List.concat_map
       (fun (name, net, query) ->
         let net = Lazy.force net in
         List.map
-          (fun hashcons ->
+          (fun (vname, packed, hashcons) ->
             (* Fresh telemetry per run, so the embedded snapshot holds
                exactly this exploration's metrics and span timings. *)
             Obs.reset ();
-            let r = Ta.Checker.check ~hashcons net (query net) in
+            Gc.compact ();
+            let r = Ta.Checker.check ~packed ~hashcons net (query net) in
+            let g = Gc.stat () in
             let metrics = Obs.Metrics.snapshot () in
             let spans = Obs.Span.timings_json () in
-            let tag =
-              Printf.sprintf "%s/%s" name
-                (if hashcons then "hashcons" else "no-hashcons")
+            let tag = Printf.sprintf "%s/%s" name vname in
+            let stats = r.Ta.Checker.stats in
+            let nodes_per_s =
+              if stats.Ta.Checker.time_s > 0.0 then
+                float_of_int stats.Ta.Checker.visited
+                /. stats.Ta.Checker.time_s
+              else 0.0
             in
             Printf.printf
-              "%-34s %-9s visited %6d  phys-eq %8d  full-cmp %9d  %.2fs\n"
+              "%-34s %-9s visited %6d  %8.0f nodes/s  store %7dkw  heap %6dkw  %.2fs\n"
               tag
               (if r.Ta.Checker.holds then "satisfied" else "VIOLATED")
-              r.Ta.Checker.stats.Ta.Checker.visited
-              r.Ta.Checker.stats.Ta.Checker.dbm_phys_eq
-              r.Ta.Checker.stats.Ta.Checker.dbm_full_cmp
-              r.Ta.Checker.stats.Ta.Checker.time_s;
-            (tag, r.Ta.Checker.holds, r.Ta.Checker.stats, metrics, spans))
-          [ true; false ])
+              stats.Ta.Checker.visited nodes_per_s
+              (stats.Ta.Checker.store_words / 1000)
+              (g.Gc.top_heap_words / 1000)
+              stats.Ta.Checker.time_s;
+            (tag, r.Ta.Checker.holds, stats, nodes_per_s, g, metrics, spans))
+          variants)
       runs
   in
   List.iter
     (fun (name, _, _) ->
       let find tag =
-        let _, _, s, _, _ = List.find (fun (t, _, _, _, _) -> t = tag) rows in
+        let _, _, s, _, _, _, _ =
+          List.find (fun (t, _, _, _, _, _, _) -> t = tag) rows
+        in
         s
       in
-      let on = find (name ^ "/hashcons")
+      let packed = find (name ^ "/packed")
+      and poly = find (name ^ "/poly")
       and off = find (name ^ "/no-hashcons") in
       Printf.printf
         "%-24s full DBM comparisons: %d -> %d with hash-consing (saved %d)\n"
-        name off.Ta.Checker.dbm_full_cmp on.Ta.Checker.dbm_full_cmp
-        (off.Ta.Checker.dbm_full_cmp - on.Ta.Checker.dbm_full_cmp))
+        name off.Ta.Checker.dbm_full_cmp packed.Ta.Checker.dbm_full_cmp
+        (off.Ta.Checker.dbm_full_cmp - packed.Ta.Checker.dbm_full_cmp);
+      Printf.printf
+        "%-24s store retained words: %d (poly) -> %d (packed)\n" name
+        poly.Ta.Checker.store_words packed.Ta.Checker.store_words)
     runs;
   let entries =
     Obs.Json.Arr
       (List.map
-         (fun (tag, holds, stats, metrics, spans) ->
+         (fun (tag, holds, stats, nodes_per_s, g, metrics, spans) ->
            Obs.Json.Obj
              [
                ("run", Obs.Json.Str tag);
                ("holds", Obs.Json.Bool holds);
+               ("nodes_per_s", Obs.Json.Float nodes_per_s);
+               ("top_heap_words", Obs.Json.Int g.Gc.top_heap_words);
+               ("live_words", Obs.Json.Int g.Gc.live_words);
                ("stats", Engine.Stats.to_json_value stats);
                ("metrics", metrics);
                ("spans", spans);

@@ -1,0 +1,14 @@
+(** BIP: behaviour–interaction–priority component systems.
+
+    The library's units under their public names; [Engine] (execution
+    and exhaustive reachability) lives in the [Exec] unit so that the
+    shared exploration engine library stays addressable as [Engine]
+    inside this library. *)
+
+module Component = Component
+module System = System
+module Engine = Exec
+module Dfinder = Dfinder
+module Dala = Dala
+module Codegen = Codegen
+module Transform = Transform

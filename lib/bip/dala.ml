@@ -207,7 +207,7 @@ let make ?(modules = module_names) ~controlled () =
     }
   end
 
-let safety_ok d (st : Engine.state) =
+let safety_ok d (st : Exec.state) =
   let index name =
     let rec find k = function
       | [] -> raise Not_found
@@ -216,7 +216,7 @@ let safety_ok d (st : Engine.state) =
     find 0 d.module_names
   in
   let present name = List.mem name d.module_names in
-  let at name = st.Engine.locs.(index name) in
+  let at name = st.Exec.locs.(index name) in
   List.for_all
     (fun (m, deps) ->
       (not (present m))
@@ -239,7 +239,7 @@ let inject_faults d ~runs ~steps ~seed =
   let faults = ref 0 and violations = ref 0 in
   for k = 1 to runs do
     let rng = Random.State.make [| seed; k |] in
-    let trace = Engine.run d.sys (Engine.Random rng) ~steps in
+    let trace = Exec.run d.sys (Exec.Random rng) ~steps in
     List.iter
       (fun (name, st) ->
         if String.length name >= 5 && String.sub name 0 5 = "fail_" then

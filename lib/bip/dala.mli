@@ -31,7 +31,7 @@ val make : ?modules:string list -> controlled:bool -> unit -> t
 val module_names : string list
 
 (** [safety_ok d st] — the conjunction of the safety rules above. *)
-val safety_ok : t -> Engine.state -> bool
+val safety_ok : t -> Exec.state -> bool
 
 type injection_report = {
   runs : int;

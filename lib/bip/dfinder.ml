@@ -267,4 +267,4 @@ let prove ?(max_candidates = 1_000_000) (sys : System.t) =
 let check ?max_candidates sys =
   match (prove ?max_candidates sys).verdict with
   | Proved -> (true, false)
-  | Inconclusive _ -> (fst (Engine.deadlock_free sys), true)
+  | Inconclusive _ -> (fst (Exec.deadlock_free sys), true)

@@ -13,7 +13,7 @@
     guarded interactions may be disabled, so they never count as sure).
     If no candidate satisfies all invariants, the system is proven
     deadlock-free without exploring the product. Otherwise the result is
-    inconclusive and the caller should fall back to {!Engine.deadlock_free}. *)
+    inconclusive and the caller should fall back to {!Exec.deadlock_free}. *)
 
 type verdict =
   | Proved  (** compositional proof succeeded *)

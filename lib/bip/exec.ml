@@ -138,20 +138,77 @@ type reach_result = {
   truncated : bool;
 }
 
-let state_key st = (st.locs, st.stores)
+(* Packed codec of a system state: one location field per component
+   (bit-packed) plus one word per local variable. A BIP system state is
+   often dozens of words across nested arrays — exactly the shape the
+   polymorphic hash truncates — so exhaustive reachability keys its seen
+   set on the interned encoding instead. *)
+let codec (sys : System.t) =
+  let locs =
+    Array.to_list
+      (Array.map
+         (fun (c : Component.t) ->
+           Engine.Codec.Loc
+             {
+               name = c.Component.comp_name;
+               count = Array.length c.Component.locations;
+             })
+         sys.components)
+  in
+  let cells =
+    List.concat
+      (Array.to_list
+         (Array.map
+            (fun (c : Component.t) ->
+              Array.to_list
+                (Array.map
+                   (fun v ->
+                     Engine.Codec.Word (c.Component.comp_name ^ "." ^ v))
+                   c.Component.var_names))
+            sys.components))
+  in
+  let spec = Engine.Codec.spec (locs @ cells) in
+  let n = Array.length sys.components in
+  let pack st =
+    (* Field order: all locations, then each component's store cells in
+       component order. *)
+    let cell = ref (0, 0) in
+    Engine.Codec.intern spec
+      (Engine.Codec.encode spec (fun i ->
+           if i < n then st.locs.(i)
+           else begin
+             (* Fields are read in order, so a single cursor walks the
+                nested stores without building a flat copy. *)
+             let ci, vi = !cell in
+             let ci, vi =
+               if vi < Array.length st.stores.(ci) then (ci, vi)
+               else begin
+                 let rec next ci =
+                   if Array.length st.stores.(ci + 1) = 0 then next (ci + 1)
+                   else (ci + 1, 0)
+                 in
+                 next ci
+               end
+             in
+             cell := (ci, vi + 1);
+             st.stores.(ci).(vi)
+           end))
+  in
+  (spec, pack)
 
 let reachable ?(max_states = 1_000_000) sys =
   Obs.Span.with_ ~name:"bip.reachable" @@ fun () ->
-  let seen = Hashtbl.create 4096 in
+  let _spec, pack = codec sys in
+  let seen : unit Engine.Codec.Tbl.t = Engine.Codec.Tbl.create 4096 in
   let queue = Queue.create () in
   let states = ref [] and deadlocks = ref [] in
   let truncated = ref false in
   let push st =
-    let key = state_key st in
-    if not (Hashtbl.mem seen key) then begin
-      if Hashtbl.length seen >= max_states then truncated := true
+    let key = pack st in
+    if not (Engine.Codec.Tbl.mem seen key) then begin
+      if Engine.Codec.Tbl.length seen >= max_states then truncated := true
       else begin
-        Hashtbl.replace seen key ();
+        Engine.Codec.Tbl.replace seen key ();
         states := st :: !states;
         Queue.push st queue
       end

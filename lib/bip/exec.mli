@@ -38,7 +38,14 @@ type reach_result = {
   truncated : bool;
 }
 
-(** [reachable sys] — exhaustive exploration (default cap 1_000_000). *)
+(** [codec sys] is the packed codec of [sys]'s states — one location
+    field per component, one word per local variable — and its interning
+    packer. One spec per system. *)
+val codec :
+  System.t -> Engine.Codec.spec * (state -> Engine.Codec.packed)
+
+(** [reachable sys] — exhaustive exploration (default cap 1_000_000),
+    seen set keyed on the interned packed encoding. *)
 val reachable : ?max_states:int -> System.t -> reach_result
 
 (** [invariant_holds sys pred] — exact check over the reachable graph;

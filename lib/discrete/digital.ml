@@ -121,12 +121,56 @@ let successors net st =
 
 type graph = {
   states : dstate array;
-  index : (dstate, int) Hashtbl.t;
+  index : int Engine.Codec.Tbl.t;
+  pack : dstate -> Engine.Codec.packed;
   transitions : dtrans list array;
 }
 
+(* Packed-codec layout: locations bit-packed per automaton, one word
+   per store cell (domains undeclared), and clocks as bounded fields —
+   a digital clock saturates at [ks.(i) + 1], so clock [i] needs only
+   enough bits for [0 .. ks.(i) + 1] (clock 0 is pinned to 0 and packs
+   into zero bits). *)
+let codec (net : Model.network) =
+  let locs =
+    Array.to_list
+      (Array.map
+         (fun (a : Model.automaton) ->
+           Engine.Codec.Loc
+             { name = a.Model.auto_name; count = Array.length a.Model.locations })
+         net.automata)
+  in
+  let cells =
+    List.init (Ta.Store.size net.Model.layout) (fun i ->
+        Engine.Codec.Word (Printf.sprintf "store[%d]" i))
+  in
+  let ks = net.Model.max_consts in
+  let clocks =
+    List.init (net.Model.n_clocks + 1) (fun i ->
+        Engine.Codec.Bounded
+          {
+            name = (if i = 0 then "t0" else net.Model.clock_names.(i));
+            lo = 0;
+            hi = (if i = 0 then 0 else ks.(i) + 1);
+          })
+  in
+  let spec = Engine.Codec.spec (locs @ cells @ clocks) in
+  let n_autos = Array.length net.automata in
+  let n_cells = Ta.Store.size net.Model.layout in
+  let pack st =
+    Engine.Codec.intern spec
+      (Engine.Codec.encode spec (fun i ->
+           if i < n_autos then st.dlocs.(i)
+           else if i < n_autos + n_cells then st.dstore.(i - n_autos)
+           else st.dclocks.(i - n_autos - n_cells)))
+  in
+  (spec, pack)
+
+let id_of g st = Engine.Codec.Tbl.find g.index (g.pack st)
+
 let explore_stats ?(max_states = 2_000_000) net =
-  let store = Engine.Store.discrete ~key:Fun.id () in
+  let _spec, pack = codec net in
+  let store = Engine.Store.discrete ~key:pack () in
   let succ st = List.map (fun t -> (t, t.target)) (successors net st) in
   let out =
     Engine.Core.run ~max_states ~record_edges:true ~store ~successors:succ
@@ -136,12 +180,12 @@ let explore_stats ?(max_states = 2_000_000) net =
   if out.Engine.Core.stats.Engine.Stats.truncated then
     failwith "Digital.explore: state limit exceeded";
   let states = out.Engine.Core.states in
-  let index = Hashtbl.create (2 * Array.length states) in
-  Array.iteri (fun id st -> Hashtbl.replace index st id) states;
+  let index = Engine.Codec.Tbl.create (2 * Array.length states) in
+  Array.iteri (fun id st -> Engine.Codec.Tbl.replace index (pack st) id) states;
   (* Every successor is either [Added] or a [Dup] under a discrete store,
      so the recorded edges are exactly the generated transition lists. *)
   let transitions = Array.map (List.map fst) out.Engine.Core.edges in
-  ({ states; index; transitions }, out.Engine.Core.stats)
+  ({ states; index; pack; transitions }, out.Engine.Core.stats)
 
 let explore ?max_states net = fst (explore_stats ?max_states net)
 

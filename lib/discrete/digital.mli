@@ -42,12 +42,26 @@ val successors : Ta.Model.network -> dstate -> dtrans list
     integer valuation. *)
 val sat_constr : int array -> int array -> Ta.Model.constr -> bool
 
-(** Explicit finite graph over reachable digital states. *)
+(** Explicit finite graph over reachable digital states. States are
+    indexed by their interned {!Engine.Codec} encoding; use {!id_of}
+    for lookups. *)
 type graph = {
   states : dstate array;
-  index : (dstate, int) Hashtbl.t;
+  index : int Engine.Codec.Tbl.t;
+  pack : dstate -> Engine.Codec.packed;
   transitions : dtrans list array; (* by source state id *)
 }
+
+(** [codec net] is the packed codec of [net]'s digital states (locations
+    and saturated clocks bit-packed, store cells one word each) and its
+    interning packer. One spec per network. *)
+val codec :
+  Ta.Model.network ->
+  Engine.Codec.spec * (dstate -> Engine.Codec.packed)
+
+(** [id_of g st] is the node id of [st] in [g].
+    @raise Not_found when [st] is not a state of [g]. *)
+val id_of : graph -> dstate -> int
 
 (** [explore net] builds the reachable graph, breadth-first on the shared
     {!Engine.Core} with a {!Engine.Store.discrete} store.

@@ -50,7 +50,7 @@ type view = {
 
 let view_of spec =
   let graph = Digital.explore spec.net in
-  let id_of st = Hashtbl.find graph.Digital.index st in
+  let id_of st = Digital.id_of graph st in
   let n = Array.length graph.Digital.states in
   let delay = Array.make n None in
   let by_chan = Array.init n (fun _ -> Hashtbl.create 4) in

@@ -1,0 +1,186 @@
+type field =
+  | Bool of string
+  | Bounded of { name : string; lo : int; hi : int }
+  | Loc of { name : string; count : int }
+  | Enum of { name : string; symbols : string array }
+  | Word of string
+
+type packed = { hash : int; words : int array }
+
+(* A compiled field: which word it lives in, where, and how the stored
+   offset maps back to the value. [bits = word_bits] marks an unpacked
+   [Word] field (raw value, may be negative). *)
+type slot = { word : int; shift : int; bits : int; base : int }
+
+(* Usable bits per packed word. 62 keeps every packed chunk (and the
+   whole word) a non-negative OCaml int, sidestepping sign-extension on
+   the 63-bit native int. *)
+let word_bits = 62
+
+module PackedKey = struct
+  type t = packed
+
+  let equal a b =
+    a == b
+    || (a.hash = b.hash
+        &&
+        let n = Array.length a.words in
+        n = Array.length b.words
+        &&
+        let rec eq i = i >= n || (a.words.(i) = b.words.(i) && eq (i + 1)) in
+        eq 0)
+
+  let hash p = p.hash
+end
+
+module Weak_tbl = Weak.Make (PackedKey)
+
+type spec = {
+  fields : field array;
+  slots : slot array;
+  nw : int;
+  pool : Weak_tbl.t;
+  mu : Mutex.t;
+}
+
+let field_name_of = function
+  | Bool n | Word n -> n
+  | Bounded { name; _ } | Loc { name; _ } | Enum { name; _ } -> name
+
+(* Inclusive domain of a field, [None] for full words. *)
+let range f =
+  match f with
+  | Bool _ -> Some (0, 1)
+  | Bounded { name; lo; hi } ->
+    if lo > hi then
+      invalid_arg (Printf.sprintf "Codec: empty range for field %S" name);
+    Some (lo, hi)
+  | Loc { name; count } ->
+    if count <= 0 then
+      invalid_arg (Printf.sprintf "Codec: empty location set for field %S" name);
+    Some (0, count - 1)
+  | Enum { name; symbols } ->
+    if Array.length symbols = 0 then
+      invalid_arg (Printf.sprintf "Codec: empty enum for field %S" name);
+    Some (0, Array.length symbols - 1)
+  | Word _ -> None
+
+let bits_for card =
+  (* Smallest [w] with [2^w >= card]; 0 when the domain is a singleton. *)
+  let rec go w = if 1 lsl w >= card then w else go (w + 1) in
+  go 0
+
+let spec fields =
+  let fields = Array.of_list fields in
+  let slots = Array.make (Array.length fields) { word = 0; shift = 0; bits = 0; base = 0 } in
+  (* Greedy first-fit: narrow fields fill the current word left to
+     right; a field that does not fit opens the next word; [Word]
+     fields always take a whole fresh word. *)
+  let w = ref 0 and b = ref 0 in
+  Array.iteri
+    (fun i f ->
+      match range f with
+      | None ->
+        if !b > 0 then incr w;
+        slots.(i) <- { word = !w; shift = 0; bits = word_bits; base = 0 };
+        incr w;
+        b := 0
+      | Some (lo, hi) ->
+        let bits = bits_for (hi - lo + 1) in
+        if bits = 0 then
+          (* Singleton domain: no payload. Park the slot on word 0 (which
+             always exists) instead of the cursor word, which may never
+             be allocated. *)
+          slots.(i) <- { word = 0; shift = 0; bits = 0; base = lo }
+        else begin
+          if !b + bits > word_bits then begin
+            incr w;
+            b := 0
+          end;
+          slots.(i) <- { word = !w; shift = !b; bits; base = lo };
+          b := !b + bits
+        end)
+    fields;
+  let nw = if !b > 0 then !w + 1 else !w in
+  {
+    fields;
+    slots;
+    nw = max nw 1;
+    pool = Weak_tbl.create 1024;
+    mu = Mutex.create ();
+  }
+
+let n_fields s = Array.length s.fields
+let n_words s = s.nw
+let field_name s i = field_name_of s.fields.(i)
+
+(* Splitmix-style mixer over every word — no truncation, unlike the
+   polymorphic [Hashtbl.hash] which stops after ~10 meaningful words.
+   The multiplier fits the 63-bit native int; arithmetic wraps mod 2^63,
+   which is exactly what a multiplicative mixer wants. *)
+let mix h x =
+  let h = h lxor x in
+  let h = h * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)
+
+let hash_words ws =
+  let n = Array.length ws in
+  let h = ref (mix 0x9E3779B9 n) in
+  for i = 0 to n - 1 do
+    h := mix !h ws.(i)
+  done;
+  !h land max_int
+
+let out_of_range s i v =
+  invalid_arg
+    (Printf.sprintf "Codec.encode: value %d out of range for field %S" v
+       (field_name s i))
+
+let encode s read =
+  let ws = Array.make s.nw 0 in
+  Array.iteri
+    (fun i f ->
+      let v = read i in
+      let sl = s.slots.(i) in
+      match range f with
+      | None -> ws.(sl.word) <- v
+      | Some (lo, hi) ->
+        if v < lo || v > hi then out_of_range s i v;
+        ws.(sl.word) <- ws.(sl.word) lor ((v - lo) lsl sl.shift))
+    s.fields;
+  { hash = hash_words ws; words = ws }
+
+let decode s p =
+  Array.mapi
+    (fun i f ->
+      let sl = s.slots.(i) in
+      match range f with
+      | None -> p.words.(sl.word)
+      | Some _ ->
+        ((p.words.(sl.word) lsr sl.shift) land ((1 lsl sl.bits) - 1)) + sl.base)
+    s.fields
+
+let equal = PackedKey.equal
+let hash p = p.hash
+
+let intern s p =
+  Mutex.lock s.mu;
+  let q = Weak_tbl.merge s.pool p in
+  Mutex.unlock s.mu;
+  q
+
+(* Record (header + 2 fields) plus the words array (header + cells). *)
+let heap_words s = 4 + s.nw
+
+let to_hex p =
+  let buf = Buffer.create (16 * (Array.length p.words + 1)) in
+  Buffer.add_char buf '[';
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printf.sprintf "%x" w))
+    p.words;
+  Buffer.add_string buf (Printf.sprintf "] h=%x" p.hash);
+  Buffer.contents buf
+
+module Tbl = Hashtbl.Make (PackedKey)

@@ -1,0 +1,85 @@
+(** Packed state codecs: one compact, interned representation of a
+    discrete state for every backend.
+
+    A backend describes its discrete state as a vector of typed {e fields}
+    (booleans, bounded integers, location indices, enum symbols, raw
+    words); the codec compiles that spec into a fixed bit layout over an
+    immutable [int array] and derives from it:
+
+    - [encode]/[decode] between field values and the packed words;
+    - a {e full-width} memoized hash mixing every word. The stdlib's
+      polymorphic [Hashtbl.hash] inspects only the first ~10 meaningful
+      words of a value, so large discrete vectors degenerate into
+      collision chains; the codec hash has no such truncation and is
+      computed once, at encode time;
+    - O(words) equality with a pointer fast path;
+    - a per-spec interning table so equal packed states are physically
+      shared — the discrete analogue of {!Zones.Dbm.intern}, and
+      composing with it: a symbolic state is an interned packed discrete
+      part next to an interned zone.
+
+    Narrow fields are bit-packed: consecutive fields share a word until
+    its 62 usable bits run out, and a field whose domain is a single
+    value occupies zero bits. [Word] fields are stored unpacked, one
+    word each, and may hold any [int] (including negatives). *)
+
+type field =
+  | Bool of string
+  | Bounded of { name : string; lo : int; hi : int }
+      (** inclusive range; [lo = hi] occupies zero bits *)
+  | Loc of { name : string; count : int }  (** location index in [0, count) *)
+  | Enum of { name : string; symbols : string array }
+      (** symbol index in [0, length symbols) *)
+  | Word of string  (** arbitrary [int], stored unpacked *)
+
+(** A compiled layout plus its private interning table. Compiling is
+    cheap but not free — build one spec per model, not per state.
+    @raise Invalid_argument on an empty range or a non-positive count. *)
+type spec
+
+val spec : field list -> spec
+
+val n_fields : spec -> int
+
+(** Packed words per state. *)
+val n_words : spec -> int
+
+val field_name : spec -> int -> string
+
+(** A packed state: immutable words plus the memoized full-width hash.
+    Two packed values from the same spec are [equal] iff every field
+    value is equal. *)
+type packed = private { hash : int; words : int array }
+
+(** [encode spec read] packs the state whose [i]-th field value is
+    [read i] ([Bool] fields read 0 or 1).
+    @raise Invalid_argument when a value falls outside its field's
+    domain (the message names the field). *)
+val encode : spec -> (int -> int) -> packed
+
+(** [decode spec p] is the field-value vector of [p] (inverse of
+    {!encode} — [decode spec (encode spec read) = Array.init n read]). *)
+val decode : spec -> packed -> int array
+
+val equal : packed -> packed -> bool
+val hash : packed -> int  (** memoized; O(1) *)
+
+(** [intern spec p] returns the canonical physical representative of
+    [p], inserting it on first sight. The table holds its entries
+    weakly (dead states are collected) and is guarded by a mutex, so —
+    unlike {!Zones.Dbm.intern} — it is safe to share a spec across
+    domains. *)
+val intern : spec -> packed -> packed
+
+(** Approximate heap footprint of one packed state, in words, including
+    headers (shared interned states are counted as if unshared). *)
+val heap_words : spec -> int
+
+(** [to_hex p] renders the words and hash compactly
+    (["[w0 w1 ...] h=H"], all lowercase hex) — a representation-stable
+    fingerprint for logs and fuzz repros. *)
+val to_hex : packed -> string
+
+(** Hashtable over packed keys; [hash] is the memoized one, so probes
+    never rescan the words. *)
+module Tbl : Hashtbl.S with type key = packed

@@ -166,6 +166,7 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
       dropped = !dropped;
       reopened = !reopened;
       peak_frontier = !peak;
+      store_words = store.Store.words ();
       truncated = !truncated;
       time_s = Unix.gettimeofday () -. t0;
       dbm_phys_eq = cmp1.Dbm.phys_hits - cmp0.Dbm.phys_hits;

@@ -5,6 +5,7 @@ type t = {
   dropped : int;
   reopened : int;
   peak_frontier : int;
+  store_words : int;
   truncated : bool;
   time_s : float;
   dbm_phys_eq : int;
@@ -19,6 +20,7 @@ let zero =
     dropped = 0;
     reopened = 0;
     peak_frontier = 0;
+    store_words = 0;
     truncated = false;
     time_s = 0.0;
     dbm_phys_eq = 0;
@@ -45,6 +47,7 @@ let to_json_value t =
       ("dropped", Obs.Json.Int t.dropped);
       ("reopened", Obs.Json.Int t.reopened);
       ("peak_frontier", Obs.Json.Int t.peak_frontier);
+      ("store_words", Obs.Json.Int t.store_words);
       ("store_hit_rate", Obs.Json.Float (store_hit_rate t));
       ("truncated", Obs.Json.Bool t.truncated);
       ("time_s", Obs.Json.Float t.time_s);

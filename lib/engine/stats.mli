@@ -17,6 +17,10 @@ type t = {
           cheaper path to it arrived (CORA's Dijkstra; always 0 for the
           other stores) *)
   peak_frontier : int;  (** maximum frontier (waiting list) length *)
+  store_words : int;
+      (** retained-heap estimate of the state store at the end of the
+          run, in words (see {!Store.t.words}): the codec's memory win
+          shows up here as packed vs. polymorphic store footprint *)
   truncated : bool;  (** the [max_states] bound stopped the run *)
   time_s : float;  (** wall-clock seconds for the run *)
   dbm_phys_eq : int;

@@ -10,29 +10,42 @@ type 's t = {
   insert : 's -> id:int -> verdict;
   stale : 's -> bool;
   size : unit -> int;
+  words : unit -> int;
 }
 
 let no_stale _ = false
+let default_size_hint = 4096
 
-let discrete ~key () =
-  let tbl = Hashtbl.create 4096 in
+(* Retained-heap estimate of the passed list: everything reachable from
+   the table — buckets, keys and stored values (zones included), shared
+   structure counted once. One full traversal per call; the engine calls
+   it once per run, when building the final [Stats.t]. *)
+let reachable_words tbl () = Obj.reachable_words (Obj.repr tbl)
+
+(* The packed stores below key on {!Codec.packed} states: the probe hash
+   is the memoized full-width one (O(1), no truncation) and collisions
+   compare packed words, never the original state structure. *)
+
+let discrete ?(size_hint = default_size_hint) ~key () =
+  let tbl : int Codec.Tbl.t = Codec.Tbl.create size_hint in
   {
     name = "discrete";
     insert =
       (fun s ~id ->
         let k = key s in
-        match Hashtbl.find_opt tbl k with
+        match Codec.Tbl.find_opt tbl k with
         | Some id' -> Dup id'
         | None ->
-          Hashtbl.replace tbl k id;
+          Codec.Tbl.replace tbl k id;
           Added { dropped = 0; reopened = false });
     stale = no_stale;
-    size = (fun () -> Hashtbl.length tbl);
+    size = (fun () -> Codec.Tbl.length tbl);
+    words = reachable_words tbl;
   }
 
-let exact ~key ~zone () =
-  let tbl = Hashtbl.create 4096 in
-  (* discrete key -> (zone, id) list, exact zone equality *)
+let exact ?(size_hint = default_size_hint) ~key ~zone () =
+  let tbl : (Dbm.t * int) list Codec.Tbl.t = Codec.Tbl.create size_hint in
+  (* packed key -> (zone, id) list, exact zone equality *)
   let count = ref 0 in
   {
     name = "exact";
@@ -40,21 +53,22 @@ let exact ~key ~zone () =
       (fun s ~id ->
         let k = key s and z = zone s in
         let entries =
-          match Hashtbl.find_opt tbl k with Some e -> e | None -> []
+          match Codec.Tbl.find_opt tbl k with Some e -> e | None -> []
         in
         match List.find_opt (fun (z', _) -> Dbm.equal z z') entries with
         | Some (_, id') -> Dup id'
         | None ->
-          Hashtbl.replace tbl k ((z, id) :: entries);
+          Codec.Tbl.replace tbl k ((z, id) :: entries);
           incr count;
           Added { dropped = 0; reopened = false });
     stale = no_stale;
     size = (fun () -> !count);
+    words = reachable_words tbl;
   }
 
-let subsume ~key ~zone () =
-  let tbl = Hashtbl.create 4096 in
-  (* discrete key -> zone list; stored zones are pairwise incomparable *)
+let subsume ?(size_hint = default_size_hint) ~key ~zone () =
+  let tbl : Dbm.t list Codec.Tbl.t = Codec.Tbl.create size_hint in
+  (* packed key -> zone list; stored zones are pairwise incomparable *)
   let count = ref 0 in
   {
     name = "subsume";
@@ -62,38 +76,131 @@ let subsume ~key ~zone () =
       (fun s ~id:_ ->
         let k = key s and z = zone s in
         let entries =
-          match Hashtbl.find_opt tbl k with Some e -> e | None -> []
+          match Codec.Tbl.find_opt tbl k with Some e -> e | None -> []
         in
         if List.exists (fun z' -> Dbm.subset z z') entries then Covered
         else begin
           let kept = List.filter (fun z' -> not (Dbm.subset z' z)) entries in
           let dropped = List.length entries - List.length kept in
-          Hashtbl.replace tbl k (z :: kept);
+          Codec.Tbl.replace tbl k (z :: kept);
           count := !count + 1 - dropped;
           Added { dropped; reopened = false }
         end);
     stale = no_stale;
     size = (fun () -> !count);
+    words = reachable_words tbl;
   }
 
-let best_cost ~key ~cost () =
-  let best = Hashtbl.create 4096 in
+let best_cost ?(size_hint = default_size_hint) ~key ~cost () =
+  let best : int Codec.Tbl.t = Codec.Tbl.create size_hint in
   {
     name = "best-cost";
     insert =
       (fun s ~id:_ ->
         let k = key s and c = cost s in
-        match Hashtbl.find_opt best k with
+        match Codec.Tbl.find_opt best k with
         | Some old when old <= c -> Covered
         | prev ->
-          Hashtbl.replace best k c;
+          Codec.Tbl.replace best k c;
           (* A previous entry means this key is being re-opened on a
              cheaper path: report it as such, not as an eviction. *)
           Added { dropped = 0; reopened = prev <> None });
     stale =
       (fun s ->
-        match Hashtbl.find_opt best (key s) with
+        match Codec.Tbl.find_opt best (key s) with
         | Some b -> cost s > b
         | None -> false);
-    size = (fun () -> Hashtbl.length best);
+    size = (fun () -> Codec.Tbl.length best);
+    words = reachable_words best;
   }
+
+(* The pre-codec stores, kept verbatim behind polymorphic hashing: the
+   packed-vs-polymorphic ablation flag and generic engine tests run on
+   these. [Hashtbl.hash] inspects only the first ~10 meaningful words of
+   a key, so large discrete states hash-collide here by construction —
+   that is the behaviour the packed stores exist to remove. *)
+module Poly = struct
+  let discrete ?(size_hint = default_size_hint) ~key () =
+    let tbl = Hashtbl.create size_hint in
+    {
+      name = "discrete";
+      insert =
+        (fun s ~id ->
+          let k = key s in
+          match Hashtbl.find_opt tbl k with
+          | Some id' -> Dup id'
+          | None ->
+            Hashtbl.replace tbl k id;
+            Added { dropped = 0; reopened = false });
+      stale = no_stale;
+      size = (fun () -> Hashtbl.length tbl);
+      words = reachable_words tbl;
+    }
+
+  let exact ?(size_hint = default_size_hint) ~key ~zone () =
+    let tbl = Hashtbl.create size_hint in
+    let count = ref 0 in
+    {
+      name = "exact";
+      insert =
+        (fun s ~id ->
+          let k = key s and z = zone s in
+          let entries =
+            match Hashtbl.find_opt tbl k with Some e -> e | None -> []
+          in
+          match List.find_opt (fun (z', _) -> Dbm.equal z z') entries with
+          | Some (_, id') -> Dup id'
+          | None ->
+            Hashtbl.replace tbl k ((z, id) :: entries);
+            incr count;
+            Added { dropped = 0; reopened = false });
+      stale = no_stale;
+      size = (fun () -> !count);
+      words = reachable_words tbl;
+    }
+
+  let subsume ?(size_hint = default_size_hint) ~key ~zone () =
+    let tbl = Hashtbl.create size_hint in
+    let count = ref 0 in
+    {
+      name = "subsume";
+      insert =
+        (fun s ~id:_ ->
+          let k = key s and z = zone s in
+          let entries =
+            match Hashtbl.find_opt tbl k with Some e -> e | None -> []
+          in
+          if List.exists (fun z' -> Dbm.subset z z') entries then Covered
+          else begin
+            let kept = List.filter (fun z' -> not (Dbm.subset z' z)) entries in
+            let dropped = List.length entries - List.length kept in
+            Hashtbl.replace tbl k (z :: kept);
+            count := !count + 1 - dropped;
+            Added { dropped; reopened = false }
+          end);
+      stale = no_stale;
+      size = (fun () -> !count);
+      words = reachable_words tbl;
+    }
+
+  let best_cost ?(size_hint = default_size_hint) ~key ~cost () =
+    let best = Hashtbl.create size_hint in
+    {
+      name = "best-cost";
+      insert =
+        (fun s ~id:_ ->
+          let k = key s and c = cost s in
+          match Hashtbl.find_opt best k with
+          | Some old when old <= c -> Covered
+          | prev ->
+            Hashtbl.replace best k c;
+            Added { dropped = 0; reopened = prev <> None });
+      stale =
+        (fun s ->
+          match Hashtbl.find_opt best (key s) with
+          | Some b -> cost s > b
+          | None -> false);
+      size = (fun () -> Hashtbl.length best);
+      words = reachable_words best;
+    }
+end

@@ -14,6 +14,21 @@
     - {!best_cost}: keep only the cheapest cost per key, re-opening a
       state when a cheaper path arrives (CORA's Dijkstra).
 
+    All four key on {!Codec.packed} discrete states: probes use the
+    memoized full-width codec hash and compare packed words, so neither
+    hashing nor equality ever rescans the backend's state structure —
+    and, unlike the polymorphic [Hashtbl.hash] (which inspects only the
+    first ~10 meaningful words of a value), the hash never truncates.
+    The pre-codec polymorphic stores survive in {!Poly} as the ablation
+    baseline.
+
+    Every constructor takes [?size_hint] (default 4096): the initial
+    bucket count of the backing [Hashtbl]. It is a hint, not a limit —
+    the stdlib table grows by doubling once the load factor exceeds 2,
+    rehashing every entry — so a hint near the expected final state
+    count avoids the O(n) rehash cascade on large explorations, while an
+    oversized hint merely wastes [size_hint] words up front.
+
     Each constructor returns a fresh, independent store. *)
 
 type verdict =
@@ -36,9 +51,56 @@ type 's t = {
           arrived after it was enqueued, so skip it. Only {!best_cost}
           ever answers [true]. *)
   size : unit -> int;  (** states currently stored *)
+  words : unit -> int;
+      (** retained-heap estimate of the store in words: everything
+          reachable from the backing table (keys, values, zones), shared
+          structure counted once. O(store size) per call — meant for
+          end-of-run stats, not hot loops. *)
 }
 
-val discrete : key:('s -> 'k) -> unit -> 's t
-val exact : key:('s -> 'k) -> zone:('s -> Zones.Dbm.t) -> unit -> 's t
-val subsume : key:('s -> 'k) -> zone:('s -> Zones.Dbm.t) -> unit -> 's t
-val best_cost : key:('s -> 'k) -> cost:('s -> int) -> unit -> 's t
+val discrete :
+  ?size_hint:int -> key:('s -> Codec.packed) -> unit -> 's t
+
+val exact :
+  ?size_hint:int ->
+  key:('s -> Codec.packed) ->
+  zone:('s -> Zones.Dbm.t) ->
+  unit ->
+  's t
+
+val subsume :
+  ?size_hint:int ->
+  key:('s -> Codec.packed) ->
+  zone:('s -> Zones.Dbm.t) ->
+  unit ->
+  's t
+
+val best_cost :
+  ?size_hint:int -> key:('s -> Codec.packed) -> cost:('s -> int) -> unit -> 's t
+
+(** The polymorphic-hash stores the packed ones replaced — semantics
+    identical, but keys are hashed with [Hashtbl.hash] (truncated to the
+    first ~10 meaningful words) and compared structurally on every
+    probe. Kept as the measurable baseline for the packed-vs-poly
+    ablation ([bench engine], [Ta.Checker.check ~packed:false]) and for
+    generic engine tests. *)
+module Poly : sig
+  val discrete : ?size_hint:int -> key:('s -> 'k) -> unit -> 's t
+
+  val exact :
+    ?size_hint:int ->
+    key:('s -> 'k) ->
+    zone:('s -> Zones.Dbm.t) ->
+    unit ->
+    's t
+
+  val subsume :
+    ?size_hint:int ->
+    key:('s -> 'k) ->
+    zone:('s -> Zones.Dbm.t) ->
+    unit ->
+    's t
+
+  val best_cost :
+    ?size_hint:int -> key:('s -> 'k) -> cost:('s -> int) -> unit -> 's t
+end

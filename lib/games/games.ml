@@ -26,7 +26,7 @@ type split = {
 }
 
 let split_transitions graph =
-  let id_of st = Hashtbl.find graph.Digital.index st in
+  let id_of st = Digital.id_of graph st in
   Array.map
     (fun ts ->
       List.fold_left
@@ -176,7 +176,7 @@ let solve ?max_states net objective =
     | Reach target -> solve_reach graph target
     | Safety safe -> solve_safety graph safe
   in
-  let init_id = Hashtbl.find graph.Digital.index (Digital.initial net) in
+  let init_id = Digital.id_of graph (Digital.initial net) in
   { graph; winning; strategy; initial_winning = winning.(init_id) }
 
 let winning_count s =
@@ -187,7 +187,7 @@ let winning_count s =
    waits). *)
 let closed_loop_succs s =
   let graph = s.graph in
-  let id_of st = Hashtbl.find graph.Digital.index st in
+  let id_of st = Digital.id_of graph st in
   fun i ->
     let choice = Hashtbl.find_opt s.strategy i in
     List.filter_map

@@ -155,7 +155,9 @@ let render r =
           (Printf.sprintf "  shrunk (%d steps): %s\n" d.d_shrink_steps
              d.d_shrunk_message);
       Buffer.add_string buf
-        (Printf.sprintf "  repro: let case = %s\n" (Oracle.to_ocaml d.d_shrunk)))
+        (Printf.sprintf "  repro: let case = %s\n" (Oracle.to_ocaml d.d_shrunk));
+      Buffer.add_string buf
+        (Printf.sprintf "  packed: %s\n" (Oracle.packed_repr d.d_shrunk)))
     r.r_divergences;
   Buffer.contents buf
 
@@ -192,6 +194,7 @@ let report_json r =
                    ("shrunk_message", Obs.Json.Str d.d_shrunk_message);
                    ("shrink_steps", Obs.Json.Int d.d_shrink_steps);
                    ("repro", Obs.Json.Str (Oracle.to_ocaml d.d_shrunk));
+                   ("packed", Obs.Json.Str (Oracle.packed_repr d.d_shrunk));
                  ])
              r.r_divergences) );
     ]

@@ -81,7 +81,7 @@ let digital_min_cost spec net target =
     !acc
   in
   let dist = Array.make n max_int in
-  let init = Hashtbl.find g.Discrete.Digital.index (Discrete.Digital.initial net) in
+  let init = Discrete.Digital.id_of g (Discrete.Digital.initial net) in
   dist.(init) <- 0;
   let changed = ref true in
   while !changed do
@@ -95,7 +95,7 @@ let digital_min_cost spec net target =
               | `Delay -> rate states.(s)
               | `Act mv -> cm.Priced.move_cost mv
             in
-            let t = Hashtbl.find g.Discrete.Digital.index tr.Discrete.Digital.target in
+            let t = Discrete.Digital.id_of g tr.Discrete.Digital.target in
             if dist.(s) + c < dist.(t) then begin
               dist.(t) <- dist.(s) + c;
               changed := true
@@ -245,3 +245,27 @@ let to_ocaml case =
     | Bi s -> ("Bi", Bip_gen.to_ocaml s)
   in
   Printf.sprintf "Quantlib.Gen.Oracle.%s %s" ctor body
+
+(* Packed fingerprint of the case's initial state, through the same
+   codec its backends key their stores on. Deterministic (words and
+   hash only, no addresses), so it is safe in the jobs-invariant fuzz
+   report. *)
+let packed_repr case =
+  try
+    match case with
+    | Ta s | Pr s ->
+      let net = Ta_gen.build s in
+      let _, pack = Discrete.Digital.codec net in
+      Engine.Codec.to_hex (pack (Discrete.Digital.initial net))
+    | Md s | Sm s ->
+      let m = Mdp_gen.build s in
+      let cspec =
+        Engine.Codec.spec
+          [ Engine.Codec.Loc { name = "state"; count = Mdp.n_states m } ]
+      in
+      Engine.Codec.to_hex (Engine.Codec.encode cspec (fun _ -> 0))
+    | Bi s ->
+      let sys = Bip_gen.build s in
+      let _, pack = Bip.Engine.codec sys in
+      Engine.Codec.to_hex (pack (Bip.Engine.initial sys))
+  with _ -> "unavailable"

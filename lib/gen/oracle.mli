@@ -57,3 +57,9 @@ val to_json : case -> Obs.Json.t
 (** Self-contained OCaml repro: an expression of type
     [Quantlib.Gen.Oracle.case] suitable for [Oracle.check]. *)
 val to_ocaml : case -> string
+
+(** [packed_repr case] is the {!Engine.Codec.to_hex} fingerprint of the
+    case's initial state under the codec its backends key their stores
+    on — a compact, representation-stable anchor for a repro.
+    ["unavailable"] when the model cannot be built. *)
+val packed_repr : case -> string

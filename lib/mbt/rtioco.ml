@@ -31,7 +31,7 @@ let make_ctx net ~inputs ~outputs =
   List.iter (fun a -> Hashtbl.replace observable a ()) (inputs @ outputs);
   { graph; observable }
 
-let id_of ctx st = Hashtbl.find ctx.graph.Digital.index st
+let id_of ctx st = Digital.id_of ctx.graph st
 
 (* Close a set of state ids under unobservable (internal) actions. *)
 let tau_closure ctx ids =
@@ -139,7 +139,7 @@ let test net ~inputs ~outputs ~rounds ~seed iut =
 (* A conforming IUT: a random walk over the spec's own digital graph. *)
 let spec_iut net ~outputs ~seed =
   let graph = Digital.explore net in
-  let id_of st = Hashtbl.find graph.Digital.index st in
+  let id_of st = Digital.id_of graph st in
   let rng = Random.State.make [| seed |] in
   let state = ref 0 in
   let is_output c = List.mem c outputs in

@@ -137,6 +137,54 @@ let moves (sta : Sta.t) st =
     sta.Sta.processes;
   List.rev !acc
 
+(* Packed codec of a digital STA state: process locations and saturated
+   clocks bit-packed, store cells one word each, and the (capped) global
+   time counter as a bounded field — [-1] when untracked. *)
+let codec ?time_cap (sta : Sta.t) =
+  let ks = sta.Sta.max_consts in
+  let locs =
+    Array.to_list
+      (Array.map
+         (fun (p : Sta.process) ->
+           Engine.Codec.Loc
+             { name = p.Sta.p_name; count = Array.length p.Sta.p_locations })
+         sta.Sta.processes)
+  in
+  let cells =
+    List.init (Ta.Store.size sta.Sta.layout) (fun i ->
+        Engine.Codec.Word (Printf.sprintf "store[%d]" i))
+  in
+  let clocks =
+    List.init (sta.Sta.n_clocks + 1) (fun i ->
+        Engine.Codec.Bounded
+          {
+            name = Printf.sprintf "c%d" i;
+            lo = 0;
+            hi = (if i = 0 then 0 else ks.(i) + 1);
+          })
+  in
+  let time =
+    [
+      (match time_cap with
+       | None -> Engine.Codec.Bounded { name = "time"; lo = -1; hi = -1 }
+       | Some cap -> Engine.Codec.Bounded { name = "time"; lo = 0; hi = cap + 1 });
+    ]
+  in
+  let spec = Engine.Codec.spec (locs @ cells @ clocks @ time) in
+  let n_procs = Array.length sta.Sta.processes in
+  let n_cells = Ta.Store.size sta.Sta.layout in
+  let n_clocks = sta.Sta.n_clocks + 1 in
+  let pack st =
+    Engine.Codec.intern spec
+      (Engine.Codec.encode spec (fun i ->
+           if i < n_procs then st.slocs.(i)
+           else if i < n_procs + n_cells then st.sstore.(i - n_procs)
+           else if i < n_procs + n_cells + n_clocks then
+             st.sclocks.(i - n_procs - n_cells)
+           else st.stime))
+  in
+  (spec, pack)
+
 let expand ?time_cap ?(max_states = 5_000_000) (sta : Sta.t) =
   (match Sta.classify sta with
    | Sta.Class_sta ->
@@ -154,19 +202,14 @@ let expand ?time_cap ?(max_states = 5_000_000) (sta : Sta.t) =
   in
   if not (invariants_ok sta init.slocs init.sclocks) then
     invalid_arg "Digital_sta.expand: initial state violates invariants";
-  let index = Hashtbl.create 65536 in
-  let rev_states = ref [] and n = ref 0 in
+  let _spec, pack = codec ?time_cap sta in
+  let arena = Engine.Arena.Keyed.create ~size_hint:65536 () in
   let actions_tbl = Hashtbl.create 65536 in
   let id_of st =
-    match Hashtbl.find_opt index st with
-    | Some id -> (id, false)
-    | None ->
-      let id = !n in
-      incr n;
-      if !n > max_states then failwith "Digital_sta.expand: state limit";
-      Hashtbl.replace index st id;
-      rev_states := st :: !rev_states;
-      (id, true)
+    let id, fresh = Engine.Arena.Keyed.intern arena (pack st) st in
+    if fresh && Engine.Arena.Keyed.size arena > max_states then
+      failwith "Digital_sta.expand: state limit";
+    (id, fresh)
   in
   let queue = Queue.create () in
   let init_id, _ = id_of init in
@@ -220,10 +263,10 @@ let expand ?time_cap ?(max_states = 5_000_000) (sta : Sta.t) =
       (moves sta st);
     Hashtbl.replace actions_tbl id (List.rev !acts)
   done;
-  let states = Array.of_list (List.rev !rev_states) in
+  let states = Engine.Arena.Keyed.to_array arena in
   let mdp =
     Mdp.make
-      (Array.init !n (fun i ->
+      (Array.init (Array.length states) (fun i ->
            try Hashtbl.find actions_tbl i with Not_found -> []))
   in
   { sta; mdp; states; initial = 0 }

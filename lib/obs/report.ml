@@ -2,8 +2,12 @@
    span timing aggregates and GC statistics — everything a bench or CI
    run needs to make two revisions comparable. *)
 
+(* [Gc.stat] (not [quick_stat]) walks the heap so that [live_words] is
+   populated: a report is a one-shot snapshot, so the walk is worth the
+   memory fields it buys (live vs. peak heap makes store-representation
+   wins visible in BENCH_engine.json). *)
 let gc_json () =
-  let s = Gc.quick_stat () in
+  let s = Gc.stat () in
   Json.Obj
     [
       ("minor_words", Json.Float s.Gc.minor_words);
@@ -14,6 +18,7 @@ let gc_json () =
       ("compactions", Json.Int s.Gc.compactions);
       ("heap_words", Json.Int s.Gc.heap_words);
       ("top_heap_words", Json.Int s.Gc.top_heap_words);
+      ("live_words", Json.Int s.Gc.live_words);
     ]
 
 let make ?registry () =

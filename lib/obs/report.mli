@@ -6,7 +6,7 @@
       "metrics": { "<name>": {"type": "counter", ...}, ... },
       "spans":   { "<name>": {"count", "total_s", "max_s"}, ... },
       "span_domains": { "<domain-id>": { "<name>": {...} }, ... },
-      "gc":      { "minor_words", ..., "top_heap_words" } }
+      "gc":      { "minor_words", ..., "top_heap_words", "live_words" } }
     v}
 
     [span_domains] breaks the span aggregates out by recording domain
@@ -14,7 +14,10 @@
     parallel section's time split across the workers. *)
 
 (** [make ()] snapshots the registry (default: {!Metrics.Registry.default}),
-    the span aggregates and [Gc.quick_stat]. *)
+    the span aggregates and the GC. The GC snapshot uses [Gc.stat] — a
+    full heap walk — so [live_words] (words actually alive, vs.
+    [top_heap_words] for the peak reservation) is populated; reports are
+    one-shot, never hot-path. *)
 val make : ?registry:Metrics.Registry.t -> unit -> Json.t
 
 (** GC statistics alone, as embedded in {!make}. *)

@@ -36,7 +36,13 @@ let trans_label (t : Digital.dtrans) =
    their accumulated cost; re-improved states are re-enqueued and stale
    entries skipped at pop time, so a popped state's cost is optimal. *)
 let min_cost_reach net cm ~target =
-  let store = Engine.Store.best_cost ~key:fst ~cost:snd () in
+  (* Keyed on the interned packed digital state: Dijkstra re-probes the
+     best-cost table on every insert and every pop (staleness), so the
+     memoized full-width hash pays off twice per state. *)
+  let _spec, pack = Digital.codec net in
+  let store =
+    Engine.Store.best_cost ~key:(fun (st, _) -> pack st) ~cost:snd ()
+  in
   let successors (st, cost) =
     List.map
       (fun t ->
@@ -70,7 +76,7 @@ let min_cost_reach net cm ~target =
 let max_cost_reach net cm ~target =
   let graph = Digital.explore net in
   let n = Array.length graph.Digital.states in
-  let id_of st = Hashtbl.find graph.Digital.index st in
+  let id_of st = Digital.id_of graph st in
   (* Targets are absorbing, so the SCC decomposition must not follow
      their outgoing edges (a target can then never sit on a cycle). *)
   let succs id =

@@ -9,6 +9,7 @@ type stats = Engine.Stats.t = {
   dropped : int;
   reopened : int;
   peak_frontier : int;
+  store_words : int;
   truncated : bool;
   time_s : float;
   dbm_phys_eq : int;
@@ -34,11 +35,21 @@ let canon ~hashcons (st : Zone_graph.state) =
 (* Generic exploration. [on_state] is called once per fresh symbolic
    state and may short-circuit by returning a payload. With [rich_trace],
    witness steps carry the symbolic state they reach. *)
-let explore ?(subsumption = true) ?(hashcons = true) ?(max_states = 1_000_000)
-    ?(rich_trace = false) net ~ks ~on_state =
+let explore ?(subsumption = true) ?(hashcons = true) ?(packed = true)
+    ?(max_states = 1_000_000) ?(rich_trace = false) net ~ks ~on_state =
+  (* [packed] keys the store on the interned codec encoding of the
+     discrete part; the ablation baseline keys on the raw
+     (locs, store) tuple under polymorphic hashing. *)
   let store =
-    if subsumption then Engine.Store.subsume ~key:state_key ~zone:state_zone ()
-    else Engine.Store.exact ~key:state_key ~zone:state_zone ()
+    if packed then begin
+      let spec = Zone_graph.codec net in
+      let key st = Zone_graph.pack spec st in
+      if subsumption then Engine.Store.subsume ~key ~zone:state_zone ()
+      else Engine.Store.exact ~key ~zone:state_zone ()
+    end
+    else if subsumption then
+      Engine.Store.Poly.subsume ~key:state_key ~zone:state_zone ()
+    else Engine.Store.Poly.exact ~key:state_key ~zone:state_zone ()
   in
   let successors st =
     List.map
@@ -95,8 +106,15 @@ type graph = {
   parents : (int * string) array; (* for diagnostic traces *)
 }
 
-let build_graph ?(max_states = 1_000_000) ?(hashcons = true) net ~ks =
-  let store = Engine.Store.exact ~key:state_key ~zone:state_zone () in
+let build_graph ?(max_states = 1_000_000) ?(hashcons = true) ?(packed = true)
+    net ~ks =
+  let store =
+    if packed then begin
+      let spec = Zone_graph.codec net in
+      Engine.Store.exact ~key:(Zone_graph.pack spec) ~zone:state_zone ()
+    end
+    else Engine.Store.Poly.exact ~key:state_key ~zone:state_zone ()
+  in
   let successors st =
     List.map
       (fun (label, st') -> (label, canon ~hashcons st'))
@@ -179,16 +197,17 @@ let trace_in_graph graph id =
 (* Top-level check                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let check_reach ?subsumption ?hashcons ?max_states ?rich_trace net f =
+let check_reach ?subsumption ?hashcons ?packed ?max_states ?rich_trace net f =
   let ks = Prop.merge_constants net f in
   let on_state st = if Prop.holds_somewhere net st f then Some () else None in
-  explore ?subsumption ?hashcons ?max_states ?rich_trace net ~ks ~on_state
+  explore ?subsumption ?hashcons ?packed ?max_states ?rich_trace net ~ks
+    ~on_state
 
-let check_liveness ?max_states ?(from_initial_only = false) net ~p ~q =
+let check_liveness ?packed ?max_states ?(from_initial_only = false) net ~p ~q =
   if not (Prop.crisp p && Prop.crisp q) then
     invalid_arg "Checker: leads-to operands must not contain clock atoms";
   let ks = Array.copy net.Model.max_consts in
-  let graph, gstats = build_graph ?max_states net ~ks in
+  let graph, gstats = build_graph ?max_states ?packed net ~ks in
   let is_q id = Prop.eval_crisp net graph.states.(id) q in
   let starts = ref [] in
   if from_initial_only then begin
@@ -207,18 +226,19 @@ let check_liveness ?max_states ?(from_initial_only = false) net ~p ~q =
   | None -> { holds = true; trace = None; stats }
   | Some id -> { holds = false; trace = Some (trace_in_graph graph id); stats }
 
-let check ?subsumption ?hashcons ?max_states ?rich_trace net query =
+let check ?subsumption ?hashcons ?packed ?max_states ?rich_trace net query =
   match query with
   | Prop.Possibly f ->
     let outcome, stats =
-      check_reach ?subsumption ?hashcons ?max_states ?rich_trace net f
+      check_reach ?subsumption ?hashcons ?packed ?max_states ?rich_trace net f
     in
     (match outcome with
      | Some ((), trace) -> { holds = true; trace = Some trace; stats }
      | None -> { holds = false; trace = None; stats })
   | Prop.Invariant f ->
     let outcome, stats =
-      check_reach ?subsumption ?hashcons ?max_states ?rich_trace net (Prop.Not f)
+      check_reach ?subsumption ?hashcons ?packed ?max_states ?rich_trace net
+        (Prop.Not f)
     in
     (match outcome with
      | Some ((), trace) -> { holds = false; trace = Some trace; stats }
@@ -227,18 +247,20 @@ let check ?subsumption ?hashcons ?max_states ?rich_trace net query =
     let ks = Array.copy net.Model.max_consts in
     let on_state st = if deadlocked net st then Some () else None in
     let outcome, stats =
-      explore ?subsumption ?hashcons ?max_states ?rich_trace net ~ks ~on_state
+      explore ?subsumption ?hashcons ?packed ?max_states ?rich_trace net ~ks
+        ~on_state
     in
     (match outcome with
      | Some ((), trace) -> { holds = false; trace = Some trace; stats }
      | None -> { holds = true; trace = None; stats })
-  | Prop.LeadsTo (p, q) -> check_liveness ?max_states net ~p ~q
+  | Prop.LeadsTo (p, q) -> check_liveness ?packed ?max_states net ~p ~q
   | Prop.Eventually f ->
     if not (Prop.crisp f) then
       invalid_arg "Checker: A<> operand must not contain clock atoms";
-    check_liveness ?max_states ~from_initial_only:true net ~p:Prop.True ~q:f
+    check_liveness ?packed ?max_states ~from_initial_only:true net ~p:Prop.True
+      ~q:f
 
-let reachable_states ?subsumption ?hashcons ?max_states net =
+let reachable_states ?subsumption ?hashcons ?packed ?max_states net =
   let ks = Array.copy net.Model.max_consts in
   let acc = ref [] in
   let on_state st =
@@ -246,6 +268,6 @@ let reachable_states ?subsumption ?hashcons ?max_states net =
     None
   in
   let (_ : (unit * string list) option * stats) =
-    explore ?subsumption ?hashcons ?max_states net ~ks ~on_state
+    explore ?subsumption ?hashcons ?packed ?max_states net ~ks ~on_state
   in
   List.rev !acc

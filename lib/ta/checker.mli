@@ -21,6 +21,7 @@ type stats = Engine.Stats.t = {
   dropped : int;  (** stored states evicted by a larger candidate *)
   reopened : int;  (** best-cost re-openings (0 for zone stores) *)
   peak_frontier : int;  (** maximum waiting-list length *)
+  store_words : int;  (** retained-heap estimate of the passed list *)
   truncated : bool;  (** [max_states] hit (reported as [Failure] here) *)
   time_s : float;  (** wall-clock exploration time *)
   dbm_phys_eq : int;  (** DBM comparisons settled by pointer equality *)
@@ -41,6 +42,11 @@ type result = {
     [hashcons] (default true) interns every zone in the global
     {!Zones.Dbm.intern} table so equal zones share one representative and
     comparisons short-circuit on pointer equality (ablation switch).
+    [packed] (default true) keys the passed list on the interned
+    {!Engine.Codec} encoding of the discrete part (memoized full-width
+    hash, physically shared states); [~packed:false] falls back to the
+    polymorphic-hash store as the ablation baseline — results are
+    identical, only hashing and memory behaviour differ.
     [rich_trace] (default false) annotates every witness step with the
     symbolic state it reaches. [max_states] (default 1_000_000) aborts
     pathological explorations.
@@ -48,6 +54,7 @@ type result = {
 val check :
   ?subsumption:bool ->
   ?hashcons:bool ->
+  ?packed:bool ->
   ?max_states:int ->
   ?rich_trace:bool ->
   Model.network ->
@@ -64,6 +71,7 @@ val deadlocked : Model.network -> Zone_graph.state -> bool
 val reachable_states :
   ?subsumption:bool ->
   ?hashcons:bool ->
+  ?packed:bool ->
   ?max_states:int ->
   Model.network ->
   Zone_graph.state list

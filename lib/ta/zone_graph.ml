@@ -6,6 +6,31 @@ type move = { mv_label : string; participants : (int * Model.edge) list }
 
 let discrete_key st = (st.locs, st.store)
 
+(* Packed-codec layout of the discrete part: one location field per
+   automaton (bit-packed; a component's locations rarely need more than
+   a few bits) and one full word per store cell — variable domains are
+   not declared in the model, so cells cannot be narrowed. *)
+let codec (net : Model.network) =
+  let locs =
+    Array.to_list
+      (Array.map
+         (fun (a : Model.automaton) ->
+           Engine.Codec.Loc
+             { name = a.Model.auto_name; count = Array.length a.Model.locations })
+         net.automata)
+  in
+  let cells =
+    List.init (Store.size net.Model.layout) (fun i ->
+        Engine.Codec.Word (Printf.sprintf "store[%d]" i))
+  in
+  Engine.Codec.spec (locs @ cells)
+
+let pack spec st =
+  let n = Array.length st.locs in
+  Engine.Codec.intern spec
+    (Engine.Codec.encode spec (fun i ->
+         if i < n then st.locs.(i) else st.store.(i - n)))
+
 let constrain_all zone constrs =
   List.fold_left
     (fun z (c : Model.constr) -> Dbm.constrain z c.ci c.cj c.cb)

@@ -16,8 +16,19 @@ type state = {
     singleton for internal edges, emitter then receiver(s) for channels. *)
 type move = { mv_label : string; participants : (int * Model.edge) list }
 
-(** [discrete_key st] is the hashable discrete part of a state. *)
+(** [discrete_key st] is the hashable discrete part of a state (the
+    pre-codec polymorphic key; kept for the packed-vs-poly ablation and
+    diagnostics). *)
 val discrete_key : state -> int array * int array
+
+(** [codec net] compiles the network's discrete-state layout — one
+    {!Engine.Codec.Loc} field per automaton, one word per store cell —
+    into a packed codec spec. Build one per network, not per state. *)
+val codec : Model.network -> Engine.Codec.spec
+
+(** [pack spec st] encodes and interns the discrete part of [st]:
+    physically shared across equal states, memoized full-width hash. *)
+val pack : Engine.Codec.spec -> state -> Engine.Codec.packed
 
 (** [initial net ~ks] is the initial symbolic state ([ks] = per-clock
     extrapolation constants, usually {!Model.network.max_consts} merged

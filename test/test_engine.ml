@@ -9,6 +9,13 @@ module Store = Engine.Store
 module Core = Engine.Core
 module Stats = Engine.Stats
 module Arena = Engine.Arena
+module Codec = Engine.Codec
+
+(* A one-word codec for plain-int test states: every store test runs
+   both packed (codec keys, memoized hash) and poly (Hashtbl.hash)
+   flavours through the same assertions. *)
+let ispec = Codec.spec [ Codec.Word "v" ]
+let ikey n = Codec.encode ispec (fun _ -> n)
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -24,22 +31,26 @@ let zone_y_le n = Dbm.constrain (Dbm.universal ~clocks:2) 2 0 (Bound.le n)
 (* Stores                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let test_discrete_store () =
-  let s = Store.discrete ~key:Fun.id () in
-  (match s.Store.insert "a" ~id:0 with
+let run_discrete_store s =
+  (match s.Store.insert 1 ~id:0 with
    | Store.Added { dropped; _ } -> check_int "no evictions" 0 dropped
    | _ -> Alcotest.fail "first insert must be Added");
-  (match s.Store.insert "b" ~id:1 with
+  (match s.Store.insert 2 ~id:1 with
    | Store.Added _ -> ()
    | _ -> Alcotest.fail "distinct state must be Added");
-  (match s.Store.insert "a" ~id:2 with
+  (match s.Store.insert 1 ~id:2 with
    | Store.Dup id -> check_int "dup reports original id" 0 id
    | _ -> Alcotest.fail "repeat insert must be Dup");
   check_int "two states stored" 2 (s.Store.size ());
-  check "discrete stores are never stale" false (s.Store.stale "a")
+  check "discrete stores are never stale" false (s.Store.stale 1);
+  check "words estimate is positive" true (s.Store.words () > 0)
 
-let test_exact_store () =
-  let s = Store.exact ~key:fst ~zone:snd () in
+let test_discrete_store () = run_discrete_store (Store.discrete ~key:ikey ())
+
+let test_discrete_store_poly () =
+  run_discrete_store (Store.Poly.discrete ~key:Fun.id ())
+
+let run_exact_store s =
   (match s.Store.insert (0, zone_x_le 3) ~id:0 with
    | Store.Added _ -> ()
    | _ -> Alcotest.fail "first insert must be Added");
@@ -57,8 +68,13 @@ let test_exact_store () =
    | _ -> Alcotest.fail "other key must be Added");
   check_int "three states stored" 3 (s.Store.size ())
 
-let test_subsume_store () =
-  let s = Store.subsume ~key:fst ~zone:snd () in
+let test_exact_store () =
+  run_exact_store (Store.exact ~key:(fun (k, _) -> ikey k) ~zone:snd ())
+
+let test_exact_store_poly () =
+  run_exact_store (Store.Poly.exact ~key:fst ~zone:snd ())
+
+let run_subsume_store s =
   (match s.Store.insert (0, zone_x_le 1) ~id:0 with
    | Store.Added _ -> ()
    | _ -> Alcotest.fail "first insert must be Added");
@@ -85,24 +101,45 @@ let test_subsume_store () =
    | Store.Added { dropped; _ } -> check_int "other key untouched" 0 dropped
    | _ -> Alcotest.fail "other key must be Added")
 
-let test_best_cost_store () =
-  let s = Store.best_cost ~key:fst ~cost:snd () in
-  (match s.Store.insert ("a", 5) ~id:0 with
+let test_subsume_store () =
+  run_subsume_store (Store.subsume ~key:(fun (k, _) -> ikey k) ~zone:snd ())
+
+let test_subsume_store_poly () =
+  run_subsume_store (Store.Poly.subsume ~key:fst ~zone:snd ())
+
+let run_best_cost_store s =
+  (match s.Store.insert (1, 5) ~id:0 with
    | Store.Added _ -> ()
    | _ -> Alcotest.fail "first insert must be Added");
   (* Worse cost: covered by the cheaper stored entry. *)
-  (match s.Store.insert ("a", 7) ~id:1 with
+  (match s.Store.insert (1, 7) ~id:1 with
    | Store.Covered -> ()
    | _ -> Alcotest.fail "worse cost must be Covered");
   (* Better cost: re-opens the state rather than evicting a rival. *)
-  (match s.Store.insert ("a", 3) ~id:1 with
+  (match s.Store.insert (1, 3) ~id:1 with
    | Store.Added { dropped; reopened } ->
      check_int "re-opening is not an eviction" 0 dropped;
      check "re-opening reported" true reopened
    | _ -> Alcotest.fail "better cost must be Added");
-  check "superseded entry is stale" true (s.Store.stale ("a", 5));
-  check "current best is not stale" false (s.Store.stale ("a", 3));
+  check "superseded entry is stale" true (s.Store.stale (1, 5));
+  check "current best is not stale" false (s.Store.stale (1, 3));
   check_int "one key stored" 1 (s.Store.size ())
+
+let test_best_cost_store () =
+  run_best_cost_store (Store.best_cost ~key:(fun (k, _) -> ikey k) ~cost:snd ())
+
+let test_best_cost_store_poly () =
+  run_best_cost_store (Store.Poly.best_cost ~key:fst ~cost:snd ())
+
+let test_store_size_hint () =
+  (* A tiny hint must not limit capacity: the table grows by doubling. *)
+  let s = Store.discrete ~size_hint:1 ~key:ikey () in
+  for i = 0 to 999 do
+    match s.Store.insert i ~id:i with
+    | Store.Added _ -> ()
+    | _ -> Alcotest.fail "fresh state must be Added"
+  done;
+  check_int "all stored past the hint" 1000 (s.Store.size ())
 
 (* ------------------------------------------------------------------ *)
 (* The core loop                                                        *)
@@ -117,7 +154,7 @@ let diamond n =
 
 let run_diamond ?order ~on_state () =
   Core.run ?order
-    ~store:(Store.discrete ~key:Fun.id ())
+    ~store:(Store.discrete ~key:ikey ())
     ~successors:diamond ~on_state ~init:0 ()
 
 let test_core_bfs_trace () =
@@ -166,7 +203,7 @@ let test_core_priority () =
   let succ n = if n = 0 then [ ("x", 9); ("x", 4); ("x", 7) ] else [] in
   let (_ : (int, string, unit) Core.outcome) =
     Core.run ~order:(Core.Priority Fun.id)
-      ~store:(Store.discrete ~key:Fun.id ())
+      ~store:(Store.discrete ~key:ikey ())
       ~successors:succ
       ~on_state:(fun n ->
         popped := n :: !popped;
@@ -190,7 +227,7 @@ let test_core_dijkstra () =
   let out =
     Core.run
       ~order:(Core.Priority snd)
-      ~store:(Store.best_cost ~key:fst ~cost:snd ())
+      ~store:(Store.best_cost ~key:(fun (n, _) -> ikey n) ~cost:snd ())
       ~successors
       ~on_state:(fun (n, c) -> if n = 3 then Some c else None)
       ~init:(0, 0) ()
@@ -209,7 +246,7 @@ let test_core_truncation () =
   (* An infinite chain: the engine must stop and report, not raise. *)
   let out =
     Core.run ~max_states:10
-      ~store:(Store.discrete ~key:Fun.id ())
+      ~store:(Store.discrete ~key:ikey ())
       ~successors:(fun n -> [ ("s", n + 1) ])
       ~on_state:(fun _ -> None)
       ~init:0 ()
@@ -221,7 +258,7 @@ let test_core_truncation () =
 let test_core_record_edges () =
   let out =
     Core.run ~record_edges:true
-      ~store:(Store.discrete ~key:Fun.id ())
+      ~store:(Store.discrete ~key:ikey ())
       ~successors:diamond
       ~on_state:(fun _ -> None)
       ~init:0 ()
@@ -241,7 +278,7 @@ let test_core_record_edges () =
     (List.map fst out.Core.edges.(0))
 
 let test_core_rejecting_init () =
-  let store = Store.discrete ~key:Fun.id () in
+  let store = Store.discrete ~key:ikey () in
   (match store.Store.insert 0 ~id:0 with
    | Store.Added _ -> ()
    | _ -> Alcotest.fail "setup insert");
@@ -274,6 +311,27 @@ let test_arena_growth () =
   Arena.iteri (fun i v -> if i = v then incr seen) a;
   check_int "iteri covers everything" 1000 !seen
 
+let test_arena_keyed () =
+  let a = Arena.Keyed.create ~size_hint:4 () in
+  let k n = ikey n in
+  (match Arena.Keyed.intern a (k 7) 70 with
+   | 0, true -> ()
+   | _ -> Alcotest.fail "first intern must be fresh id 0");
+  (match Arena.Keyed.intern a (k 8) 80 with
+   | 1, true -> ()
+   | _ -> Alcotest.fail "second intern must be fresh id 1");
+  (* Same key again (a distinct packed value, equal words): known id,
+     original payload kept. *)
+  (match Arena.Keyed.intern a (k 7) 999 with
+   | 0, false -> ()
+   | _ -> Alcotest.fail "re-intern must answer the existing id");
+  check_int "payload survives re-intern" 70 (Arena.Keyed.get a 0);
+  check_int "size counts unique keys" 2 (Arena.Keyed.size a);
+  check "find known" true (Arena.Keyed.find a (k 8) = Some 1);
+  check "find unknown" true (Arena.Keyed.find a (k 9) = None);
+  check_int "to_array in id order" 80 (Arena.Keyed.to_array a).(1);
+  check "words estimate positive" true (Arena.Keyed.words a > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Hash-consed DBMs                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -298,8 +356,8 @@ let test_stats_json () =
   let s =
     {
       Stats.visited = 3; stored = 2; subsumed = 1; dropped = 0;
-      reopened = 0; peak_frontier = 2; truncated = false; time_s = 0.5;
-      dbm_phys_eq = 4; dbm_full_cmp = 6;
+      reopened = 0; peak_frontier = 2; store_words = 7; truncated = false;
+      time_s = 0.5; dbm_phys_eq = 4; dbm_full_cmp = 6;
     }
   in
   let j = Stats.to_json s in
@@ -307,7 +365,8 @@ let test_stats_json () =
     (fun affix -> check affix true (Astring.String.is_infix ~affix j))
     [
       "\"visited\":3"; "\"stored\":2"; "\"subsumed\":1"; "\"dropped\":0";
-      "\"reopened\":0"; "\"peak_frontier\":2"; "\"truncated\":false";
+      "\"reopened\":0"; "\"peak_frontier\":2"; "\"store_words\":7";
+      "\"truncated\":false";
       "\"dbm_phys_eq\":4"; "\"dbm_full_cmp\":6"; "\"store_hit_rate\":";
     ]
 
@@ -320,6 +379,12 @@ let () =
           Alcotest.test_case "exact" `Quick test_exact_store;
           Alcotest.test_case "subsume" `Quick test_subsume_store;
           Alcotest.test_case "best-cost" `Quick test_best_cost_store;
+          Alcotest.test_case "discrete (poly)" `Quick test_discrete_store_poly;
+          Alcotest.test_case "exact (poly)" `Quick test_exact_store_poly;
+          Alcotest.test_case "subsume (poly)" `Quick test_subsume_store_poly;
+          Alcotest.test_case "best-cost (poly)" `Quick
+            test_best_cost_store_poly;
+          Alcotest.test_case "size hint" `Quick test_store_size_hint;
         ] );
       ( "core",
         [
@@ -332,7 +397,11 @@ let () =
           Alcotest.test_case "record edges" `Quick test_core_record_edges;
           Alcotest.test_case "rejecting init" `Quick test_core_rejecting_init;
         ] );
-      ( "arena", [ Alcotest.test_case "growth" `Quick test_arena_growth ] );
+      ( "arena",
+        [
+          Alcotest.test_case "growth" `Quick test_arena_growth;
+          Alcotest.test_case "keyed" `Quick test_arena_keyed;
+        ] );
       ( "hashcons",
         [
           Alcotest.test_case "interning" `Quick test_intern_physical_equality;
