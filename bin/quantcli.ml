@@ -357,7 +357,7 @@ let mbt_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let fuzz obs seed cases jobs families no_shrink inject out =
+let fuzz obs seed cases jobs families no_shrink inject extrapolation out =
   with_obs obs @@ fun () ->
   let families =
     match families with
@@ -389,6 +389,7 @@ let fuzz obs seed cases jobs families no_shrink inject out =
       jobs;
       families;
       shrink = not no_shrink;
+      extrapolation;
     }
   in
   let report = Gen.Harness.run cfg in
@@ -442,6 +443,16 @@ let fuzz_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Write the JSON report (including shrunk repros) to $(docv).")
   in
+  let extrapolation_arg =
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("k", `K); ("lu", `Lu) ]) `Lu
+      & info [ "extrapolation" ] ~docv:"ABS"
+          ~doc:
+            "Zone-engine extrapolation the ta-reach oracle cross-checks \
+             against the digital backend: none, k (classic Extra-M) or lu \
+             (default; coarse lower/upper-bound abstraction).")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -450,7 +461,7 @@ let fuzz_cmd =
           from (seed, index).")
     Term.(
       const fuzz $ obs_term $ seed_arg $ cases_arg $ jobs_arg $ families_arg
-      $ no_shrink_arg $ inject_arg $ out_arg)
+      $ no_shrink_arg $ inject_arg $ extrapolation_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 

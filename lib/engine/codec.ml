@@ -5,7 +5,10 @@ type field =
   | Enum of { name : string; symbols : string array }
   | Word of string
 
-type packed = { hash : int; words : int array }
+(* One int block per packed state: slot 0 holds the memoized full-width
+   hash, slots 1..nw the packed words. A single allocation per encode,
+   and a table probe reads the hash and the words off the same block. *)
+type packed = int array
 
 (* A compiled field: which word it lives in, where, and how the stored
    offset maps back to the value. [bits = word_bits] marks an unpacked
@@ -20,17 +23,17 @@ let word_bits = 62
 module PackedKey = struct
   type t = packed
 
+  (* Slot 0 is the hash, so comparing from index 0 settles almost every
+     mismatch on the first cell. *)
   let equal a b =
     a == b
-    || (a.hash = b.hash
+    || (let n = Array.length a in
+        n = Array.length b
         &&
-        let n = Array.length a.words in
-        n = Array.length b.words
-        &&
-        let rec eq i = i >= n || (a.words.(i) = b.words.(i) && eq (i + 1)) in
+        let rec eq i = i >= n || (a.(i) = b.(i) && eq (i + 1)) in
         eq 0)
 
-  let hash p = p.hash
+  let hash (p : packed) = p.(0)
 end
 
 module Weak_tbl = Weak.Make (PackedKey)
@@ -38,6 +41,10 @@ module Weak_tbl = Weak.Make (PackedKey)
 type spec = {
   fields : field array;
   slots : slot array;
+  hi_off : int array;
+      (* per field: [hi - lo] of its domain, [-1] for raw [Word] fields —
+         lets [encode] range-check without re-deriving the domain (and
+         its allocations) on every call *)
   nw : int;
   pool : Weak_tbl.t;
   mu : Mutex.t;
@@ -102,9 +109,15 @@ let spec fields =
         end)
     fields;
   let nw = if !b > 0 then !w + 1 else !w in
+  let hi_off =
+    Array.map
+      (fun f -> match range f with None -> -1 | Some (lo, hi) -> hi - lo)
+      fields
+  in
   {
     fields;
     slots;
+    hi_off;
     nw = max nw 1;
     pool = Weak_tbl.create 1024;
     mu = Mutex.create ();
@@ -123,45 +136,74 @@ let mix h x =
   let h = h * 0x2545F4914F6CDD1D in
   h lxor (h lsr 29)
 
-let hash_words ws =
-  let n = Array.length ws in
+(* Fill slot 0 of [p] with the hash of slots 1..n (the packed words). *)
+let seal_hash (p : packed) =
+  let n = Array.length p - 1 in
   let h = ref (mix 0x9E3779B9 n) in
-  for i = 0 to n - 1 do
-    h := mix !h ws.(i)
+  for i = 1 to n do
+    h := mix !h p.(i)
   done;
-  !h land max_int
+  p.(0) <- !h land max_int;
+  p
 
 let out_of_range s i v =
   invalid_arg
     (Printf.sprintf "Codec.encode: value %d out of range for field %S" v
        (field_name s i))
 
+(* Hot path: called once per candidate state during exploration, so no
+   per-field allocation — the domain checks run off the precompiled
+   [hi_off] array instead of re-deriving each field's range. *)
 let encode s read =
-  let ws = Array.make s.nw 0 in
-  Array.iteri
-    (fun i f ->
-      let v = read i in
-      let sl = s.slots.(i) in
-      match range f with
-      | None -> ws.(sl.word) <- v
-      | Some (lo, hi) ->
-        if v < lo || v > hi then out_of_range s i v;
-        ws.(sl.word) <- ws.(sl.word) lor ((v - lo) lsl sl.shift))
-    s.fields;
-  { hash = hash_words ws; words = ws }
+  let p = Array.make (s.nw + 1) 0 in
+  for i = 0 to Array.length s.fields - 1 do
+    let v = read i in
+    let sl = s.slots.(i) in
+    let off = s.hi_off.(i) in
+    if off < 0 then p.(sl.word + 1) <- v
+    else begin
+      let d = v - sl.base in
+      if d < 0 || d > off then out_of_range s i v;
+      p.(sl.word + 1) <- p.(sl.word + 1) lor (d lsl sl.shift)
+    end
+  done;
+  seal_hash p
 
-let decode s p =
+(* [encode_pair s xs ys] = [encode s read] where [read] takes field [i]
+   from [xs] while [i < length xs] and from [ys] past it — the common
+   "locations then variables" shape, specialised so the hot loop makes
+   no per-field closure call. *)
+let encode_pair s xs ys =
+  let p = Array.make (s.nw + 1) 0 in
+  let nx = Array.length xs in
+  if nx + Array.length ys <> Array.length s.fields then
+    invalid_arg "Codec.encode_pair: field count mismatch";
+  for i = 0 to Array.length s.fields - 1 do
+    let v = if i < nx then Array.unsafe_get xs i else Array.unsafe_get ys (i - nx) in
+    let sl = s.slots.(i) in
+    let off = s.hi_off.(i) in
+    if off < 0 then p.(sl.word + 1) <- v
+    else begin
+      let d = v - sl.base in
+      if d < 0 || d > off then out_of_range s i v;
+      p.(sl.word + 1) <- p.(sl.word + 1) lor (d lsl sl.shift)
+    end
+  done;
+  seal_hash p
+
+let decode s (p : packed) =
   Array.mapi
     (fun i f ->
       let sl = s.slots.(i) in
       match range f with
-      | None -> p.words.(sl.word)
+      | None -> p.(sl.word + 1)
       | Some _ ->
-        ((p.words.(sl.word) lsr sl.shift) land ((1 lsl sl.bits) - 1)) + sl.base)
+        ((p.(sl.word + 1) lsr sl.shift) land ((1 lsl sl.bits) - 1)) + sl.base)
     s.fields
 
 let equal = PackedKey.equal
-let hash p = p.hash
+let hash = PackedKey.hash
+let mix_hash a b = mix a b land max_int
 
 let intern s p =
   Mutex.lock s.mu;
@@ -169,18 +211,17 @@ let intern s p =
   Mutex.unlock s.mu;
   q
 
-(* Record (header + 2 fields) plus the words array (header + cells). *)
-let heap_words s = 4 + s.nw
+(* One block: header, hash slot, and the packed words. *)
+let heap_words s = 2 + s.nw
 
-let to_hex p =
-  let buf = Buffer.create (16 * (Array.length p.words + 1)) in
+let to_hex (p : packed) =
+  let buf = Buffer.create (16 * Array.length p) in
   Buffer.add_char buf '[';
-  Array.iteri
-    (fun i w ->
-      if i > 0 then Buffer.add_char buf ' ';
-      Buffer.add_string buf (Printf.sprintf "%x" w))
-    p.words;
-  Buffer.add_string buf (Printf.sprintf "] h=%x" p.hash);
+  for i = 1 to Array.length p - 1 do
+    if i > 1 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Printf.sprintf "%x" p.(i))
+  done;
+  Buffer.add_string buf (Printf.sprintf "] h=%x" p.(0));
   Buffer.contents buf
 
 module Tbl = Hashtbl.Make (PackedKey)

@@ -14,9 +14,9 @@
       computed once, at encode time;
     - O(words) equality with a pointer fast path;
     - a per-spec interning table so equal packed states are physically
-      shared — the discrete analogue of {!Zones.Dbm.intern}, and
-      composing with it: a symbolic state is an interned packed discrete
-      part next to an interned zone.
+      shared — the discrete analogue of the {!Zones.Dbm.seal} boundary,
+      and composing with it: a symbolic state is an interned packed
+      discrete part next to a sealed zone.
 
     Narrow fields are bit-packed: consecutive fields share a word until
     its 62 usable bits run out, and a field whose domain is a single
@@ -46,16 +46,26 @@ val n_words : spec -> int
 
 val field_name : spec -> int -> string
 
-(** A packed state: immutable words plus the memoized full-width hash.
+(** A packed state: the packed words plus the memoized full-width hash,
+    fused into one immutable heap block (one allocation per {!encode}).
     Two packed values from the same spec are [equal] iff every field
     value is equal. *)
-type packed = private { hash : int; words : int array }
+type packed
 
 (** [encode spec read] packs the state whose [i]-th field value is
     [read i] ([Bool] fields read 0 or 1).
     @raise Invalid_argument when a value falls outside its field's
     domain (the message names the field). *)
 val encode : spec -> (int -> int) -> packed
+
+(** [encode_pair spec xs ys] is
+    [encode spec (fun i -> if i < n then xs.(i) else ys.(i - n))] for
+    [n = Array.length xs] — the common "locations then variables" state
+    shape, specialised so the per-candidate hot loop makes no
+    per-field closure call.
+    @raise Invalid_argument when [length xs + length ys] is not the
+    spec's field count, or a value falls outside its field's domain. *)
+val encode_pair : spec -> int array -> int array -> packed
 
 (** [decode spec p] is the field-value vector of [p] (inverse of
     {!encode} — [decode spec (encode spec read) = Array.init n read]). *)
@@ -64,10 +74,16 @@ val decode : spec -> packed -> int array
 val equal : packed -> packed -> bool
 val hash : packed -> int  (** memoized; O(1) *)
 
+(** [mix_hash a b] folds hash [b] into hash [a] with the codec's
+    splitmix word mixer (result clamped non-negative). Used to fuse a
+    packed discrete hash with a sealed zone's memoized hash into one
+    store-key hash. *)
+val mix_hash : int -> int -> int
+
 (** [intern spec p] returns the canonical physical representative of
     [p], inserting it on first sight. The table holds its entries
     weakly (dead states are collected) and is guarded by a mutex, so —
-    unlike {!Zones.Dbm.intern} — it is safe to share a spec across
+    like {!Zones.Dbm.seal} — it is safe to share a spec across
     domains. *)
 val intern : spec -> packed -> packed
 

@@ -171,6 +171,7 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
       time_s = Unix.gettimeofday () -. t0;
       dbm_phys_eq = cmp1.Dbm.phys_hits - cmp0.Dbm.phys_hits;
       dbm_full_cmp = cmp1.Dbm.full_scans - cmp0.Dbm.full_scans;
+      dbm_lattice_cmp = cmp1.Dbm.lattice_scans - cmp0.Dbm.lattice_scans;
     }
   in
   (* Publish the run's counters to the registry (bulk adds at the end of

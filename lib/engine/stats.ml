@@ -10,6 +10,7 @@ type t = {
   time_s : float;
   dbm_phys_eq : int;
   dbm_full_cmp : int;
+  dbm_lattice_cmp : int;
 }
 
 let zero =
@@ -25,6 +26,7 @@ let zero =
     time_s = 0.0;
     dbm_phys_eq = 0;
     dbm_full_cmp = 0;
+    dbm_lattice_cmp = 0;
   }
 
 let basic ~visited ~stored = { zero with visited; stored }
@@ -53,6 +55,7 @@ let to_json_value t =
       ("time_s", Obs.Json.Float t.time_s);
       ("dbm_phys_eq", Obs.Json.Int t.dbm_phys_eq);
       ("dbm_full_cmp", Obs.Json.Int t.dbm_full_cmp);
+      ("dbm_lattice_cmp", Obs.Json.Int t.dbm_lattice_cmp);
     ]
 
 let to_json t = Obs.Json.to_string (to_json_value t)

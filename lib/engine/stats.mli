@@ -24,9 +24,14 @@ type t = {
   truncated : bool;  (** the [max_states] bound stopped the run *)
   time_s : float;  (** wall-clock seconds for the run *)
   dbm_phys_eq : int;
-      (** DBM comparisons settled by pointer equality during the run
-          (nonzero only when zones are hash-consed) *)
-  dbm_full_cmp : int;  (** DBM comparisons that scanned matrix entries *)
+      (** DBM comparisons settled by pointer identity during the run —
+          with sealed zones this covers every equality decision *)
+  dbm_full_cmp : int;
+      (** DBM equality checks that scanned matrix entries (un-sealed
+          operands only) *)
+  dbm_lattice_cmp : int;
+      (** subset checks between distinct zones — the one comparison the
+          sealing discipline cannot settle by pointer *)
 }
 
 val zero : t

@@ -26,6 +26,79 @@ let reachable_words tbl () = Obj.reachable_words (Obj.repr tbl)
    is the memoized full-width one (O(1), no truncation) and collisions
    compare packed words, never the original state structure. *)
 
+(* Fused symbolic key: the packed discrete part next to a sealed zone
+   handle, hashed by mixing the codec's memoized hash with the zone's
+   memoized hash — both O(1), so probing a symbolic store costs no
+   hashing work at all. Equality is pointer-first on both components;
+   the zone comparison goes through [Dbm.equal] so cmp_stats keeps
+   counting how often sealing makes it physical. *)
+module Zkey = struct
+  type t = { h : int; pk : Codec.packed; z : Dbm.canon }
+
+  let make pk (z : Dbm.canon) =
+    assert (Dbm.is_sealed (z :> Dbm.t));
+    { h = Codec.mix_hash (Codec.hash pk) (Dbm.hash (z :> Dbm.t)); pk; z }
+
+  let equal a b =
+    Codec.equal a.pk b.pk && Dbm.equal (a.z :> Dbm.t) (b.z :> Dbm.t)
+
+  let hash k = k.h
+end
+
+module Ztbl = Hashtbl.Make (Zkey)
+
+(* Open-addressed probe table on packed keys. The hash is the key's
+   memoized field, probing is a linear scan of one slot array, and a
+   lookup allocates nothing — where [Hashtbl.Make] pays two module
+   calls plus an option per probe (no cross-module inlining without
+   flambda). Keys are never removed, so there are no tombstones. *)
+module Ptbl = struct
+  type 'v slot = Empty | Slot of { key : Codec.packed; mutable v : 'v }
+  type 'v t = { mutable mask : int; mutable slots : 'v slot array; mutable len : int }
+
+  let create hint =
+    let cap = ref 16 in
+    while !cap < hint * 2 do cap := !cap * 2 done;
+    { mask = !cap - 1; slots = Array.make !cap Empty; len = 0 }
+
+  (* First slot that is empty or holds [k]; [Codec.equal] settles
+     same-slot collisions hash-first, so mismatches cost one compare. *)
+  let rec probe slots mask k i =
+    match slots.(i) with
+    | Empty -> i
+    | Slot s -> if Codec.equal s.key k then i else probe slots mask k ((i + 1) land mask)
+
+  let find_default t k d =
+    match t.slots.(probe t.slots t.mask k (Codec.hash k land t.mask)) with
+    | Empty -> d
+    | Slot s -> s.v
+
+  let grow t =
+    let mask = (2 * (t.mask + 1)) - 1 in
+    let slots = Array.make (mask + 1) Empty in
+    Array.iter
+      (function
+        | Empty -> ()
+        | Slot s as e ->
+          let rec free i =
+            match slots.(i) with Empty -> i | Slot _ -> free ((i + 1) land mask)
+          in
+          slots.(free (Codec.hash s.key land mask)) <- e)
+      t.slots;
+    t.mask <- mask;
+    t.slots <- slots
+
+  let set t k v =
+    let i = probe t.slots t.mask k (Codec.hash k land t.mask) in
+    match t.slots.(i) with
+    | Slot s -> s.v <- v
+    | Empty ->
+      t.slots.(i) <- Slot { key = k; v };
+      t.len <- t.len + 1;
+      (* Grow at 2/3 load to keep probe runs short. *)
+      if 3 * t.len > 2 * (t.mask + 1) then grow t
+end
+
 let discrete ?(size_hint = default_size_hint) ~key () =
   let tbl : int Codec.Tbl.t = Codec.Tbl.create size_hint in
   {
@@ -44,48 +117,88 @@ let discrete ?(size_hint = default_size_hint) ~key () =
   }
 
 let exact ?(size_hint = default_size_hint) ~key ~zone () =
-  let tbl : (Dbm.t * int) list Codec.Tbl.t = Codec.Tbl.create size_hint in
-  (* packed key -> (zone, id) list, exact zone equality *)
-  let count = ref 0 in
+  (* One flat table on the fused (packed, zone) key — no per-key bucket
+     lists to scan, and both hashes are memoized. *)
+  let tbl : int Ztbl.t = Ztbl.create size_hint in
   {
     name = "exact";
     insert =
       (fun s ~id ->
-        let k = key s and z = zone s in
-        let entries =
-          match Codec.Tbl.find_opt tbl k with Some e -> e | None -> []
-        in
-        match List.find_opt (fun (z', _) -> Dbm.equal z z') entries with
-        | Some (_, id') -> Dup id'
+        let zk = Zkey.make (key s) (zone s) in
+        match Ztbl.find_opt tbl zk with
+        | Some id' -> Dup id'
         | None ->
-          Codec.Tbl.replace tbl k ((z, id) :: entries);
-          incr count;
+          Ztbl.replace tbl zk id;
           Added { dropped = 0; reopened = false });
     stale = no_stale;
-    size = (fun () -> !count);
+    size = (fun () -> Ztbl.length tbl);
     words = reachable_words tbl;
   }
 
 let subsume ?(size_hint = default_size_hint) ~key ~zone () =
-  let tbl : Dbm.t list Codec.Tbl.t = Codec.Tbl.create size_hint in
-  (* packed key -> zone list; stored zones are pairwise incomparable *)
+  let tbl : Dbm.canon list Ptbl.t = Ptbl.create size_hint in
+  (* packed key -> zone list; stored zones are pairwise incomparable and
+     kept sorted by decreasing {!Dbm.width}. The width score is monotone
+     for inclusion, so only the prefix at least as wide as a candidate
+     can cover it (and the widest zones — the likeliest coverers — are
+     probed first), and only the suffix at most as wide can be evicted
+     by it: each insert pays one inclusion direction per entry instead
+     of two full walks. No exact-match front cache: a re-proposed
+     candidate carries the same sealed handle and settles on a pointer
+     comparison during the prefix walk. Scans are tallied in local
+     accumulators and flushed to {!Dbm.cmp_stats} once per insert, so
+     the per-scan cost matches the quiet comparisons. *)
   let count = ref 0 in
   {
     name = "subsume";
     insert =
       (fun s ~id:_ ->
-        let k = key s and z = zone s in
-        let entries =
-          match Codec.Tbl.find_opt tbl k with Some e -> e | None -> []
-        in
-        if List.exists (fun z' -> Dbm.subset z z') entries then Covered
-        else begin
-          let kept = List.filter (fun z' -> not (Dbm.subset z' z)) entries in
-          let dropped = List.length entries - List.length kept in
-          Codec.Tbl.replace tbl k (z :: kept);
+        let k = key s and z : Dbm.canon = zone s in
+        let entries = Ptbl.find_default tbl k [] in
+        let wz = Dbm.width (z :> Dbm.t) in
+        (* Eviction suffix: every entry here has width <= wz, so [z]
+           cannot be covered; filter out what it swallows. *)
+        let evict tail rev_head dropped lat =
+          let kept =
+            List.filter
+              (fun (z' : Dbm.canon) ->
+                not (Dbm.subset_quiet (z' :> Dbm.t) (z :> Dbm.t)))
+              tail
+          in
+          let dropped = dropped + List.length tail - List.length kept in
+          Dbm.note_scans ~phys:0 ~lattice:(lat + List.length tail);
+          Ptbl.set tbl k (List.rev_append rev_head (z :: kept));
           count := !count + 1 - dropped;
           Added { dropped; reopened = false }
-        end);
+        in
+        (* Cover prefix: entries at least as wide as [z], in decreasing
+           width order. Equal-width entries can also be evicted (only
+           when clamping hides the strict inclusion), so they get the
+           second check before surviving into the head. *)
+        let rec cover entries rev_head dropped lat =
+          match entries with
+          | [] -> evict [] rev_head dropped lat
+          | (z' : Dbm.canon) :: rest ->
+            if z == z' then begin
+              Dbm.note_scans ~phys:1 ~lattice:lat;
+              Covered
+            end
+            else begin
+              let w' = Dbm.width (z' :> Dbm.t) in
+              if w' < wz then evict entries rev_head dropped lat
+              else if Dbm.subset_quiet (z :> Dbm.t) (z' :> Dbm.t) then begin
+                Dbm.note_scans ~phys:0 ~lattice:(lat + 1);
+                Covered
+              end
+              else if
+                w' = wz && Dbm.subset_quiet (z' :> Dbm.t) (z :> Dbm.t)
+              then cover rest rev_head (dropped + 1) (lat + 2)
+              else
+                cover rest (z' :: rev_head) dropped
+                  (lat + if w' = wz then 2 else 1)
+            end
+        in
+        cover entries [] 0 0);
     stale = no_stale;
     size = (fun () -> !count);
     words = reachable_words tbl;
@@ -144,11 +257,18 @@ module Poly = struct
       name = "exact";
       insert =
         (fun s ~id ->
-          let k = key s and z = zone s in
+          let k = key s and z : Dbm.canon = zone s in
           let entries =
             match Hashtbl.find_opt tbl k with Some e -> e | None -> []
           in
-          match List.find_opt (fun (z', _) -> Dbm.equal z z') entries with
+          (* Quiet comparisons: the reference store must not double-count
+             handles the packed stores already account for. *)
+          match
+            List.find_opt
+              (fun ((z' : Dbm.canon), _) ->
+                Dbm.equal_quiet (z :> Dbm.t) (z' :> Dbm.t))
+              entries
+          with
           | Some (_, id') -> Dup id'
           | None ->
             Hashtbl.replace tbl k ((z, id) :: entries);
@@ -166,13 +286,23 @@ module Poly = struct
       name = "subsume";
       insert =
         (fun s ~id:_ ->
-          let k = key s and z = zone s in
+          let k = key s and z : Dbm.canon = zone s in
           let entries =
             match Hashtbl.find_opt tbl k with Some e -> e | None -> []
           in
-          if List.exists (fun z' -> Dbm.subset z z') entries then Covered
+          if
+            List.exists
+              (fun (z' : Dbm.canon) ->
+                Dbm.subset_quiet (z :> Dbm.t) (z' :> Dbm.t))
+              entries
+          then Covered
           else begin
-            let kept = List.filter (fun z' -> not (Dbm.subset z' z)) entries in
+            let kept =
+              List.filter
+                (fun (z' : Dbm.canon) ->
+                  not (Dbm.subset_quiet (z' :> Dbm.t) (z :> Dbm.t)))
+                entries
+            in
             let dropped = List.length entries - List.length kept in
             Hashtbl.replace tbl k (z :: kept);
             count := !count + 1 - dropped;

@@ -6,8 +6,8 @@
 
     - {!discrete}: structural equality on the whole state (digital-clock
       graphs: TIGA games, ECDAR views, {e modes}).
-    - {!exact}: exact zone equality under a discrete key (liveness
-      graphs, the subsumption-off ablation).
+    - {!exact}: exact zone equality on a fused (discrete, zone) key
+      (liveness graphs, the subsumption-off ablation).
     - {!subsume}: inclusion subsumption — a candidate covered by a stored
       zone is rejected, stored zones strictly inside the candidate are
       evicted (UPPAAL-style safety/reachability).
@@ -19,6 +19,11 @@
     hashing nor equality ever rescans the backend's state structure —
     and, unlike the polymorphic [Hashtbl.hash] (which inspects only the
     first ~10 meaningful words of a value), the hash never truncates.
+    Zone-holding stores take {!Zones.Dbm.canon} handles (sealed:
+    extrapolated, interned, hash memoized), so the un-sealed DBMs of a
+    successor pipeline cannot reach a store at the type level; probe
+    hashes fuse the packed hash with the zone's memoized hash and
+    equality settles on pointer identity in the common case.
     The pre-codec polymorphic stores survive in {!Poly} as the ablation
     baseline.
 
@@ -64,14 +69,14 @@ val discrete :
 val exact :
   ?size_hint:int ->
   key:('s -> Codec.packed) ->
-  zone:('s -> Zones.Dbm.t) ->
+  zone:('s -> Zones.Dbm.canon) ->
   unit ->
   's t
 
 val subsume :
   ?size_hint:int ->
   key:('s -> Codec.packed) ->
-  zone:('s -> Zones.Dbm.t) ->
+  zone:('s -> Zones.Dbm.canon) ->
   unit ->
   's t
 
@@ -90,14 +95,14 @@ module Poly : sig
   val exact :
     ?size_hint:int ->
     key:('s -> 'k) ->
-    zone:('s -> Zones.Dbm.t) ->
+    zone:('s -> Zones.Dbm.canon) ->
     unit ->
     's t
 
   val subsume :
     ?size_hint:int ->
     key:('s -> 'k) ->
-    zone:('s -> Zones.Dbm.t) ->
+    zone:('s -> Zones.Dbm.canon) ->
     unit ->
     's t
 

@@ -5,6 +5,7 @@ type config = {
   families : Oracle.family list;
   shrink : bool;
   max_probes : int;
+  extrapolation : Ta.Checker.extrapolation;
 }
 
 let default =
@@ -15,6 +16,7 @@ let default =
     families = Oracle.all_families;
     shrink = true;
     max_probes = 2000;
+    extrapolation = `Lu;
   }
 
 let m_cases = Obs.counter "gen.cases"
@@ -57,7 +59,7 @@ type report = {
 (* Greedy shrink: scan the single-step candidates in order, commit to
    the first that still diverges, repeat until none does (local
    minimum) or the probe budget runs out. *)
-let shrink_diverged ~max_probes case message =
+let shrink_diverged ~extrapolation ~max_probes case message =
   let probes = ref 0 in
   let rec go case message steps =
     let rec first = function
@@ -66,7 +68,7 @@ let shrink_diverged ~max_probes case message =
         if !probes >= max_probes then None
         else begin
           incr probes;
-          match Oracle.check c with
+          match Oracle.check ~extrapolation c with
           | Diverge m -> Some (c, m)
           | Agree | Skip _ -> first rest
         end
@@ -82,7 +84,7 @@ let run cfg =
   if cfg.families = [] then invalid_arg "Gen.Harness.run: no families";
   let eval i =
     let case = case_of cfg i in
-    (case, Oracle.check case)
+    (case, Oracle.check ~extrapolation:cfg.extrapolation case)
   in
   let results =
     if cfg.jobs <= 1 then Array.init cfg.cases eval
@@ -101,7 +103,8 @@ let run cfg =
       | Oracle.Diverge msg ->
         let shrunk, shrunk_msg, steps =
           if cfg.shrink then
-            shrink_diverged ~max_probes:cfg.max_probes case msg
+            shrink_diverged ~extrapolation:cfg.extrapolation
+              ~max_probes:cfg.max_probes case msg
           else (case, msg, 0)
         in
         Obs.Metrics.Counter.add m_shrink_steps steps;

@@ -15,6 +15,10 @@ type config = {
   shrink : bool;
   max_probes : int;
       (** cap on candidate evaluations during one divergence's shrink *)
+  extrapolation : Ta.Checker.extrapolation;
+      (** seal-time zone abstraction the TA oracles cross-check
+          (default [`Lu]); passed to every {!Oracle.check}, including
+          shrink probes *)
 }
 
 val default : config

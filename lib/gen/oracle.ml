@@ -43,17 +43,16 @@ let family_of_case = function
 (* Per-family checks                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Zone engine caps. The hashcons table behind {!Zones.Dbm.intern} is a
-   process-global Weak table that is not domain-safe, and harness cases
-   run on a [Par] pool — so the checker must not intern. *)
+(* Zone engine caps. The seal table behind {!Zones.Dbm.seal} is
+   mutex-guarded, so interning from [Par]-pooled harness cases is safe. *)
 let ta_max_states = 50_000
 let priced_max_states = 20_000
 let bip_max_states = 20_000
 
-let check_ta spec =
+let check_ta ~extrapolation spec =
   let net = Ta_gen.build spec in
   let zres =
-    Ta.Checker.check ~hashcons:false ~max_states:ta_max_states net
+    Ta.Checker.check ~extrapolation ~max_states:ta_max_states net
       (Ta.Prop.Possibly (Ta_gen.target_formula spec))
   in
   let g = Discrete.Digital.explore ~max_states:ta_max_states net in
@@ -202,10 +201,10 @@ let check_bip spec =
            (List.length r.Bip.Engine.deadlocks))
     | _ -> Agree
 
-let check case =
+let check ?(extrapolation = `Lu) case =
   try
     match case with
-    | Ta spec -> check_ta spec
+    | Ta spec -> check_ta ~extrapolation spec
     | Pr spec -> check_priced spec
     | Md spec -> check_mdp spec
     | Sm spec -> check_smc spec

@@ -46,8 +46,11 @@ val generate : family -> Rng.t -> case
 val family_of_case : case -> family
 
 (** [check case] runs both backends and compares. Truncation ([Failure])
-    maps to [Skip]; any other backend exception is a divergence. *)
-val check : case -> verdict
+    maps to [Skip]; any other backend exception is a divergence.
+    [extrapolation] (default [`Lu]) selects the zone engine's seal-time
+    abstraction for TA cases, so the digital oracle cross-checks the
+    chosen extrapolation; other families ignore it. *)
+val check : ?extrapolation:Ta.Checker.extrapolation -> case -> verdict
 
 (** Single-step shrink candidates (delegates to the family generator). *)
 val shrinks : case -> case list

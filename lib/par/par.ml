@@ -135,12 +135,18 @@ end
 
 let effective_jobs pool = match pool with None -> 1 | Some p -> Pool.jobs p
 
-(* ~8 chunks per worker bound the claim-counter contention; the 256 cap
-   keeps cancellation latency low on big ranges. *)
+(* Adaptive chunk sizing: ~8 chunks per worker bound the claim-counter
+   contention; the 256 cap keeps cancellation latency low on big ranges;
+   the min-grain floor keeps small batches from splintering into tasks
+   so short that waking a domain costs more than the work it is handed.
+   A batch at or under one grain never reaches the pool at all (see
+   [map_range]). *)
+let min_grain = 32
+
 let chunk_size ~chunk ~n ~jobs =
   match chunk with
   | Some c -> max 1 c
-  | None -> max 1 (min 256 ((n + (8 * jobs) - 1) / (8 * jobs)))
+  | None -> max 1 (min 256 (max min_grain ((n + (8 * jobs) - 1) / (8 * jobs))))
 
 (* First worker exception, with its backtrace, wins. *)
 let record_failure slot e =
@@ -161,9 +167,9 @@ let map_range ?pool ?cancel ?chunk ~lo ~hi f =
   in
   Obs.Metrics.Counter.incr m_tasks;
   Obs.Metrics.Gauge.set g_jobs (float_of_int jobs);
-  if n = 0 then [||]
-  else if jobs = 1 then begin
-    let chunk = chunk_size ~chunk ~n ~jobs in
+  let chunk = chunk_size ~chunk ~n ~jobs in
+  let n_chunks = (n + chunk - 1) / chunk in
+  let sequential () =
     let out = Array.make n None in
     let i = ref lo in
     while !i < hi do
@@ -176,11 +182,15 @@ let map_range ?pool ?cancel ?chunk ~lo ~hi f =
       i := stop
     done;
     Array.map (function Some v -> v | None -> assert false) out
-  end
+  in
+  if n = 0 then [||]
+  else if jobs = 1 || n_chunks <= 1 then
+    (* A single chunk has no parallelism to claim: run it on the caller
+       and leave the pool asleep — the result is index-keyed either
+       way, so this changes no output. *)
+    sequential ()
   else begin
     let pool = Option.get pool in
-    let chunk = chunk_size ~chunk ~n ~jobs in
-    let n_chunks = (n + chunk - 1) / chunk in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
     let out = Array.make n None in

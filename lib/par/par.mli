@@ -73,7 +73,10 @@ end
     still returns the full array.
 
     [chunk] is the number of consecutive indices a worker claims at a
-    time (default: range split ~8 ways per worker, capped at 256). *)
+    time (default: adaptive — the range split ~8 ways per worker,
+    clamped between a 32-index grain and 256). A batch that fits in one
+    chunk runs on the caller without waking the pool: on small batches
+    the domain wake-up would cost more than the work it hands out. *)
 val map_range :
   ?pool:Pool.t ->
   ?cancel:Cancel.t ->

@@ -14,6 +14,7 @@ type stats = Engine.Stats.t = {
   time_s : float;
   dbm_phys_eq : int;
   dbm_full_cmp : int;
+  dbm_lattice_cmp : int;
 }
 
 type result = { holds : bool; trace : string list option; stats : stats }
@@ -25,18 +26,27 @@ type result = { holds : bool; trace : string list option; stats : stats }
 let state_key (st : Zone_graph.state) = Zone_graph.discrete_key st
 let state_zone (st : Zone_graph.state) = st.Zone_graph.zone
 
-(* With [hashcons], every fresh zone is interned so that equal zones
-   share one representative and the store's [Dbm.equal]/[Dbm.subset]
-   checks short-circuit on pointer equality. *)
-let canon ~hashcons (st : Zone_graph.state) =
-  if hashcons then { st with Zone_graph.zone = Dbm.intern st.Zone_graph.zone }
-  else st
+(* Which extrapolation [Dbm.seal] applies at the sealing boundary of the
+   zone graph. Reachability-style queries default to the coarser Extra-LU
+   (fewer distinct zones, location reachability preserved); [`K] keeps
+   classic maximal-constant Extra-M as an ablation; [`None] disables
+   extrapolation (the zone graph may then be infinite). *)
+type extrapolation = [ `None | `K | `Lu ]
+
+let reach_extra (extrapolation : extrapolation) net f =
+  match extrapolation with
+  | `None -> Dbm.No_extrapolation
+  | `K -> Dbm.Extra_m (Prop.merge_constants net f)
+  | `Lu ->
+    let lower, upper = Prop.merge_lu net f in
+    Dbm.Extra_lu { lower; upper }
 
 (* Generic exploration. [on_state] is called once per fresh symbolic
    state and may short-circuit by returning a payload. With [rich_trace],
-   witness steps carry the symbolic state they reach. *)
-let explore ?(subsumption = true) ?(hashcons = true) ?(packed = true)
-    ?(max_states = 1_000_000) ?(rich_trace = false) net ~ks ~on_state =
+   witness steps carry the symbolic state they reach. Zones arrive sealed
+   from [Zone_graph], so no re-canonicalisation happens here. *)
+let explore ?(subsumption = true) ?(packed = true)
+    ?(max_states = 1_000_000) ?(rich_trace = false) net ~extra ~on_state =
   (* [packed] keys the store on the interned codec encoding of the
      discrete part; the ablation baseline keys on the raw
      (locs, store) tuple under polymorphic hashing. *)
@@ -51,14 +61,10 @@ let explore ?(subsumption = true) ?(hashcons = true) ?(packed = true)
       Engine.Store.Poly.subsume ~key:state_key ~zone:state_zone ()
     else Engine.Store.Poly.exact ~key:state_key ~zone:state_zone ()
   in
-  let successors st =
-    List.map
-      (fun (label, st') -> (label, canon ~hashcons st'))
-      (Zone_graph.successors net ~ks st)
-  in
+  let successors st = Zone_graph.successors net ~extra st in
   let out =
     Engine.Core.run ~max_states ~store ~successors ~on_state
-      ~init:(canon ~hashcons (Zone_graph.initial net ~ks))
+      ~init:(Zone_graph.initial net ~extra)
       ()
   in
   if out.Engine.Core.stats.truncated then
@@ -86,7 +92,7 @@ let deadlocked net (st : Zone_graph.state) =
         if Dbm.is_empty g then None
         else begin
           let g = if delay then Dbm.down g else g in
-          let e = Dbm.intersect st.zone g in
+          let e = Dbm.intersect (st.zone :> Dbm.t) g in
           if Dbm.is_empty e then None else Some e
         end)
       (Zone_graph.moves net st.locs st.store)
@@ -94,7 +100,7 @@ let deadlocked net (st : Zone_graph.state) =
   let fed =
     List.fold_left Fed.add (Fed.empty ~clocks:net.Model.n_clocks) escapes
   in
-  not (Fed.dbm_subset st.zone fed)
+  not (Fed.dbm_subset (st.zone :> Dbm.t) fed)
 
 (* ------------------------------------------------------------------ *)
 (* Exact graph for liveness                                             *)
@@ -106,8 +112,7 @@ type graph = {
   parents : (int * string) array; (* for diagnostic traces *)
 }
 
-let build_graph ?(max_states = 1_000_000) ?(hashcons = true) ?(packed = true)
-    net ~ks =
+let build_graph ?(max_states = 1_000_000) ?(packed = true) net ~extra =
   let store =
     if packed then begin
       let spec = Zone_graph.codec net in
@@ -115,15 +120,11 @@ let build_graph ?(max_states = 1_000_000) ?(hashcons = true) ?(packed = true)
     end
     else Engine.Store.Poly.exact ~key:state_key ~zone:state_zone ()
   in
-  let successors st =
-    List.map
-      (fun (label, st') -> (label, canon ~hashcons st'))
-      (Zone_graph.successors net ~ks st)
-  in
+  let successors st = Zone_graph.successors net ~extra st in
   let out =
     Engine.Core.run ~max_states ~record_edges:true ~store ~successors
       ~on_state:(fun _ -> None)
-      ~init:(canon ~hashcons (Zone_graph.initial net ~ks))
+      ~init:(Zone_graph.initial net ~extra)
       ()
   in
   if out.Engine.Core.stats.truncated then
@@ -197,17 +198,20 @@ let trace_in_graph graph id =
 (* Top-level check                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let check_reach ?subsumption ?hashcons ?packed ?max_states ?rich_trace net f =
-  let ks = Prop.merge_constants net f in
+let check_reach ?subsumption ?packed ?max_states ?rich_trace
+    ?(extrapolation = `Lu) net f =
+  let extra = reach_extra extrapolation net f in
   let on_state st = if Prop.holds_somewhere net st f then Some () else None in
-  explore ?subsumption ?hashcons ?packed ?max_states ?rich_trace net ~ks
-    ~on_state
+  explore ?subsumption ?packed ?max_states ?rich_trace net ~extra ~on_state
 
 let check_liveness ?packed ?max_states ?(from_initial_only = false) net ~p ~q =
   if not (Prop.crisp p && Prop.crisp q) then
     invalid_arg "Checker: leads-to operands must not contain clock atoms";
-  let ks = Array.copy net.Model.max_consts in
-  let graph, gstats = build_graph ?max_states ?packed net ~ks in
+  (* The exact graph needs zone-precise nodes; LU would merge states the
+     divergence analysis must keep apart, so liveness always uses
+     Extra-M on the network constants. *)
+  let extra = Dbm.Extra_m (Array.copy net.Model.max_consts) in
+  let graph, gstats = build_graph ?max_states ?packed net ~extra in
   let is_q id = Prop.eval_crisp net graph.states.(id) q in
   let starts = ref [] in
   if from_initial_only then begin
@@ -226,28 +230,32 @@ let check_liveness ?packed ?max_states ?(from_initial_only = false) net ~p ~q =
   | None -> { holds = true; trace = None; stats }
   | Some id -> { holds = false; trace = Some (trace_in_graph graph id); stats }
 
-let check ?subsumption ?hashcons ?packed ?max_states ?rich_trace net query =
+let check ?subsumption ?packed ?max_states ?rich_trace ?extrapolation net
+    query =
   match query with
   | Prop.Possibly f ->
     let outcome, stats =
-      check_reach ?subsumption ?hashcons ?packed ?max_states ?rich_trace net f
+      check_reach ?subsumption ?packed ?max_states ?rich_trace ?extrapolation
+        net f
     in
     (match outcome with
      | Some ((), trace) -> { holds = true; trace = Some trace; stats }
      | None -> { holds = false; trace = None; stats })
   | Prop.Invariant f ->
     let outcome, stats =
-      check_reach ?subsumption ?hashcons ?packed ?max_states ?rich_trace net
-        (Prop.Not f)
+      check_reach ?subsumption ?packed ?max_states ?rich_trace ?extrapolation
+        net (Prop.Not f)
     in
     (match outcome with
      | Some ((), trace) -> { holds = false; trace = Some trace; stats }
      | None -> { holds = true; trace = None; stats })
   | Prop.NoDeadlock ->
-    let ks = Array.copy net.Model.max_consts in
+    (* The deadlock predicate inspects exact zones, for which LU is too
+       coarse: always explore under Extra-M on the network constants. *)
+    let extra = Dbm.Extra_m (Array.copy net.Model.max_consts) in
     let on_state st = if deadlocked net st then Some () else None in
     let outcome, stats =
-      explore ?subsumption ?hashcons ?packed ?max_states ?rich_trace net ~ks
+      explore ?subsumption ?packed ?max_states ?rich_trace net ~extra
         ~on_state
     in
     (match outcome with
@@ -260,14 +268,15 @@ let check ?subsumption ?hashcons ?packed ?max_states ?rich_trace net query =
     check_liveness ?packed ?max_states ~from_initial_only:true net ~p:Prop.True
       ~q:f
 
-let reachable_states ?subsumption ?hashcons ?packed ?max_states net =
-  let ks = Array.copy net.Model.max_consts in
+let reachable_states ?subsumption ?packed ?max_states
+    ?(extrapolation = `Lu) net =
+  let extra = reach_extra extrapolation net Prop.True in
   let acc = ref [] in
   let on_state st =
     acc := st :: !acc;
     None
   in
   let (_ : (unit * string list) option * stats) =
-    explore ?subsumption ?hashcons ?packed ?max_states net ~ks ~on_state
+    explore ?subsumption ?packed ?max_states net ~extra ~on_state
   in
   List.rev !acc

@@ -24,8 +24,9 @@ type stats = Engine.Stats.t = {
   store_words : int;  (** retained-heap estimate of the passed list *)
   truncated : bool;  (** [max_states] hit (reported as [Failure] here) *)
   time_s : float;  (** wall-clock exploration time *)
-  dbm_phys_eq : int;  (** DBM comparisons settled by pointer equality *)
-  dbm_full_cmp : int;  (** DBM comparisons needing a full scan *)
+  dbm_phys_eq : int;  (** DBM comparisons settled by pointer identity *)
+  dbm_full_cmp : int;  (** DBM equality checks needing a full scan *)
+  dbm_lattice_cmp : int;  (** subset checks between distinct zones *)
 }
 
 type result = {
@@ -36,12 +37,23 @@ type result = {
   stats : stats;
 }
 
+(** Which extrapolation {!Zones.Dbm.seal} applies when the zone graph
+    seals a successor. [`Lu] (the default) is coarse lower/upper-bound
+    extrapolation from {!Prop.merge_lu} — fewest distinct zones, sound
+    for reachability and safety. [`K] is classic maximal-constant
+    Extra-M (ablation row). [`None] disables extrapolation: the zone
+    graph may then be infinite and the exploration can hit
+    [max_states]. Deadlock and liveness queries ignore the option and
+    always explore under Extra-M, which their zone-precise analyses
+    require. *)
+type extrapolation = [ `None | `K | `Lu ]
+
 (** [check net q] verifies query [q]. [subsumption] (default true) turns
     inclusion checking on the passed list on/off (ablation switch); it is
     ignored for liveness queries, which always use the exact graph.
-    [hashcons] (default true) interns every zone in the global
-    {!Zones.Dbm.intern} table so equal zones share one representative and
-    comparisons short-circuit on pointer equality (ablation switch).
+    Zones are sealed ({!Zones.Dbm.seal}) at the zone-graph boundary —
+    extrapolated per [extrapolation], interned, hash memoized — so store
+    lookups settle on pointer equality in the common case.
     [packed] (default true) keys the passed list on the interned
     {!Engine.Codec} encoding of the discrete part (memoized full-width
     hash, physically shared states); [~packed:false] falls back to the
@@ -53,10 +65,10 @@ type result = {
     @raise Failure if the exploration exceeds [max_states]. *)
 val check :
   ?subsumption:bool ->
-  ?hashcons:bool ->
   ?packed:bool ->
   ?max_states:int ->
   ?rich_trace:bool ->
+  ?extrapolation:extrapolation ->
   Model.network ->
   Prop.query ->
   result
@@ -70,8 +82,8 @@ val deadlocked : Model.network -> Zone_graph.state -> bool
     digital-clocks engine. *)
 val reachable_states :
   ?subsumption:bool ->
-  ?hashcons:bool ->
   ?packed:bool ->
   ?max_states:int ->
+  ?extrapolation:extrapolation ->
   Model.network ->
   Zone_graph.state list

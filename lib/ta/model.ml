@@ -201,6 +201,47 @@ let build b =
   }
 
 (* ------------------------------------------------------------------ *)
+(* LU guard analysis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-clock lower/upper guard constants for Extra-LU extrapolation,
+   computed on demand by scanning the network (so composed or
+   observer-extended networks need no extra bookkeeping). A constraint
+   [x_ci - x_cj ≺ k] bounds [ci] from above and [cj] from below, so it
+   feeds [upper.(ci)] and [lower.(cj)]; the constant is taken as [abs k],
+   conservative for diagonal guards. Resets to [v] feed both sides, like
+   [max_consts]. *)
+let lu_bounds net =
+  let lower = Array.make (net.n_clocks + 1) 0 in
+  let upper = Array.make (net.n_clocks + 1) 0 in
+  let record_constr c =
+    if not (Bound.is_inf c.cb) then begin
+      let k = abs (Bound.constant c.cb) in
+      if c.ci > 0 then upper.(c.ci) <- max upper.(c.ci) k;
+      if c.cj > 0 then lower.(c.cj) <- max lower.(c.cj) k
+    end
+  in
+  Array.iter
+    (fun au ->
+      Array.iter (fun l -> List.iter record_constr l.invariant) au.locations;
+      Array.iter
+        (fun edges ->
+          List.iter
+            (fun e ->
+              List.iter record_constr e.clock_guard;
+              List.iter
+                (function
+                  | Reset (x, v) ->
+                    lower.(x) <- max lower.(x) v;
+                    upper.(x) <- max upper.(x) v
+                  | Assign _ | Prim _ -> ())
+                e.updates)
+            edges)
+        au.out)
+    net.automata;
+  (lower, upper)
+
+(* ------------------------------------------------------------------ *)
 (* Union (parallel composition of independently built networks)        *)
 (* ------------------------------------------------------------------ *)
 

@@ -130,6 +130,14 @@ val build : builder -> network
     (their closures capture old store offsets). *)
 val union : network -> network -> network
 
+(** [lu_bounds net] computes per-clock lower/upper guard constants
+    [(lower, upper)] for Extra-LU extrapolation by scanning invariants,
+    guards and resets: a constraint [x_i - x_j ≺ k] bounds [x_i] from
+    above and [x_j] from below. Entry 0 of both arrays is unused. The
+    scan is on demand so composed ({!union}) and observer-extended
+    networks need no extra bookkeeping. *)
+val lu_bounds : network -> int array * int array
+
 (** {1 Lookup and printing} *)
 
 (** [auto_index net name] finds a component by name.

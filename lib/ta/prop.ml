@@ -47,14 +47,14 @@ let eval_crisp net (st : Zone_graph.state) f =
 
 let rec sat_fed net (st : Zone_graph.state) f =
   let clocks = net.Model.n_clocks in
-  let whole = Fed.of_dbm st.zone in
+  let whole = Fed.of_dbm (st.zone :> Dbm.t) in
   let none = Fed.empty ~clocks in
   match f with
   | True -> whole
   | False -> none
   | Loc (a, l) -> if st.locs.(a) = l then whole else none
   | Data e -> if Expr.eval_bool st.store e then whole else none
-  | Clock c -> Fed.of_dbm (Dbm.constrain st.zone c.ci c.cj c.cb)
+  | Clock c -> Fed.of_dbm (Dbm.constrain (st.zone :> Dbm.t) c.ci c.cj c.cb)
   | Not g -> Fed.diff whole (sat_fed net st g)
   | And (g, h) -> Fed.inter (sat_fed net st g) (sat_fed net st h)
   | Or (g, h) -> Fed.union (sat_fed net st g) (sat_fed net st h)
@@ -87,6 +87,36 @@ let merge_constants net f =
   in
   walk f;
   ks
+
+(* LU counterpart of [merge_constants]: start from the model's guard
+   analysis and merge the formula's clock atoms. An atom may sit under
+   [Not] (which flips constraint direction), so atoms are recorded
+   conservatively into both the lower and upper array for both clocks. *)
+let merge_lu net f =
+  let lower, upper = Model.lu_bounds net in
+  let record (c : Model.constr) =
+    if not (Bound.is_inf c.cb) then begin
+      let k = abs (Bound.constant c.cb) in
+      let bump x =
+        if x > 0 then begin
+          lower.(x) <- max lower.(x) k;
+          upper.(x) <- max upper.(x) k
+        end
+      in
+      bump c.ci;
+      bump c.cj
+    end
+  in
+  let rec walk = function
+    | True | False | Loc _ | Data _ -> ()
+    | Clock c -> record c
+    | Not g -> walk g
+    | And (g, h) | Or (g, h) | Imply (g, h) ->
+      walk g;
+      walk h
+  in
+  walk f;
+  (lower, upper)
 
 let rec pp net ppf = function
   | True -> Format.pp_print_string ppf "true"

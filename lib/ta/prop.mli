@@ -55,5 +55,11 @@ val holds_everywhere : Model.network -> Zone_graph.state -> formula -> bool
     both the network and the clock atoms of [f] (fresh array). *)
 val merge_constants : Model.network -> formula -> int array
 
+(** [merge_lu net f] returns [(lower, upper)] Extra-LU bounds covering
+    both the network ({!Model.lu_bounds}) and the clock atoms of [f];
+    atoms are merged into both arrays because negation flips constraint
+    direction. *)
+val merge_lu : Model.network -> formula -> int array * int array
+
 val pp : Model.network -> Format.formatter -> formula -> unit
 val pp_query : Model.network -> Format.formatter -> query -> unit

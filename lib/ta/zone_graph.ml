@@ -1,7 +1,11 @@
 module Dbm = Zones.Dbm
 module Bound = Zones.Bound
 
-type state = { locs : int array; store : int array; zone : Dbm.t }
+(* [zone] is a sealed canonical handle: every successor pipeline below
+   works on plain mutable-internals [Dbm.t] and passes the result through
+   [Dbm.seal ~extra] (which extrapolates, memoizes the hash and interns)
+   before it can reach a state — stores only ever see canon. *)
+type state = { locs : int array; store : int array; zone : Dbm.canon }
 type move = { mv_label : string; participants : (int * Model.edge) list }
 
 let discrete_key st = (st.locs, st.store)
@@ -25,11 +29,11 @@ let codec (net : Model.network) =
   in
   Engine.Codec.spec (locs @ cells)
 
-let pack spec st =
-  let n = Array.length st.locs in
-  Engine.Codec.intern spec
-    (Engine.Codec.encode spec (fun i ->
-         if i < n then st.locs.(i) else st.store.(i - n)))
+(* No [Codec.intern] here: the checker stores keep at most one copy of
+   each packed key (table keys are unique, duplicates are dropped on
+   arrival), so interning every candidate would pay a mutex + weak-table
+   probe per successor for sharing that never materialises. *)
+let pack spec st = Engine.Codec.encode_pair spec st.locs st.store
 
 let constrain_all zone constrs =
   List.fold_left
@@ -230,9 +234,9 @@ let move_enabling_zone net locs store mv =
     (invariant_constrs net locs');
   if !ok then !zone else Dbm.empty ~clocks:net.Model.n_clocks
 
-let apply_updates net st mv =
-  let store' = Array.copy st.store in
-  let zone = ref st.zone in
+let apply_updates ~store ~zone mv =
+  let store' = Array.copy store in
+  let zone = ref zone in
   List.iter
     (fun (_, (e : Model.edge)) ->
       List.iter
@@ -244,18 +248,17 @@ let apply_updates net st mv =
           | Model.Prim (_, f) -> f store')
         e.Model.updates)
     mv.participants;
-  ignore net;
   (store', !zone)
 
-let apply_move net ~ks st mv =
-  let zone = ref st.zone in
+let apply_move net ~extra st mv =
+  let zone = ref (st.zone :> Dbm.t) in
   List.iter
     (fun (_, (e : Model.edge)) -> zone := constrain_all !zone e.Model.clock_guard)
     mv.participants;
   if Dbm.is_empty !zone then None
   else begin
     let locs' = target_locs mv st.locs in
-    let store', zone_after = apply_updates net { st with zone = !zone } mv in
+    let store', zone_after = apply_updates ~store:st.store ~zone:!zone mv in
     let inv' = invariant_constrs net locs' in
     let z = ref (constrain_all zone_after inv') in
     if Dbm.is_empty !z then None
@@ -264,21 +267,21 @@ let apply_move net ~ks st mv =
         z := Dbm.up !z;
         z := constrain_all !z inv'
       end;
-      z := Dbm.extrapolate !z ks;
-      if Dbm.is_empty !z then None
-      else Some { locs = locs'; store = store'; zone = !z }
+      let z = Dbm.seal ~extra !z in
+      if Dbm.is_empty (z :> Dbm.t) then None
+      else Some { locs = locs'; store = store'; zone = z }
     end
   end
 
-let successors net ~ks st =
+let successors net ~extra st =
   List.filter_map
     (fun mv ->
-      match apply_move net ~ks st mv with
+      match apply_move net ~extra st mv with
       | Some st' -> Some (mv.mv_label, st')
       | None -> None)
     (moves net st.locs st.store)
 
-let initial net ~ks =
+let initial net ~extra =
   let locs =
     Array.map (fun (a : Model.automaton) -> a.Model.initial) net.Model.automata
   in
@@ -291,8 +294,7 @@ let initial net ~ks =
     z := Dbm.up !z;
     z := constrain_all !z inv
   end;
-  z := Dbm.extrapolate !z ks;
-  { locs; store; zone = !z }
+  { locs; store; zone = Dbm.seal ~extra !z }
 
 let pp_state net ppf st =
   let locs =
@@ -308,4 +310,4 @@ let pp_state net ppf st =
     (Store.pp_store net.Model.layout)
     st.store
     (Dbm.pp ~names:net.Model.clock_names)
-    st.zone
+    (st.zone :> Dbm.t)

@@ -9,7 +9,7 @@
 type state = {
   locs : int array;
   store : int array;
-  zone : Zones.Dbm.t;
+  zone : Zones.Dbm.canon;  (** sealed: extrapolated, interned, hash memoized *)
 }
 
 (** A move: the set of (component, edge) pairs that fire together — a
@@ -30,10 +30,12 @@ val codec : Model.network -> Engine.Codec.spec
     physically shared across equal states, memoized full-width hash. *)
 val pack : Engine.Codec.spec -> state -> Engine.Codec.packed
 
-(** [initial net ~ks] is the initial symbolic state ([ks] = per-clock
-    extrapolation constants, usually {!Model.network.max_consts} merged
-    with the property's constants). *)
-val initial : Model.network -> ks:int array -> state
+(** [initial net ~extra] is the initial symbolic state. [extra] is the
+    extrapolation {!Dbm.seal} applies at the sealing boundary — usually
+    {!Zones.Dbm.Extra_lu} from {!Prop.merge_lu} or {!Zones.Dbm.Extra_m}
+    from the network's [max_consts] merged with the property's
+    constants. *)
+val initial : Model.network -> extra:Zones.Dbm.extrapolation -> state
 
 (** [moves net locs store] enumerates data-enabled moves, respecting
     committed-location priority. Clock guards are {e not} checked here. *)
@@ -50,16 +52,16 @@ val delay_allowed : Model.network -> int array -> int array -> bool
 val move_enabling_zone :
   Model.network -> int array -> int array -> move -> Zones.Dbm.t
 
-(** [apply_move net ~ks st mv] is the symbolic successor, or [None] when
-    the clock guards or target invariants make the move impossible from
-    [st.zone]. The result is delay-closed (unless urgent/committed) and
-    extrapolated. *)
+(** [apply_move net ~extra st mv] is the symbolic successor, or [None]
+    when the clock guards or target invariants make the move impossible
+    from [st.zone]. The result is delay-closed (unless urgent/committed)
+    and sealed: extrapolated, interned and carrying a memoized hash. *)
 val apply_move :
-  Model.network -> ks:int array -> state -> move -> state option
+  Model.network -> extra:Zones.Dbm.extrapolation -> state -> move -> state option
 
-(** [successors net ~ks st] is the list of labelled symbolic successors. *)
+(** [successors net ~extra st] is the list of labelled symbolic successors. *)
 val successors :
-  Model.network -> ks:int array -> state -> (string * state) list
+  Model.network -> extra:Zones.Dbm.extrapolation -> state -> (string * state) list
 
 (** [invariant_constrs net locs] is the conjunction of all location
     invariants of the vector. *)

@@ -1,7 +1,7 @@
 (* Tests for the shared exploration engine: the pluggable state stores
    (discrete / exact / subsume / best-cost), the search orders, trace
    reconstruction, truncation reporting, the node arena, and hash-consed
-   DBM interning. *)
+   DBM sealing. *)
 
 module Dbm = Zones.Dbm
 module Bound = Zones.Bound
@@ -24,8 +24,11 @@ let check_int = Alcotest.(check int)
 (* Hand-built zones over two clocks                                    *)
 (* ------------------------------------------------------------------ *)
 
-let zone_x_le n = Dbm.constrain (Dbm.universal ~clocks:2) 1 0 (Bound.le n)
-let zone_y_le n = Dbm.constrain (Dbm.universal ~clocks:2) 2 0 (Bound.le n)
+(* Store zones are sealed canon handles — the store API accepts nothing
+   else. *)
+let raw_x_le n = Dbm.constrain (Dbm.universal ~clocks:2) 1 0 (Bound.le n)
+let zone_x_le n = Dbm.seal (raw_x_le n)
+let zone_y_le n = Dbm.seal (Dbm.constrain (Dbm.universal ~clocks:2) 2 0 (Bound.le n))
 
 (* ------------------------------------------------------------------ *)
 (* Stores                                                              *)
@@ -88,11 +91,11 @@ let run_subsume_store s =
    | Store.Covered -> ()
    | _ -> Alcotest.fail "equal zone must be Covered");
   (* Strictly inside a stored zone: covered. *)
-  (match s.Store.insert (0, Dbm.constrain (zone_x_le 1) 2 0 (Bound.le 0)) ~id:2 with
+  (match s.Store.insert (0, Dbm.seal (Dbm.constrain (zone_x_le 1 :> Dbm.t) 2 0 (Bound.le 0))) ~id:2 with
    | Store.Covered -> ()
    | _ -> Alcotest.fail "included zone must be Covered");
   (* Strictly containing both stored zones: both must be dropped. *)
-  (match s.Store.insert (0, Dbm.universal ~clocks:2) ~id:2 with
+  (match s.Store.insert (0, Dbm.seal (Dbm.universal ~clocks:2)) ~id:2 with
    | Store.Added { dropped; _ } -> check_int "both stored zones evicted" 2 dropped
    | _ -> Alcotest.fail "superset zone must be Added");
   check_int "only the superset remains" 1 (s.Store.size ());
@@ -336,28 +339,31 @@ let test_arena_keyed () =
 (* Hash-consed DBMs                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let test_intern_physical_equality () =
-  let z1 = Dbm.intern (zone_x_le 3) in
-  let z2 = Dbm.intern (zone_x_le 3) in
+let test_seal_physical_equality () =
+  let z1 = zone_x_le 3 in
+  let z2 = zone_x_le 3 in
   check "equal zones share one representative" true (z1 == z2);
-  check "distinct zones stay distinct" false (z1 == Dbm.intern (zone_x_le 4));
+  check "distinct zones stay distinct" false (z1 == zone_x_le 4);
   (* The pointer-equality fast path is counted, not scanned. *)
   Dbm.reset_cmp_stats ();
-  check "subset via fast path" true (Dbm.subset z1 z2);
-  check "equal via fast path" true (Dbm.equal z1 z2);
+  check "subset via fast path" true (Dbm.subset (z1 :> Dbm.t) (z2 :> Dbm.t));
+  check "equal via fast path" true (Dbm.equal (z1 :> Dbm.t) (z2 :> Dbm.t));
   let c = Dbm.cmp_stats () in
   check_int "two fast-path hits" 2 c.Dbm.phys_hits;
   check_int "no full scans" 0 c.Dbm.full_scans;
-  (* Structurally equal but not interned: full scan. *)
-  check "slow path still correct" true (Dbm.equal (zone_x_le 3) (zone_x_le 3));
-  check "full scan counted" true ((Dbm.cmp_stats ()).Dbm.full_scans >= 1)
+  (* Structurally equal but un-sealed: full scan. *)
+  check "slow path still correct" true (Dbm.equal (raw_x_le 3) (raw_x_le 3));
+  check "full scan counted" true ((Dbm.cmp_stats ()).Dbm.full_scans >= 1);
+  (* Sealed handles carry the memoized hash used by the fused store key. *)
+  check "memoized hash agrees" true
+    (Dbm.hash (z1 :> Dbm.t) = Dbm.hash (z2 :> Dbm.t))
 
 let test_stats_json () =
   let s =
     {
       Stats.visited = 3; stored = 2; subsumed = 1; dropped = 0;
       reopened = 0; peak_frontier = 2; store_words = 7; truncated = false;
-      time_s = 0.5; dbm_phys_eq = 4; dbm_full_cmp = 6;
+      time_s = 0.5; dbm_phys_eq = 4; dbm_full_cmp = 6; dbm_lattice_cmp = 9;
     }
   in
   let j = Stats.to_json s in
@@ -367,7 +373,8 @@ let test_stats_json () =
       "\"visited\":3"; "\"stored\":2"; "\"subsumed\":1"; "\"dropped\":0";
       "\"reopened\":0"; "\"peak_frontier\":2"; "\"store_words\":7";
       "\"truncated\":false";
-      "\"dbm_phys_eq\":4"; "\"dbm_full_cmp\":6"; "\"store_hit_rate\":";
+      "\"dbm_phys_eq\":4"; "\"dbm_full_cmp\":6"; "\"dbm_lattice_cmp\":9";
+      "\"store_hit_rate\":";
     ]
 
 let () =
@@ -404,7 +411,7 @@ let () =
         ] );
       ( "hashcons",
         [
-          Alcotest.test_case "interning" `Quick test_intern_physical_equality;
+          Alcotest.test_case "sealing" `Quick test_seal_physical_equality;
           Alcotest.test_case "stats json" `Quick test_stats_json;
         ] );
     ]

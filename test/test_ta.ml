@@ -80,10 +80,12 @@ let single_automaton () =
 
 let test_initial_zone () =
   let net, _x = single_automaton () in
-  let st = Zone_graph.initial net ~ks:net.Model.max_consts in
+  let st =
+    Zone_graph.initial net ~extra:(Dbm.Extra_m net.Model.max_consts)
+  in
   (* Delay-closed within the invariant: x in [0,5]. *)
-  check "x=4 in initial" true (Dbm.satisfies st.zone [| 0.; 4. |]);
-  check "x=6 not" false (Dbm.satisfies st.zone [| 0.; 6. |])
+  check "x=4 in initial" true (Dbm.satisfies (st.zone :> Dbm.t) [| 0.; 4. |]);
+  check "x=6 not" false (Dbm.satisfies (st.zone :> Dbm.t) [| 0.; 6. |])
 
 let test_single_reach () =
   let net, _ = single_automaton () in
@@ -381,7 +383,10 @@ let test_subsumption_drops_weaker () =
   Model.edge p ~src:la ~dst:lb ~clock_guard:[ Model.clock_ge x 2 ] ();
   Model.edge p ~src:la ~dst:lb ~clock_guard:[ Model.clock_ge x 3 ] ();
   let net = Model.build b in
-  let r = Checker.check net (Prop.Possibly Prop.False) in
+  (* Under Extra-M the three zones stay distinct; the default LU seal
+     would collapse them (no upper guards, so every lower bound widens
+     to x>0) and nothing would need evicting. *)
+  let r = Checker.check ~extrapolation:`K net (Prop.Possibly Prop.False) in
   check "exhaustive run" false r.holds;
   (* x>=2 evicts the stored x>=3 zone, then x>=1 evicts x>=2. *)
   check "widening zones evict stored ones" true (r.stats.Checker.dropped >= 2)
@@ -403,22 +408,24 @@ let test_max_states_truncation () =
     check "liveness message" true
       (Astring.String.is_infix ~affix:"state limit" msg)
 
-(* Hash-consing ablation: identical verdicts and exploration size; with
-   interning on, part of the DBM comparisons collapse to pointer checks. *)
-let test_hashcons_ablation () =
+(* Extrapolation ablation: every seal-time abstraction must reach the
+   same verdict, and coarser abstractions cannot enlarge the zone graph.
+   Sealing also makes pointer equality the common comparison. *)
+let test_extrapolation_ablation () =
   let net = Ta.Fischer.make ~n:3 () in
   let q = Ta.Fischer.mutex net in
-  let on = Checker.check ~hashcons:true net q in
-  let off = Checker.check ~hashcons:false net q in
-  check "same verdict" true (on.holds = off.holds);
-  check "same exploration" true
-    (on.stats.Checker.visited = off.stats.Checker.visited);
-  check "fast path taken" true (on.stats.Checker.dbm_phys_eq > 0);
-  check "full scans reduced" true
-    (on.stats.Checker.dbm_full_cmp < off.stats.Checker.dbm_full_cmp);
-  check "reduction accounts for the hits" true
-    (off.stats.Checker.dbm_full_cmp
-     <= on.stats.Checker.dbm_full_cmp + on.stats.Checker.dbm_phys_eq)
+  let none = Checker.check ~extrapolation:`None net q in
+  let k = Checker.check ~extrapolation:`K net q in
+  let lu = Checker.check ~extrapolation:`Lu net q in
+  check "same verdict (k)" true (none.holds = k.holds);
+  check "same verdict (lu)" true (k.holds = lu.holds);
+  check "k does not enlarge the graph" true
+    (k.stats.Checker.visited <= none.stats.Checker.visited);
+  check "lu does not enlarge the graph" true
+    (lu.stats.Checker.visited <= k.stats.Checker.visited);
+  check "sealed fast path taken" true (lu.stats.Checker.dbm_phys_eq > 0);
+  check "phys-eq is the common case" true
+    (lu.stats.Checker.dbm_phys_eq > lu.stats.Checker.dbm_full_cmp)
 
 
 (* ------------------------------------------------------------------ *)
@@ -538,13 +545,19 @@ let test_deadlocked_direct () =
   Model.edge p ~src:la ~dst:lb
     ~clock_guard:[ Model.clock_ge x 1; Model.clock_le x 2 ] ();
   let net = Model.build b in
-  let init = Zone_graph.initial net ~ks:net.Model.max_consts in
+  let init =
+    Zone_graph.initial net ~extra:(Dbm.Extra_m net.Model.max_consts)
+  in
   (* The delay-closed initial zone includes x > 2 valuations. *)
   check "initial state contains deadlocked valuations" true
     (Checker.deadlocked net init);
-  (* Restricting to the window removes them. *)
+  (* Restricting to the window removes them (re-sealed: states carry
+     canon handles only). *)
   let inside =
-    { init with Zone_graph.zone = Dbm.constrain init.Zone_graph.zone 1 0 (Bound.le 2) }
+    { init with
+      Zone_graph.zone =
+        Dbm.seal (Dbm.constrain (init.Zone_graph.zone :> Dbm.t) 1 0 (Bound.le 2))
+    }
   in
   check "within the window: not deadlocked" false
     (Checker.deadlocked net inside)
@@ -778,6 +791,7 @@ let () =
             test_subsumption_drops_weaker;
           Alcotest.test_case "max-states truncation" `Quick
             test_max_states_truncation;
-          Alcotest.test_case "hashcons ablation" `Quick test_hashcons_ablation;
+          Alcotest.test_case "extrapolation ablation" `Quick
+            test_extrapolation_ablation;
         ] );
     ]

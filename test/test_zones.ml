@@ -279,14 +279,40 @@ let prop_canonical_idempotent =
       let twice = Dbm.of_array ~clocks:n (Dbm.to_array once) in
       Dbm.to_array once = Dbm.to_array twice)
 
-let prop_intern_phys_equal =
-  QCheck.Test.make ~name:"intern is pointer-equal on equal zones" ~count:500
+let prop_seal_phys_equal =
+  QCheck.Test.make ~name:"seal is pointer-equal on equal zones" ~count:500
     dbm_pair_arb (fun (n, a, b) ->
       (* A structurally equal copy built through an independent path
-         must intern to the very same representative. *)
+         must seal to the very same representative. *)
       let a' = Dbm.of_array ~clocks:n (Dbm.to_array a) in
-      Dbm.intern a == Dbm.intern a'
-      && (not (Dbm.equal a b)) = not (Dbm.intern a == Dbm.intern b))
+      Dbm.seal a == Dbm.seal a'
+      && (not (Dbm.equal a b)) = not (Dbm.seal a == Dbm.seal b))
+
+let prop_seal_idempotent =
+  QCheck.Test.make ~name:"seal is idempotent" ~count:500 dbm_pair_arb
+    (fun (n, a, _) ->
+      let k = Array.make (n + 1) 5 in
+      let c = Dbm.seal ~extra:(Dbm.Extra_m k) a in
+      Dbm.seal ~extra:(Dbm.Extra_m k) (c :> Dbm.t) == c
+      && Dbm.seal (c :> Dbm.t) == c
+      && Dbm.is_sealed (c :> Dbm.t)
+      && Dbm.hash (c :> Dbm.t) = Dbm.hash (c :> Dbm.t))
+
+let prop_lu_widens =
+  QCheck.Test.make
+    ~name:"Extra-LU widens, is canonical, and is coarser than Extra-M"
+    ~count:500 dbm_pair_arb (fun (n, a, _) ->
+      let lower = Array.init (n + 1) (fun i -> i * 3 mod 7)
+      and upper = Array.init (n + 1) (fun i -> i * 5 mod 9) in
+      let w = Dbm.extrapolate_lu a ~lower ~upper in
+      let kmax = Array.init (n + 1) (fun i -> max lower.(i) upper.(i)) in
+      Dbm.subset a w
+      && is_canonical n w
+      (* smaller per-direction bounds can only widen further *)
+      && Dbm.subset (Dbm.extrapolate a kmax) w
+      (* with both directions at the max constant, LU degenerates to M *)
+      && Dbm.equal (Dbm.extrapolate_lu a ~lower:kmax ~upper:kmax)
+           (Dbm.extrapolate a kmax))
 
 let prop_ops_preserve_canonical =
   QCheck.Test.make ~name:"up/reset/intersect preserve canonical form"
@@ -294,6 +320,46 @@ let prop_ops_preserve_canonical =
       is_canonical n (Dbm.up a)
       && is_canonical n (Dbm.reset a 1 3)
       && is_canonical n (Dbm.intersect a b))
+
+(* The sealing boundary: successor pipelines produce plain un-sealed
+   DBMs; only [seal] yields a canon handle, and stores take canon at the
+   type level — so the run-time checks here only guard the boundary's
+   bookkeeping ([is_sealed], idempotence, fresh copies unsealing). *)
+let test_seal_boundary () =
+  let z = Dbm.constrain (Dbm.universal ~clocks:2) 1 0 (Bound.le 5) in
+  check "pipeline output is unsealed" false (Dbm.is_sealed z);
+  let c = Dbm.seal z in
+  check "sealed handle" true (Dbm.is_sealed (c :> Dbm.t));
+  check "seal is idempotent (pointer)" true (Dbm.seal (c :> Dbm.t) == c);
+  check "ops on handles return fresh unsealed DBMs" false
+    (Dbm.is_sealed (Dbm.up (c :> Dbm.t)))
+
+(* LU-extrapolated exploration must reach the same reachability verdict
+   as the classic k-extrapolated one on generated TA families; both are
+   compared against the independent digital-clocks oracle. *)
+let ta_family =
+  match Gen.Oracle.family_of_name "ta-reach" with
+  | Some f -> f
+  | None -> assert false
+
+let prop_lu_simulates_k_verdict =
+  QCheck.Test.make
+    ~name:"LU seal preserves the k-extrapolated reachability verdict"
+    ~count:40
+    (QCheck.make QCheck.Gen.(int_bound 10_000) ~print:string_of_int)
+    (fun i ->
+      let rng = Gen.Rng.(child (make 4242) i) in
+      let case = Gen.Oracle.generate ta_family rng in
+      match
+        ( Gen.Oracle.check ~extrapolation:`K case,
+          Gen.Oracle.check ~extrapolation:`Lu case )
+      with
+      | Gen.Oracle.Diverge m, _ ->
+        QCheck.Test.fail_reportf "Extra-M diverged from digital: %s" m
+      | _, Gen.Oracle.Diverge m ->
+        QCheck.Test.fail_reportf "Extra-LU diverged from digital: %s" m
+      | (Gen.Oracle.Agree | Gen.Oracle.Skip _),
+        (Gen.Oracle.Agree | Gen.Oracle.Skip _) -> true)
 
 (* Mutation coverage: the injectable DBM faults must be visible to the
    invariants this suite checks, otherwise the properties are too weak
@@ -391,7 +457,10 @@ let () =
         prop_equal_hash;
         prop_roundtrip;
         prop_canonical_idempotent;
-        prop_intern_phys_equal;
+        prop_seal_phys_equal;
+        prop_seal_idempotent;
+        prop_lu_widens;
+        prop_lu_simulates_k_verdict;
         prop_ops_preserve_canonical;
         prop_fed_union_inter;
         prop_fed_diff;
@@ -415,6 +484,7 @@ let () =
           Alcotest.test_case "intersect/subset" `Quick test_intersect_subset;
           Alcotest.test_case "reset/copy/free" `Quick test_reset_copy_free;
           Alcotest.test_case "extrapolate" `Quick test_extrapolate_widen;
+          Alcotest.test_case "seal boundary" `Quick test_seal_boundary;
           Alcotest.test_case "pretty-print" `Quick test_pp;
           Alcotest.test_case "fault injection observable" `Quick
             test_fault_injection_observable;
