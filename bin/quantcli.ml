@@ -58,7 +58,10 @@ let jobs_arg =
 (* Telemetry flags, shared by every subcommand: --trace streams span
    events to a JSONL file while the command runs; --report writes one
    JSON snapshot (metrics + span timings + GC) when it finishes, even
-   if the analysis raised. *)
+   if the analysis raised; --flight turns the flight recorder on and
+   writes the drained timeline as a Chrome trace_event file on exit
+   (load it in chrome://tracing or https://ui.perfetto.dev),
+   --flight-otlp as a minimal OTLP/JSON document. *)
 
 let trace_arg =
   Arg.(
@@ -76,14 +79,60 @@ let report_arg =
           "Write a JSON run report (metrics, span timings, GC statistics) \
            to $(docv) on exit.")
 
-let obs_term = Term.(const (fun t r -> (t, r)) $ trace_arg $ report_arg)
+let flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          "Record engine phase events (dbm.seal, codec.encode, store.probe, \
+           ...) in the in-memory flight recorder and write them to $(docv) \
+           as Chrome trace_event JSON on exit — loadable in chrome://tracing \
+           and Perfetto.")
 
-let with_obs (trace, report) f =
+let flight_otlp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-otlp" ] ~docv:"FILE"
+        ~doc:
+          "Like $(b,--flight), but write the timeline as a minimal \
+           OTLP-shaped JSON document (resourceSpans/scopeSpans/spans).")
+
+let flight_events_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "flight-events" ] ~docv:"N"
+        ~doc:
+          "Flight-recorder timeline window: keep the last $(docv) events per \
+           domain (rounded up to a power of two; default 8192). Phase totals \
+           are exact regardless; a larger window only lengthens the exported \
+           timeline, at some cache cost while recording.")
+
+let obs_term =
+  Term.(
+    const (fun t r fl fo fe -> (t, r, fl, fo, fe))
+    $ trace_arg $ report_arg $ flight_arg $ flight_otlp_arg
+    $ flight_events_arg)
+
+let with_obs (trace, report, flight, flight_otlp, flight_events) f =
   (match trace with
    | Some file -> Obs.Sink.set (Obs.Sink.jsonl file)
    | None -> ());
+  if flight <> None || flight_otlp <> None then
+    Obs.Flight.enable ?capacity:flight_events ();
   Fun.protect
     ~finally:(fun () ->
+      (match flight with
+       | Some file -> Obs.Flight.write_chrome file
+       | None -> ());
+      (match flight_otlp with
+       | Some file -> Obs.Flight.write_otlp file
+       | None -> ());
+      Obs.Flight.disable ();
+      (* The report snapshots flight phase totals too, so it comes after
+         the drain (drains are non-destructive; order is for clarity). *)
       (match report with
        | Some file -> Obs.Report.to_file file ()
        | None -> ());
@@ -321,6 +370,48 @@ let fischer_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* `check` is the profiling-oriented entry point: one named model, its
+   standard queries, and the shared telemetry flags — the incantation
+   `quantcli check --model fischer --flight t.json` is the documented
+   way to get a phase trace out of the zone engine. *)
+let check_impl obs model n stats_json =
+  with_obs obs @@ fun () ->
+  let show = show_query ~stats_json in
+  match model with
+  | "fischer" ->
+    let net = Ta.Fischer.make ~n () in
+    show "mutual exclusion" (Ta.Checker.check net (Ta.Fischer.mutex net));
+    show "deadlock-free" (Ta.Checker.check net Ta.Fischer.no_deadlock)
+  | "train-gate" ->
+    let net = Ta.Train_gate.make ~n_trains:n in
+    show "safety" (Ta.Checker.check net (Ta.Train_gate.safety net));
+    show "no deadlock" (Ta.Checker.check net Ta.Train_gate.no_deadlock)
+  | other ->
+    Printf.eprintf "unknown model %s (fischer|train-gate)\n" other;
+    exit 1
+
+let check_cmd =
+  let model =
+    Arg.(
+      value
+      & opt string "fischer"
+      & info [ "model" ] ~docv:"M"
+          ~doc:"Model to check: $(b,fischer) or $(b,train-gate).")
+  in
+  let n =
+    Arg.(
+      value & opt int 4
+      & info [ "n" ] ~docv:"N" ~doc:"Processes (fischer) or trains (train-gate).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model check a named model's standard queries (the profiling entry \
+          point: combine with --flight/--report).")
+    Term.(const check_impl $ obs_term $ model $ n $ stats_json_arg)
+
+(* ------------------------------------------------------------------ *)
+
 let bip_cmd_impl obs seed =
   with_obs obs @@ fun () ->
   let d = Bip.Dala.make ~controlled:true () in
@@ -464,6 +555,224 @@ let fuzz_cmd =
       $ no_shrink_arg $ inject_arg $ extrapolation_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* `obs` — inspect the telemetry artifacts the other subcommands write:
+   run reports (--report) and Chrome flight traces (--flight). The file
+   kind is detected from the JSON shape (a trace has "traceEvents"). *)
+
+let read_json_file file =
+  let ic =
+    try open_in file
+    with Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Obs.Json.parse s with
+  | j -> j
+  | exception Obs.Json.Parse_error msg ->
+    Printf.eprintf "%s: invalid JSON: %s\n" file msg;
+    exit 2
+
+let obj_fields = function Obs.Json.Obj fs -> fs | _ -> []
+
+let fnum name j =
+  match Option.bind (Obs.Json.member name j) Obs.Json.to_float_opt with
+  | Some v -> v
+  | None -> 0.0
+
+let is_trace j = Obs.Json.member "traceEvents" j <> None
+
+(* Aggregate a Chrome trace's complete ("X") slices: name -> (count,
+   total seconds). Durations in the file are microseconds. *)
+let trace_slices j =
+  let evs =
+    match Obs.Json.member "traceEvents" j with
+    | Some (Obs.Json.Arr l) -> l
+    | _ -> []
+  in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      match (Obs.Json.member "ph" e, Obs.Json.member "name" e) with
+      | Some (Obs.Json.Str "X"), Some (Obs.Json.Str name) ->
+        let c, t =
+          match Hashtbl.find_opt tbl name with Some v -> v | None -> (0, 0.0)
+        in
+        Hashtbl.replace tbl name (c + 1, t +. (fnum "dur" e /. 1e6))
+      | _ -> ())
+    evs;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* The report sections that aggregate time per name, normalised to the
+   same (name, count, total_s) shape as trace slices. *)
+let report_timed prefix section j =
+  obj_fields (Option.value ~default:(Obs.Json.Obj []) (Obs.Json.member section j))
+  |> List.map (fun (name, v) ->
+         (prefix ^ name, (int_of_float (fnum "count" v), fnum "total_s" v)))
+
+let timed_entries j =
+  if is_trace j then trace_slices j
+  else report_timed "span:" "spans" j @ report_timed "phase:" "phases" j
+
+let metric_summary m =
+  match Obs.Json.member "type" m with
+  | Some (Obs.Json.Str "counter") ->
+    Printf.sprintf "counter    %.0f" (fnum "value" m)
+  | Some (Obs.Json.Str "gauge") -> Printf.sprintf "gauge      %g" (fnum "value" m)
+  | Some (Obs.Json.Str "histogram") ->
+    Printf.sprintf "histogram  count=%.0f sum=%g p50=%g p90=%g" (fnum "count" m)
+      (fnum "sum" m) (fnum "p50" m) (fnum "p90" m)
+  | _ -> "?"
+
+(* One number per metric for diffing: counters/gauges their value,
+   histograms their sample count (the most interpretable delta). *)
+let metric_num m =
+  match Obs.Json.member "type" m with
+  | Some (Obs.Json.Str "histogram") -> fnum "count" m
+  | _ -> fnum "value" m
+
+let obs_cat file =
+  let j = read_json_file file in
+  if is_trace j then begin
+    let slices = trace_slices j in
+    Printf.printf "flight trace %s\n" file;
+    Printf.printf "%-28s %10s %14s\n" "slice" "count" "total_ms";
+    List.iter
+      (fun (name, (c, t)) ->
+        Printf.printf "%-28s %10d %14.3f\n" name c (t *. 1e3))
+      (List.sort
+         (fun (_, (_, a)) (_, (_, b)) -> Float.compare b a)
+         slices)
+  end
+  else begin
+    Printf.printf "run report %s\n" file;
+    print_endline "metrics:";
+    List.iter
+      (fun (name, m) -> Printf.printf "  %-30s %s\n" name (metric_summary m))
+      (obj_fields
+         (Option.value ~default:(Obs.Json.Obj []) (Obs.Json.member "metrics" j)));
+    List.iter
+      (fun (title, section) ->
+        match Obs.Json.member section j with
+        | Some (Obs.Json.Obj fields) when fields <> [] ->
+          Printf.printf "%s:\n" title;
+          List.iter
+            (fun (name, v) ->
+              Printf.printf "  %-30s count=%-8.0f total=%.6fs\n" name
+                (fnum "count" v) (fnum "total_s" v))
+            fields
+        | _ -> ())
+      [ ("spans", "spans"); ("phases", "phases") ];
+    match Obs.Json.member "gc" j with
+    | Some gc ->
+      Printf.printf
+        "gc: minor_words=%.3g major_words=%.3g top_heap_words=%.0f \
+         live_words=%.0f\n"
+        (fnum "minor_words" gc) (fnum "major_words" gc)
+        (fnum "top_heap_words" gc) (fnum "live_words" gc)
+    | None -> ()
+  end
+
+let obs_top file n =
+  let j = read_json_file file in
+  let entries =
+    List.sort (fun (_, (_, a)) (_, (_, b)) -> Float.compare b a) (timed_entries j)
+  in
+  Printf.printf "%-34s %10s %14s\n" "hottest" "count" "total_ms";
+  List.iteri
+    (fun i (name, (c, t)) ->
+      if i < n then Printf.printf "%-34s %10d %14.3f\n" name c (t *. 1e3))
+    entries
+
+let obs_diff file_a file_b =
+  let a = read_json_file file_a and b = read_json_file file_b in
+  if is_trace a <> is_trace b then begin
+    Printf.eprintf "obs diff: cannot compare a trace with a run report\n";
+    exit 2
+  end;
+  let pct dv v0 = if v0 = 0.0 then "" else Printf.sprintf " (%+.1f%%)" (100.0 *. dv /. v0) in
+  if is_trace a then begin
+    let sa = trace_slices a and sb = trace_slices b in
+    let names =
+      List.sort_uniq String.compare (List.map fst sa @ List.map fst sb)
+    in
+    Printf.printf "%-28s %14s %14s %14s\n" "slice" "a_total_ms" "b_total_ms" "delta";
+    List.iter
+      (fun name ->
+        let tot l = match List.assoc_opt name l with Some (_, t) -> t | None -> 0.0 in
+        let ta = tot sa *. 1e3 and tb = tot sb *. 1e3 in
+        Printf.printf "%-28s %14.3f %14.3f %+13.3f%s\n" name ta tb (tb -. ta)
+          (pct (tb -. ta) ta))
+      names
+  end
+  else begin
+    let metrics j =
+      obj_fields
+        (Option.value ~default:(Obs.Json.Obj []) (Obs.Json.member "metrics" j))
+    in
+    let ma = metrics a and mb = metrics b in
+    let names =
+      List.sort_uniq String.compare (List.map fst ma @ List.map fst mb)
+    in
+    Printf.printf "%-30s %14s %14s %14s\n" "metric" "a" "b" "delta";
+    List.iter
+      (fun name ->
+        let v l = match List.assoc_opt name l with Some m -> metric_num m | None -> 0.0 in
+        let va = v ma and vb = v mb in
+        if va <> vb then
+          Printf.printf "%-30s %14g %14g %+13g%s\n" name va vb (vb -. va)
+            (pct (vb -. va) va))
+      names;
+    let ta = timed_entries a and tb = timed_entries b in
+    let names =
+      List.sort_uniq String.compare (List.map fst ta @ List.map fst tb)
+    in
+    if names <> [] then begin
+      Printf.printf "%-30s %14s %14s %14s\n" "timing" "a_total_ms" "b_total_ms" "delta";
+      List.iter
+        (fun name ->
+          let tot l = match List.assoc_opt name l with Some (_, t) -> t | None -> 0.0 in
+          let va = tot ta *. 1e3 and vb = tot tb *. 1e3 in
+          Printf.printf "%-30s %14.3f %14.3f %+13.3f%s\n" name va vb (vb -. va)
+            (pct (vb -. va) va))
+        names
+    end
+  end
+
+let obs_tool_cmd =
+  let file p docv =
+    Arg.(required & pos p (some file) None & info [] ~docv ~doc:"Input file.")
+  in
+  let cat_cmd =
+    Cmd.v
+      (Cmd.info "cat" ~doc:"Pretty-print a run report or flight trace.")
+      Term.(const obs_cat $ file 0 "FILE")
+  in
+  let top_cmd =
+    let n =
+      Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc:"Entries to show.")
+    in
+    Cmd.v
+      (Cmd.info "top"
+         ~doc:"Hottest spans/phases of a run report or flight trace.")
+      Term.(const obs_top $ file 0 "FILE" $ n)
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two run reports (metric and timing deltas) or two \
+            flight traces (per-slice time deltas).")
+      Term.(const obs_diff $ file 0 "A" $ file 1 "B")
+  in
+  Cmd.group
+    (Cmd.info "obs" ~doc:"Inspect telemetry artifacts (reports, flight traces).")
+    [ cat_cmd; top_cmd; diff_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "Quantitative modeling and analysis of embedded systems." in
@@ -473,5 +782,6 @@ let () =
        (Cmd.group info
           [
             verify_cmd; smc_cmd; synth_cmd; wcet_cmd; brp_cmd; modes_cmd;
-            modest_cmd; fischer_cmd; bip_cmd; mbt_cmd; fuzz_cmd;
+            modest_cmd; fischer_cmd; check_cmd; bip_cmd; mbt_cmd; fuzz_cmd;
+            obs_tool_cmd;
           ]))

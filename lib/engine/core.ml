@@ -14,6 +14,11 @@ let m_peak_frontier = Obs.gauge "engine.peak_frontier"
 let m_fanout = Obs.histogram "engine.fanout"
 let m_run_wall = Obs.histogram "engine.run_wall_s"
 
+(* Flight-recorder phases (ids interned once; recording is a no-op
+   unless [Obs.Flight.enable] ran). *)
+let ph_pop = Obs.Flight.intern "engine.frontier_pop"
+let ph_frontier_len = Obs.Flight.intern "engine.frontier_len"
+
 type 's order = Bfs | Dfs | Priority of ('s -> int)
 
 type ('s, 'l) node = { state : 's; parent : int; label : 'l option }
@@ -31,6 +36,7 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
   Obs.Span.with_ ~name:"engine.run" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let cmp0 = Dbm.cmp_stats () in
+  let fl0 = if Obs.Flight.is_enabled () then Obs.Flight.totals () else [] in
   let arena : ('s, 'l) node Arena.t = Arena.create () in
   let bfs = Queue.create () in
   let dfs = ref [] in
@@ -46,6 +52,7 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
     if !frontier_len > !peak then peak := !frontier_len
   in
   let pop_frontier () =
+    let fl = Obs.Flight.start () in
     let popped =
       match order with
       | Bfs -> if Queue.is_empty bfs then None else Some (Queue.pop bfs)
@@ -58,6 +65,7 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
       | Priority _ -> Option.map snd (Pqueue.pop_min pq)
     in
     if popped <> None then decr frontier_len;
+    Obs.Flight.stop ph_pop fl;
     popped
   in
   let pri_of st = match order with Priority f -> f st | Bfs | Dfs -> 0 in
@@ -108,6 +116,10 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
       let node = Arena.get arena id in
       if not (store.Store.stale node.state) then begin
         incr visited;
+        (* Periodic frontier-depth samples become a counter track in the
+           trace; the modulo check is the only always-on cost. *)
+        if !visited land 1023 = 0 then
+          Obs.Flight.sample ph_frontier_len (float_of_int !frontier_len);
         if !visited > max_states || Arena.size arena > max_states then begin
           truncated := true;
           running := false
@@ -172,6 +184,10 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
       dbm_phys_eq = cmp1.Dbm.phys_hits - cmp0.Dbm.phys_hits;
       dbm_full_cmp = cmp1.Dbm.full_scans - cmp0.Dbm.full_scans;
       dbm_lattice_cmp = cmp1.Dbm.lattice_scans - cmp0.Dbm.lattice_scans;
+      phases =
+        (if Obs.Flight.is_enabled () then
+           Stats.phase_delta fl0 (Obs.Flight.totals ())
+         else []);
     }
   in
   (* Publish the run's counters to the registry (bulk adds at the end of

@@ -11,6 +11,10 @@ type t = {
   dbm_phys_eq : int;
   dbm_full_cmp : int;
   dbm_lattice_cmp : int;
+  phases : (string * (int * float)) list;
+      (** flight-recorder phase totals attributable to this run —
+          [(name, (count, total seconds))], sorted by name; empty when
+          the recorder was off *)
 }
 
 let zero =
@@ -27,6 +31,7 @@ let zero =
     dbm_phys_eq = 0;
     dbm_full_cmp = 0;
     dbm_lattice_cmp = 0;
+    phases = [];
   }
 
 let basic ~visited ~stored = { zero with visited; stored }
@@ -40,9 +45,33 @@ let store_hit_rate t =
   let attempts = t.stored + t.dropped + t.subsumed in
   if attempts = 0 then 0.0 else float_of_int t.subsumed /. float_of_int attempts
 
+(* [phase_delta before after] — what the flight totals gained between
+   two snapshots, i.e. the phase work of the bracketed run. Both lists
+   are sorted by name (Flight.totals guarantees it); names only ever
+   gain counts, so a one-pass merge suffices. *)
+let phase_delta before after =
+  let find name = List.assoc_opt name before in
+  List.filter_map
+    (fun (name, (c, s)) ->
+      let c0, s0 = match find name with Some v -> v | None -> (0, 0.0) in
+      if c - c0 > 0 then Some (name, (c - c0, s -. s0)) else None)
+    after
+
+let phases_json t =
+  Obs.Json.Obj
+    (List.map
+       (fun (name, (count, total_s)) ->
+         ( name,
+           Obs.Json.Obj
+             [
+               ("count", Obs.Json.Int count);
+               ("total_s", Obs.Json.Float total_s);
+             ] ))
+       t.phases)
+
 let to_json_value t =
   Obs.Json.Obj
-    [
+    ([
       ("visited", Obs.Json.Int t.visited);
       ("stored", Obs.Json.Int t.stored);
       ("subsumed", Obs.Json.Int t.subsumed);
@@ -57,6 +86,7 @@ let to_json_value t =
       ("dbm_full_cmp", Obs.Json.Int t.dbm_full_cmp);
       ("dbm_lattice_cmp", Obs.Json.Int t.dbm_lattice_cmp);
     ]
+    @ if t.phases = [] then [] else [ ("phases", phases_json t) ])
 
 let to_json t = Obs.Json.to_string (to_json_value t)
 

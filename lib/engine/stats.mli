@@ -32,6 +32,11 @@ type t = {
   dbm_lattice_cmp : int;
       (** subset checks between distinct zones — the one comparison the
           sealing discipline cannot settle by pointer *)
+  phases : (string * (int * float)) list;
+      (** flight-recorder phase totals attributable to this run —
+          [(name, (count, total seconds))], sorted by name ([dbm.seal],
+          [codec.encode], [store.probe], ...); empty when the recorder
+          was off (see {!Obs.Flight}) *)
 }
 
 val zero : t
@@ -48,6 +53,15 @@ val basic : visited:int -> stored:int -> t
     store answer, so best-cost (CORA) runs report a meaningful hit rate
     plus an explicit re-opening count rather than a diluted rate. *)
 val store_hit_rate : t -> float
+
+(** [phase_delta before after] — the per-phase gain between two
+    {!Obs.Flight.totals} snapshots (both sorted by name): what the
+    bracketed stretch of work spent where. {!Core.run} uses it to
+    attribute global flight totals to one run. *)
+val phase_delta :
+  (string * (int * float)) list ->
+  (string * (int * float)) list ->
+  (string * (int * float)) list
 
 (** One-line JSON object with every counter (escaping-correct, via
     {!Obs.Json}). *)

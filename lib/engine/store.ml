@@ -16,6 +16,17 @@ type 's t = {
 let no_stale _ = false
 let default_size_hint = 4096
 
+(* Flight-recorder phases shared by all store flavours: [codec.encode]
+   is the packed-key construction (timed here at the store seam rather
+   than inside [Codec], so encode-stop and probe-start share one clock
+   read via [stop_start]), [store.probe] the key lookup, [store.insert]
+   the table write, [store.subsume] the inclusion walk over a subsume
+   bucket. No-ops unless [Obs.Flight.enable] ran. *)
+let ph_encode = Obs.Flight.intern "codec.encode"
+let ph_probe = Obs.Flight.intern "store.probe"
+let ph_insert = Obs.Flight.intern "store.insert"
+let ph_subsume = Obs.Flight.intern "store.subsume"
+
 (* Retained-heap estimate of the passed list: everything reachable from
    the table — buckets, keys and stored values (zones included), shared
    structure counted once. One full traversal per call; the engine calls
@@ -105,11 +116,17 @@ let discrete ?(size_hint = default_size_hint) ~key () =
     name = "discrete";
     insert =
       (fun s ~id ->
+        let fl = Obs.Flight.start () in
         let k = key s in
-        match Codec.Tbl.find_opt tbl k with
+        let fl = Obs.Flight.stop_start ph_encode fl in
+        let hit = Codec.Tbl.find_opt tbl k in
+        Obs.Flight.stop ph_probe fl;
+        match hit with
         | Some id' -> Dup id'
         | None ->
+          let fl = Obs.Flight.start () in
           Codec.Tbl.replace tbl k id;
+          Obs.Flight.stop ph_insert fl;
           Added { dropped = 0; reopened = false });
     stale = no_stale;
     size = (fun () -> Codec.Tbl.length tbl);
@@ -124,11 +141,17 @@ let exact ?(size_hint = default_size_hint) ~key ~zone () =
     name = "exact";
     insert =
       (fun s ~id ->
+        let fl = Obs.Flight.start () in
         let zk = Zkey.make (key s) (zone s) in
-        match Ztbl.find_opt tbl zk with
+        let fl = Obs.Flight.stop_start ph_encode fl in
+        let hit = Ztbl.find_opt tbl zk in
+        Obs.Flight.stop ph_probe fl;
+        match hit with
         | Some id' -> Dup id'
         | None ->
+          let fl = Obs.Flight.start () in
           Ztbl.replace tbl zk id;
+          Obs.Flight.stop ph_insert fl;
           Added { dropped = 0; reopened = false });
     stale = no_stale;
     size = (fun () -> Ztbl.length tbl);
@@ -153,8 +176,11 @@ let subsume ?(size_hint = default_size_hint) ~key ~zone () =
     name = "subsume";
     insert =
       (fun s ~id:_ ->
+        let fl = Obs.Flight.start () in
         let k = key s and z : Dbm.canon = zone s in
+        let fl = Obs.Flight.stop_start ph_encode fl in
         let entries = Ptbl.find_default tbl k [] in
+        let fl_scan = Obs.Flight.stop_start ph_probe fl in
         let wz = Dbm.width (z :> Dbm.t) in
         (* Eviction suffix: every entry here has width <= wz, so [z]
            cannot be covered; filter out what it swallows. *)
@@ -167,7 +193,9 @@ let subsume ?(size_hint = default_size_hint) ~key ~zone () =
           in
           let dropped = dropped + List.length tail - List.length kept in
           Dbm.note_scans ~phys:0 ~lattice:(lat + List.length tail);
+          let fl = Obs.Flight.start () in
           Ptbl.set tbl k (List.rev_append rev_head (z :: kept));
+          Obs.Flight.stop ph_insert fl;
           count := !count + 1 - dropped;
           Added { dropped; reopened = false }
         in
@@ -198,7 +226,9 @@ let subsume ?(size_hint = default_size_hint) ~key ~zone () =
                   (lat + if w' = wz then 2 else 1)
             end
         in
-        cover entries [] 0 0);
+        let verdict = cover entries [] 0 0 in
+        Obs.Flight.stop ph_subsume fl_scan;
+        verdict);
     stale = no_stale;
     size = (fun () -> !count);
     words = reachable_words tbl;

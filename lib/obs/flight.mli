@@ -1,0 +1,97 @@
+(** The flight recorder: per-domain ring buffers of engine phase events
+    with overwrite-oldest semantics, drained into Chrome [trace_event]
+    JSON (chrome://tracing / Perfetto) or a minimal OTLP-shaped export.
+
+    Appending is lock-free and allocation-free: the calling domain owns
+    its ring and writes with plain stores. When the recorder is off,
+    {!start} costs one atomic load and returns a sentinel that turns the
+    matching {!stop} into a no-op — the instrumentation can stay in the
+    hot path permanently. Names are interned to ids once ({!intern} at
+    module initialisation, never per event).
+
+    Per-phase totals (count, total seconds per name) are kept separately
+    from the ring and see every [Complete] event, so phase breakdowns
+    stay exact even after the ring wraps; only the event *timeline* is
+    bounded by the capacity ({!dropped} counts overwritten events).
+
+    {!enable}, {!disable}, {!reset} and {!drain} touch other domains'
+    rings: call them at quiescent points (no concurrent appenders). *)
+
+type kind = Complete | Instant | Counter
+
+type event = {
+  domain : int;
+  seq : int;  (** per-domain append index (monotone, pre-wrap) *)
+  name : string;
+  kind : kind;
+  ts : float;  (** Unix epoch seconds (converted from {!Clock} ticks) *)
+  dur : float;  (** seconds for [Complete], sampled value for [Counter] *)
+}
+
+(** Intern a phase name; idempotent. *)
+val intern : string -> int
+
+(** Start recording. [capacity] (events per domain, rounded up to a
+    power of two, default 8192) bounds the timeline; existing rings are
+    cleared. A ring costs ~24 bytes an event and competes with the
+    engine's working set for cache — the 8192 default (~192KB) keeps
+    recorder overhead in budget; raise it for a longer timeline window
+    when that trade is worth it. *)
+val enable : ?capacity:int -> unit -> unit
+
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+(** Clear all rings and totals, keeping the enabled state. *)
+val reset : unit -> unit
+
+(** [stop id (start ())] brackets a phase: records one [Complete] event
+    and bumps the phase totals. [start] returns the current {!Clock}
+    tick reading — or a negative sentinel when the recorder is off,
+    making [stop] free. The pair costs ~40ns when recording. *)
+val start : unit -> float
+
+val stop : int -> float -> unit
+
+(** [stop_start id t0] closes phase [id] and opens the next phase on a
+    single clock read, returning the new start. Sentinel-propagating:
+    free when the recorder is off. *)
+val stop_start : int -> float -> float
+
+(** Record a pre-timed [Complete] event (e.g. a closed span). [ts] and
+    [dur] are in {!Clock} ticks — pass [Clock.now] readings through
+    unconverted. *)
+val complete : int -> ts:float -> dur:float -> unit
+
+(** Record an [Instant] event. *)
+val mark : int -> unit
+
+(** Record a [Counter] sample (a value-over-time track in the trace). *)
+val sample : int -> float -> unit
+
+(** Merge all rings, sorted by timestamp (ties: domain, then sequence).
+    Non-destructive: draining twice yields the same events. *)
+val drain : unit -> event list
+
+(** Events overwritten by ring wraparound, summed over domains. *)
+val dropped : unit -> int
+
+(** Per-phase [(name, (count, total seconds))] merged across domains,
+    sorted by name; exact regardless of wraparound. *)
+val totals : unit -> (string * (int * float)) list
+
+val totals_json : unit -> Json.t
+
+(** Chrome [trace_event] object format: "X" slices per [Complete], "i"
+    instants, "C" counter tracks; pid 1, one tid per domain, µs
+    timestamps relative to the earliest event. *)
+val to_chrome : event list -> Json.t
+
+(** Minimal OTLP/JSON (ExportTraceServiceRequest shape): [Complete]
+    events only, unix-nano times at µs precision. *)
+val to_otlp : event list -> Json.t
+
+(** [drain] + convert + write, one JSON document per file. *)
+val write_chrome : string -> unit
+
+val write_otlp : string -> unit

@@ -1,17 +1,25 @@
-(* Named counters, gauges and log-scale histograms — domain-safe.
+(* Named counters, gauges and log-scale histograms — domain-safe via
+   per-domain sharding, not shared atomics.
 
-   Hot-path cost is one atomic update (counter/gauge) or a [frexp] plus
-   a few atomic updates (histogram); metric handles are resolved by name
-   once, at module initialisation of the instrumented code, never inside
-   a loop. Instruments may be updated concurrently from several domains
-   (the lib/par worker pool does): counters use fetch-and-add, gauges a
-   single atomic cell, histogram scalars CAS retry loops — no update is
-   ever lost. Resetting a registry zeroes values in place so cached
-   handles stay valid across bench iterations. Registration, reset and
-   snapshot serialise on a per-registry mutex; a snapshot taken while
-   another domain updates reads each cell atomically but is not a
+   Every registry hands each domain a private shard ({!Shard}): flat
+   mutable arrays indexed by metric id. A hot-path update is a DLS
+   lookup plus a plain array store into memory only this domain writes —
+   no atomic RMW, no cache-line ping-pong between worker domains (the
+   contended fetch-and-add of the previous design is what poisoned the
+   jobs=2 scaling numbers). Handles are resolved by name once, at module
+   initialisation of the instrumented code, never inside a loop.
+
+   Reads (value / snapshot) fold over all shards in domain-id order, so
+   aggregation is deterministic. After a [Domain.join] or a [Par.Pool]
+   task join the fold is exact; a snapshot racing live updates reads
+   word-atomic but possibly slightly stale cells, and is not a
    consistent cut across cells (count/sum of a histogram mid-observe may
-   disagree by one sample — fine for telemetry). *)
+   disagree by one sample — fine for telemetry). [merge] folds every
+   other domain's shard into the calling domain's and zeroes the
+   sources; [Par.Pool] calls it at task join so post-join reads touch
+   one shard only and parallel runs report byte-for-byte like
+   sequential ones. Resetting a registry zeroes shard cells in place so
+   cached handles stay valid across bench iterations. *)
 
 (* Histogram buckets are powers of two: bucket [i] holds values in
    [2^(min_exp+i), 2^(min_exp+i+1)). With min_exp = -20 the range spans
@@ -21,59 +29,110 @@
 let min_exp = -20
 let n_buckets = 41
 
-type histogram = {
-  h_count : int Atomic.t;
-  h_sum : float Atomic.t;
-  h_min : float Atomic.t;
-  h_max : float Atomic.t;
-  buckets : int Atomic.t array;
+(* One domain's shard: parallel arrays per metric kind, indexed by the
+   id carried in the handle. Arrays grow (on the owning domain) when a
+   handle registered after the shard's creation first writes. *)
+type shard = {
+  mutable counters : int array;
+  mutable g_vals : float array;
+  mutable g_set : bool array;
+  mutable h_counts : int array;
+  mutable h_sums : float array;
+  mutable h_mins : float array;
+  mutable h_maxs : float array;
+  mutable h_buckets : int array array;
 }
 
-type counter = int Atomic.t
+type metric_ref = R_counter of int | R_gauge of int | R_histogram of int
 
-(* Value and has-it-been-set travel together so concurrent [set_max]
-   calls can race through one CAS loop. *)
-type gauge = (float * bool) Atomic.t
+type registry = {
+  lock : Mutex.t;  (** guards [tbl] and the [n_*] allocation counters *)
+  tbl : (string, metric_ref) Hashtbl.t;
+  mutable n_counters : int;
+  mutable n_gauges : int;
+  mutable n_histograms : int;
+  shards : shard Shard.t;
+}
 
-type metric =
-  | M_counter of counter
-  | M_gauge of gauge
-  | M_histogram of histogram
-
-type registry = { tbl : (string, metric) Hashtbl.t; lock : Mutex.t }
-
-(* CAS retry update of a single cell. The boxed value read by [get] is
-   physically the one compared by [compare_and_set], so the loop is
-   lock-free and loses no update. *)
-let rec atomic_update cell f =
-  let cur = Atomic.get cell in
-  let next = f cur in
-  if not (Atomic.compare_and_set cell cur next) then atomic_update cell f
+type counter = { c_reg : registry; c_id : int }
+type gauge = { g_reg : registry; g_id : int }
+type histogram = { h_reg : registry; h_id : int }
 
 let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
+let fresh_shard () =
+  {
+    counters = [||];
+    g_vals = [||];
+    g_set = [||];
+    h_counts = [||];
+    h_sums = [||];
+    h_mins = [||];
+    h_maxs = [||];
+    h_buckets = [||];
+  }
+
+let grown old need fill =
+  let n = Array.length old in
+  let cap = ref (max 8 n) in
+  while !cap <= need do
+    cap := !cap * 2
+  done;
+  let a = Array.make !cap fill in
+  Array.blit old 0 a 0 n;
+  a
+
+(* Growth happens on the owning domain only; a concurrent reader may
+   still see the old (shorter) array and miss the very latest writes —
+   the same staleness any racing read already has. *)
+let grow_counters sh id = sh.counters <- grown sh.counters id 0
+
+let grow_gauges sh id =
+  sh.g_vals <- grown sh.g_vals id 0.0;
+  sh.g_set <- grown sh.g_set id false
+
+let grow_histograms sh id =
+  sh.h_counts <- grown sh.h_counts id 0;
+  sh.h_sums <- grown sh.h_sums id 0.0;
+  sh.h_mins <- grown sh.h_mins id infinity;
+  sh.h_maxs <- grown sh.h_maxs id neg_infinity;
+  let old = sh.h_buckets in
+  let n = Array.length old in
+  sh.h_buckets <-
+    Array.init
+      (Array.length sh.h_counts)
+      (fun i -> if i < n then old.(i) else Array.make n_buckets 0)
+
 module Registry = struct
   type t = registry
 
-  let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
+  let create () =
+    {
+      lock = Mutex.create ();
+      tbl = Hashtbl.create 64;
+      n_counters = 0;
+      n_gauges = 0;
+      n_histograms = 0;
+      shards = Shard.create fresh_shard;
+    }
+
   let default = create ()
 
   let reset t =
-    locked t.lock @@ fun () ->
-    Hashtbl.iter
-      (fun _ m ->
-        match m with
-        | M_counter c -> Atomic.set c 0
-        | M_gauge g -> Atomic.set g (0.0, false)
-        | M_histogram h ->
-          Atomic.set h.h_count 0;
-          Atomic.set h.h_sum 0.0;
-          Atomic.set h.h_min infinity;
-          Atomic.set h.h_max neg_infinity;
-          Array.iter (fun b -> Atomic.set b 0) h.buckets)
-      t.tbl
+    (* In-place zeroing: handles (ids) stay valid, and a domain racing
+       its own updates against the reset loses at most those updates —
+       the documented snapshot-vs-mutation looseness. *)
+    Shard.iter t.shards (fun _ sh ->
+        Array.fill sh.counters 0 (Array.length sh.counters) 0;
+        Array.fill sh.g_vals 0 (Array.length sh.g_vals) 0.0;
+        Array.fill sh.g_set 0 (Array.length sh.g_set) false;
+        Array.fill sh.h_counts 0 (Array.length sh.h_counts) 0;
+        Array.fill sh.h_sums 0 (Array.length sh.h_sums) 0.0;
+        Array.fill sh.h_mins 0 (Array.length sh.h_mins) infinity;
+        Array.fill sh.h_maxs 0 (Array.length sh.h_maxs) neg_infinity;
+        Array.iter (fun b -> Array.fill b 0 (Array.length b) 0) sh.h_buckets)
 
   let names t =
     locked t.lock @@ fun () ->
@@ -81,69 +140,124 @@ module Registry = struct
     |> List.sort String.compare
 end
 
-let find_or_register (reg : registry) name make classify =
+let find_or_register (reg : registry) name alloc classify =
   locked reg.lock @@ fun () ->
   match Hashtbl.find_opt reg.tbl name with
-  | Some m -> (
-      match classify m with
-      | Some v -> v
-      | None -> invalid_arg ("Obs.Metrics: " ^ name ^ " registered with another kind"))
+  | Some r -> (
+      match classify r with
+      | Some id -> id
+      | None ->
+        invalid_arg ("Obs.Metrics: " ^ name ^ " registered with another kind"))
   | None ->
-    let v, m = make () in
-    Hashtbl.replace reg.tbl name m;
-    v
+    let id, r = alloc () in
+    Hashtbl.replace reg.tbl name r;
+    id
 
 module Counter = struct
   type t = counter
 
   let make ?(registry = Registry.default) name =
-    find_or_register registry name
-      (fun () ->
-        let c = Atomic.make 0 in
-        (c, M_counter c))
-      (function M_counter c -> Some c | _ -> None)
+    let id =
+      find_or_register registry name
+        (fun () ->
+          let id = registry.n_counters in
+          registry.n_counters <- id + 1;
+          (id, R_counter id))
+        (function R_counter id -> Some id | _ -> None)
+    in
+    { c_reg = registry; c_id = id }
 
-  let incr t = Atomic.incr t
-  let add t n = ignore (Atomic.fetch_and_add t n)
-  let value t = Atomic.get t
+  let cells t =
+    let sh = Shard.my t.c_reg.shards in
+    if t.c_id >= Array.length sh.counters then grow_counters sh t.c_id;
+    sh.counters
+
+  let incr t =
+    let a = cells t in
+    a.(t.c_id) <- a.(t.c_id) + 1
+
+  let add t n =
+    let a = cells t in
+    a.(t.c_id) <- a.(t.c_id) + n
+
+  let value t =
+    Shard.fold t.c_reg.shards
+      (fun acc _ sh ->
+        if t.c_id < Array.length sh.counters then acc + sh.counters.(t.c_id)
+        else acc)
+      0
 end
 
 module Gauge = struct
   type t = gauge
 
   let make ?(registry = Registry.default) name =
-    find_or_register registry name
-      (fun () ->
-        let g = Atomic.make (0.0, false) in
-        (g, M_gauge g))
-      (function M_gauge g -> Some g | _ -> None)
+    let id =
+      find_or_register registry name
+        (fun () ->
+          let id = registry.n_gauges in
+          registry.n_gauges <- id + 1;
+          (id, R_gauge id))
+        (function R_gauge id -> Some id | _ -> None)
+    in
+    { g_reg = registry; g_id = id }
 
-  let set t v = Atomic.set t (v, true)
+  let cells t =
+    let sh = Shard.my t.g_reg.shards in
+    if t.g_id >= Array.length sh.g_vals then grow_gauges sh t.g_id;
+    sh
+
+  (* Within a domain a gauge is last-write-wins, as before. Across
+     domains the merged value is the maximum over the shards that set
+     it — exact for single-writer gauges (par.jobs) and for the
+     [set_max] high-water pattern (engine.peak_frontier), which are the
+     only cross-domain uses. *)
+  let set t v =
+    let sh = cells t in
+    sh.g_vals.(t.g_id) <- v;
+    sh.g_set.(t.g_id) <- true
 
   let set_max t v =
-    atomic_update t (fun (cur, is_set) ->
-        if is_set && cur >= v then (cur, is_set) else (v, true))
+    let sh = cells t in
+    if (not sh.g_set.(t.g_id)) || v > sh.g_vals.(t.g_id) then
+      sh.g_vals.(t.g_id) <- v;
+    sh.g_set.(t.g_id) <- true
 
-  let value t = fst (Atomic.get t)
+  let value t =
+    Shard.fold t.g_reg.shards
+      (fun acc _ sh ->
+        if t.g_id < Array.length sh.g_vals && sh.g_set.(t.g_id) then
+          match acc with
+          | None -> Some sh.g_vals.(t.g_id)
+          | Some v -> Some (Float.max v sh.g_vals.(t.g_id))
+        else acc)
+      None
+    |> Option.value ~default:0.0
 end
+
+(* A merged cross-shard view of one histogram — what every read-side
+   function (count, sum, quantile, snapshot) works from. *)
+type hview = {
+  v_count : int;
+  v_sum : float;
+  v_min : float;
+  v_max : float;
+  v_buckets : int array;
+}
 
 module Histogram = struct
   type t = histogram
 
   let make ?(registry = Registry.default) name =
-    find_or_register registry name
-      (fun () ->
-        let h =
-          {
-            h_count = Atomic.make 0;
-            h_sum = Atomic.make 0.0;
-            h_min = Atomic.make infinity;
-            h_max = Atomic.make neg_infinity;
-            buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
-          }
-        in
-        (h, M_histogram h))
-      (function M_histogram h -> Some h | _ -> None)
+    let id =
+      find_or_register registry name
+        (fun () ->
+          let id = registry.n_histograms in
+          registry.n_histograms <- id + 1;
+          (id, R_histogram id))
+        (function R_histogram id -> Some id | _ -> None)
+    in
+    { h_reg = registry; h_id = id }
 
   let bucket_of v =
     if v <= 0.0 then 0
@@ -159,81 +273,180 @@ module Histogram = struct
   let bucket_upper i = Float.pow 2.0 (float_of_int (min_exp + i + 1))
 
   let observe t v =
-    Atomic.incr t.h_count;
-    atomic_update t.h_sum (fun s -> s +. v);
-    atomic_update t.h_min (fun m -> if v < m then v else m);
-    atomic_update t.h_max (fun m -> if v > m then v else m);
-    Atomic.incr t.buckets.(bucket_of v)
+    let sh = Shard.my t.h_reg.shards in
+    if t.h_id >= Array.length sh.h_counts then grow_histograms sh t.h_id;
+    let id = t.h_id in
+    sh.h_counts.(id) <- sh.h_counts.(id) + 1;
+    sh.h_sums.(id) <- sh.h_sums.(id) +. v;
+    if v < sh.h_mins.(id) then sh.h_mins.(id) <- v;
+    if v > sh.h_maxs.(id) then sh.h_maxs.(id) <- v;
+    let b = sh.h_buckets.(id) in
+    let i = bucket_of v in
+    b.(i) <- b.(i) + 1
 
-  let count t = Atomic.get t.h_count
-  let sum t = Atomic.get t.h_sum
+  let view t =
+    let buckets = Array.make n_buckets 0 in
+    Shard.fold t.h_reg.shards
+      (fun acc _ sh ->
+        if t.h_id < Array.length sh.h_counts && sh.h_counts.(t.h_id) > 0 then begin
+          Array.iteri (fun i n -> buckets.(i) <- buckets.(i) + n)
+            sh.h_buckets.(t.h_id);
+          {
+            v_count = acc.v_count + sh.h_counts.(t.h_id);
+            v_sum = acc.v_sum +. sh.h_sums.(t.h_id);
+            v_min = Float.min acc.v_min sh.h_mins.(t.h_id);
+            v_max = Float.max acc.v_max sh.h_maxs.(t.h_id);
+            v_buckets = buckets;
+          }
+        end
+        else acc)
+      {
+        v_count = 0;
+        v_sum = 0.0;
+        v_min = infinity;
+        v_max = neg_infinity;
+        v_buckets = buckets;
+      }
+
+  let count t = (view t).v_count
+  let sum t = (view t).v_sum
 
   let mean t =
-    let n = count t in
-    if n = 0 then nan else sum t /. float_of_int n
+    let v = view t in
+    if v.v_count = 0 then nan else v.v_sum /. float_of_int v.v_count
 
   (* Quantile estimate: the upper edge of the first bucket whose
      cumulative count reaches [q * count], clamped to the observed
      min/max (exact when a bucket holds a single distinct value). *)
-  let quantile t q =
-    let total = count t in
-    if total = 0 then nan
+  let quantile_of_view v q =
+    if v.v_count = 0 then nan
     else begin
-      let h_min = Atomic.get t.h_min and h_max = Atomic.get t.h_max in
-      let rank = q *. float_of_int total in
+      let rank = q *. float_of_int v.v_count in
       let rec walk i cum =
-        if i >= n_buckets then h_max
+        if i >= n_buckets then v.v_max
         else begin
-          let cum = cum + Atomic.get t.buckets.(i) in
+          let cum = cum + v.v_buckets.(i) in
           if float_of_int cum >= rank then
-            Float.min h_max (Float.max h_min (bucket_upper i))
+            Float.min v.v_max (Float.max v.v_min (bucket_upper i))
           else walk (i + 1) cum
         end
       in
       walk 0 0
     end
+
+  let quantile t q = quantile_of_view (view t) q
 end
 
-let metric_json = function
-  | M_counter c ->
-    Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int (Atomic.get c)) ]
-  | M_gauge g ->
+(* Fold every other domain's shard into the calling domain's, zeroing
+   the sources — called by [Par.Pool] right after a task join, when the
+   workers are quiescent (their writes happen-before the join), so the
+   merge is exact and the shard visiting order (domain id) makes any
+   float summation deterministic. *)
+let merge ?(registry = Registry.default) () =
+  let mine = Shard.my registry.shards in
+  Shard.iter registry.shards (fun _ sh ->
+      if sh != mine then begin
+        Array.iteri
+          (fun id n ->
+            if n <> 0 then begin
+              if id >= Array.length mine.counters then grow_counters mine id;
+              mine.counters.(id) <- mine.counters.(id) + n;
+              sh.counters.(id) <- 0
+            end)
+          sh.counters;
+        Array.iteri
+          (fun id set ->
+            if set then begin
+              if id >= Array.length mine.g_vals then grow_gauges mine id;
+              if (not mine.g_set.(id)) || sh.g_vals.(id) > mine.g_vals.(id)
+              then mine.g_vals.(id) <- sh.g_vals.(id);
+              mine.g_set.(id) <- true;
+              sh.g_vals.(id) <- 0.0;
+              sh.g_set.(id) <- false
+            end)
+          sh.g_set;
+        Array.iteri
+          (fun id n ->
+            if n <> 0 then begin
+              if id >= Array.length mine.h_counts then grow_histograms mine id;
+              mine.h_counts.(id) <- mine.h_counts.(id) + n;
+              mine.h_sums.(id) <- mine.h_sums.(id) +. sh.h_sums.(id);
+              if sh.h_mins.(id) < mine.h_mins.(id) then
+                mine.h_mins.(id) <- sh.h_mins.(id);
+              if sh.h_maxs.(id) > mine.h_maxs.(id) then
+                mine.h_maxs.(id) <- sh.h_maxs.(id);
+              let dst = mine.h_buckets.(id) and src = sh.h_buckets.(id) in
+              Array.iteri (fun i n -> dst.(i) <- dst.(i) + n) src;
+              sh.h_counts.(id) <- 0;
+              sh.h_sums.(id) <- 0.0;
+              sh.h_mins.(id) <- infinity;
+              sh.h_maxs.(id) <- neg_infinity;
+              Array.fill src 0 (Array.length src) 0
+            end)
+          sh.h_counts
+      end)
+
+let metric_json reg = function
+  | R_counter id ->
     Json.Obj
-      [ ("type", Json.Str "gauge"); ("value", Json.Float (fst (Atomic.get g))) ]
-  | M_histogram h ->
-    let n = Atomic.get h.h_count in
+      [
+        ("type", Json.Str "counter");
+        ("value", Json.Int (Counter.value { c_reg = reg; c_id = id }));
+      ]
+  | R_gauge id ->
+    Json.Obj
+      [
+        ("type", Json.Str "gauge");
+        ("value", Json.Float (Gauge.value { g_reg = reg; g_id = id }));
+      ]
+  | R_histogram id ->
+    let v = Histogram.view { h_reg = reg; h_id = id } in
     let filled =
-      Array.to_list (Array.mapi (fun i b -> (i, Atomic.get b)) h.buckets)
+      Array.to_list (Array.mapi (fun i n -> (i, n)) v.v_buckets)
       |> List.filter (fun (_, n) -> n > 0)
       |> List.map (fun (i, n) ->
              Json.Obj
-               [ ("le", Json.Float (Histogram.bucket_upper i)); ("n", Json.Int n) ])
+               [
+                 ("le", Json.Float (Histogram.bucket_upper i));
+                 ("n", Json.Int n);
+               ])
     in
+    let z = v.v_count = 0 in
     Json.Obj
       [
         ("type", Json.Str "histogram");
-        ("count", Json.Int n);
-        ("sum", Json.Float (Atomic.get h.h_sum));
-        ("min", Json.Float (if n = 0 then 0.0 else Atomic.get h.h_min));
-        ("max", Json.Float (if n = 0 then 0.0 else Atomic.get h.h_max));
-        ("p50", Json.Float (if n = 0 then 0.0 else Histogram.quantile h 0.5));
-        ("p90", Json.Float (if n = 0 then 0.0 else Histogram.quantile h 0.9));
+        ("count", Json.Int v.v_count);
+        ("sum", Json.Float v.v_sum);
+        ("min", Json.Float (if z then 0.0 else v.v_min));
+        ("max", Json.Float (if z then 0.0 else v.v_max));
+        ("p50", Json.Float (if z then 0.0 else Histogram.quantile_of_view v 0.5));
+        ("p90", Json.Float (if z then 0.0 else Histogram.quantile_of_view v 0.9));
         ("buckets", Json.Arr filled);
       ]
 
 (* Only metrics touched since the last reset appear, so snapshots stay
    small and bench entries list exactly the instruments the run hit. *)
-let touched = function
-  | M_counter c -> Atomic.get c <> 0
-  | M_gauge g -> snd (Atomic.get g)
-  | M_histogram h -> Atomic.get h.h_count > 0
+let touched reg = function
+  | R_counter id -> Counter.value { c_reg = reg; c_id = id } <> 0
+  | R_gauge id ->
+    Shard.fold reg.shards
+      (fun acc _ sh -> acc || (id < Array.length sh.g_set && sh.g_set.(id)))
+      false
+  | R_histogram id -> Histogram.count { h_reg = reg; h_id = id } > 0
 
 let snapshot ?(registry = Registry.default) () =
-  let fields =
+  let refs =
     locked registry.lock @@ fun () ->
-    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry.tbl []
+    Hashtbl.fold (fun name r acc -> (name, r) :: acc) registry.tbl []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-    |> List.filter_map (fun (name, m) ->
-           if touched m then Some (name, metric_json m) else None)
   in
-  Json.Obj fields
+  (* Merged values are read outside [registry.lock]: each read folds the
+     shard list under the shard-store lock, and registration only ever
+     appends metric ids, so the sorted name list cannot go stale in a
+     way that breaks a read. *)
+  Json.Obj
+    (List.filter_map
+       (fun (name, r) ->
+         if touched registry r then Some (name, metric_json registry r)
+         else None)
+       refs)

@@ -1,17 +1,21 @@
 (** The metrics registry: named counters, gauges and log-scale
-    histograms with cheap, domain-safe hot-path updates.
+    histograms with per-domain sharded storage.
 
     Handles are obtained once by name ({!Counter.make} is idempotent:
     the same name in the same registry returns the same handle) and then
-    updated with a single atomic write — resolve them at module
-    initialisation, not inside loops. Updates may come concurrently from
-    several domains (the [Par] worker pool does this): counters use
-    fetch-and-add, gauges one atomic cell, histogram scalars CAS retry
-    loops — no update is lost. {!Registry.reset} zeroes values in
-    place, so handles survive bench iterations; registration, reset and
-    snapshot serialise on a per-registry mutex. A snapshot racing
-    updates reads each cell atomically but is not a consistent cut
-    across cells.
+    updated with a plain store into the calling domain's private shard —
+    resolve them at module initialisation, not inside loops. There is no
+    atomic read-modify-write on the hot path and no cache line shared
+    between writer domains; updates may come concurrently from several
+    domains (the [Par] worker pool does this) and none is lost.
+
+    Reads fold over all shards in domain-id order, so aggregation is
+    deterministic; after a [Domain.join] or [Par.Pool] task join the
+    fold is exact, while a read racing live updates may miss the very
+    latest stores and is not a consistent cut across cells. {!merge}
+    collapses every other domain's shard into the caller's ([Par.Pool]
+    invokes it at task join). {!Registry.reset} zeroes shard cells in
+    place, so handles survive bench iterations.
 
     A snapshot lists only the metrics touched since the last reset. *)
 
@@ -23,7 +27,8 @@ module Registry : sig
   (** The process-wide registry every instrument uses by default. *)
   val default : t
 
-  (** Zero all values, keeping registrations (handles stay valid). *)
+  (** Zero all values in every shard, keeping registrations (handles
+      stay valid). *)
   val reset : t -> unit
 
   (** Registered names, sorted. *)
@@ -36,6 +41,8 @@ module Counter : sig
   val make : ?registry:Registry.t -> string -> t
   val incr : t -> unit
   val add : t -> int -> unit
+
+  (** Sum over all shards. *)
   val value : t -> int
 end
 
@@ -43,11 +50,16 @@ module Gauge : sig
   type t
 
   val make : ?registry:Registry.t -> string -> t
+
+  (** Last write wins within a domain. *)
   val set : t -> float -> unit
 
   (** Keep the maximum of all [set_max] values since the last reset. *)
   val set_max : t -> float -> unit
 
+  (** Maximum over the shards that set the gauge (exact for the
+      single-writer and high-water-mark patterns, which are the only
+      cross-domain uses); [0.0] when never set. *)
   val value : t -> float
 end
 
@@ -60,15 +72,18 @@ module Histogram : sig
 
   val make : ?registry:Registry.t -> string -> t
   val observe : t -> float -> unit
+
+  (** Count/sum over all shards. *)
   val count : t -> int
+
   val sum : t -> float
 
   (** [nan] when empty. *)
   val mean : t -> float
 
   (** [quantile h q] — upper edge of the first bucket whose cumulative
-      count reaches [q * count], clamped to the observed min/max.
-      [nan] when empty. *)
+      count (merged across shards) reaches [q * count], clamped to the
+      observed min/max. [nan] when empty. *)
   val quantile : t -> float -> float
 
   (** [bucket_of v] — index of the bucket [v] falls into. *)
@@ -77,6 +92,14 @@ module Histogram : sig
   (** Exclusive upper edge of bucket [i]: [2.0 ** (i - 19)]. *)
   val bucket_upper : int -> float
 end
+
+(** Fold every other domain's shard into the calling domain's and zero
+    the sources. Call at a synchronisation point (the other writers
+    quiescent, their writes visible — e.g. right after joining domains):
+    the merge is then exact, and because shards are visited in domain-id
+    order any float summation is deterministic. [Par.Pool] calls this
+    automatically after each parallel task. *)
+val merge : ?registry:Registry.t -> unit -> unit
 
 (** JSON object: one field per touched metric, sorted by name. *)
 val snapshot : ?registry:Registry.t -> unit -> Json.t

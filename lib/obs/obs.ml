@@ -14,9 +14,12 @@
     domain. *)
 
 module Json = Json
+module Clock = Clock
+module Shard = Shard
 module Metrics = Metrics
 module Sink = Sink
 module Span = Span
+module Flight = Flight
 module Report = Report
 
 (** Shorthands on the default registry. *)
@@ -25,8 +28,9 @@ let counter name = Metrics.Counter.make name
 let gauge name = Metrics.Gauge.make name
 let histogram name = Metrics.Histogram.make name
 
-(** Reset the default registry and the span aggregates — the start of a
-    fresh measured run. *)
+(** Reset the default registry, the span aggregates and the flight
+    recorder — the start of a fresh measured run. *)
 let reset () =
   Metrics.Registry.reset Metrics.Registry.default;
-  Span.reset ()
+  Span.reset ();
+  Flight.reset ()

@@ -1,0 +1,53 @@
+/* Two clocks for the observability layer.  Both native entry points
+   are declared [@@noalloc] with unboxed float results, so they must not
+   allocate, raise, or touch the OCaml heap.
+
+   obs_clock_ticks: the raw CPU cycle counter (rdtsc / cntvct_el0) as a
+   double — ~8ns a read, the flight recorder's hot-path timestamp.
+   Units are ticks of an unknown (but invariant) frequency; Clock.period
+   calibrates them against CLOCK_MONOTONIC on first conversion.  On
+   architectures without a user-readable cycle counter it falls back to
+   CLOCK_MONOTONIC nanoseconds (period then calibrates to ~1e-9).
+
+   obs_clock_mono: CLOCK_MONOTONIC as seconds-in-a-double — the
+   calibration reference. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+double obs_clock_ticks(value unit)
+{
+  (void)unit;
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned int lo, hi;
+  __asm__ __volatile__("rdtsc" : "=a"(lo), "=d"(hi));
+  return (double)(((unsigned long long)hi << 32) | lo);
+#elif defined(__aarch64__)
+  unsigned long long v;
+  __asm__ __volatile__("mrs %0, cntvct_el0" : "=r"(v));
+  return (double)v;
+#else
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double)ts.tv_sec * 1e9 + (double)ts.tv_nsec;
+#endif
+}
+
+double obs_clock_mono(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+}
+
+CAMLprim value obs_clock_ticks_byte(value unit)
+{
+  return caml_copy_double(obs_clock_ticks(unit));
+}
+
+CAMLprim value obs_clock_mono_byte(value unit)
+{
+  return caml_copy_double(obs_clock_mono(unit));
+}

@@ -1,15 +1,24 @@
 (* The run report: one JSON snapshot combining the metrics registry,
-   span timing aggregates and GC statistics — everything a bench or CI
-   run needs to make two revisions comparable. *)
+   span timing aggregates, flight-recorder phase totals and GC
+   statistics — everything a bench or CI run needs to make two revisions
+   comparable. *)
 
-(* [Gc.stat] (not [quick_stat]) walks the heap so that [live_words] is
-   populated: a report is a one-shot snapshot, so the walk is worth the
-   memory fields it buys (live vs. peak heap makes store-representation
-   wins visible in BENCH_engine.json). *)
-let gc_json () =
-  let s = Gc.stat () in
+(* Two GC snapshot depths. [Gc.quick_stat] (the default) reads the
+   mutator's counters without touching the heap: allocation totals
+   (minor/major/promoted words) and collection counts are exact, while
+   [live_words]/[heap_words] are carried over from the last major
+   collection — an approximation that can lag the truth by one major
+   cycle. [Gc.stat] instead completes a major cycle and walks the heap
+   so [live_words] (words actually alive, vs. [top_heap_words] for the
+   peak reservation) is exact at the snapshot instant — worth paying
+   only where that number is the point, e.g. BENCH_engine.json
+   store-representation comparisons; ask for it with [~full_gc:true].
+   The ["stat"] field records which one produced the snapshot. *)
+let gc_json ?(full = false) () =
+  let s = if full then Gc.stat () else Gc.quick_stat () in
   Json.Obj
     [
+      ("stat", Json.Str (if full then "full" else "quick"));
       ("minor_words", Json.Float s.Gc.minor_words);
       ("major_words", Json.Float s.Gc.major_words);
       ("promoted_words", Json.Float s.Gc.promoted_words);
@@ -21,18 +30,27 @@ let gc_json () =
       ("live_words", Json.Int s.Gc.live_words);
     ]
 
-let make ?registry () =
-  Json.Obj
+let make ?registry ?(full_gc = false) () =
+  let base =
     [
       ("version", Json.Int 1);
       ("metrics", Metrics.snapshot ?registry ());
       ("spans", Span.timings_json ());
       ("span_domains", Span.domain_timings_json ());
-      ("gc", gc_json ());
+      ("gc", gc_json ~full:full_gc ());
     ]
+  in
+  (* Phase totals ride along only when the flight recorder produced
+     any, so reports from uninstrumented runs keep their old shape. *)
+  let fields =
+    match Flight.totals () with
+    | [] -> base
+    | _ -> base @ [ ("phases", Flight.totals_json ()) ]
+  in
+  Json.Obj fields
 
-let to_file path ?registry () =
+let to_file path ?registry ?full_gc () =
   let oc = open_out path in
-  output_string oc (Json.to_string (make ?registry ()));
+  output_string oc (Json.to_string (make ?registry ?full_gc ()));
   output_char oc '\n';
   close_out oc

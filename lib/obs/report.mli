@@ -1,12 +1,13 @@
 (** The run report: a JSON snapshot of every observability source.
 
-    Shape (all fields always present):
+    Shape (["phases"] only when the flight recorder recorded any):
     {v
     { "version": 1,
       "metrics": { "<name>": {"type": "counter", ...}, ... },
       "spans":   { "<name>": {"count", "total_s", "max_s"}, ... },
       "span_domains": { "<domain-id>": { "<name>": {...} }, ... },
-      "gc":      { "minor_words", ..., "top_heap_words", "live_words" } }
+      "gc":      { "stat", "minor_words", ..., "live_words" },
+      "phases":  { "<name>": {"count", "total_s"}, ... } }
     v}
 
     [span_domains] breaks the span aggregates out by recording domain
@@ -14,13 +15,21 @@
     parallel section's time split across the workers. *)
 
 (** [make ()] snapshots the registry (default: {!Metrics.Registry.default}),
-    the span aggregates and the GC. The GC snapshot uses [Gc.stat] — a
-    full heap walk — so [live_words] (words actually alive, vs.
-    [top_heap_words] for the peak reservation) is populated; reports are
-    one-shot, never hot-path. *)
-val make : ?registry:Metrics.Registry.t -> unit -> Json.t
+    the span aggregates, the flight-recorder phase totals and the GC.
 
-(** GC statistics alone, as embedded in {!make}. *)
-val gc_json : unit -> Json.t
+    GC fields come from [Gc.quick_stat] by default — no heap walk:
+    allocation totals and collection counts are exact, [live_words] and
+    [heap_words] are as of the last major collection (may lag by one
+    cycle). Pass [~full_gc:true] for a [Gc.stat] full major cycle +
+    heap walk that makes [live_words] exact at the snapshot instant;
+    reports are one-shot, but the walk is only worth paying where
+    live-heap comparisons are the point (bench store rows). The
+    [gc.stat] field says which variant ran. *)
+val make : ?registry:Metrics.Registry.t -> ?full_gc:bool -> unit -> Json.t
 
-val to_file : string -> ?registry:Metrics.Registry.t -> unit -> unit
+(** GC statistics alone, as embedded in {!make}; [~full] selects the
+    [Gc.stat] heap walk over [Gc.quick_stat]. *)
+val gc_json : ?full:bool -> unit -> Json.t
+
+val to_file :
+  string -> ?registry:Metrics.Registry.t -> ?full_gc:bool -> unit -> unit

@@ -1,0 +1,59 @@
+(* Per-domain shard store — the substrate under sharded metrics and the
+   flight recorder.
+
+   A [t] hands every domain its own private ['a] on first use (via
+   [Domain.DLS]); the owning domain mutates it with plain stores, no
+   atomics, no locks. The store keeps a registry of every shard ever
+   created, sorted by domain id, so readers can fold over all of them
+   deterministically. Domain ids are never reused in OCaml 5, so the
+   registry only grows — entries of finished domains stay behind as
+   quiescent shards, which merge/reset handle like any other.
+
+   Memory-model contract: a shard is single-writer (its domain), and
+   cross-domain reads are racy-but-sound — a reader sees some previously
+   written value per word, never a torn one. Exactness is recovered at
+   synchronisation points: after [Domain.join] or a [Par.Pool] task
+   join, every write of the joined domains happens-before the reader,
+   so folds there see final values. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  mutable shards : (int * 'a) list;  (** sorted by domain id *)
+  key : 'a Domain.DLS.key;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create fresh =
+  (* The DLS init closure must register into the store it belongs to,
+     but the store's record needs the key: tie the knot through a ref. *)
+  let holder = ref None in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let shard = fresh () in
+        (match !holder with
+        | None -> ()
+        | Some t ->
+          locked t (fun () ->
+              let id = (Domain.self () :> int) in
+              t.shards <-
+                List.merge
+                  (fun (a, _) (b, _) -> compare a b)
+                  [ (id, shard) ] t.shards));
+        shard)
+  in
+  let t = { lock = Mutex.create (); shards = []; key } in
+  holder := Some t;
+  t
+
+let my t = Domain.DLS.get t.key
+
+let fold t f acc =
+  (* Force this domain's shard into the registry first, so a fold always
+     covers the caller's own writes. *)
+  ignore (my t);
+  locked t (fun () -> List.fold_left (fun acc (id, s) -> f acc id s) acc t.shards)
+
+let iter t f = fold t (fun () id s -> f id s) ()

@@ -1,0 +1,23 @@
+(** Per-domain shard store: every domain gets its own private ['a]
+    (created lazily on first touch), mutated by that domain alone with
+    plain stores. Readers fold over all shards in increasing domain-id
+    order — deterministic, and exact at synchronisation points (after a
+    [Domain.join] or a [Par.Pool] task join every joined domain's writes
+    are visible). Cross-domain reads outside such points are racy but
+    word-atomic: never torn, possibly slightly stale. *)
+
+type 'a t
+
+(** [create fresh] — a new store; [fresh ()] builds a domain's shard on
+    its first access. *)
+val create : (unit -> 'a) -> 'a t
+
+(** This domain's shard (created and registered on first call). *)
+val my : 'a t -> 'a
+
+(** Fold over all shards in increasing domain-id order, caller's own
+    shard included. Runs under the store lock: keep [f] cheap and never
+    call back into the same store. *)
+val fold : 'a t -> ('b -> int -> 'a -> 'b) -> 'b -> 'b
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit

@@ -60,17 +60,25 @@ let with_ ~name f =
   let tracing = not (Sink.is_null !Sink.current) in
   let depth_cell = Domain.DLS.get depth_key in
   let d = !depth_cell in
-  let t0 = Unix.gettimeofday () in
-  if tracing then emit (Sink.Span_start { name; depth = d; t = t0 });
+  (* Timing runs on the tick-based {!Clock} (NTP-jump-proof, and the
+     same unit the flight ring stores); sink events keep their epoch
+     timestamps via [Clock.to_epoch]. *)
+  let t0 = Clock.now () in
+  if tracing then
+    emit (Sink.Span_start { name; depth = d; t = Clock.to_epoch t0 });
   incr depth_cell;
   let finish ok =
-    let t1 = Unix.gettimeofday () in
-    let dur_s = t1 -. t0 in
+    let t1 = Clock.now () in
+    let dur_s = Clock.to_s (t1 -. t0) in
     depth_cell := d;
     record name dur_s;
+    (* Mirror closed spans into the flight timeline: interning here is a
+       per-close hashtable hit, fine for coarse-grained spans. *)
+    if Flight.is_enabled () then
+      Flight.complete (Flight.intern name) ~ts:t0 ~dur:(t1 -. t0);
     (* Re-read the sink: the body may have installed one. *)
     if not (Sink.is_null !Sink.current) then
-      emit (Sink.Span_end { name; depth = d; t = t1; dur_s; ok })
+      emit (Sink.Span_end { name; depth = d; t = Clock.to_epoch t1; dur_s; ok })
   in
   match f () with
   | v ->

@@ -127,6 +127,11 @@ module Pool = struct
       done;
       t.body <- None;
       Mutex.unlock t.mutex;
+      (* Workers are quiescent and their writes happen-before this point
+         (task_done under the mutex): fold their metric shards into the
+         submitting domain so post-join reads are single-shard and a
+         jobs=N run reports byte-for-byte like jobs=1. *)
+      Obs.Metrics.merge ();
       match outcome with
       | Ok () -> ()
       | Error (e, bt) -> Printexc.raise_with_backtrace e bt

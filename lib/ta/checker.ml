@@ -15,6 +15,7 @@ type stats = Engine.Stats.t = {
   dbm_phys_eq : int;
   dbm_full_cmp : int;
   dbm_lattice_cmp : int;
+  phases : (string * (int * float)) list;
 }
 
 type result = { holds : bool; trace : string list option; stats : stats }

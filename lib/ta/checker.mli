@@ -27,6 +27,9 @@ type stats = Engine.Stats.t = {
   dbm_phys_eq : int;  (** DBM comparisons settled by pointer identity *)
   dbm_full_cmp : int;  (** DBM equality checks needing a full scan *)
   dbm_lattice_cmp : int;  (** subset checks between distinct zones *)
+  phases : (string * (int * float)) list;
+      (** flight-recorder phase totals for this run (empty unless
+          {!Obs.Flight.enable} ran) *)
 }
 
 type result = {

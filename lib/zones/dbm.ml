@@ -450,33 +450,48 @@ let apply_extrapolation extra t =
    On a miss the hash is memoized before the weak-table probe so the
    probe reuses it; if an older representative wins, the loser's [h] is
    reset so [is_sealed] stays an intern-membership test. *)
+let ph_seal = Obs.Flight.intern "dbm.seal"
+let ph_extrapolate = Obs.Flight.intern "dbm.extrapolate"
+
 let seal ?(extra = No_extrapolation) t =
   if is_sealed t then begin
     incr c_ihit;
     t
   end
   else begin
+    (* Flight phases time the slow path only: the sealed-identity hit
+       above costs one field read and must stay free. Extrapolation is
+       the slow path's first step, so the two phases chain on a shared
+       clock read and report disjoint times — [dbm.seal] is the
+       hash/width/intern remainder, not a superset of
+       [dbm.extrapolate]. *)
+    let fx = Obs.Flight.start () in
     let t = apply_extrapolation extra t in
-    if is_sealed t then begin
-      incr c_ihit;
-      t
-    end
-    else begin
-      t.h <- hash_m t;
-      t.w <- width_m t;
-      Mutex.lock hc_mu;
-      let r =
-        match Hc.merge hc_table t with
-        | r -> Mutex.unlock hc_mu; r
-        | exception e -> Mutex.unlock hc_mu; raise e
-      in
-      if r == t then incr c_imiss
+    let fl = Obs.Flight.stop_start ph_extrapolate fx in
+    let r =
+      if is_sealed t then begin
+        incr c_ihit;
+        t
+      end
       else begin
-        t.h <- -1;
-        incr c_ihit
-      end;
-      r
-    end
+        t.h <- hash_m t;
+        t.w <- width_m t;
+        Mutex.lock hc_mu;
+        let r =
+          match Hc.merge hc_table t with
+          | r -> Mutex.unlock hc_mu; r
+          | exception e -> Mutex.unlock hc_mu; raise e
+        in
+        if r == t then incr c_imiss
+        else begin
+          t.h <- -1;
+          incr c_ihit
+        end;
+        r
+      end
+    in
+    Obs.Flight.stop ph_seal fl;
+    r
   end
 
 let satisfies t v =

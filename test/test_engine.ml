@@ -364,6 +364,7 @@ let test_stats_json () =
       Stats.visited = 3; stored = 2; subsumed = 1; dropped = 0;
       reopened = 0; peak_frontier = 2; store_words = 7; truncated = false;
       time_s = 0.5; dbm_phys_eq = 4; dbm_full_cmp = 6; dbm_lattice_cmp = 9;
+      phases = [];
     }
   in
   let j = Stats.to_json s in

@@ -6,6 +6,8 @@ module Json = Obs.Json
 module Metrics = Obs.Metrics
 module Sink = Obs.Sink
 module Span = Obs.Span
+module Flight = Obs.Flight
+module Clock = Obs.Clock
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -370,6 +372,270 @@ let test_span_domain_breakdown () =
   Obs.reset ()
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_sanity () =
+  let a = Clock.now () in
+  let b = Clock.now () in
+  check "tick source is monotone" true (b >= a);
+  check "positive deltas convert to positive seconds" true
+    (Clock.to_s (b -. a) >= 0.0 && Clock.to_s 1_000_000.0 > 0.0);
+  (* The epoch anchor must place "now" at... now. A wide tolerance keeps
+     this robust on loaded CI boxes; a broken calibration is off by
+     orders of magnitude, not milliseconds. *)
+  check "to_epoch lands near wall-clock time" true
+    (Float.abs (Clock.to_epoch (Clock.now ()) -. Unix.gettimeofday ()) < 5.0)
+
+let test_flight_wraparound () =
+  Flight.enable ~capacity:8 ();
+  let id = Flight.intern "t.wrap" in
+  for i = 0 to 11 do
+    Flight.complete id ~ts:(float_of_int i *. 1_000_000.0) ~dur:1.0
+  done;
+  let evs = Flight.drain () in
+  check_int "ring keeps exactly [capacity] events" 8 (List.length evs);
+  check_int "overwritten events are counted" 4 (Flight.dropped ());
+  (* Overwrite-oldest: the survivors are the *newest* 8 appends, in
+     order. *)
+  Alcotest.(check (list int))
+    "newest events survive, oldest dropped"
+    [ 4; 5; 6; 7; 8; 9; 10; 11 ]
+    (List.map (fun e -> e.Flight.seq) evs);
+  (* Totals live outside the ring: every append is accounted even
+     though a third of the timeline was overwritten. *)
+  (match List.assoc_opt "t.wrap" (Flight.totals ()) with
+   | Some (n, total) ->
+     check_int "totals count is exact despite wraparound" 12 n;
+     check "totals sum is exact despite wraparound" true
+       (Float.abs (total -. Clock.to_s 12.0) <= 1e-12 *. Float.abs total)
+   | None -> Alcotest.fail "phase missing from totals");
+  Flight.disable ()
+
+let test_flight_concurrent_append () =
+  Flight.enable ~capacity:4096 ();
+  let per_domain = 1000 in
+  (* Intern up front: appenders must never hit the intern table. *)
+  let ids = Array.init 4 (fun k -> Flight.intern (Printf.sprintf "t.d%d" k)) in
+  let domains =
+    Array.init 4 (fun k ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              let t0 = Flight.start () in
+              Flight.stop ids.(k) t0
+            done))
+  in
+  Array.iter Domain.join domains;
+  let evs = Flight.drain () in
+  check_int "every append from every domain is present"
+    (4 * per_domain) (List.length evs);
+  check_int "nothing overwritten below capacity" 0 (Flight.dropped ());
+  (* No torn events: each event's name, kind and domain row must be
+     internally consistent, and per-domain sequences must be a clean
+     0..n-1 run (a torn tag or racing head would break one of these). *)
+  let per_name = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      check "only Complete events were appended" true
+        (e.Flight.kind = Flight.Complete);
+      check "durations are non-negative seconds" true (e.Flight.dur >= 0.0);
+      let seqs =
+        Option.value ~default:[] (Hashtbl.find_opt per_name e.Flight.name)
+      in
+      Hashtbl.replace per_name e.Flight.name (e.Flight.seq :: seqs))
+    evs;
+  Array.iteri
+    (fun k _ ->
+      let name = Printf.sprintf "t.d%d" k in
+      match Hashtbl.find_opt per_name name with
+      | None -> Alcotest.fail (name ^ " lost all its events")
+      | Some seqs ->
+        check_int (name ^ " kept every event") per_domain (List.length seqs);
+        Alcotest.(check (list int))
+          (name ^ " sequence numbers form a gap-free run")
+          (List.init per_domain (fun i -> i))
+          (List.sort compare seqs))
+    ids;
+  Flight.disable ()
+
+let test_flight_drain_idempotent () =
+  Flight.enable ~capacity:64 ();
+  let id = Flight.intern "t.twice" in
+  for i = 0 to 9 do
+    Flight.complete id ~ts:(float_of_int i *. 1000.0) ~dur:2.0
+  done;
+  Flight.mark (Flight.intern "t.mark");
+  let first = Flight.drain () in
+  let second = Flight.drain () in
+  check "drain is non-destructive" true (first = second);
+  check "totals unchanged by draining" true
+    (Flight.totals () = Flight.totals ());
+  Flight.disable ()
+
+let test_flight_stop_start_chain () =
+  Flight.enable ();
+  let a = Flight.intern "t.chain.a" and b = Flight.intern "t.chain.b" in
+  let t0 = Flight.start () in
+  let t1 = Flight.stop_start a t0 in
+  check "chained start does not go backwards" true (t1 >= t0);
+  Flight.stop b t1;
+  let totals = Flight.totals () in
+  (match (List.assoc_opt "t.chain.a" totals, List.assoc_opt "t.chain.b" totals)
+   with
+   | Some (na, _), Some (nb, _) ->
+     check_int "first phase recorded once" 1 na;
+     check_int "second phase recorded once" 1 nb
+   | _ -> Alcotest.fail "chained phases missing from totals");
+  Flight.disable ();
+  Flight.reset ();
+  (* Off: the sentinel propagates through the whole chain and nothing
+     is recorded. *)
+  let t0 = Flight.start () in
+  check "start returns the off sentinel" true (t0 < 0.0);
+  let t1 = Flight.stop_start a t0 in
+  check "stop_start propagates the sentinel" true (t1 < 0.0);
+  Flight.stop b t1;
+  check "no events recorded while off" true (Flight.drain () = [])
+
+let test_flight_chrome_and_otlp_json () =
+  Flight.enable ~capacity:64 ();
+  let ph = Flight.intern "t.export.phase" in
+  let t0 = Flight.start () in
+  Flight.stop ph t0;
+  Flight.mark (Flight.intern "t.export.mark");
+  Flight.sample (Flight.intern "t.export.gauge") 42.0;
+  let evs = Flight.drain () in
+  let chrome = Flight.to_chrome evs in
+  let text = Json.to_string chrome in
+  check "chrome trace round-trips through the parser" true
+    (Json.parse text = chrome);
+  (match Json.member "traceEvents" chrome with
+   | Some (Json.Arr entries) ->
+     let phs =
+       List.filter_map
+         (fun e ->
+           match Json.member "ph" e with Some (Json.Str p) -> Some p | _ -> None)
+         entries
+     in
+     check_int "one trace entry per event plus thread metadata"
+       (List.length evs + 1) (List.length entries);
+     List.iter
+       (fun p ->
+         check (Printf.sprintf "trace has a %S entry" p) true (List.mem p phs))
+       [ "M"; "X"; "i"; "C" ];
+     List.iter
+       (fun e ->
+         List.iter
+           (fun f ->
+             check (Printf.sprintf "every entry has %S" f) true
+               (Json.member f e <> None))
+           [ "name"; "ph"; "pid"; "tid" ])
+       entries
+   | _ -> Alcotest.fail "traceEvents missing or not an array");
+  (* The slice duration must survive the µs conversion: one Complete
+     event with a non-negative dur field. *)
+  let otlp = Flight.to_otlp evs in
+  check "otlp export round-trips through the parser" true
+    (Json.parse (Json.to_string otlp) = otlp);
+  check "otlp has resourceSpans" true (Json.member "resourceSpans" otlp <> None);
+  Flight.disable ()
+
+(* ------------------------------------------------------------------ *)
+(* Sharded metrics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_during_mutation () =
+  (* One writer mutates while the main domain snapshots: every
+     intermediate read must be a sane prefix of the writer's progress
+     (counters only ever grow), and the post-join read is exact. *)
+  let reg = Metrics.Registry.create () in
+  let c = Metrics.Counter.make ~registry:reg "mut.c" in
+  let n = 200_000 in
+  let writer =
+    Domain.spawn (fun () ->
+        for _ = 1 to n do
+          Metrics.Counter.incr c
+        done)
+  in
+  let prev = ref 0 in
+  let ok = ref true in
+  for _ = 1 to 200 do
+    (match Json.member "mut.c" (Metrics.snapshot ~registry:reg ()) with
+     | Some v ->
+       (match Json.member "value" v with
+        | Some (Json.Int x) ->
+          if x < !prev || x > n then ok := false;
+          prev := x
+        | _ -> ok := false)
+     | None -> () (* not touched yet: the writer hasn't started *));
+    Domain.cpu_relax ()
+  done;
+  Domain.join writer;
+  check "racing snapshots saw a monotone, bounded counter" true !ok;
+  check_int "post-join read is exact" n (Metrics.Counter.value c)
+
+let test_sharded_merge_deterministic () =
+  (* The same workload through a jobs=1 and a jobs=4 pool must produce
+     byte-identical snapshots once merged: reads fold shards in
+     domain-id order and the workload's floats are integer-valued, so
+     no summation-order noise can leak into the report. *)
+  let snapshot_for jobs =
+    let reg = Metrics.Registry.create () in
+    let c = Metrics.Counter.make ~registry:reg "det.c" in
+    let g = Metrics.Gauge.make ~registry:reg "det.g" in
+    let h = Metrics.Histogram.make ~registry:reg "det.h" in
+    Par.Pool.with_pool ~jobs (fun pool ->
+        ignore
+          (Par.map_range ~pool ~lo:0 ~hi:4096 (fun i ->
+               Metrics.Counter.incr c;
+               Metrics.Gauge.set_max g (float_of_int i);
+               Metrics.Histogram.observe h (float_of_int ((i mod 7) + 1)))));
+    (* Workers are joined by [with_pool]; merging here is exact. *)
+    Metrics.merge ~registry:reg ();
+    Json.to_string (Metrics.snapshot ~registry:reg ())
+  in
+  let s1 = snapshot_for 1 in
+  let s4 = snapshot_for 4 in
+  check_str "jobs=1 and jobs=4 reports are byte-identical" s1 s4;
+  check "report is non-trivial" true
+    (Astring.String.is_infix ~affix:"\"det.h\"" s1)
+
+let test_histogram_shard_merge_buckets () =
+  (* Each domain fills a different bucket; the merged view must place
+     every observation in the right bucket with exact counts. *)
+  let reg = Metrics.Registry.create () in
+  let h = Metrics.Histogram.make ~registry:reg "shard.h" in
+  let domains =
+    Array.init 4 (fun k ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10 do
+              Metrics.Histogram.observe h (2.0 ** float_of_int k)
+            done))
+  in
+  Array.iter Domain.join domains;
+  Metrics.merge ~registry:reg ();
+  check_int "merged count" 40 (Metrics.Histogram.count h);
+  check "merged sum" true (Metrics.Histogram.sum h = 10.0 *. 15.0);
+  (match Json.member "shard.h" (Metrics.snapshot ~registry:reg ()) with
+   | Some hist ->
+     (match Json.member "buckets" hist with
+      | Some (Json.Arr buckets) ->
+        check_int "four distinct buckets" 4 (List.length buckets);
+        List.iteri
+          (fun k b ->
+            let expect_le =
+              Metrics.Histogram.bucket_upper
+                (Metrics.Histogram.bucket_of (2.0 ** float_of_int k))
+            in
+            check "bucket edge matches bucket_of" true
+              (Json.member "le" b = Some (Json.Float expect_le));
+            check "bucket count is exact" true
+              (Json.member "n" b = Some (Json.Int 10)))
+          buckets
+      | _ -> Alcotest.fail "buckets missing from histogram snapshot")
+   | None -> Alcotest.fail "histogram missing from snapshot")
+
+(* ------------------------------------------------------------------ *)
 (* Run report                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -450,6 +716,29 @@ let () =
             test_reset_racing_snapshot;
           Alcotest.test_case "per-domain span breakdown" `Quick
             test_span_domain_breakdown;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "clock sanity" `Quick test_clock_sanity;
+          Alcotest.test_case "wraparound keeps newest, counts dropped" `Quick
+            test_flight_wraparound;
+          Alcotest.test_case "4-domain append, no torn events" `Quick
+            test_flight_concurrent_append;
+          Alcotest.test_case "drain is idempotent" `Quick
+            test_flight_drain_idempotent;
+          Alcotest.test_case "stop_start chains phases" `Quick
+            test_flight_stop_start_chain;
+          Alcotest.test_case "chrome + otlp export validity" `Quick
+            test_flight_chrome_and_otlp_json;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "snapshot during mutation" `Quick
+            test_snapshot_during_mutation;
+          Alcotest.test_case "jobs=1 vs jobs=4 byte-identical" `Quick
+            test_sharded_merge_deterministic;
+          Alcotest.test_case "histogram shard-merge buckets" `Quick
+            test_histogram_shard_merge_buckets;
         ] );
       ( "report",
         [ Alcotest.test_case "JSON round-trip" `Quick test_report_roundtrip ] );
