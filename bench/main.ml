@@ -1005,10 +1005,143 @@ let micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Service layer: cold vs warm daemon queries, smc request batching.
+   Forks a quantd child — so this bench must run before anything that
+   spawns domains (OCaml 5 forbids fork afterwards); it is registered
+   first in the dispatch list below.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench () =
+  header "quantd service (cold vs warm caches, smc request batching)";
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "quantd-bench-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (try
+       let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+       Unix.dup2 devnull Unix.stdout;
+       Unix.close devnull;
+       Serve.Daemon.run
+         ~config:
+           { Serve.Daemon.default_config with socket_path = sock; jobs = 2 }
+         ()
+     with _ -> ());
+    Unix._exit 0
+  end;
+  let c = Serve.Client.connect sock in
+  let must = function
+    | Ok j -> j
+    | Error (code, msg) -> failwith (code ^ ": " ^ msg)
+  in
+  let check_params =
+    [ ("model", Obs.Json.Str "fischer"); ("n", Obs.Json.Int 5) ]
+  in
+  let _, cold_s =
+    timed (fun () -> must (Serve.Client.call c ~meth:"check" check_params))
+  in
+  (* The identical request again: answered from the warm reply cache. *)
+  let warm_s =
+    List.fold_left
+      (fun acc _ ->
+        let _, s =
+          timed (fun () -> must (Serve.Client.call c ~meth:"check" check_params))
+        in
+        Float.min acc s)
+      infinity [ 1; 2; 3; 4; 5 ]
+  in
+  (* Four smc requests answered one by one (a read round each) vs the
+     same four pipelined in one write, which the daemon fuses into a
+     single sample range on the shared pool. Distinct seeds everywhere
+     keep the reply cache out of the measurement. *)
+  let smc_params seed =
+    [
+      ("model", Obs.Json.Str "fischer"); ("trains", Obs.Json.Int 2);
+      ("runs", Obs.Json.Int 500); ("seed", Obs.Json.Int seed);
+    ]
+  in
+  let _, seq_s =
+    timed (fun () ->
+        List.iter
+          (fun seed ->
+            ignore (must (Serve.Client.call c ~meth:"smc" (smc_params seed))))
+          [ 1000; 2000; 3000; 4000 ])
+  in
+  let batched, batched_s =
+    timed (fun () ->
+        Serve.Client.call_many c
+          (List.map
+             (fun seed -> ("smc", None, smc_params seed))
+             [ 5000; 6000; 7000; 8000 ]))
+  in
+  List.iter (fun r -> ignore (must r)) batched;
+  let metrics = must (Serve.Client.call c ~meth:"metrics" []) in
+  let counter name =
+    match
+      Option.bind (Obs.Json.member "metrics" metrics) (fun m ->
+          Option.bind (Obs.Json.member name m) (Obs.Json.member "value"))
+    with
+    | Some (Obs.Json.Int n) -> n
+    | Some (Obs.Json.Float f) -> int_of_float f
+    | _ -> 0
+  in
+  Serve.Client.close c;
+  Unix.kill pid Sys.sigterm;
+  let graceful =
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> true
+    | _ -> false
+  in
+  Printf.printf "%-36s %10.4f s\n" "cold check (fischer n=5)" cold_s;
+  Printf.printf "%-36s %10.4f s  (x%.0f)\n" "warm repeat (reply cache)" warm_s
+    (cold_s /. warm_s);
+  Printf.printf "%-36s %10.4f s\n" "4 smc requests, sequential" seq_s;
+  Printf.printf "%-36s %10.4f s  (x%.2f)\n" "4 smc requests, one fused batch"
+    batched_s (seq_s /. batched_s);
+  Printf.printf
+    "reply cache %d hits / %d misses, model cache %d/%d, %d requests fused \
+     in %d batches, graceful exit %b\n"
+    (counter "serve.reply_hits") (counter "serve.reply_misses")
+    (counter "serve.model_hits") (counter "serve.model_misses")
+    (counter "serve.smc_fused_requests") (counter "serve.smc_batches")
+    graceful;
+  let j =
+    Obs.Json.Obj
+      [
+        ("cold_check_s", Obs.Json.Float cold_s);
+        ("warm_check_s", Obs.Json.Float warm_s);
+        ("warm_speedup", Obs.Json.Float (cold_s /. warm_s));
+        ("seq_smc_s", Obs.Json.Float seq_s);
+        ("batched_smc_s", Obs.Json.Float batched_s);
+        ("batch_speedup", Obs.Json.Float (seq_s /. batched_s));
+        ( "cache",
+          Obs.Json.Obj
+            [
+              ("reply_hits", Obs.Json.Int (counter "serve.reply_hits"));
+              ("reply_misses", Obs.Json.Int (counter "serve.reply_misses"));
+              ("model_hits", Obs.Json.Int (counter "serve.model_hits"));
+              ("model_misses", Obs.Json.Int (counter "serve.model_misses"));
+              ("smc_batches", Obs.Json.Int (counter "serve.smc_batches"));
+              ( "smc_fused_requests",
+                Obs.Json.Int (counter "serve.smc_fused_requests") );
+            ] );
+        ("graceful_exit", Obs.Json.Bool graceful);
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Obs.Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_serve.json"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let all =
     [
+      ("serve", serve_bench);
       ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
       ("ablations", ablations); ("engine", engine); ("par", par);
       ("obs", obs_bench); ("gen", gen); ("micro", micro);

@@ -24,21 +24,20 @@ let stats_json_arg =
     & info [ "stats-json" ]
         ~doc:"Print per-query engine statistics as one JSON object per line.")
 
-(* One line per query: verdict plus the engine run's counters. *)
+(* Exit-code contract, shared with `quantcli client` and quantd:
+     0  every query holds / no divergence
+     1  a property is VIOLATED or the fuzzer found a divergence
+     2  usage error or unreadable/invalid input
+     3  internal error or resource exhaustion (--mem-budget)
+   Cmdliner keeps its own 124/125 for command-line parse failures and
+   uncaught exceptions it reports itself. *)
+
+(* One line per query: verdict plus the engine run's counters. Returns
+   [holds] so callers fold their exit code. The rendering lives in
+   [Serve.Render] so the daemon path emits identical bytes. *)
 let show_query ~stats_json name (r : Ta.Checker.result) =
-  if stats_json then
-    print_endline
-      (Obs.Json.to_string
-         (Obs.Json.Obj
-            [
-              ("query", Obs.Json.Str name);
-              ("holds", Obs.Json.Bool r.Ta.Checker.holds);
-              ("stats", Engine.Stats.to_json_value r.Ta.Checker.stats);
-            ]))
-  else
-    Printf.printf "%-34s %-9s (%d states)\n" name
-      (if r.Ta.Checker.holds then "satisfied" else "VIOLATED")
-      r.Ta.Checker.stats.Ta.Checker.visited
+  print_string (Serve.Render.query_line ~stats_json name r);
+  r.Ta.Checker.holds
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
@@ -138,7 +137,13 @@ let with_obs (trace, report, flight, flight_otlp, flight_events) f =
        | None -> ());
       (* Restore (and flush/close) the sink. *)
       Obs.Sink.set Obs.Sink.null)
-    f
+    (fun () ->
+      (* Commands return their exit code so the telemetry finalizers
+         above still run on a violation (plain [exit] would skip them). *)
+      try (f () : int)
+      with e ->
+        Printf.eprintf "quantcli: internal error: %s\n" (Printexc.to_string e);
+        3)
 
 (* ------------------------------------------------------------------ *)
 
@@ -146,10 +151,15 @@ let verify obs trains stats_json =
   with_obs obs @@ fun () ->
   let net = Ta.Train_gate.make ~n_trains:trains in
   let show = show_query ~stats_json in
-  show "safety" (Ta.Checker.check net (Ta.Train_gate.safety net));
-  show "no deadlock" (Ta.Checker.check net Ta.Train_gate.no_deadlock);
-  if trains <= 3 then
-    show "liveness (train 0)" (Ta.Checker.check net (Ta.Train_gate.liveness net 0))
+  let safe = show "safety" (Ta.Checker.check net (Ta.Train_gate.safety net)) in
+  let dlf = show "no deadlock" (Ta.Checker.check net Ta.Train_gate.no_deadlock) in
+  let live =
+    if trains <= 3 then
+      show "liveness (train 0)"
+        (Ta.Checker.check net (Ta.Train_gate.liveness net 0))
+    else true
+  in
+  if safe && dlf && live then 0 else 1
 
 let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Model check the train-gate (Fig. 1).")
@@ -172,10 +182,9 @@ let smc obs model trains runs seed jobs =
         Smc.cdf ~pool ~config ~runs ~seed:(seed + i) net
           ~goal:(Ta.Train_gate.cross_formula net i) ~horizon:100.0 ~grid
       in
-      Printf.printf "train %d:" i;
-      List.iter (fun (t, p) -> Printf.printf " %.0f:%.2f" t p) series;
-      print_newline ()
-    done
+      print_string (Serve.Render.smc_train_line i series)
+    done;
+    0
   | "fischer" ->
     let net = Ta.Fischer.make ~n:trains () in
     for i = 0 to trains - 1 do
@@ -186,13 +195,12 @@ let smc obs model trains runs seed jobs =
             goal = Ta.Prop.Loc (i, Ta.Model.loc_index net i "cs");
           }
       in
-      Printf.printf "process %d: p=%.4f [%.4f,%.4f] (%d runs)\n" i
-        itv.Smc.Estimate.p_hat itv.Smc.Estimate.low itv.Smc.Estimate.high
-        itv.Smc.Estimate.trials
-    done
+      print_string (Serve.Render.smc_fischer_line i itv)
+    done;
+    0
   | other ->
     Printf.eprintf "unknown model %s (train-gate|fischer)\n" other;
-    exit 1
+    2
 
 let smc_cmd =
   let runs =
@@ -220,7 +228,8 @@ let synth obs trains =
   let s = Games.solve net (Games.Safety safe) in
   Printf.printf "initial winning: %b, winning states: %d, closed-loop safe: %b\n"
     s.Games.initial_winning (Games.winning_count s)
-    (Games.closed_loop_safe s ~safe)
+    (Games.closed_loop_safe s ~safe);
+  0
 
 let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize the train-game controller (Figs. 2-3).")
@@ -234,8 +243,12 @@ let wcet obs () =
   let cross = Ta.Model.loc_index net 0 "Cross" in
   let target st = st.Discrete.Digital.dlocs.(0) = cross in
   match Priced.min_time_reach net ~target with
-  | Some o -> Printf.printf "minimum time for train 0 to cross: %d\n" o.Priced.cost
-  | None -> print_endline "unreachable"
+  | Some o ->
+    Printf.printf "minimum time for train 0 to cross: %d\n" o.Priced.cost;
+    0
+  | None ->
+    print_endline "unreachable";
+    0
 
 let wcet_cmd =
   Cmd.v (Cmd.info "wcet" ~doc:"Priced reachability demo (UPPAAL-CORA).")
@@ -256,22 +269,21 @@ let brp obs backend =
     Printf.printf "TA1 %b TA2 %b PA %s PB %s P1 %s P2 %s Dmax %s\n"
       r.Modest.Brp.mt_ta1 r.Modest.Brp.mt_ta2 (ib r.Modest.Brp.mt_pa)
       (ib r.Modest.Brp.mt_pb) (ib r.Modest.Brp.mt_p1) (ib r.Modest.Brp.mt_p2)
-      (ib r.Modest.Brp.mt_dmax)
+      (ib r.Modest.Brp.mt_dmax);
+    0
   | "mcpta" ->
     let r = Modest.Brp.run_mcpta t in
     Printf.printf "TA1 %b TA2 %b PA %g PB %g P1 %.4e P2 %.4e Dmax %.4f Emax %.3f\n"
       r.Modest.Brp.mc_ta1 r.Modest.Brp.mc_ta2 r.Modest.Brp.mc_pa
       r.Modest.Brp.mc_pb r.Modest.Brp.mc_p1 r.Modest.Brp.mc_p2
-      r.Modest.Brp.mc_dmax r.Modest.Brp.mc_emax
+      r.Modest.Brp.mc_dmax r.Modest.Brp.mc_emax;
+    0
   | "modes" ->
-    let r = Modest.Brp.run_modes t in
-    Printf.printf
-      "TA1 %d/%d TA2 %d/%d PA %d PB %d P1 %d P2 %d Dmax %d Emax mu=%.3f sigma=%.3f\n"
-      r.Modest.Brp.md_ta1_ok r.Modest.Brp.md_runs r.Modest.Brp.md_ta2_ok
-      r.Modest.Brp.md_runs r.Modest.Brp.md_pa_obs r.Modest.Brp.md_pb_obs
-      r.Modest.Brp.md_p1_obs r.Modest.Brp.md_p2_obs r.Modest.Brp.md_dmax_obs
-      r.Modest.Brp.md_emax_mean r.Modest.Brp.md_emax_std
-  | other -> Printf.eprintf "unknown backend %s (mctau|mcpta|modes)\n" other
+    print_string (Serve.Render.modes_line (Modest.Brp.run_modes t));
+    0
+  | other ->
+    Printf.eprintf "unknown backend %s (mctau|mcpta|modes)\n" other;
+    2
 
 (* Discrete-event simulation of the BRP STA on the modes backend, with
    the run batch sharded across --jobs domains. Same output line as
@@ -280,13 +292,8 @@ let modes obs runs seed jobs =
   with_obs obs @@ fun () ->
   Par.Pool.with_pool ~jobs @@ fun pool ->
   let t = Modest.Brp.make () in
-  let r = Modest.Brp.run_modes ~pool ~runs ~seed t in
-  Printf.printf
-    "TA1 %d/%d TA2 %d/%d PA %d PB %d P1 %d P2 %d Dmax %d Emax mu=%.3f sigma=%.3f\n"
-    r.Modest.Brp.md_ta1_ok r.Modest.Brp.md_runs r.Modest.Brp.md_ta2_ok
-    r.Modest.Brp.md_runs r.Modest.Brp.md_pa_obs r.Modest.Brp.md_pb_obs
-    r.Modest.Brp.md_p1_obs r.Modest.Brp.md_p2_obs r.Modest.Brp.md_dmax_obs
-    r.Modest.Brp.md_emax_mean r.Modest.Brp.md_emax_std
+  print_string (Serve.Render.modes_line (Modest.Brp.run_modes ~pool ~runs ~seed t));
+  0
 
 let modes_cmd =
   let runs =
@@ -320,28 +327,29 @@ let modest_check obs file xml dot =
   in
   match Modest.Parser.parse_and_compile src with
   | sta ->
-    if xml then print_string (Modest.Uppaal_xml.of_sta sta)
-    else if dot then print_string (Ta.Dot.of_network (Modest.Mctau.to_ta sta))
-    else begin
-      Printf.printf "parsed: %d processes, class %s\n"
-        (Array.length sta.Modest.Sta.processes)
-        (Modest.Sta.class_name (Modest.Sta.classify sta));
-      match Modest.Sta.classify sta with
-      | Modest.Sta.Class_sta -> print_endline "open clocks: only modes applies"
-      | _ ->
-        let exp = Modest.Digital_sta.expand sta in
-        Printf.printf "digital state space: %d states\n"
-          (Array.length exp.Modest.Digital_sta.states)
-    end
+    (if xml then print_string (Modest.Uppaal_xml.of_sta sta)
+     else if dot then print_string (Ta.Dot.of_network (Modest.Mctau.to_ta sta))
+     else begin
+       Printf.printf "parsed: %d processes, class %s\n"
+         (Array.length sta.Modest.Sta.processes)
+         (Modest.Sta.class_name (Modest.Sta.classify sta));
+       match Modest.Sta.classify sta with
+       | Modest.Sta.Class_sta -> print_endline "open clocks: only modes applies"
+       | _ ->
+         let exp = Modest.Digital_sta.expand sta in
+         Printf.printf "digital state space: %d states\n"
+           (Array.length exp.Modest.Digital_sta.states)
+     end);
+    0
   | exception Modest.Parser.Parse_error (msg, line) ->
     Printf.eprintf "parse error (line %d): %s\n" line msg;
-    exit 1
+    2
   | exception Modest.Lexer.Lex_error (msg, line) ->
     Printf.eprintf "lex error (line %d): %s\n" line msg;
-    exit 1
+    2
   | exception Modest.Ast.Compile_error msg ->
     Printf.eprintf "compile error: %s\n" msg;
-    exit 1
+    2
 
 let modest_cmd =
   let file =
@@ -360,8 +368,9 @@ let fischer obs n stats_json =
   with_obs obs @@ fun () ->
   let net = Ta.Fischer.make ~n () in
   let show = show_query ~stats_json in
-  show "mutual exclusion" (Ta.Checker.check net (Ta.Fischer.mutex net));
-  show "deadlock-free" (Ta.Checker.check net Ta.Fischer.no_deadlock)
+  let mutex = show "mutual exclusion" (Ta.Checker.check net (Ta.Fischer.mutex net)) in
+  let dlf = show "deadlock-free" (Ta.Checker.check net Ta.Fischer.no_deadlock) in
+  if mutex && dlf then 0 else 1
 
 let fischer_cmd =
   let n = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Processes.") in
@@ -374,21 +383,34 @@ let fischer_cmd =
    standard queries, and the shared telemetry flags — the incantation
    `quantcli check --model fischer --flight t.json` is the documented
    way to get a phase trace out of the zone engine. *)
-let check_impl obs model n stats_json =
+let check_impl obs model n stats_json mem_budget_mb =
   with_obs obs @@ fun () ->
-  let show = show_query ~stats_json in
-  match model with
-  | "fischer" ->
-    let net = Ta.Fischer.make ~n () in
-    show "mutual exclusion" (Ta.Checker.check net (Ta.Fischer.mutex net));
-    show "deadlock-free" (Ta.Checker.check net Ta.Fischer.no_deadlock)
-  | "train-gate" ->
-    let net = Ta.Train_gate.make ~n_trains:n in
-    show "safety" (Ta.Checker.check net (Ta.Train_gate.safety net));
-    show "no deadlock" (Ta.Checker.check net Ta.Train_gate.no_deadlock)
-  | other ->
-    Printf.eprintf "unknown model %s (fischer|train-gate)\n" other;
-    exit 1
+  match Serve.Models.find model with
+  | None ->
+    Printf.eprintf "unknown model %s (%s)\n" model Serve.Models.known;
+    2
+  | Some spec ->
+    let net = spec.Serve.Models.make n in
+    let mem_budget_words =
+      Option.map (fun mb -> mb * 1024 * 1024 / 8) mem_budget_mb
+    in
+    let truncated = ref false in
+    let oks =
+      List.fold_left
+        (fun acc (name, q) ->
+          let ok =
+            match Ta.Checker.check ?mem_budget_words net q with
+            | r -> show_query ~stats_json name r
+            | exception Ta.Checker.Truncated { reason; stats } ->
+              truncated := true;
+              print_string (Serve.Render.truncated_line name stats ~reason);
+              true
+          in
+          ok :: acc)
+        []
+        (spec.Serve.Models.queries net)
+    in
+    if !truncated then 3 else if List.for_all Fun.id oks then 0 else 1
 
 let check_cmd =
   let model =
@@ -403,12 +425,23 @@ let check_cmd =
       value & opt int 4
       & info [ "n" ] ~docv:"N" ~doc:"Processes (fischer) or trains (train-gate).")
   in
+  let mem_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mem-budget" ] ~docv:"MB"
+          ~doc:
+            "Stop exploring once the state store retains more than $(docv) \
+             megabytes: the interrupted query prints a TRUNCATED verdict and \
+             the command exits 3 instead of being OOM-killed.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Model check a named model's standard queries (the profiling entry \
           point: combine with --flight/--report).")
-    Term.(const check_impl $ obs_term $ model $ n $ stats_json_arg)
+    Term.(
+      const check_impl $ obs_term $ model $ n $ stats_json_arg $ mem_budget)
 
 (* ------------------------------------------------------------------ *)
 
@@ -422,7 +455,8 @@ let bip_cmd_impl obs seed =
      | Bip.Dfinder.Inconclusive _ -> "inconclusive");
   let r = Bip.Dala.inject_faults d ~runs:20 ~steps:200 ~seed in
   Printf.printf "fault injection: %d faults, %d violations (with R2C)\n"
-    r.Bip.Dala.faults_injected r.Bip.Dala.violations
+    r.Bip.Dala.faults_injected r.Bip.Dala.violations;
+  0
 
 let bip_cmd =
   Cmd.v (Cmd.info "bip" ~doc:"DALA verification and fault injection.")
@@ -440,7 +474,8 @@ let mbt obs seed =
   in
   battery "reference" Mbt.Demo.bus_impl_good;
   battery "lossy" Mbt.Demo.bus_impl_lossy;
-  battery "chatty" Mbt.Demo.bus_impl_chatty
+  battery "chatty" Mbt.Demo.bus_impl_chatty;
+  0
 
 let mbt_cmd =
   Cmd.v (Cmd.info "mbt" ~doc:"ioco test generation and execution demo.")
@@ -493,7 +528,7 @@ let fuzz obs seed cases jobs families no_shrink inject extrapolation out =
      output_char oc '\n';
      close_out oc
    | None -> ());
-  if report.Gen.Harness.r_divergences <> [] then exit 1
+  if report.Gen.Harness.r_divergences <> [] then 1 else 0
 
 let fuzz_cmd =
   let cases_arg =
@@ -749,7 +784,7 @@ let obs_tool_cmd =
   let cat_cmd =
     Cmd.v
       (Cmd.info "cat" ~doc:"Pretty-print a run report or flight trace.")
-      Term.(const obs_cat $ file 0 "FILE")
+      Term.(const (fun f -> obs_cat f; 0) $ file 0 "FILE")
   in
   let top_cmd =
     let n =
@@ -758,7 +793,7 @@ let obs_tool_cmd =
     Cmd.v
       (Cmd.info "top"
          ~doc:"Hottest spans/phases of a run report or flight trace.")
-      Term.(const obs_top $ file 0 "FILE" $ n)
+      Term.(const (fun f n -> obs_top f n; 0) $ file 0 "FILE" $ n)
   in
   let diff_cmd =
     Cmd.v
@@ -766,11 +801,212 @@ let obs_tool_cmd =
          ~doc:
            "Compare two run reports (metric and timing deltas) or two \
             flight traces (per-slice time deltas).")
-      Term.(const obs_diff $ file 0 "A" $ file 1 "B")
+      Term.(const (fun a b -> obs_diff a b; 0) $ file 0 "A" $ file 1 "B")
   in
   Cmd.group
     (Cmd.info "obs" ~doc:"Inspect telemetry artifacts (reports, flight traces).")
     [ cat_cmd; top_cmd; diff_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* `client` — the same queries, answered by a running quantd daemon.
+   The daemon replies with pre-rendered text (built by the same
+   Serve.Render / Serve.Models code the one-shot subcommands use), so
+   stdout is byte-identical to the one-shot path, and exit codes follow
+   the same contract: structured bad_request/unknown_method errors map
+   to 2, deadline/resource/shutdown/internal/transport failures to 3. *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "quantd.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the quantd daemon listens on.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request deadline in milliseconds; on expiry the daemon \
+           abandons the query and replies deadline_exceeded (exit 3).")
+
+let client_call ~socket ~meth ?deadline_ms params ~on_ok =
+  match
+    let c = Serve.Client.connect ~retries:1 socket in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close c)
+      (fun () -> Serve.Client.call c ~meth ?deadline_ms params)
+  with
+  | Ok result ->
+    (match Obs.Json.member "text" result with
+     | Some (Obs.Json.Str text) -> print_string text
+     | _ -> print_endline (Obs.Json.to_string result));
+    on_ok result
+  | Error (code, msg) ->
+    Printf.eprintf "quantcli client: %s: %s\n" code msg;
+    (match code with
+     | "bad_json" | "bad_request" | "unknown_method" -> 2
+     | _ -> 3)
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "quantcli client: cannot reach daemon at %s: %s\n" socket
+      (Unix.error_message e);
+    3
+  | exception Serve.Client.Protocol_error msg ->
+    Printf.eprintf "quantcli client: protocol error: %s\n" msg;
+    3
+
+let client_check socket deadline_ms model n stats_json =
+  client_call ~socket ~meth:"check" ?deadline_ms
+    [
+      ("model", Obs.Json.Str model);
+      ("n", Obs.Json.Int n);
+      ("stats_json", Obs.Json.Bool stats_json);
+    ]
+    ~on_ok:(fun result ->
+      match Obs.Json.member "all_hold" result with
+      | Some (Obs.Json.Bool false) -> 1
+      | _ -> 0)
+
+let client_smc socket deadline_ms model trains runs seed =
+  client_call ~socket ~meth:"smc" ?deadline_ms
+    [
+      ("model", Obs.Json.Str model);
+      ("trains", Obs.Json.Int trains);
+      ("runs", Obs.Json.Int runs);
+      ("seed", Obs.Json.Int seed);
+    ]
+    ~on_ok:(fun _ -> 0)
+
+let client_modes socket deadline_ms runs seed =
+  client_call ~socket ~meth:"modes" ?deadline_ms
+    [ ("runs", Obs.Json.Int runs); ("seed", Obs.Json.Int seed) ]
+    ~on_ok:(fun _ -> 0)
+
+let client_fuzz socket deadline_ms seed cases families no_shrink extrapolation =
+  client_call ~socket ~meth:"fuzz" ?deadline_ms
+    [
+      ("seed", Obs.Json.Int seed);
+      ("cases", Obs.Json.Int cases);
+      ("families", Obs.Json.Arr (List.map (fun f -> Obs.Json.Str f) families));
+      ("no_shrink", Obs.Json.Bool no_shrink);
+      ( "extrapolation",
+        Obs.Json.Str
+          (match extrapolation with `None -> "none" | `K -> "k" | `Lu -> "lu") );
+    ]
+    ~on_ok:(fun result ->
+      match Obs.Json.member "divergences" result with
+      | Some (Obs.Json.Int d) when d > 0 -> 1
+      | _ -> 0)
+
+let client_metrics socket =
+  client_call ~socket ~meth:"metrics" [] ~on_ok:(fun _ -> 0)
+
+let client_ping socket =
+  client_call ~socket ~meth:"ping" [] ~on_ok:(fun _ -> 0)
+
+let client_cmd =
+  let runs default =
+    Arg.(
+      value & opt int default
+      & info [ "runs" ] ~docv:"RUNS" ~doc:"Simulation runs.")
+  in
+  let check =
+    let model =
+      Arg.(
+        value
+        & opt string "fischer"
+        & info [ "model" ] ~docv:"M"
+            ~doc:"Model to check: $(b,fischer) or $(b,train-gate).")
+    in
+    let n =
+      Arg.(
+        value & opt int 4
+        & info [ "n" ] ~docv:"N"
+            ~doc:"Processes (fischer) or trains (train-gate).")
+    in
+    Cmd.v
+      (Cmd.info "check" ~doc:"Model check on the daemon (warm caches).")
+      Term.(
+        const client_check $ socket_arg $ deadline_arg $ model $ n
+        $ stats_json_arg)
+  in
+  let smc =
+    let model =
+      Arg.(
+        value
+        & opt string "train-gate"
+        & info [ "model" ] ~docv:"M"
+            ~doc:"Model to analyse: $(b,train-gate) or $(b,fischer).")
+    in
+    Cmd.v
+      (Cmd.info "smc"
+         ~doc:
+           "Statistical query on the daemon; concurrent smc requests are \
+            fused into one sample batch without changing any result.")
+      Term.(
+        const client_smc $ socket_arg $ deadline_arg $ model $ trains_arg
+        $ runs 500 $ seed_arg)
+  in
+  let modes =
+    Cmd.v
+      (Cmd.info "modes" ~doc:"BRP modes simulation on the daemon.")
+      Term.(const client_modes $ socket_arg $ deadline_arg $ runs 2000 $ seed_arg)
+  in
+  let fuzz =
+    let cases =
+      Arg.(
+        value & opt int 200
+        & info [ "cases" ] ~docv:"N" ~doc:"Number of generated cases.")
+    in
+    let families =
+      Arg.(
+        value
+        & opt_all string []
+        & info [ "family" ] ~docv:"NAME"
+            ~doc:"Restrict to one oracle family (repeatable).")
+    in
+    let no_shrink =
+      Arg.(
+        value & flag
+        & info [ "no-shrink" ]
+            ~doc:"Report divergences without minimizing them.")
+    in
+    let extrapolation =
+      Arg.(
+        value
+        & opt (enum [ ("none", `None); ("k", `K); ("lu", `Lu) ]) `Lu
+        & info [ "extrapolation" ] ~docv:"ABS"
+            ~doc:"Zone-engine extrapolation: none, k or lu.")
+    in
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:
+           "Differential fuzzing on the daemon (fault injection is \
+            refused there: it would mutate shared process state).")
+      Term.(
+        const client_fuzz $ socket_arg $ deadline_arg $ seed_arg $ cases
+        $ families $ no_shrink $ extrapolation)
+  in
+  let metrics =
+    Cmd.v
+      (Cmd.info "metrics"
+         ~doc:
+           "Scrape the daemon's metrics/spans/GC report plus its cache \
+            occupancy, as one JSON object.")
+      Term.(const client_metrics $ socket_arg)
+  in
+  let ping =
+    Cmd.v
+      (Cmd.info "ping" ~doc:"Liveness probe; prints the daemon's pid.")
+      Term.(const client_ping $ socket_arg)
+  in
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Run queries against a quantd daemon. Output bytes and exit codes \
+          match the one-shot subcommands.")
+    [ check; smc; modes; fuzz; metrics; ping ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -778,10 +1014,10 @@ let () =
   let doc = "Quantitative modeling and analysis of embedded systems." in
   let info = Cmd.info "quantcli" ~version:"1.0" ~doc in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [
             verify_cmd; smc_cmd; synth_cmd; wcet_cmd; brp_cmd; modes_cmd;
             modest_cmd; fischer_cmd; check_cmd; bip_cmd; mbt_cmd; fuzz_cmd;
-            obs_tool_cmd;
+            client_cmd; obs_tool_cmd;
           ]))

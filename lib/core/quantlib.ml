@@ -18,7 +18,9 @@
       ({!Smc}, {!Modest.Modes}) shard their run batches on.
     - {!Gen}: seeded random-model generators and the differential
       oracle harness that cross-checks the backends against each
-      other. *)
+      other.
+    - {!Serve}: the quantd service layer — JSONL protocol, warm model
+      registry, request batching, the socket daemon and its client. *)
 
 module Zones = Zones
 module Obs = Obs
@@ -35,4 +37,5 @@ module Bip = Bip
 module Mbt = Mbt
 module Ecdar = Ecdar
 module Gen = Gen
+module Serve = Serve
 module Util = Quant_util

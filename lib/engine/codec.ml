@@ -211,6 +211,12 @@ let intern s p =
   Mutex.unlock s.mu;
   q
 
+let intern_size s =
+  Mutex.lock s.mu;
+  let n = Weak_tbl.count s.pool in
+  Mutex.unlock s.mu;
+  n
+
 (* One block: header, hash slot, and the packed words. *)
 let heap_words s = 2 + s.nw
 

@@ -87,6 +87,11 @@ val mix_hash : int -> int -> int
     domains. *)
 val intern : spec -> packed -> packed
 
+(** Live entries in [spec]'s weak intern pool — the observable for
+    intern-lifecycle tests and warm-cache monitoring (see
+    {!Zones.Dbm.intern_size} for the zone-side counterpart). *)
+val intern_size : spec -> int
+
 (** Approximate heap footprint of one packed state, in words, including
     headers (shared interned states are counted as if unshared). *)
 val heap_words : spec -> int

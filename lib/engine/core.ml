@@ -23,16 +23,19 @@ type 's order = Bfs | Dfs | Priority of ('s -> int)
 
 type ('s, 'l) node = { state : 's; parent : int; label : 'l option }
 
+type stop_cause = Max_states | Mem_budget | Stop_requested
+
 type ('s, 'l, 'a) outcome = {
   found : ('a * ('l * 's) list) option;
   states : 's array;
   parents : (int * 'l option) array;
   edges : ('l * int) list array;
+  stopped : stop_cause option;
   stats : Stats.t;
 }
 
-let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
-    ~successors ~on_state ~init () =
+let run ?(max_states = 1_000_000) ?stop ?mem_budget_words ?(order = Bfs)
+    ?(record_edges = false) ~store ~successors ~on_state ~init () =
   Obs.Span.with_ ~name:"engine.run" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let cmp0 = Dbm.cmp_stats () in
@@ -82,7 +85,24 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
   let subsumed = ref 0 in
   let dropped = ref 0 in
   let reopened = ref 0 in
-  let truncated = ref false in
+  let stopped = ref None in
+  (* The store's retained-words walk is O(store size), so the memory
+     budget is polled at geometrically spaced store sizes: the total
+     poll cost stays a constant factor of one final walk, yet a run
+     that outgrows its budget is caught within ~25% of the threshold. *)
+  let next_words_check = ref 2048 in
+  let over_mem_budget () =
+    match mem_budget_words with
+    | None -> false
+    | Some budget ->
+      let n = Arena.size arena in
+      n >= !next_words_check
+      && begin
+           next_words_check := n + max 1024 (n / 4);
+           Store.over_budget store ~budget_words:budget
+         end
+  in
+  let stop_requested () = match stop with Some f -> f () | None -> false in
   (* Offer [st] to the store; on acceptance commit it to the arena and the
      frontier. Returns the id the state lives under, [None] if covered. *)
   let enqueue ~parent ~label st =
@@ -121,7 +141,15 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
         if !visited land 1023 = 0 then
           Obs.Flight.sample ph_frontier_len (float_of_int !frontier_len);
         if !visited > max_states || Arena.size arena > max_states then begin
-          truncated := true;
+          stopped := Some Max_states;
+          running := false
+        end
+        else if stop_requested () then begin
+          stopped := Some Stop_requested;
+          running := false
+        end
+        else if over_mem_budget () then begin
+          stopped := Some Mem_budget;
           running := false
         end
         else begin
@@ -179,7 +207,7 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
       reopened = !reopened;
       peak_frontier = !peak;
       store_words = store.Store.words ();
-      truncated = !truncated;
+      truncated = !stopped <> None;
       time_s = Unix.gettimeofday () -. t0;
       dbm_phys_eq = cmp1.Dbm.phys_hits - cmp0.Dbm.phys_hits;
       dbm_full_cmp = cmp1.Dbm.full_scans - cmp0.Dbm.full_scans;
@@ -206,5 +234,6 @@ let run ?(max_states = 1_000_000) ?(order = Bfs) ?(record_edges = false) ~store
     states;
     parents;
     edges;
+    stopped = !stopped;
     stats;
   }

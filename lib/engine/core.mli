@@ -21,6 +21,13 @@ type 's order =
 
 type ('s, 'l) node = { state : 's; parent : int; label : 'l option }
 
+(** Why a run stopped before draining its frontier: the [max_states]
+    cap, the [mem_budget_words] retained-heap budget, or the caller's
+    [stop] hook (deadline / cancellation). In every case the outcome's
+    [stats] are valid for the explored prefix — truncation is an
+    explicit, reportable result, not a crash. *)
+type stop_cause = Max_states | Mem_budget | Stop_requested
+
 type ('s, 'l, 'a) outcome = {
   found : ('a * ('l * 's) list) option;
       (** the payload returned by [on_state], with the labelled steps of
@@ -34,6 +41,8 @@ type ('s, 'l, 'a) outcome = {
           [record_edges] (empty array otherwise). Edges to states the
           store answered [Covered] for are not recorded, so meaningful
           graph building requires an exact store. *)
+  stopped : stop_cause option;
+      (** [None] for a complete run; mirrored as [stats.truncated] *)
   stats : Stats.t;
 }
 
@@ -44,9 +53,19 @@ type ('s, 'l, 'a) outcome = {
     a [Priority] order this is exactly Dijkstra: re-improved states are
     re-enqueued and stale arena entries are skipped at pop time.
 
+    [stop] is polled once per visited state; when it answers true the
+    run ends with [stopped = Some Stop_requested] — the hook for
+    per-request deadlines and cooperative cancellation in a serving
+    loop. [mem_budget_words] bounds the store's retained heap
+    ({!Store.over_budget}, polled at geometrically spaced store sizes):
+    exceeding it ends the run with [stopped = Some Mem_budget] instead
+    of letting the exploration OOM.
+
     @raise Invalid_argument if the store rejects the initial state. *)
 val run :
   ?max_states:int ->
+  ?stop:(unit -> bool) ->
+  ?mem_budget_words:int ->
   ?order:'s order ->
   ?record_edges:bool ->
   store:'s Store.t ->

@@ -33,6 +33,13 @@ let ph_subsume = Obs.Flight.intern "store.subsume"
    it once per run, when building the final [Stats.t]. *)
 let reachable_words tbl () = Obj.reachable_words (Obj.repr tbl)
 
+(* Memory-budget predicate for the exploration loop: has the passed
+   list's retained heap crossed [budget_words]? Costs one [words] walk —
+   callers amortize it by checking at geometrically spaced store sizes
+   (see [Core.run]), which is what lets a run degrade into an explicit
+   truncation instead of an OOM kill. *)
+let over_budget t ~budget_words = t.words () > budget_words
+
 (* The packed stores below key on {!Codec.packed} states: the probe hash
    is the memoized full-width one (O(1), no truncation) and collisions
    compare packed words, never the original state structure. *)

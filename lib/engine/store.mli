@@ -63,6 +63,14 @@ type 's t = {
           end-of-run stats, not hot loops. *)
 }
 
+(** [over_budget t ~budget_words] — is the store's retained heap
+    ({!t.words}, an O(size) walk) past the budget? The exploration core
+    polls this at geometrically spaced store sizes when given
+    [mem_budget_words], turning would-be OOMs into an explicit truncated
+    outcome; the serving layer sizes its cache eviction off the same
+    number. *)
+val over_budget : 's t -> budget_words:int -> bool
+
 val discrete :
   ?size_hint:int -> key:('s -> Codec.packed) -> unit -> 's t
 

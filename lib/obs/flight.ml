@@ -412,3 +412,10 @@ let write_file path j =
 
 let write_chrome path = write_file path (to_chrome (drain ()))
 let write_otlp path = write_file path (to_otlp (drain ()))
+
+(* Per-request capture for a serving loop: persist the timeline recorded
+   so far, then clear the rings so the next request starts from an empty
+   window. Recording stays enabled throughout. *)
+let capture_chrome path =
+  write_chrome path;
+  reset ()

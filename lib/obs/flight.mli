@@ -95,3 +95,10 @@ val to_otlp : event list -> Json.t
 val write_chrome : string -> unit
 
 val write_otlp : string -> unit
+
+(** [capture_chrome path] — {!write_chrome} then {!reset}: the
+    slow-request hook of a serving loop. The drained window becomes one
+    per-request trace file and the rings start empty for the next
+    request; recording stays enabled. Call at a quiescent point (the
+    request finished, no concurrent appenders). *)
+val capture_chrome : string -> unit

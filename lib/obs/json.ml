@@ -97,8 +97,25 @@ let to_float_opt = function
 
 exception Parse_error of string
 
-let parse s =
+(* Resource bounds for input that arrives from outside the process (the
+   quantd socket). Both limits turn into an ordinary [Parse_error] /
+   [Error _], never a stack overflow or an unbounded allocation:
+   [max_bytes] is checked before the scan starts, [max_depth] on every
+   '{' / '[' descent (the parser recurses once per nesting level, so the
+   depth bound is also the recursion bound). *)
+type limits = { max_bytes : int; max_depth : int }
+
+let default_limits = { max_bytes = 8 * 1024 * 1024; max_depth = 128 }
+
+let parse_with ?limits s =
   let n = String.length s in
+  (match limits with
+   | Some l when n > l.max_bytes ->
+     raise
+       (Parse_error
+          (Printf.sprintf "input too large: %d bytes (limit %d)" n l.max_bytes))
+   | _ -> ());
+  let max_depth = match limits with Some l -> l.max_depth | None -> max_int in
   let pos = ref 0 in
   let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
   let peek () = if !pos < n then Some s.[!pos] else None in
@@ -187,11 +204,12 @@ let parse s =
       | Some i -> Int i
       | None -> Float (float_of_string text)
   in
-  let rec parse_value () =
+  let rec parse_value depth =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
     | Some '{' ->
+      if depth >= max_depth then fail "nesting too deep";
       advance ();
       skip_ws ();
       if peek () = Some '}' then begin
@@ -204,7 +222,7 @@ let parse s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -218,6 +236,7 @@ let parse s =
         Obj (fields [])
       end
     | Some '[' ->
+      if depth >= max_depth then fail "nesting too deep";
       advance ();
       skip_ws ();
       if peek () = Some ']' then begin
@@ -226,7 +245,7 @@ let parse s =
       end
       else begin
         let rec elems acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -245,7 +264,20 @@ let parse s =
     | Some 'n' -> literal "null" Null
     | Some _ -> parse_number ()
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then fail "trailing garbage";
   v
+
+let parse s = parse_with s
+
+(* Untrusted input (socket frames): every malformed, truncated, oversized
+   or over-nested input comes back as [Error msg] — nothing escapes as an
+   exception, which the daemon's request loop relies on. *)
+let parse_untrusted ?(limits = default_limits) s =
+  match parse_with ~limits s with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+  (* A malformed numeric token can escape [float_of_string]/[int_of_string]
+     as [Failure]; fold it into the same result shape. *)
+  | exception Failure msg -> Error ("invalid number: " ^ msg)

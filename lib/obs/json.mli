@@ -29,3 +29,17 @@ exception Parse_error of string
 
 (** @raise Parse_error on malformed input. *)
 val parse : string -> t
+
+(** Resource bounds for input from outside the process: [max_bytes] caps
+    the frame size (checked before scanning), [max_depth] the object /
+    array nesting (which also bounds the parser's recursion). *)
+type limits = { max_bytes : int; max_depth : int }
+
+(** 8 MiB, depth 128 — generous for any legitimate protocol frame. *)
+val default_limits : limits
+
+(** [parse_untrusted s] — like {!parse} under [limits], but {e total}:
+    malformed, truncated, oversized and over-nested input all come back
+    as [Error msg]; no exception escapes. This is the only parser the
+    serving layer may apply to socket input. *)
+val parse_untrusted : ?limits:limits -> string -> (t, string) result

@@ -10,11 +10,32 @@
 exception Cancelled
 
 module Cancel = struct
-  type t = bool Atomic.t
+  (* A token is an explicit flag plus an optional wall-clock deadline.
+     [is_set] is polled at chunk boundaries by the combinators, so a
+     deadline trips cooperative cancellation from inside the workers —
+     no external agent has to call [set] — which is how a serving layer
+     bounds a request's sampling time on a shared pool. The flag is
+     sticky: once a deadline has tripped the token stays cancelled. *)
+  type t = { flag : bool Atomic.t; deadline_at : float }
 
-  let create () = Atomic.make false
-  let set t = Atomic.set t true
-  let is_set t = Atomic.get t
+  let create ?deadline_at () =
+    {
+      flag = Atomic.make false;
+      deadline_at = (match deadline_at with Some t -> t | None -> infinity);
+    }
+
+  let set t = Atomic.set t.flag true
+
+  let is_set t =
+    Atomic.get t.flag
+    || (t.deadline_at < infinity
+        && Unix.gettimeofday () > t.deadline_at
+        && begin
+             Atomic.set t.flag true;
+             true
+           end)
+
+  let deadline_at t = if t.deadline_at = infinity then None else Some t.deadline_at
 end
 
 (* Pool instruments: one task = one map_range/fold_until submission;

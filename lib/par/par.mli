@@ -24,12 +24,20 @@ exception Cancelled
 module Cancel : sig
   type t
 
-  val create : unit -> t
+  (** [create ?deadline_at ()] — a fresh token. With [deadline_at] (an
+      absolute [Unix.gettimeofday] time), {!is_set} also answers true
+      once the wall clock passes the deadline, so a token enforces a
+      per-request time budget without anyone calling {!set}: the workers
+      themselves observe the expiry at their next chunk boundary. *)
+  val create : ?deadline_at:float -> unit -> t
 
   (** Request cancellation (idempotent, domain-safe). *)
   val set : t -> unit
 
   val is_set : t -> bool
+
+  (** The absolute deadline the token was created with, if any. *)
+  val deadline_at : t -> float option
 end
 
 module Pool : sig

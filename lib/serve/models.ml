@@ -1,0 +1,38 @@
+type spec = {
+  name : string;
+  default_n : int;
+  make : int -> Ta.Model.network;
+  queries : Ta.Model.network -> (string * Ta.Prop.query) list;
+}
+
+let fischer =
+  {
+    name = "fischer";
+    default_n = 4;
+    make = (fun n -> Ta.Fischer.make ~n ());
+    queries =
+      (fun net ->
+        [
+          ("mutual exclusion", Ta.Fischer.mutex net);
+          ("deadlock-free", Ta.Fischer.no_deadlock);
+        ]);
+  }
+
+let train_gate =
+  {
+    name = "train-gate";
+    default_n = 4;
+    make = (fun n -> Ta.Train_gate.make ~n_trains:n);
+    queries =
+      (fun net ->
+        [
+          ("safety", Ta.Train_gate.safety net);
+          ("no deadlock", Ta.Train_gate.no_deadlock);
+        ]);
+  }
+
+let all = [ fischer; train_gate ]
+
+let find name = List.find_opt (fun s -> s.name = name) all
+
+let known = String.concat "|" (List.map (fun s -> s.name) all)

@@ -1,0 +1,21 @@
+(** The named-model table the CLI and the daemon share.
+
+    [quantcli check] and the daemon's [check] method both resolve the
+    model name and its standard query list here — the only way the two
+    paths can stay byte-identical is for neither to own the list. *)
+
+type spec = {
+  name : string;
+  default_n : int;  (** scaling parameter when the request omits [n] *)
+  make : int -> Ta.Model.network;  (** compile at size [n] *)
+  queries : Ta.Model.network -> (string * Ta.Prop.query) list;
+      (** the model's standard queries, in reporting order *)
+}
+
+val fischer : spec
+val train_gate : spec
+val all : spec list
+val find : string -> spec option
+
+(** ["fischer|train-gate"] — for error messages. *)
+val known : string

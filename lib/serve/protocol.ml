@@ -1,0 +1,172 @@
+module Json = Obs.Json
+
+let version = 1
+
+type error_code =
+  | Bad_json
+  | Bad_request
+  | Unknown_method
+  | Deadline_exceeded
+  | Resource_exhausted
+  | Shutting_down
+  | Internal
+
+let error_code_name = function
+  | Bad_json -> "bad_json"
+  | Bad_request -> "bad_request"
+  | Unknown_method -> "unknown_method"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Resource_exhausted -> "resource_exhausted"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let error_code_of_name = function
+  | "bad_json" -> Some Bad_json
+  | "bad_request" -> Some Bad_request
+  | "unknown_method" -> Some Unknown_method
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | "resource_exhausted" -> Some Resource_exhausted
+  | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+type request = {
+  id : Json.t;
+  meth : string;
+  params : Json.t;
+  deadline_ms : float option;
+}
+
+(* Untrusted-input boundary: the line comes straight off a socket, so
+   everything funnels through [Json.parse_untrusted] (size + depth
+   bounded, total) and every shape defect becomes a structured error
+   carrying whatever id could still be salvaged for the reply. *)
+let parse_request ?limits line =
+  match Json.parse_untrusted ?limits line with
+  | Error msg -> Error (Json.Null, Bad_json, msg)
+  | Ok j ->
+    let id = Option.value ~default:Json.Null (Json.member "id" j) in
+    let fail code msg = Error (id, code, msg) in
+    (match id with
+     | Json.Null | Json.Str _ | Json.Int _ -> begin
+       match Json.member "v" j with
+       | Some (Json.Int v) when v = version -> begin
+         match Json.member "method" j with
+         | Some (Json.Str meth) when meth <> "" -> begin
+           let params =
+             Option.value ~default:(Json.Obj []) (Json.member "params" j)
+           in
+           match params with
+           | Json.Obj _ -> begin
+             match Json.member "deadline_ms" j with
+             | None ->
+               Ok { id; meth; params; deadline_ms = None }
+             | Some d -> begin
+               match Json.to_float_opt d with
+               | Some ms when ms > 0.0 && Float.is_finite ms ->
+                 Ok { id; meth; params; deadline_ms = Some ms }
+               | Some _ | None ->
+                 fail Bad_request "deadline_ms must be a positive number"
+             end
+           end
+           | _ -> fail Bad_request "params must be an object"
+         end
+         | Some _ -> fail Bad_request "method must be a non-empty string"
+         | None -> fail Bad_request "missing field: method"
+       end
+       | Some _ -> fail Bad_request (Printf.sprintf "unsupported protocol version (expected v=%d)" version)
+       | None -> fail Bad_request "missing field: v"
+     end
+     | _ -> fail Bad_request "id must be a string or an integer")
+
+let ok_line ~id result =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", Json.Int version);
+         ("id", id);
+         ("ok", Json.Bool true);
+         ("result", result);
+       ])
+
+let error_line ~id code msg =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", Json.Int version);
+         ("id", id);
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("code", Json.Str (error_code_name code));
+               ("message", Json.Str msg);
+             ] );
+       ])
+
+type reply = {
+  reply_id : Json.t;
+  payload : (Json.t, string * string) result;
+}
+
+let parse_reply ?limits line =
+  match Json.parse_untrusted ?limits line with
+  | Error msg -> Error ("reply is not valid JSON: " ^ msg)
+  | Ok j -> begin
+    let reply_id = Option.value ~default:Json.Null (Json.member "id" j) in
+    match Json.member "ok" j with
+    | Some (Json.Bool true) -> begin
+      match Json.member "result" j with
+      | Some r -> Ok { reply_id; payload = Ok r }
+      | None -> Error "ok reply without a result field"
+    end
+    | Some (Json.Bool false) -> begin
+      match Json.member "error" j with
+      | Some e ->
+        let str k =
+          match Json.member k e with Some (Json.Str s) -> s | _ -> ""
+        in
+        Ok { reply_id; payload = Error (str "code", str "message") }
+      | None -> Error "error reply without an error field"
+    end
+    | _ -> Error "reply without a boolean ok field"
+  end
+
+(* Typed param accessors over an (already shape-checked) params object;
+   each returns a structured [Bad_request] on a type mismatch rather
+   than raising, so a handler reads params monadically. *)
+
+let param_int params ~key ~default =
+  match Json.member key params with
+  | None -> Ok default
+  | Some (Json.Int n) -> Ok n
+  | Some _ -> Error (Printf.sprintf "param %s must be an integer" key)
+
+let param_bool params ~key ~default =
+  match Json.member key params with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "param %s must be a boolean" key)
+
+let param_string params ~key ~default =
+  match Json.member key params with
+  | None -> Ok default
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "param %s must be a string" key)
+
+let param_string_list params ~key =
+  match Json.member key params with
+  | None -> Ok []
+  | Some (Json.Arr l) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.Str s :: tl -> go (s :: acc) tl
+      | _ -> Error (Printf.sprintf "param %s must be an array of strings" key)
+    in
+    go [] l
+  | Some _ -> Error (Printf.sprintf "param %s must be an array of strings" key)
+
+let forbidden params ~key ~why =
+  match Json.member key params with
+  | None -> Ok ()
+  | Some _ -> Error (Printf.sprintf "param %s not allowed: %s" key why)

@@ -1,0 +1,89 @@
+(** The quantd wire protocol: versioned JSONL request/reply framing.
+
+    One request per line, one reply per line, over a Unix-domain
+    stream socket. A request is
+    {v
+    {"v":1, "id":<string|int>, "method":"check",
+     "params":{...}, "deadline_ms":1500}
+    v}
+    and the reply echoes the id:
+    {v
+    {"v":1, "id":..., "ok":true,  "result":{...}}
+    {"v":1, "id":..., "ok":false, "error":{"code":"...","message":"..."}}
+    v}
+
+    Parsing is total on untrusted input: every line goes through
+    {!Obs.Json.parse_untrusted} (byte- and depth-bounded), and every
+    shape defect maps to a structured error code — a malformed frame
+    can cost its connection a [bad_json] reply, never the process. *)
+
+val version : int
+
+(** Wire error codes. [Bad_json]: the line is not parseable JSON (or
+    over the input limits). [Bad_request]: valid JSON, invalid shape or
+    params. [Deadline_exceeded]: the request's [deadline_ms] expired
+    mid-computation. [Resource_exhausted]: the server's [--mem-budget]
+    cut the computation short. [Shutting_down]: the server is draining
+    after SIGTERM. [Internal]: an unexpected server-side exception
+    (reported, never a crash). *)
+type error_code =
+  | Bad_json
+  | Bad_request
+  | Unknown_method
+  | Deadline_exceeded
+  | Resource_exhausted
+  | Shutting_down
+  | Internal
+
+val error_code_name : error_code -> string
+val error_code_of_name : string -> error_code option
+
+type request = {
+  id : Obs.Json.t;  (** echoed verbatim; [Str], [Int] or [Null] *)
+  meth : string;
+  params : Obs.Json.t;  (** always an [Obj] *)
+  deadline_ms : float option;  (** relative time budget, milliseconds *)
+}
+
+(** [parse_request line] — total. On error, carries the request id when
+    one could still be recovered from the malformed frame (so the reply
+    can be correlated), [Null] otherwise. *)
+val parse_request :
+  ?limits:Obs.Json.limits ->
+  string ->
+  (request, Obs.Json.t * error_code * string) result
+
+(** One reply line (no trailing newline). *)
+val ok_line : id:Obs.Json.t -> Obs.Json.t -> string
+
+val error_line : id:Obs.Json.t -> error_code -> string -> string
+
+(** Client-side view of one reply line; [payload] is [Error (code,
+    message)] for [ok:false] replies, with [code] kept raw so unknown
+    future codes still round-trip. *)
+type reply = {
+  reply_id : Obs.Json.t;
+  payload : (Obs.Json.t, string * string) result;
+}
+
+val parse_reply : ?limits:Obs.Json.limits -> string -> (reply, string) result
+
+(** Typed param accessors: [Error msg] (a [Bad_request] message) on a
+    type mismatch, the default on absence. *)
+
+val param_int :
+  Obs.Json.t -> key:string -> default:int -> (int, string) result
+
+val param_bool :
+  Obs.Json.t -> key:string -> default:bool -> (bool, string) result
+
+val param_string :
+  Obs.Json.t -> key:string -> default:string -> (string, string) result
+
+(** Missing key is the empty list. *)
+val param_string_list : Obs.Json.t -> key:string -> (string list, string) result
+
+(** [forbidden params ~key ~why] rejects requests that carry [key] at
+    all — for one-shot-only options (fault injection) that must not
+    reach a long-lived process. *)
+val forbidden : Obs.Json.t -> key:string -> why:string -> (unit, string) result

@@ -11,21 +11,63 @@ let stop_of net goal (st : Stochastic.cstate) =
 
 let default_runs () = Estimate.chernoff_runs ~eps:0.05 ~alpha:0.05
 
-let probability ?pool ?(config = Stochastic.default_config) ?(seed = 42) ?runs
-    net q =
+type hitting_stats = {
+  mean : float;
+  std : float;
+  hit_fraction : float;
+  runs : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared reductions over a hitting-time array                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Every estimate below is a pure fold over one [hitting_times] array.
+   Keeping the folds here — and funnelling both the one-shot facade and
+   [Batch] through them — is what makes "batched result = sequential
+   result" hold by construction rather than by test. *)
+
+let count_within times bound =
+  Array.fold_left
+    (fun acc t ->
+      match t with Some h when h <= bound -> acc + 1 | Some _ | None -> acc)
+    0 times
+
+let interval_of_times ~runs ~horizon times =
+  Estimate.wilson ~successes:(count_within times horizon) ~trials:runs ()
+
+let cdf_of_times ~runs ~grid times =
+  List.map
+    (fun t -> (t, float_of_int (count_within times t) /. float_of_int runs))
+    grid
+
+let stats_of_times ~runs times =
+  let hits = Array.to_list times |> List.filter_map Fun.id in
+  match hits with
+  | [] -> { mean = nan; std = nan; hit_fraction = 0.0; runs }
+  | _ ->
+    let arr = Array.of_list hits in
+    let mean, std = Estimate.mean_std arr in
+    {
+      mean;
+      std;
+      hit_fraction = float_of_int (Array.length arr) /. float_of_int runs;
+      runs;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* One-shot facade                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let probability ?pool ?cancel ?(config = Stochastic.default_config)
+    ?(seed = 42) ?runs net q =
   assert (Ta.Prop.crisp q.goal);
   let runs = match runs with Some r -> r | None -> default_runs () in
   let times =
-    Stochastic.hitting_times ?pool net config ~seed ~runs ~horizon:q.horizon
-      ~stop:(stop_of net q.goal)
+    Stochastic.hitting_times ?pool ?cancel net config ~seed ~runs
+      ~horizon:q.horizon ~stop:(stop_of net q.goal)
   in
-  let successes =
-    Array.fold_left
-      (fun acc t ->
-        match t with Some h when h <= q.horizon -> acc + 1 | Some _ | None -> acc)
-      0 times
-  in
-  Estimate.wilson ~successes ~trials:runs ()
+  interval_of_times ~runs ~horizon:q.horizon times
 
 (* SPRT over Bernoulli outcomes sampled speculatively: sample index [k]
    always draws from [| seed; k |], and [Par.fold_until] feeds the
@@ -65,49 +107,100 @@ let hypothesis ?pool ?(config = Stochastic.default_config) ?(seed = 42)
   in
   go (Estimate.Sprt.start ~max_samples ~theta ~delta ~alpha:0.05 ~beta:0.05 ()) 0
 
-let cdf ?pool ?(config = Stochastic.default_config) ?(seed = 42) ?runs net
-    ~goal ~horizon ~grid =
+let cdf ?pool ?cancel ?(config = Stochastic.default_config) ?(seed = 42) ?runs
+    net ~goal ~horizon ~grid =
   assert (Ta.Prop.crisp goal);
   let runs = match runs with Some r -> r | None -> default_runs () in
   let times =
-    Stochastic.hitting_times ?pool net config ~seed ~runs ~horizon
+    Stochastic.hitting_times ?pool ?cancel net config ~seed ~runs ~horizon
       ~stop:(stop_of net goal)
   in
-  let fraction bound =
-    let hits =
-      Array.fold_left
-        (fun acc t ->
-          match t with Some h when h <= bound -> acc + 1 | Some _ | None -> acc)
-        0 times
+  cdf_of_times ~runs ~grid times
+
+let hitting_time ?pool ?cancel ?(config = Stochastic.default_config)
+    ?(seed = 42) ?runs net ~goal ~horizon =
+  assert (Ta.Prop.crisp goal);
+  let runs = match runs with Some r -> r | None -> default_runs () in
+  let times =
+    Stochastic.hitting_times ?pool ?cancel net config ~seed ~runs ~horizon
+      ~stop:(stop_of net goal)
+  in
+  stats_of_times ~runs times
+
+(* ------------------------------------------------------------------ *)
+(* Batched sampling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Batch = struct
+  type item = {
+    net : Ta.Model.network;
+    config : Stochastic.config;
+    seed : int;
+    runs : int;
+    horizon : float;
+    goal : Ta.Prop.formula;
+  }
+
+  let item ?(config = Stochastic.default_config) ?(seed = 42) ?runs net
+      (q : query) =
+    assert (Ta.Prop.crisp q.goal);
+    let runs = match runs with Some r -> r | None -> default_runs () in
+    { net; config; seed; runs; horizon = q.horizon; goal = q.goal }
+
+  (* Greatest [i] with [offsets.(i) <= g]: the item owning global run
+     index [g]. Zero-run items collapse to an empty offset interval and
+     are skipped naturally. *)
+  let owner offsets g =
+    let lo = ref 0 and hi = ref (Array.length offsets - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if offsets.(mid) <= g then lo := mid else hi := mid
+    done;
+    !lo
+
+  let hitting_times ?pool ?cancel items =
+    Obs.Span.with_ ~name:"smc.batch_fused" @@ fun () ->
+    let items = Array.of_list items in
+    let n = Array.length items in
+    let offsets = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      offsets.(i + 1) <- offsets.(i) + items.(i).runs
+    done;
+    let total = offsets.(n) in
+    (* Pre-resolve each item's stop predicate once, not per run. *)
+    let stops = Array.map (fun it -> stop_of it.net it.goal) items in
+    (* One fused range: global index [g] belongs to item [i] as its
+       local run [k = g - offsets.(i)], and draws from
+       [Random.State.make [| seed_i; k |]] — the exact stream
+       [Stochastic.hitting_times] would use for that item alone. The
+       fused batch therefore returns, per item, byte-for-byte the array
+       the one-shot path returns, while a single [map_range] keeps every
+       pool worker busy across item boundaries. *)
+    let all =
+      Par.map_range ?pool ?cancel ~lo:0 ~hi:total (fun g ->
+          let i = owner offsets g in
+          let it = items.(i) in
+          let k = g - offsets.(i) in
+          let rng = Random.State.make [| it.seed; k |] in
+          let _, hit =
+            Stochastic.simulate it.net it.config rng ~horizon:it.horizon
+              ~stop:stops.(i)
+          in
+          hit)
     in
-    float_of_int hits /. float_of_int runs
-  in
-  List.map (fun t -> (t, fraction t)) grid
+    Array.to_list
+      (Array.init n (fun i -> Array.sub all offsets.(i) items.(i).runs))
 
-type hitting_stats = {
-  mean : float;
-  std : float;
-  hit_fraction : float;
-  runs : int;
-}
+  let probability ?pool ?cancel items =
+    List.map2
+      (fun it times ->
+        interval_of_times ~runs:it.runs ~horizon:it.horizon times)
+      items
+      (hitting_times ?pool ?cancel items)
 
-let hitting_time ?pool ?(config = Stochastic.default_config) ?(seed = 42) ?runs
-    net ~goal ~horizon =
-  assert (Ta.Prop.crisp goal);
-  let runs = match runs with Some r -> r | None -> default_runs () in
-  let times =
-    Stochastic.hitting_times ?pool net config ~seed ~runs ~horizon
-      ~stop:(stop_of net goal)
-  in
-  let hits = Array.to_list times |> List.filter_map Fun.id in
-  match hits with
-  | [] -> { mean = nan; std = nan; hit_fraction = 0.0; runs }
-  | _ ->
-    let arr = Array.of_list hits in
-    let mean, std = Estimate.mean_std arr in
-    {
-      mean;
-      std;
-      hit_fraction = float_of_int (Array.length arr) /. float_of_int runs;
-      runs;
-    }
+  let hitting_time ?pool ?cancel items =
+    List.map2
+      (fun it times -> stats_of_times ~runs:it.runs times)
+      items
+      (hitting_times ?pool ?cancel items)
+end

@@ -10,7 +10,9 @@
     — never from a shared mutable stream. Because a run's randomness
     depends only on [(seed, k)], batches shard freely across a [Par]
     pool: passing [?pool] changes wall-clock time, not one byte of any
-    estimate, interval or verdict. *)
+    estimate, interval or verdict. The same contract extends to
+    {!Batch}: fusing several queries into one parallel range is
+    invisible in the results. *)
 
 module Stochastic : module type of Stochastic
 module Estimate : module type of Estimate
@@ -21,9 +23,12 @@ type query = {
 }
 
 (** [probability net q] estimates [Pr[<=T](<> goal)].
-    [runs] defaults to the Chernoff bound for [eps]=0.05, [alpha]=0.05. *)
+    [runs] defaults to the Chernoff bound for [eps]=0.05, [alpha]=0.05.
+    [cancel] aborts mid-batch with {!Par.Cancelled} (deadline tokens
+    included). *)
 val probability :
   ?pool:Par.Pool.t ->
+  ?cancel:Par.Cancel.t ->
   ?config:Stochastic.config ->
   ?seed:int ->
   ?runs:int ->
@@ -52,6 +57,7 @@ val hypothesis :
     within the bound — the cumulative distribution of Fig. 4. *)
 val cdf :
   ?pool:Par.Pool.t ->
+  ?cancel:Par.Cancel.t ->
   ?config:Stochastic.config ->
   ?seed:int ->
   ?runs:int ->
@@ -73,6 +79,7 @@ type hitting_stats = {
 
 val hitting_time :
   ?pool:Par.Pool.t ->
+  ?cancel:Par.Cancel.t ->
   ?config:Stochastic.config ->
   ?seed:int ->
   ?runs:int ->
@@ -80,3 +87,77 @@ val hitting_time :
   goal:Ta.Prop.formula ->
   horizon:float ->
   hitting_stats
+
+(** The shared reductions every estimate above applies to one
+    {!Stochastic.hitting_times} array. Exposed so a caller holding raw
+    per-item arrays (the {!Batch} path, a serving layer) reduces them
+    through {e the same code} as the one-shot entry points — equality
+    of batched and sequential results then holds by construction. *)
+
+(** [interval_of_times ~runs ~horizon times] — the Wilson interval of
+    {!val:probability} (successes = hitting times within [horizon]). *)
+val interval_of_times :
+  runs:int -> horizon:float -> float option array -> Estimate.interval
+
+(** [cdf_of_times ~runs ~grid times] — the per-bound hit fractions of
+    {!val:cdf}. *)
+val cdf_of_times :
+  runs:int -> grid:float list -> float option array -> (float * float) list
+
+(** [stats_of_times ~runs times] — the {!hitting_stats} of
+    {!val:hitting_time}. *)
+val stats_of_times : runs:int -> float option array -> hitting_stats
+
+(** Fused sampling for several SMC queries at once — the serving layer's
+    request coalescing. The [k]-th run of item [i] draws from
+    [Random.State.make [| seed_i; k |]], exactly the stream the one-shot
+    entry points use, so per item the batched result is byte-for-byte
+    the one-shot result; fusing only changes how the work shards across
+    the pool (one [Par.map_range] over the concatenated run ranges keeps
+    every worker busy across item boundaries instead of paying a join
+    barrier per query). One [cancel] token covers the whole batch — a
+    coalescing server passes the earliest member deadline and re-runs
+    stragglers individually on expiry. *)
+module Batch : sig
+  type item = {
+    net : Ta.Model.network;
+    config : Stochastic.config;
+    seed : int;
+    runs : int;
+    horizon : float;
+    goal : Ta.Prop.formula;
+  }
+
+  (** [item net q] — one batch member, defaults matching
+      {!val:probability} ([seed] 42, [runs] from the Chernoff bound). *)
+  val item :
+    ?config:Stochastic.config ->
+    ?seed:int ->
+    ?runs:int ->
+    Ta.Model.network ->
+    query ->
+    item
+
+  (** One optional hitting time per run, per item; the per-item arrays
+      equal {!Stochastic.hitting_times} on that item alone. *)
+  val hitting_times :
+    ?pool:Par.Pool.t ->
+    ?cancel:Par.Cancel.t ->
+    item list ->
+    float option array list
+
+  (** Wilson interval per item, equal to {!val:probability} on that
+      item alone (the item's [horizon] is the success bound). *)
+  val probability :
+    ?pool:Par.Pool.t ->
+    ?cancel:Par.Cancel.t ->
+    item list ->
+    Estimate.interval list
+
+  (** Hitting-time statistics per item, equal to {!val:hitting_time}. *)
+  val hitting_time :
+    ?pool:Par.Pool.t ->
+    ?cancel:Par.Cancel.t ->
+    item list ->
+    hitting_stats list
+end

@@ -20,6 +20,12 @@ type stats = Engine.Stats.t = {
 
 type result = { holds : bool; trace : string list option; stats : stats }
 
+exception
+  Truncated of {
+    reason : [ `Mem_budget | `Stop ];
+    stats : stats;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Exploration on the shared engine core                                *)
 (* ------------------------------------------------------------------ *)
@@ -47,7 +53,8 @@ let reach_extra (extrapolation : extrapolation) net f =
    witness steps carry the symbolic state they reach. Zones arrive sealed
    from [Zone_graph], so no re-canonicalisation happens here. *)
 let explore ?(subsumption = true) ?(packed = true)
-    ?(max_states = 1_000_000) ?(rich_trace = false) net ~extra ~on_state =
+    ?(max_states = 1_000_000) ?stop ?mem_budget_words ?(rich_trace = false)
+    net ~extra ~on_state =
   (* [packed] keys the store on the interned codec encoding of the
      discrete part; the ablation baseline keys on the raw
      (locs, store) tuple under polymorphic hashing. *)
@@ -64,12 +71,23 @@ let explore ?(subsumption = true) ?(packed = true)
   in
   let successors st = Zone_graph.successors net ~extra st in
   let out =
-    Engine.Core.run ~max_states ~store ~successors ~on_state
+    Engine.Core.run ~max_states ?stop ?mem_budget_words ~store ~successors
+      ~on_state
       ~init:(Zone_graph.initial net ~extra)
       ()
   in
-  if out.Engine.Core.stats.truncated then
-    failwith "Checker: state limit exceeded (model too large or diverging)";
+  (* [max_states] keeps its historical contract (a hard [Failure]); the
+     resource-bound stops raise [Truncated] with the partial stats so a
+     caller — the CLI under --mem-budget, the daemon on a deadline — can
+     degrade into a structured report instead of dying. *)
+  (match out.Engine.Core.stopped with
+   | Some Engine.Core.Max_states ->
+     failwith "Checker: state limit exceeded (model too large or diverging)"
+   | Some Engine.Core.Mem_budget ->
+     raise (Truncated { reason = `Mem_budget; stats = out.Engine.Core.stats })
+   | Some Engine.Core.Stop_requested ->
+     raise (Truncated { reason = `Stop; stats = out.Engine.Core.stats })
+   | None -> ());
   let render (label, st) =
     if rich_trace then
       Format.asprintf "%s  @@ %a" label (Zone_graph.pp_state net) st
@@ -113,7 +131,8 @@ type graph = {
   parents : (int * string) array; (* for diagnostic traces *)
 }
 
-let build_graph ?(max_states = 1_000_000) ?(packed = true) net ~extra =
+let build_graph ?(max_states = 1_000_000) ?stop ?mem_budget_words
+    ?(packed = true) net ~extra =
   let store =
     if packed then begin
       let spec = Zone_graph.codec net in
@@ -123,13 +142,20 @@ let build_graph ?(max_states = 1_000_000) ?(packed = true) net ~extra =
   in
   let successors st = Zone_graph.successors net ~extra st in
   let out =
-    Engine.Core.run ~max_states ~record_edges:true ~store ~successors
+    Engine.Core.run ~max_states ?stop ?mem_budget_words ~record_edges:true
+      ~store ~successors
       ~on_state:(fun _ -> None)
       ~init:(Zone_graph.initial net ~extra)
       ()
   in
-  if out.Engine.Core.stats.truncated then
-    failwith "Checker: state limit exceeded during liveness exploration";
+  (match out.Engine.Core.stopped with
+   | Some Engine.Core.Max_states ->
+     failwith "Checker: state limit exceeded during liveness exploration"
+   | Some Engine.Core.Mem_budget ->
+     raise (Truncated { reason = `Mem_budget; stats = out.Engine.Core.stats })
+   | Some Engine.Core.Stop_requested ->
+     raise (Truncated { reason = `Stop; stats = out.Engine.Core.stats })
+   | None -> ());
   let parents =
     Array.map
       (fun (parent, label) ->
@@ -199,20 +225,24 @@ let trace_in_graph graph id =
 (* Top-level check                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let check_reach ?subsumption ?packed ?max_states ?rich_trace
-    ?(extrapolation = `Lu) net f =
+let check_reach ?subsumption ?packed ?max_states ?stop ?mem_budget_words
+    ?rich_trace ?(extrapolation = `Lu) net f =
   let extra = reach_extra extrapolation net f in
   let on_state st = if Prop.holds_somewhere net st f then Some () else None in
-  explore ?subsumption ?packed ?max_states ?rich_trace net ~extra ~on_state
+  explore ?subsumption ?packed ?max_states ?stop ?mem_budget_words ?rich_trace
+    net ~extra ~on_state
 
-let check_liveness ?packed ?max_states ?(from_initial_only = false) net ~p ~q =
+let check_liveness ?packed ?max_states ?stop ?mem_budget_words
+    ?(from_initial_only = false) net ~p ~q =
   if not (Prop.crisp p && Prop.crisp q) then
     invalid_arg "Checker: leads-to operands must not contain clock atoms";
   (* The exact graph needs zone-precise nodes; LU would merge states the
      divergence analysis must keep apart, so liveness always uses
      Extra-M on the network constants. *)
   let extra = Dbm.Extra_m (Array.copy net.Model.max_consts) in
-  let graph, gstats = build_graph ?max_states ?packed net ~extra in
+  let graph, gstats =
+    build_graph ?max_states ?stop ?mem_budget_words ?packed net ~extra
+  in
   let is_q id = Prop.eval_crisp net graph.states.(id) q in
   let starts = ref [] in
   if from_initial_only then begin
@@ -231,21 +261,21 @@ let check_liveness ?packed ?max_states ?(from_initial_only = false) net ~p ~q =
   | None -> { holds = true; trace = None; stats }
   | Some id -> { holds = false; trace = Some (trace_in_graph graph id); stats }
 
-let check ?subsumption ?packed ?max_states ?rich_trace ?extrapolation net
-    query =
+let check ?subsumption ?packed ?max_states ?stop ?mem_budget_words
+    ?rich_trace ?extrapolation net query =
   match query with
   | Prop.Possibly f ->
     let outcome, stats =
-      check_reach ?subsumption ?packed ?max_states ?rich_trace ?extrapolation
-        net f
+      check_reach ?subsumption ?packed ?max_states ?stop ?mem_budget_words
+        ?rich_trace ?extrapolation net f
     in
     (match outcome with
      | Some ((), trace) -> { holds = true; trace = Some trace; stats }
      | None -> { holds = false; trace = None; stats })
   | Prop.Invariant f ->
     let outcome, stats =
-      check_reach ?subsumption ?packed ?max_states ?rich_trace ?extrapolation
-        net (Prop.Not f)
+      check_reach ?subsumption ?packed ?max_states ?stop ?mem_budget_words
+        ?rich_trace ?extrapolation net (Prop.Not f)
     in
     (match outcome with
      | Some ((), trace) -> { holds = false; trace = Some trace; stats }
@@ -256,18 +286,19 @@ let check ?subsumption ?packed ?max_states ?rich_trace ?extrapolation net
     let extra = Dbm.Extra_m (Array.copy net.Model.max_consts) in
     let on_state st = if deadlocked net st then Some () else None in
     let outcome, stats =
-      explore ?subsumption ?packed ?max_states ?rich_trace net ~extra
-        ~on_state
+      explore ?subsumption ?packed ?max_states ?stop ?mem_budget_words
+        ?rich_trace net ~extra ~on_state
     in
     (match outcome with
      | Some ((), trace) -> { holds = false; trace = Some trace; stats }
      | None -> { holds = true; trace = None; stats })
-  | Prop.LeadsTo (p, q) -> check_liveness ?packed ?max_states net ~p ~q
+  | Prop.LeadsTo (p, q) ->
+    check_liveness ?packed ?max_states ?stop ?mem_budget_words net ~p ~q
   | Prop.Eventually f ->
     if not (Prop.crisp f) then
       invalid_arg "Checker: A<> operand must not contain clock atoms";
-    check_liveness ?packed ?max_states ~from_initial_only:true net ~p:Prop.True
-      ~q:f
+    check_liveness ?packed ?max_states ?stop ?mem_budget_words
+      ~from_initial_only:true net ~p:Prop.True ~q:f
 
 let reachable_states ?subsumption ?packed ?max_states
     ?(extrapolation = `Lu) net =

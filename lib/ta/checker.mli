@@ -40,6 +40,18 @@ type result = {
   stats : stats;
 }
 
+(** The exploration was cut short by a {e resource} bound rather than
+    [max_states]: the [mem_budget_words] retained-heap budget, or the
+    [stop] hook (a deadline or cancellation). Carries the stats of the
+    explored prefix so callers can report what was covered before
+    degrading — the graceful alternative to an OOM kill or a hung
+    request. [max_states] keeps its historical [Failure]. *)
+exception
+  Truncated of {
+    reason : [ `Mem_budget | `Stop ];
+    stats : stats;
+  }
+
 (** Which extrapolation {!Zones.Dbm.seal} applies when the zone graph
     seals a successor. [`Lu] (the default) is coarse lower/upper-bound
     extrapolation from {!Prop.merge_lu} — fewest distinct zones, sound
@@ -65,11 +77,17 @@ type extrapolation = [ `None | `K | `Lu ]
     [rich_trace] (default false) annotates every witness step with the
     symbolic state it reaches. [max_states] (default 1_000_000) aborts
     pathological explorations.
-    @raise Failure if the exploration exceeds [max_states]. *)
+    [stop] is polled once per visited state — a deadline or cancellation
+    hook for serving contexts. [mem_budget_words] bounds the passed
+    list's retained heap (see {!Engine.Store.over_budget}).
+    @raise Failure if the exploration exceeds [max_states].
+    @raise Truncated if [stop] or [mem_budget_words] cut the run short. *)
 val check :
   ?subsumption:bool ->
   ?packed:bool ->
   ?max_states:int ->
+  ?stop:(unit -> bool) ->
+  ?mem_budget_words:int ->
   ?rich_trace:bool ->
   ?extrapolation:extrapolation ->
   Model.network ->

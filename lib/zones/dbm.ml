@@ -361,6 +361,12 @@ end)
 let hc_table = Hc.create 4096
 let hc_mu = Mutex.create ()
 
+let intern_size () =
+  Mutex.lock hc_mu;
+  let n = Hc.count hc_table in
+  Mutex.unlock hc_mu;
+  n
+
 type extrapolation =
   | No_extrapolation
   | Extra_m of int array

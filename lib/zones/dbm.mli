@@ -169,6 +169,14 @@ type cmp_stats = {
 val cmp_stats : unit -> cmp_stats
 val reset_cmp_stats : unit -> unit
 
+(** Live entries in the weak intern table behind {!seal}. The table
+    holds representatives only as long as something else (a passed
+    list, a warm cache anchor) keeps them alive, so this is the direct
+    observable for intern-lifecycle tests and for a serving process
+    watching its warm-cache footprint: after the last store is dropped
+    and a full major GC, the count falls back to the baseline. *)
+val intern_size : unit -> int
+
 (** Deliberately broken DBM operations for fault injection — the
     mutation smoke test of the differential oracle harness ({!Gen}
     library) flips one on and must then observe a cross-backend

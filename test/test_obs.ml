@@ -123,6 +123,73 @@ let prop_json_roundtrip =
     (fun v -> Json.parse (Json.to_string v) = v)
 
 (* ------------------------------------------------------------------ *)
+(* Untrusted parsing: quantd feeds raw socket frames through
+   [parse_untrusted], which must be total — a structured [Error] for
+   malformed, truncated, oversized or over-nested input, never an
+   escaping exception or unbounded recursion.                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_untrusted_limits () =
+  let limits = { Json.max_bytes = 64; max_depth = 4 } in
+  check "small valid input parses" true
+    (Json.parse_untrusted ~limits "{\"a\":[1,2]}"
+     = Ok (Json.Obj [ ("a", Json.Arr [ Json.Int 1; Json.Int 2 ]) ]));
+  check "oversized payload rejected" true
+    (match Json.parse_untrusted ~limits (String.make 66 ' ') with
+     | Error _ -> true
+     | Ok _ -> false);
+  check "nesting within the limit accepted" true
+    (match Json.parse_untrusted ~limits "[[[1]]]" with
+     | Ok _ -> true
+     | Error _ -> false);
+  check "over-nested input rejected" true
+    (match Json.parse_untrusted ~limits "[[[[[1]]]]]" with
+     | Error _ -> true
+     | Ok _ -> false);
+  (* A deep bomb under the default limits must come back as an error,
+     not blow the stack: 100k opening brackets, never closed. *)
+  check "100k-deep array bomb is a structured error" true
+    (match Json.parse_untrusted (String.make 100_000 '[') with
+     | Error _ -> true
+     | Ok _ -> false);
+  (* Everything the printer emits round-trips under the default limits. *)
+  let v = Json.Obj [ ("x", Json.Arr [ Json.Int 1; Json.Str "s" ]) ] in
+  check "default limits round-trip" true
+    (Json.parse_untrusted (Json.to_string v) = Ok v)
+
+(* Mangled frames: take a valid document and truncate it, flip one byte,
+   or replace it with raw garbage — the shapes a crashing client or a
+   hostile peer actually sends. *)
+let mangled_json_gen =
+  QCheck.Gen.(
+    json_gen >>= fun v ->
+    let s = Json.to_string v in
+    let len = String.length s in
+    oneof
+      [
+        (int_bound (max 0 (len - 1)) >|= fun n -> String.sub s 0 n);
+        ( pair (int_bound (max 0 (len - 1))) (int_range 0 255) >|= fun (i, b) ->
+          if len = 0 then s
+          else begin
+            let bs = Bytes.of_string s in
+            Bytes.set bs i (Char.chr b);
+            Bytes.to_string bs
+          end );
+        string_size (int_bound 64);
+      ])
+
+let prop_untrusted_total =
+  QCheck.Test.make ~name:"parse_untrusted is total on mangled frames"
+    ~count:2000
+    (QCheck.make mangled_json_gen ~print:(Printf.sprintf "%S"))
+    (fun s -> match Json.parse_untrusted s with Ok _ | Error _ -> true)
+
+let prop_untrusted_roundtrip =
+  QCheck.Test.make ~name:"parse_untrusted (to_string v) = Ok v" ~count:500
+    (QCheck.make json_gen ~print:Json.to_string)
+    (fun v -> Json.parse_untrusted (Json.to_string v) = Ok v)
+
+(* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -693,6 +760,9 @@ let () =
           Alcotest.test_case "escaping" `Quick test_json_escaping;
           Alcotest.test_case "value round-trips" `Quick test_json_values;
           QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          Alcotest.test_case "untrusted limits" `Quick test_untrusted_limits;
+          QCheck_alcotest.to_alcotest prop_untrusted_total;
+          QCheck_alcotest.to_alcotest prop_untrusted_roundtrip;
         ] );
       ( "metrics",
         [

@@ -1,0 +1,476 @@
+(* Tests for the quantd service layer: protocol framing, in-process
+   request handling (reply cache, smc fusing determinism), intern-table
+   lifecycle under warm-query churn, and the socket daemon end to end —
+   byte-identity against the one-shot path, malformed-input survival,
+   deadline expiry, LRU eviction under a memory budget and graceful
+   SIGTERM shutdown. Daemon tests fork a child that never returns into
+   alcotest (it leaves via [Unix._exit]). *)
+
+module P = Serve.Protocol
+module Json = Obs.Json
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_request () =
+  let line =
+    {|{"v":1,"id":7,"method":"check","params":{"model":"fischer"},"deadline_ms":250.0}|}
+  in
+  (match P.parse_request line with
+   | Ok req ->
+     check "id" true (req.P.id = Json.Int 7);
+     check_str "method" "check" req.P.meth;
+     check "params" true (Json.member "model" req.P.params = Some (Json.Str "fischer"));
+     check "deadline" true (req.P.deadline_ms = Some 250.0)
+   | Error _ -> Alcotest.fail "valid request rejected");
+  let rejected line =
+    match P.parse_request line with Error _ -> true | Ok _ -> false
+  in
+  check "garbage rejected" true (rejected "{\"unterminated");
+  check "non-object rejected" true (rejected "[1,2,3]");
+  check "missing method rejected" true (rejected {|{"v":1,"id":1,"params":{}}|});
+  check "wrong version rejected" true
+    (rejected {|{"v":2,"id":1,"method":"ping","params":{}}|});
+  check "array params rejected" true
+    (rejected {|{"v":1,"id":1,"method":"ping","params":[]}|});
+  check "negative deadline rejected" true
+    (rejected {|{"v":1,"id":1,"method":"ping","params":{},"deadline_ms":-5}|})
+
+let test_reply_lines () =
+  let ok = P.ok_line ~id:(Json.Int 3) (Json.Obj [ ("x", Json.Int 1) ]) in
+  (match P.parse_reply ok with
+   | Ok r ->
+     check "ok id" true (r.P.reply_id = Json.Int 3);
+     check "ok payload" true (r.P.payload = Ok (Json.Obj [ ("x", Json.Int 1) ]))
+   | Error _ -> Alcotest.fail "ok_line does not parse");
+  let err = P.error_line ~id:Json.Null P.Bad_request "nope" in
+  match P.parse_reply err with
+  | Ok r -> check "error payload" true (r.P.payload = Error ("bad_request", "nope"))
+  | Error _ -> Alcotest.fail "error_line does not parse"
+
+(* ------------------------------------------------------------------ *)
+(* In-process service: reply cache and fused-sampling determinism      *)
+(* ------------------------------------------------------------------ *)
+
+let with_service ?mem_budget_words f =
+  Par.Pool.with_pool ~jobs:2 @@ fun pool ->
+  let registry = Serve.Registry.create ?mem_budget_words () in
+  f (Serve.Service.create ~registry ~pool ())
+
+let request ?deadline_ms ~id meth params =
+  let fields =
+    [ ("v", Json.Int 1); ("id", Json.Int id); ("method", Json.Str meth);
+      ("params", Json.Obj params) ]
+    @ match deadline_ms with
+      | Some ms -> [ ("deadline_ms", Json.Float ms) ]
+      | None -> []
+  in
+  Json.to_string (Json.Obj fields)
+
+let reply_text line =
+  match P.parse_reply line with
+  | Ok { P.payload = Ok result; _ } -> (
+    match Json.member "text" result with
+    | Some (Json.Str t) -> t
+    | _ -> Alcotest.fail ("reply without text: " ^ line))
+  | _ -> Alcotest.fail ("error reply: " ^ line)
+
+let test_check_matches_oneshot_and_caches () =
+  with_service @@ fun svc ->
+  let expected =
+    let spec = Serve.Models.fischer in
+    let net = spec.Serve.Models.make 3 in
+    String.concat ""
+      (List.map
+         (fun (name, q) ->
+           Serve.Render.query_line ~stats_json:false name (Ta.Checker.check net q))
+         (spec.Serve.Models.queries net))
+  in
+  let params = [ ("model", Json.Str "fischer"); ("n", Json.Int 3) ] in
+  let r1 = Serve.Service.handle_line svc (request ~id:1 "check" params) in
+  check_str "daemon bytes = one-shot bytes" expected (reply_text r1);
+  let hits = Obs.counter "serve.reply_hits" in
+  let before = Obs.Metrics.Counter.value hits in
+  let r2 = Serve.Service.handle_line svc (request ~id:2 "check" params) in
+  check_str "cached reply identical" expected (reply_text r2);
+  check "second query hit the reply cache" true
+    (Obs.Metrics.Counter.value hits > before)
+
+let test_fused_smc_equals_alone () =
+  (* Two smc requests in one read round are fused into a single sample
+     batch; the replies must be byte-equal to each request answered
+     alone on a fresh service. *)
+  let fischer_params =
+    [ ("model", Json.Str "fischer"); ("trains", Json.Int 2);
+      ("runs", Json.Int 120) ]
+  in
+  let train_params =
+    [ ("model", Json.Str "train-gate"); ("trains", Json.Int 2);
+      ("runs", Json.Int 120) ]
+  in
+  let alone_f =
+    with_service @@ fun svc ->
+    reply_text (Serve.Service.handle_line svc (request ~id:1 "smc" fischer_params))
+  in
+  let alone_t =
+    with_service @@ fun svc ->
+    reply_text (Serve.Service.handle_line svc (request ~id:2 "smc" train_params))
+  in
+  with_service @@ fun svc ->
+  match
+    Serve.Service.handle_batch svc
+      [ request ~id:1 "smc" fischer_params; request ~id:2 "smc" train_params ]
+  with
+  | [ rf; rt ] ->
+    check_str "fused fischer = alone" alone_f (reply_text rf);
+    check_str "fused train-gate = alone" alone_t (reply_text rt)
+  | _ -> Alcotest.fail "batch reply count"
+
+let test_bad_requests_are_structured () =
+  with_service @@ fun svc ->
+  let code line =
+    match P.parse_reply (Serve.Service.handle_line svc line) with
+    | Ok { P.payload = Error (code, _); _ } -> code
+    | _ -> "ok"
+  in
+  check_str "bad json" "bad_json" (code "{\"broken");
+  check_str "unknown method" "unknown_method"
+    (code (request ~id:1 "frobnicate" []));
+  check_str "unknown model" "bad_request"
+    (code (request ~id:2 "check" [ ("model", Json.Str "bogus") ]));
+  check_str "bad param type" "bad_request"
+    (code (request ~id:3 "check" [ ("n", Json.Str "four") ]));
+  check_str "fault injection refused" "bad_request"
+    (code (request ~id:4 "fuzz" [ ("inject", Json.Str "dbm-up") ]));
+  check_str "out-of-range n" "bad_request"
+    (code (request ~id:5 "check" [ ("n", Json.Int 99) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Intern-table lifecycle under warm-query churn                       *)
+(* ------------------------------------------------------------------ *)
+
+let settle () =
+  Gc.full_major ();
+  Gc.full_major ()
+
+let test_dbm_intern_shared_across_queries () =
+  let net = Ta.Fischer.make ~n:3 () in
+  let s1 = Ta.Checker.reachable_states net in
+  settle ();
+  let size1 = Zones.Dbm.intern_size () in
+  let s2 = Ta.Checker.reachable_states net in
+  settle ();
+  let size2 = Zones.Dbm.intern_size () in
+  (* The second query re-derives the same canonical zones, so while the
+     first result is live it interns nothing new. *)
+  check_int "warm re-query adds no zones" size1 size2;
+  check_int "same state count" (List.length s1) (List.length s2);
+  List.iter2
+    (fun (a : Ta.Zone_graph.state) (b : Ta.Zone_graph.state) ->
+      check "zone physically shared across queries" true
+        (a.Ta.Zone_graph.zone == b.Ta.Zone_graph.zone))
+    s1 s2
+
+let test_dbm_intern_drains_after_churn () =
+  settle ();
+  let baseline = Zones.Dbm.intern_size () in
+  for _ = 1 to 5 do
+    let net = Ta.Fischer.make ~n:3 () in
+    ignore (Ta.Checker.check net (Ta.Fischer.mutex net))
+  done;
+  settle ();
+  (* Weak table: once no store holds the zones, repeated queries leave
+     no residue — the daemon's long-uptime no-leak property. *)
+  check "no unbounded growth after GC" true
+    (Zones.Dbm.intern_size () <= baseline + 64)
+
+let test_codec_intern_lifecycle_multi_domain () =
+  let spec =
+    Engine.Codec.spec
+      [ Engine.Codec.Bounded { name = "a"; lo = 0; hi = 4095 };
+        Engine.Codec.Word "w" ]
+  in
+  let encode v = Engine.Codec.encode spec (fun _ -> v) in
+  (* Four domains intern the same 200 values concurrently; the pool must
+     end up with exactly one representative per value. *)
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            Array.init 200 (fun v -> Engine.Codec.intern spec (encode v))))
+  in
+  let reps = Array.map Domain.join domains in
+  settle ();
+  check_int "one representative per value" 200 (Engine.Codec.intern_size spec);
+  for v = 0 to 199 do
+    for d = 1 to 3 do
+      check "cross-domain physical equality" true (reps.(0).(v) == reps.(d).(v))
+    done
+  done;
+  (* Dropping every root drains the weak pool. *)
+  Array.iteri (fun i _ -> reps.(i) <- [||]) reps;
+  settle ();
+  check_int "pool drains once unreferenced" 0 (Engine.Codec.intern_size spec)
+
+(* ------------------------------------------------------------------ *)
+(* Daemon end to end (forked child)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fork_daemon ?mem_budget_words ?(jobs = 1) sock =
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (* Child: silence the banner, run the daemon, and leave without
+       touching alcotest's exit machinery. *)
+    (try
+       let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+       Unix.dup2 devnull Unix.stdout;
+       Unix.close devnull;
+       let config =
+         { Serve.Daemon.default_config with socket_path = sock; jobs;
+           mem_budget_words }
+       in
+       Serve.Daemon.run ~config ()
+     with _ -> ());
+    Unix._exit 0
+  end
+  else pid
+
+let stop_daemon pid =
+  Unix.kill pid Sys.sigterm;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> code
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> -1
+
+let with_daemon ?mem_budget_words f =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "quantd-test-%d.sock" (Unix.getpid ()))
+  in
+  let pid = fork_daemon ?mem_budget_words sock in
+  Fun.protect
+    ~finally:(fun () -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      let client = Serve.Client.connect sock in
+      let r = Fun.protect ~finally:(fun () -> Serve.Client.close client) (fun () -> f client) in
+      check_int "graceful SIGTERM exit" 0 (stop_daemon pid);
+      r)
+
+let result_text = function
+  | Ok j -> (
+    match Json.member "text" j with
+    | Some (Json.Str t) -> t
+    | _ -> Alcotest.fail "reply without text")
+  | Error (code, msg) -> Alcotest.fail (code ^ ": " ^ msg)
+
+let test_daemon_byte_identity () =
+  let expected_check =
+    let spec = Serve.Models.fischer in
+    let net = spec.Serve.Models.make 3 in
+    String.concat ""
+      (List.map
+         (fun (name, q) ->
+           Serve.Render.query_line ~stats_json:false name (Ta.Checker.check net q))
+         (spec.Serve.Models.queries net))
+  in
+  let expected_smc =
+    let net = Ta.Fischer.make ~n:2 () in
+    String.concat ""
+      (List.map
+         (fun i ->
+           Serve.Render.smc_fischer_line i
+             (Smc.probability ~runs:100 ~seed:(42 + i) net
+                {
+                  Smc.horizon = 30.0;
+                  goal = Ta.Prop.Loc (i, Ta.Model.loc_index net i "cs");
+                }))
+         [ 0; 1 ])
+  in
+  with_daemon @@ fun client ->
+  let r =
+    Serve.Client.call client ~meth:"check"
+      [ ("model", Json.Str "fischer"); ("n", Json.Int 3) ]
+  in
+  check_str "check over the socket = one-shot" expected_check (result_text r);
+  let r =
+    Serve.Client.call client ~meth:"smc"
+      [ ("model", Json.Str "fischer"); ("trains", Json.Int 2);
+        ("runs", Json.Int 100) ]
+  in
+  check_str "smc over the socket = one-shot" expected_smc (result_text r);
+  (* Pipelined pair in one write: the daemon fuses the sampling, the
+     replies keep request order and the same bytes. *)
+  match
+    Serve.Client.call_many client
+      [ ("smc",
+         None,
+         [ ("model", Json.Str "fischer"); ("trains", Json.Int 2);
+           ("runs", Json.Int 150) ]);
+        ("ping", None, []) ]
+  with
+  | [ smc; ping ] ->
+    let expected_150 =
+      let net = Ta.Fischer.make ~n:2 () in
+      String.concat ""
+        (List.map
+           (fun i ->
+             Serve.Render.smc_fischer_line i
+               (Smc.probability ~runs:150 ~seed:(42 + i) net
+                  {
+                    Smc.horizon = 30.0;
+                    goal = Ta.Prop.Loc (i, Ta.Model.loc_index net i "cs");
+                  }))
+           [ 0; 1 ])
+    in
+    check_str "pipelined smc bytes" expected_150 (result_text smc);
+    check "pipelined ping answered" true
+      (match ping with
+       | Ok j -> Json.member "pong" j = Some (Json.Bool true)
+       | Error _ -> false)
+  | _ -> Alcotest.fail "call_many reply count"
+
+let test_daemon_survives_malformed_input () =
+  with_daemon @@ fun client ->
+  let code_of_raw raw =
+    match P.parse_reply (Serve.Client.call_raw client raw) with
+    | Ok { P.payload = Error (code, _); _ } -> code
+    | _ -> "ok"
+  in
+  check_str "truncated frame" "bad_json" (code_of_raw "{\"v\":1,\"id");
+  check_str "binary garbage" "bad_json" (code_of_raw "\x00\xff\xfe garbage");
+  check_str "valid json, wrong shape" "bad_request" (code_of_raw "[1,2,3]");
+  check_str "unknown method" "unknown_method"
+    (code_of_raw {|{"v":1,"id":1,"method":"nope","params":{}}|});
+  (* The connection — and the daemon — are still healthy. *)
+  check "ping after abuse" true
+    (match Serve.Client.call client ~meth:"ping" [] with
+     | Ok _ -> true
+     | Error _ -> false)
+
+let test_daemon_deadline_expiry () =
+  with_daemon @@ fun client ->
+  (match
+     Serve.Client.call client ~meth:"check" ~deadline_ms:1.0
+       [ ("model", Json.Str "fischer"); ("n", Json.Int 6) ]
+   with
+   | Error ("deadline_exceeded", _) -> ()
+   | Error (code, msg) -> Alcotest.fail ("wrong error: " ^ code ^ ": " ^ msg)
+   | Ok _ -> Alcotest.fail "expected deadline_exceeded");
+  (* The expired query cost one reply, not the daemon: a sane request
+     on the same connection still completes. *)
+  check "daemon alive after expiry" true
+    (match
+       Serve.Client.call client ~meth:"check"
+         [ ("model", Json.Str "fischer"); ("n", Json.Int 2) ]
+     with
+     | Ok _ -> true
+     | Error _ -> false)
+
+let test_daemon_eviction_under_budget () =
+  (* 128 kWords ≈ 1 MB: roomy enough for the n=4 instances to answer,
+     tight enough that their retained anchors must evict — and that the
+     n=5 instances degrade into a structured resource_exhausted reply
+     instead of an OOM kill. *)
+  with_daemon ~mem_budget_words:131_072 @@ fun client ->
+  List.iter
+    (fun (model, n) ->
+      (* Two distinct queries per model (an identical repeat would stop
+         at the reply cache): the second warms the retained-anchor
+         layer, growing the cache past the budget. *)
+      List.iter
+        (fun stats_json ->
+          match
+            Serve.Client.call client ~meth:"check"
+              [ ("model", Json.Str model); ("n", Json.Int n);
+                ("stats_json", Json.Bool stats_json) ]
+          with
+          | Ok _ -> ()
+          | Error ("resource_exhausted", _) ->
+            (* The same budget bounds in-flight exploration: the reply
+               is the graceful-degrade contract, not a failure. *)
+            ()
+          | Error (code, msg) -> Alcotest.fail (code ^ ": " ^ msg))
+        [ false; true ])
+    [ ("fischer", 4); ("train-gate", 4); ("fischer", 5); ("train-gate", 5) ];
+  match Serve.Client.call client ~meth:"metrics" [] with
+  | Ok j ->
+    let evictions =
+      match
+        Option.bind (Json.member "metrics" j) (fun m ->
+            Option.bind (Json.member "serve.evictions" m) (Json.member "value"))
+      with
+      | Some (Json.Int n) -> n
+      | Some (Json.Float f) -> int_of_float f
+      | _ -> 0
+    in
+    check "budget forced evictions" true (evictions > 0);
+    (* Eviction degraded the cache, not the answers. *)
+    check "still answering after eviction" true
+      (match
+         Serve.Client.call client ~meth:"check"
+           [ ("model", Json.Str "fischer"); ("n", Json.Int 3) ]
+       with
+       | Ok _ -> true
+       | Error _ -> false)
+  | Error (code, msg) -> Alcotest.fail (code ^ ": " ^ msg)
+
+let test_daemon_metrics_scrape () =
+  with_daemon @@ fun client ->
+  ignore
+    (Serve.Client.call client ~meth:"check"
+       [ ("model", Json.Str "fischer"); ("n", Json.Int 3) ]);
+  match Serve.Client.call client ~meth:"metrics" [] with
+  | Ok j ->
+    check "has metrics section" true (Json.member "metrics" j <> None);
+    check "has serve cache stats" true
+      (match Json.member "serve" j with
+       | Some s -> Json.member "models" s <> None && Json.member "dbm_intern_size" s <> None
+       | None -> false);
+    check "has uptime" true (Json.member "uptime_s" j <> None)
+  | Error (code, msg) -> Alcotest.fail (code ^ ": " ^ msg)
+
+let () =
+  Alcotest.run "serve"
+    [
+      (* The daemon section forks, which OCaml 5 forbids once any domain
+         has been created — so it runs first, before the service and
+         lifecycle tests spawn pools. *)
+      ( "daemon",
+        [
+          Alcotest.test_case "byte identity + pipelining" `Quick
+            test_daemon_byte_identity;
+          Alcotest.test_case "survives malformed input" `Quick
+            test_daemon_survives_malformed_input;
+          Alcotest.test_case "deadline expiry" `Quick test_daemon_deadline_expiry;
+          Alcotest.test_case "eviction under --mem-budget" `Quick
+            test_daemon_eviction_under_budget;
+          Alcotest.test_case "metrics scrape" `Quick test_daemon_metrics_scrape;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "parse_request" `Quick test_parse_request;
+          Alcotest.test_case "reply lines" `Quick test_reply_lines;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "check = one-shot bytes, then cached" `Quick
+            test_check_matches_oneshot_and_caches;
+          Alcotest.test_case "fused smc = alone" `Quick
+            test_fused_smc_equals_alone;
+          Alcotest.test_case "structured errors" `Quick
+            test_bad_requests_are_structured;
+        ] );
+      ( "intern lifecycle",
+        [
+          Alcotest.test_case "zones shared across warm queries" `Quick
+            test_dbm_intern_shared_across_queries;
+          Alcotest.test_case "no residue after churn + GC" `Quick
+            test_dbm_intern_drains_after_churn;
+          Alcotest.test_case "codec pool across 4 domains" `Quick
+            test_codec_intern_lifecycle_multi_domain;
+        ] );
+    ]
