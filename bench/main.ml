@@ -650,6 +650,77 @@ let engine () =
         "%-24s store retained words: %d (poly) -> %d (packed)\n" name
         poly.Ta.Checker.store_words packed.Ta.Checker.store_words)
     runs;
+  (* Parallel zone exploration: fischer-6 under the sharded engine at
+     jobs = 1/2/4 on the mutex query. Sharded runs pin [stats.time_s]
+     to 0.0 (wall time is a scheduling observable, never part of the
+     deterministic result), so the rows are timed externally here. The
+     jobs=1 run is both the byte-identity reference and the speedup
+     baseline; steal counts and mailbox high-water marks are the
+     scheduling observables the determinism argument excludes. *)
+  header "Parallel zone exploration (fischer-6, sharded engine)";
+  let net6 = Ta.Fischer.make ~n:6 () in
+  let q6 = Ta.Fischer.mutex net6 in
+  let cores = Domain.recommended_domain_count () in
+  let par_rows =
+    List.map
+      (fun jobs ->
+        Obs.reset ();
+        Gc.compact ();
+        let r, wall = timed (fun () -> Ta.Checker.check ~jobs net6 q6) in
+        let g = Gc.stat () in
+        let stats = r.Ta.Checker.stats in
+        let p =
+          match r.Ta.Checker.par with
+          | Some p -> p
+          | None -> failwith "sharded check must report par info"
+        in
+        let nodes_per_s = float_of_int stats.Ta.Checker.visited /. wall in
+        Printf.printf
+          "fischer-6/mutex jobs=%d %-9s visited %7d  %8.0f nodes/s  rounds %4d  steals %4d  mailbox hwm %5d  %.2fs\n"
+          jobs
+          (if r.Ta.Checker.holds then "satisfied" else "VIOLATED")
+          stats.Ta.Checker.visited nodes_per_s p.Engine.Core.rounds
+          p.Engine.Core.steals p.Engine.Core.mailbox_hwm wall;
+        (jobs, r, wall, nodes_per_s, g, p))
+      [ 1; 2; 4 ]
+  in
+  let wall_of j =
+    let _, _, w, _, _, _ = List.find (fun (j', _, _, _, _, _) -> j' = j) par_rows in
+    w
+  in
+  let stats_of j =
+    let _, r, _, _, _, _ = List.find (fun (j', _, _, _, _, _) -> j' = j) par_rows in
+    Engine.Stats.to_json r.Ta.Checker.stats
+  in
+  Printf.printf
+    "fischer-6/mutex speedup vs jobs=1: x%.2f (jobs=2)  x%.2f (jobs=4) on %d core(s); stats j1=j4: %b\n"
+    (wall_of 1 /. wall_of 2)
+    (wall_of 1 /. wall_of 4)
+    cores
+    (String.equal (stats_of 1) (stats_of 4));
+  let par_entries =
+    List.map
+      (fun (jobs, r, wall, nodes_per_s, g, p) ->
+        Obs.Json.Obj
+          [
+            ("run", Obs.Json.Str (Printf.sprintf "fischer-6/mutex/jobs-%d" jobs));
+            ("holds", Obs.Json.Bool r.Ta.Checker.holds);
+            ("jobs", Obs.Json.Int jobs);
+            ("cores", Obs.Json.Int cores);
+            ("wall_s", Obs.Json.Float wall);
+            ("nodes_per_s", Obs.Json.Float nodes_per_s);
+            ("check_speedup", Obs.Json.Float (wall_of 1 /. wall));
+            ("steal_count", Obs.Json.Int p.Engine.Core.steals);
+            ("mailbox_hwm", Obs.Json.Int p.Engine.Core.mailbox_hwm);
+            ("rounds", Obs.Json.Int p.Engine.Core.rounds);
+            ("handoffs", Obs.Json.Int p.Engine.Core.handoffs);
+            ("shards", Obs.Json.Int p.Engine.Core.par_shards);
+            ("top_heap_words", Obs.Json.Int g.Gc.top_heap_words);
+            ("live_words", Obs.Json.Int g.Gc.live_words);
+            ("stats", Engine.Stats.to_json_value r.Ta.Checker.stats);
+          ])
+      par_rows
+  in
   let entries =
     Obs.Json.Arr
       (List.map
@@ -666,13 +737,15 @@ let engine () =
                ("metrics", metrics);
                ("spans", spans);
              ])
-         rows)
+         rows
+      @ par_entries)
   in
   let oc = open_out "BENCH_engine.json" in
   output_string oc (Obs.Json.to_string entries);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote BENCH_engine.json (%d runs)\n" (List.length rows)
+  Printf.printf "wrote BENCH_engine.json (%d runs)\n"
+    (List.length rows + List.length par_entries)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel pool scaling: SMC + modes batches at 1/2/4 domains         *)

@@ -383,7 +383,7 @@ let fischer_cmd =
    standard queries, and the shared telemetry flags — the incantation
    `quantcli check --model fischer --flight t.json` is the documented
    way to get a phase trace out of the zone engine. *)
-let check_impl obs model n stats_json mem_budget_mb =
+let check_impl obs model n stats_json mem_budget_mb jobs =
   with_obs obs @@ fun () ->
   match Serve.Models.find model with
   | None ->
@@ -394,23 +394,31 @@ let check_impl obs model n stats_json mem_budget_mb =
     let mem_budget_words =
       Option.map (fun mb -> mb * 1024 * 1024 / 8) mem_budget_mb
     in
-    let truncated = ref false in
-    let oks =
-      List.fold_left
-        (fun acc (name, q) ->
-          let ok =
-            match Ta.Checker.check ?mem_budget_words net q with
-            | r -> show_query ~stats_json name r
-            | exception Ta.Checker.Truncated { reason; stats } ->
-              truncated := true;
-              print_string (Serve.Render.truncated_line name stats ~reason);
-              true
-          in
-          ok :: acc)
-        []
-        (spec.Serve.Models.queries net)
+    (* One pool shared by every query of the run; --jobs 1 still takes
+       the sharded engine path (the determinism reference for any
+       higher --jobs: identical bytes, different domain count). *)
+    let run_queries pool =
+      let truncated = ref false in
+      let oks =
+        List.fold_left
+          (fun acc (name, q) ->
+            let ok =
+              match Ta.Checker.check ?mem_budget_words ?jobs ?pool net q with
+              | r -> show_query ~stats_json name r
+              | exception Ta.Checker.Truncated { reason; stats } ->
+                truncated := true;
+                print_string (Serve.Render.truncated_line name stats ~reason);
+                true
+            in
+            ok :: acc)
+          []
+          (spec.Serve.Models.queries net)
+      in
+      if !truncated then 3 else if List.for_all Fun.id oks then 0 else 1
     in
-    if !truncated then 3 else if List.for_all Fun.id oks then 0 else 1
+    (match jobs with
+     | Some j when j > 1 -> Par.Pool.with_pool ~jobs:j (fun p -> run_queries (Some p))
+     | _ -> run_queries None)
 
 let check_cmd =
   let model =
@@ -435,13 +443,25 @@ let check_cmd =
              megabytes: the interrupted query prints a TRUNCATED verdict and \
              the command exits 3 instead of being OOM-killed.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Explore with the sharded parallel engine over $(docv) worker \
+             domains. Output is byte-identical for every $(docv) >= 1 \
+             (omitting the flag keeps the sequential engine, whose witness \
+             traces may differ).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Model check a named model's standard queries (the profiling entry \
           point: combine with --flight/--report).")
     Term.(
-      const check_impl $ obs_term $ model $ n $ stats_json_arg $ mem_budget)
+      const check_impl $ obs_term $ model $ n $ stats_json_arg $ mem_budget
+      $ jobs)
 
 (* ------------------------------------------------------------------ *)
 
@@ -856,13 +876,14 @@ let client_call ~socket ~meth ?deadline_ms params ~on_ok =
     Printf.eprintf "quantcli client: protocol error: %s\n" msg;
     3
 
-let client_check socket deadline_ms model n stats_json =
+let client_check socket deadline_ms model n stats_json jobs =
   client_call ~socket ~meth:"check" ?deadline_ms
-    [
-      ("model", Obs.Json.Str model);
-      ("n", Obs.Json.Int n);
-      ("stats_json", Obs.Json.Bool stats_json);
-    ]
+    ([
+       ("model", Obs.Json.Str model);
+       ("n", Obs.Json.Int n);
+       ("stats_json", Obs.Json.Bool stats_json);
+     ]
+    @ match jobs with Some j -> [ ("jobs", Obs.Json.Int j) ] | None -> [])
     ~on_ok:(fun result ->
       match Obs.Json.member "all_hold" result with
       | Some (Obs.Json.Bool false) -> 1
@@ -925,11 +946,20 @@ let client_cmd =
         & info [ "n" ] ~docv:"N"
             ~doc:"Processes (fischer) or trains (train-gate).")
     in
+    let jobs =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "jobs" ] ~docv:"N"
+            ~doc:
+              "Ask the daemon to explore with the sharded parallel engine \
+               (capped by the daemon's own worker pool size).")
+    in
     Cmd.v
       (Cmd.info "check" ~doc:"Model check on the daemon (warm caches).")
       Term.(
         const client_check $ socket_arg $ deadline_arg $ model $ n
-        $ stats_json_arg)
+        $ stats_json_arg $ jobs)
   in
   let smc =
     let model =

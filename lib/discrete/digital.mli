@@ -64,14 +64,25 @@ val codec :
 val id_of : graph -> dstate -> int
 
 (** [explore net] builds the reachable graph, breadth-first on the shared
-    {!Engine.Core} with a {!Engine.Store.discrete} store.
+    {!Engine.Core} with a {!Engine.Store.discrete} store. With [jobs] the
+    build runs on the sharded parallel core instead
+    ({!Engine.Core.run_sharded}, optionally over a caller-owned [pool]):
+    the same graph is produced for every [jobs >= 1] — node numbering is
+    the canonical sharded one, so it may differ from the sequential BFS
+    numbering of a [jobs]-less build (graph consumers rebuild indices
+    from the state array, so both numberings are valid).
     @raise Failure when [max_states] (default 2_000_000) is exceeded. *)
-val explore : ?max_states:int -> Ta.Model.network -> graph
+val explore :
+  ?max_states:int -> ?jobs:int -> ?pool:Par.Pool.t -> Ta.Model.network -> graph
 
 (** [explore_stats net] is {!explore} and the engine's per-run
     instrumentation (visited, stored, peak frontier, wall-clock time). *)
 val explore_stats :
-  ?max_states:int -> Ta.Model.network -> graph * Engine.Stats.t
+  ?max_states:int ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  Ta.Model.network ->
+  graph * Engine.Stats.t
 
 (** [discrete_parts g] is the set of reachable (locations, store) pairs,
     for cross-validation against the zone engine. *)

@@ -18,12 +18,23 @@ let m_run_wall = Obs.histogram "engine.run_wall_s"
    unless [Obs.Flight.enable] ran). *)
 let ph_pop = Obs.Flight.intern "engine.frontier_pop"
 let ph_frontier_len = Obs.Flight.intern "engine.frontier_len"
+let ph_shard_merge = Obs.Flight.intern "engine.shard_merge"
+let ph_shard_expand = Obs.Flight.intern "engine.shard_expand"
+let ph_mailbox_len = Obs.Flight.intern "engine.mailbox_len"
 
 type 's order = Bfs | Dfs | Priority of ('s -> int)
 
 type ('s, 'l) node = { state : 's; parent : int; label : 'l option }
 
 type stop_cause = Max_states | Mem_budget | Stop_requested
+
+type par_info = {
+  par_shards : int;
+  rounds : int;
+  steals : int;
+  handoffs : int;
+  mailbox_hwm : int;
+}
 
 type ('s, 'l, 'a) outcome = {
   found : ('a * ('l * 's) list) option;
@@ -32,6 +43,7 @@ type ('s, 'l, 'a) outcome = {
   edges : ('l * int) list array;
   stopped : stop_cause option;
   stats : Stats.t;
+  par : par_info option;
 }
 
 let run ?(max_states = 1_000_000) ?stop ?mem_budget_words ?(order = Bfs)
@@ -236,4 +248,401 @@ let run ?(max_states = 1_000_000) ?stop ?mem_budget_words ?(order = Bfs)
     edges;
     stopped = !stopped;
     stats;
+    par = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sharded parallel exploration.
+
+   The packed-state space is partitioned over [shards] disjoint shards
+   by key hash; each shard owns a private arena, keyed store and FIFO
+   frontier, so no lock ever guards a store probe. Execution proceeds
+   in barrier-synchronised rounds (Par.Shards): a shard's step first
+   {e merges} the mailbox messages other shards addressed to it in the
+   previous round, then {e expands} its frontier to exhaustion —
+   in-shard successors continue within the same round, cross-shard
+   successors are pushed into the current round's outboxes. The round
+   barrier is the only synchronisation: a mailbox is written by exactly
+   one shard step in round [r] and read by exactly one in round [r+1].
+
+   Determinism: which domain runs a shard step never influences what
+   the step computes — shard state is touched only by its own step, and
+   messages are merged in (source shard, push order), a key order
+   independent of scheduling. Node ids are made canonical after the
+   run by densely renumbering shards in rotation order starting at the
+   initial state's shard, so the initial state is id 0 and every id,
+   trace, edge list and stat is byte-identical across pool sizes.
+   [time_s] and [phases] are scheduling observables, so sharded stats
+   pin them to [0.0] / [[]]; wall-clock belongs to the caller's bench
+   harness, steal counts to {!par_info}. *)
+
+type ('s, 'l) snode = {
+  nstate : 's;
+  nkey : Codec.packed;
+  nparent : int; (* global id, -1 for the root *)
+  nlabel : 'l option;
+}
+
+(* A successor handed across shards. [m_res]/[m_res_i] carry the
+   producer's edge-resolution slot: the consumer writes the id it
+   assigned (or keeps -1 for covered) before the next barrier, which is
+   what makes [record_edges] exact under sharding. *)
+type ('s, 'l) msg = {
+  m_state : 's;
+  m_key : Codec.packed;
+  m_parent : int;
+  m_label : 'l;
+  m_res : int array;
+  m_res_i : int; (* -1 when edges are off *)
+}
+
+type ('s, 'l, 'a) shard_ctx = {
+  sid : int;
+  arena : ('s, 'l) snode Arena.t;
+  st : 's Store.keyed;
+  frontier : int Queue.t; (* local indices *)
+  mutable visited : int;
+  mutable subsumed : int;
+  mutable dropped : int;
+  mutable reopened : int;
+  mutable peak : int;
+  mutable sent : int;
+  mutable witnesses : (int * 'a) list; (* local idx, newest first *)
+  mutable halted : bool; (* stop_on_found: witness seen, stop expanding *)
+  mutable elog : (int * 'l array * int array) list; (* gid, labels, dst gids *)
+}
+
+let run_sharded ?(max_states = 1_000_000) ?stop ?mem_budget_words
+    ?(record_edges = false) ?(stop_on_found = true) ?prefer ?(shards = 64)
+    ?shard_of ?pool ~(store : unit -> 's Store.keyed)
+    ~(key : 's -> Codec.packed) ~successors ~on_state ~init () =
+  Obs.Span.with_ ~name:"engine.run_sharded" @@ fun () ->
+  if shards < 1 then invalid_arg "Engine: shards must be >= 1";
+  let nsh = shards in
+  let cmp0 = Dbm.cmp_stats () in
+  let route =
+    match shard_of with
+    | Some f -> f
+    | None ->
+      (* Route on the high half of the memoized key hash: the store's
+         probe tables index on the low bits, so low-bit routing would
+         cluster every shard's entries into a slice of its table. *)
+      fun pk -> Codec.hash pk lsr 32 mod nsh
+  in
+  let shard_arr =
+    Array.init nsh (fun sid ->
+        {
+          sid;
+          arena = Arena.create ();
+          st = store ();
+          frontier = Queue.create ();
+          visited = 0;
+          subsumed = 0;
+          dropped = 0;
+          reopened = 0;
+          peak = 0;
+          sent = 0;
+          witnesses = [];
+          halted = false;
+          elog = [];
+        })
+  in
+  (* boxes.(p).(src).(dst): double-buffered so round r writes parity p
+     while reading parity 1-p; the barrier flip in [continue_] is the
+     happens-before edge between writer and reader. *)
+  let boxes =
+    Array.init 2 (fun _ ->
+        Array.init nsh (fun _ -> Array.init nsh (fun _ -> Par.Mailbox.create ())))
+  in
+  let parity = ref 0 in
+  let stopped = ref None in
+  let no_res = [||] in
+  (* Offer a state to shard [sh]'s store; on acceptance commit it to the
+     arena and frontier. Returns the global id it lives under, -1 when
+     covered. Global ids interleave shards ([idx * nsh + sid]) so a
+     node's home shard is recoverable from its id alone. *)
+  let accept sh ~parent ~label ~pk st =
+    let gid = (Arena.size sh.arena * nsh) + sh.sid in
+    match sh.st.Store.kinsert st ~key:pk ~id:gid with
+    | Store.Added { dropped = d; reopened = r } ->
+      sh.dropped <- sh.dropped + d;
+      if r then sh.reopened <- sh.reopened + 1;
+      ignore
+        (Arena.add sh.arena
+           { nstate = st; nkey = pk; nparent = parent; nlabel = label });
+      Queue.push (gid / nsh) sh.frontier;
+      let len = Queue.length sh.frontier in
+      if len > sh.peak then sh.peak <- len;
+      gid
+    | Store.Dup id' ->
+      sh.subsumed <- sh.subsumed + 1;
+      id'
+    | Store.Covered ->
+      sh.subsumed <- sh.subsumed + 1;
+      -1
+  in
+  let expand sh idx =
+    let node = Arena.get sh.arena idx in
+    if not (sh.st.Store.kstale node.nstate ~key:node.nkey) then begin
+      sh.visited <- sh.visited + 1;
+      match on_state node.nstate with
+      | Some payload ->
+        sh.witnesses <- (idx, payload) :: sh.witnesses;
+        if stop_on_found then sh.halted <- true
+      | None ->
+        let gid = (idx * nsh) + sh.sid in
+        let succs = successors node.nstate in
+        Obs.Metrics.Histogram.observe m_fanout
+          (float_of_int (List.length succs));
+        let res =
+          if record_edges && succs <> [] then begin
+            let labels = Array.of_list (List.map fst succs) in
+            let dsts = Array.make (Array.length labels) (-1) in
+            sh.elog <- (gid, labels, dsts) :: sh.elog;
+            dsts
+          end
+          else no_res
+        in
+        let cur = boxes.(!parity) in
+        List.iteri
+          (fun j (label, st') ->
+            let pk = key st' in
+            let ds = route pk in
+            if ds = sh.sid then begin
+              let g' = accept sh ~parent:gid ~label:(Some label) ~pk st' in
+              if res != no_res then res.(j) <- g'
+            end
+            else begin
+              sh.sent <- sh.sent + 1;
+              Par.Mailbox.push cur.(sh.sid).(ds)
+                {
+                  m_state = st';
+                  m_key = pk;
+                  m_parent = gid;
+                  m_label = label;
+                  m_res = res;
+                  m_res_i = (if res != no_res then j else -1);
+                }
+            end)
+          succs
+    end
+  in
+  let step sid =
+    let sh = shard_arr.(sid) in
+    let fl = Obs.Flight.start () in
+    (* Merge: drain last round's inboxes in source-shard order; within a
+       box, FIFO push order. Both orders are scheduling-independent. *)
+    let prev = boxes.(1 - !parity) in
+    for src = 0 to nsh - 1 do
+      let box = prev.(src).(sid) in
+      if Par.Mailbox.length box > 0 then begin
+        Obs.Flight.sample ph_mailbox_len (float_of_int (Par.Mailbox.length box));
+        Par.Mailbox.iter
+          (fun m ->
+            let g =
+              accept sh ~parent:m.m_parent ~label:(Some m.m_label) ~pk:m.m_key
+                m.m_state
+            in
+            if m.m_res_i >= 0 then m.m_res.(m.m_res_i) <- g)
+          box;
+        Par.Mailbox.clear box
+      end
+    done;
+    let fl = Obs.Flight.stop_start ph_shard_merge fl in
+    (* Expand to local exhaustion; in-shard successors keep the round
+       going, cross-shard ones wait in the outboxes for the barrier. *)
+    while (not sh.halted) && not (Queue.is_empty sh.frontier) do
+      expand sh (Queue.pop sh.frontier)
+    done;
+    Obs.Flight.stop ph_shard_expand fl
+  in
+  let pk0 = key init in
+  let s0 = route pk0 in
+  if s0 < 0 || s0 >= nsh then invalid_arg "Engine: shard_of out of range";
+  if accept shard_arr.(s0) ~parent:(-1) ~label:None ~pk:pk0 init <> s0 then
+    invalid_arg "Engine: store rejected the initial state";
+  let rounds = ref 0 in
+  let found_any () =
+    Array.exists (fun sh -> sh.witnesses <> []) shard_arr
+  in
+  let total_nodes () =
+    Array.fold_left (fun a sh -> a + Arena.size sh.arena) 0 shard_arr
+  in
+  let total_visited () =
+    Array.fold_left (fun a sh -> a + sh.visited) 0 shard_arr
+  in
+  let total_words () =
+    Array.fold_left (fun a sh -> a + sh.st.Store.kwords ()) 0 shard_arr
+  in
+  let pending () =
+    Array.exists
+      (fun row -> Array.exists (fun b -> Par.Mailbox.length b > 0) row)
+      boxes.(!parity)
+    || Array.exists (fun sh -> not (Queue.is_empty sh.frontier)) shard_arr
+  in
+  (* Global bounds are re-checked only here, at round barriers — a round
+     may overshoot [max_states]/the memory budget by its own growth, but
+     which states exist when a bound trips is scheduling-independent. *)
+  let next_words_check = ref 2048 in
+  let continue_ () =
+    incr rounds;
+    let n = total_nodes () in
+    if stop_on_found && found_any () then false
+    else if total_visited () > max_states || n > max_states then begin
+      stopped := Some Max_states;
+      false
+    end
+    else if match stop with Some f -> f () | None -> false then begin
+      stopped := Some Stop_requested;
+      false
+    end
+    else if
+      match mem_budget_words with
+      | Some budget when n >= !next_words_check ->
+        next_words_check := n + max 1024 (n / 4);
+        total_words () > budget
+      | _ -> false
+    then begin
+      stopped := Some Mem_budget;
+      false
+    end
+    else if not (pending ()) then false
+    else begin
+      parity := 1 - !parity;
+      true
+    end
+  in
+  let pstats = Par.Shards.run ?pool ~shards:nsh ~step ~continue_ () in
+  (* Canonical dense renumbering: shards in rotation order from the
+     initial state's shard, nodes in arena (insertion) order within a
+     shard. The rotation puts the initial state at id 0. *)
+  let order = Array.init nsh (fun i -> (s0 + i) mod nsh) in
+  let base = Array.make nsh 0 in
+  let total = ref 0 in
+  Array.iter
+    (fun sid ->
+      base.(sid) <- !total;
+      total := !total + Arena.size shard_arr.(sid).arena)
+    order;
+  let dense_of gid = if gid < 0 then -1 else base.(gid mod nsh) + (gid / nsh) in
+  let n = !total in
+  let states = Array.make n init in
+  let parents = Array.make n (-1, None) in
+  Array.iter
+    (fun sid ->
+      let sh = shard_arr.(sid) in
+      Arena.iteri
+        (fun idx nd ->
+          states.(base.(sid) + idx) <- nd.nstate;
+          parents.(base.(sid) + idx) <- (dense_of nd.nparent, nd.nlabel))
+        sh.arena)
+    order;
+  let edges =
+    if not record_edges then [||]
+    else begin
+      let a = Array.make n [] in
+      Array.iter
+        (fun sid ->
+          List.iter
+            (fun (gid, labels, dsts) ->
+              let l = ref [] in
+              for j = Array.length labels - 1 downto 0 do
+                (* -1 slots: covered successors, or cross-shard hand-offs
+                   the run truncated before merging. *)
+                if dsts.(j) >= 0 then
+                  l := (labels.(j), dense_of dsts.(j)) :: !l
+              done;
+              a.(dense_of gid) <- !l)
+            shard_arr.(sid).elog)
+        order;
+      a
+    end
+  in
+  (* Witness choice: the canonical minimum over all shards — [prefer]
+     first (when given), then the smallest canonical id. With
+     [stop_on_found] every witness is from the same (first hitting)
+     round, so this is exactly "first witness a sequential rotation
+     sweep would meet". *)
+  let chosen = ref None in
+  Array.iter
+    (fun sid ->
+      let sh = shard_arr.(sid) in
+      List.iter
+        (fun (idx, payload) ->
+          let gid = (idx * nsh) + sh.sid in
+          match !chosen with
+          | None -> chosen := Some (payload, gid)
+          | Some (bp, bg) ->
+            let c = match prefer with Some f -> f payload bp | None -> 0 in
+            if c < 0 || (c = 0 && dense_of gid < dense_of bg) then
+              chosen := Some (payload, gid))
+        (List.rev sh.witnesses))
+    order;
+  let trace_to gid =
+    let rec walk gid acc =
+      if gid < 0 then acc
+      else begin
+        let nd = Arena.get shard_arr.(gid mod nsh).arena (gid / nsh) in
+        match nd.nlabel with
+        | None -> acc
+        | Some l -> walk nd.nparent ((l, nd.nstate) :: acc)
+      end
+    in
+    walk gid []
+  in
+  let cmp1 = Dbm.cmp_stats () in
+  let sum f = Array.fold_left (fun a sh -> a + f sh) 0 shard_arr in
+  let stats =
+    {
+      Stats.visited = sum (fun sh -> sh.visited);
+      stored = sum (fun sh -> sh.st.Store.ksize ());
+      subsumed = sum (fun sh -> sh.subsumed);
+      dropped = sum (fun sh -> sh.dropped);
+      reopened = sum (fun sh -> sh.reopened);
+      peak_frontier = sum (fun sh -> sh.peak);
+      store_words = sum (fun sh -> sh.st.Store.kwords ());
+      truncated = !stopped <> None;
+      time_s = 0.0;
+      dbm_phys_eq = cmp1.Dbm.phys_hits - cmp0.Dbm.phys_hits;
+      dbm_full_cmp = cmp1.Dbm.full_scans - cmp0.Dbm.full_scans;
+      dbm_lattice_cmp = cmp1.Dbm.lattice_scans - cmp0.Dbm.lattice_scans;
+      phases = [];
+    }
+  in
+  let mailbox_hwm =
+    Array.fold_left
+      (fun acc plane ->
+        Array.fold_left
+          (fun acc row ->
+            Array.fold_left (fun acc b -> max acc (Par.Mailbox.hwm b)) acc row)
+          acc plane)
+      0 boxes
+  in
+  let par =
+    Some
+      {
+        par_shards = nsh;
+        rounds = pstats.Par.Shards.rounds;
+        steals = pstats.Par.Shards.steals;
+        handoffs = sum (fun sh -> sh.sent);
+        mailbox_hwm;
+      }
+  in
+  Obs.Metrics.Counter.incr m_runs;
+  Obs.Metrics.Counter.add m_visited stats.Stats.visited;
+  Obs.Metrics.Counter.add m_stored stats.Stats.stored;
+  Obs.Metrics.Counter.add m_subsumed stats.Stats.subsumed;
+  Obs.Metrics.Counter.add m_dropped stats.Stats.dropped;
+  Obs.Metrics.Counter.add m_reopened stats.Stats.reopened;
+  if stats.Stats.truncated then Obs.Metrics.Counter.incr m_truncated;
+  Obs.Metrics.Gauge.set_max m_peak_frontier
+    (float_of_int stats.Stats.peak_frontier);
+  {
+    found = Option.map (fun (p, gid) -> (p, trace_to gid)) !chosen;
+    states;
+    parents;
+    edges;
+    stopped = !stopped;
+    stats;
+    par;
   }

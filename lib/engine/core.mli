@@ -28,6 +28,19 @@ type ('s, 'l) node = { state : 's; parent : int; label : 'l option }
     explicit, reportable result, not a crash. *)
 type stop_cause = Max_states | Mem_budget | Stop_requested
 
+(** Parallel-execution observables of a {!run_sharded} run. Everything
+    here except [steals] is deterministic (identical for every pool
+    size); [steals] counts shard steps run by a non-home domain and
+    varies run to run — it is reported for bench visibility and must
+    never feed back into results. *)
+type par_info = {
+  par_shards : int;  (** shard count the state space was split over *)
+  rounds : int;  (** barrier rounds until quiescence / stop *)
+  steals : int;  (** stolen shard steps (scheduling-dependent) *)
+  handoffs : int;  (** cross-shard successor messages sent *)
+  mailbox_hwm : int;  (** largest backlog any single mailbox held *)
+}
+
 type ('s, 'l, 'a) outcome = {
   found : ('a * ('l * 's) list) option;
       (** the payload returned by [on_state], with the labelled steps of
@@ -44,6 +57,8 @@ type ('s, 'l, 'a) outcome = {
   stopped : stop_cause option;
       (** [None] for a complete run; mirrored as [stats.truncated] *)
   stats : Stats.t;
+  par : par_info option;
+      (** [Some] for {!run_sharded} outcomes, [None] for {!run} *)
 }
 
 (** [run ~store ~successors ~on_state ~init ()] explores from [init]
@@ -69,6 +84,63 @@ val run :
   ?order:'s order ->
   ?record_edges:bool ->
   store:'s Store.t ->
+  successors:('s -> ('l * 's) list) ->
+  on_state:('s -> 'a option) ->
+  init:'s ->
+  unit ->
+  ('s, 'l, 'a) outcome
+
+(** [run_sharded ~store ~key ~successors ~on_state ~init ()] — the
+    sharded parallel counterpart of {!run} (BFS-flavoured: expansion
+    order is per-shard FIFO over barrier rounds, not global BFS).
+
+    The packed-key space is partitioned over [shards] (default 64)
+    disjoint shards — by the high bits of {!Codec.hash}, or by
+    [shard_of] when given (tests use it to force cross-shard traffic).
+    Each shard owns a private keyed store ([store ()] is called once
+    per shard) and frontier; successors landing on another shard travel
+    through double-buffered per-(src,dst) mailboxes merged after the
+    next round barrier ({!Par.Shards.run}); termination is quiescence —
+    all frontiers and mailboxes empty at a barrier.
+
+    {b Determinism}: verdicts, traces, ids, edges and stats are
+    byte-identical for every pool size, including [jobs = 1] — shard
+    state is only ever touched by its own step, messages merge in
+    (source shard, FIFO) order, node ids are canonically renumbered
+    (dense, shards rotated so the initial state is id 0), and the
+    witness is the [prefer]-minimal (ties: smallest canonical id) over
+    all shards. Sharded stats pin the scheduling observables: [time_s]
+    is [0.0] and [phases] is [[]]; wall-clock timing belongs to the
+    caller. Scheduling-dependent counts (steals) live only in
+    {!par_info}.
+
+    [stop_on_found = true] (default) mirrors {!run}: the run stops at
+    the first barrier after any shard hit a witness. [false] runs to
+    quiescence collecting every witness and returns the [prefer]-best —
+    the mode CORA's cost-optimal search uses, where later rounds can
+    re-open states on cheaper paths ([Store.best_cost_keyed] re-opens,
+    stale entries are skipped at pop).
+
+    Global bounds ([max_states], [stop], [mem_budget_words]) are
+    checked at round barriers only, so a run may overshoot a bound by
+    one round's growth before truncating; which states exist at that
+    point is still deterministic.
+
+    @raise Invalid_argument if [shards < 1], [shard_of] answers out of
+    range for the initial state, or the store rejects the initial
+    state. *)
+val run_sharded :
+  ?max_states:int ->
+  ?stop:(unit -> bool) ->
+  ?mem_budget_words:int ->
+  ?record_edges:bool ->
+  ?stop_on_found:bool ->
+  ?prefer:('a -> 'a -> int) ->
+  ?shards:int ->
+  ?shard_of:(Codec.packed -> int) ->
+  ?pool:Par.Pool.t ->
+  store:(unit -> 's Store.keyed) ->
+  key:('s -> Codec.packed) ->
   successors:('s -> ('l * 's) list) ->
   on_state:('s -> 'a option) ->
   init:'s ->

@@ -117,40 +117,66 @@ module Ptbl = struct
       if 3 * t.len > 2 * (t.mask + 1) then grow t
 end
 
-let discrete ?(size_hint = default_size_hint) ~key () =
-  let tbl : int Codec.Tbl.t = Codec.Tbl.create size_hint in
+(* Keyed store cores: the caller computes the packed key once and hands
+   it to every insert/stale call. The sharded engine lives on these —
+   the same key that routes a state to its shard probes the shard's
+   table, so the hot path never encodes twice — and the classic
+   constructors below are thin wrappers that bolt a key function on. *)
+type 's keyed = {
+  kname : string;
+  kinsert : 's -> key:Codec.packed -> id:int -> verdict;
+  kstale : 's -> key:Codec.packed -> bool;
+  ksize : unit -> int;
+  kwords : unit -> int;
+}
+
+let k_no_stale _ ~key:_ = false
+
+let with_key ~key k =
   {
-    name = "discrete";
+    name = k.kname;
     insert =
       (fun s ~id ->
         let fl = Obs.Flight.start () in
-        let k = key s in
-        let fl = Obs.Flight.stop_start ph_encode fl in
-        let hit = Codec.Tbl.find_opt tbl k in
+        let pk = key s in
+        Obs.Flight.stop ph_encode fl;
+        k.kinsert s ~key:pk ~id);
+    stale = (fun s -> k.kstale s ~key:(key s));
+    size = k.ksize;
+    words = k.kwords;
+  }
+
+let discrete_keyed ?(size_hint = default_size_hint) () =
+  let tbl : int Codec.Tbl.t = Codec.Tbl.create size_hint in
+  {
+    kname = "discrete";
+    kinsert =
+      (fun _s ~key ~id ->
+        let fl = Obs.Flight.start () in
+        let hit = Codec.Tbl.find_opt tbl key in
         Obs.Flight.stop ph_probe fl;
         match hit with
         | Some id' -> Dup id'
         | None ->
           let fl = Obs.Flight.start () in
-          Codec.Tbl.replace tbl k id;
+          Codec.Tbl.replace tbl key id;
           Obs.Flight.stop ph_insert fl;
           Added { dropped = 0; reopened = false });
-    stale = no_stale;
-    size = (fun () -> Codec.Tbl.length tbl);
-    words = reachable_words tbl;
+    kstale = k_no_stale;
+    ksize = (fun () -> Codec.Tbl.length tbl);
+    kwords = reachable_words tbl;
   }
 
-let exact ?(size_hint = default_size_hint) ~key ~zone () =
+let exact_keyed ?(size_hint = default_size_hint) ~zone () =
   (* One flat table on the fused (packed, zone) key — no per-key bucket
      lists to scan, and both hashes are memoized. *)
   let tbl : int Ztbl.t = Ztbl.create size_hint in
   {
-    name = "exact";
-    insert =
-      (fun s ~id ->
+    kname = "exact";
+    kinsert =
+      (fun s ~key ~id ->
         let fl = Obs.Flight.start () in
-        let zk = Zkey.make (key s) (zone s) in
-        let fl = Obs.Flight.stop_start ph_encode fl in
+        let zk = Zkey.make key (zone s) in
         let hit = Ztbl.find_opt tbl zk in
         Obs.Flight.stop ph_probe fl;
         match hit with
@@ -160,12 +186,12 @@ let exact ?(size_hint = default_size_hint) ~key ~zone () =
           Ztbl.replace tbl zk id;
           Obs.Flight.stop ph_insert fl;
           Added { dropped = 0; reopened = false });
-    stale = no_stale;
-    size = (fun () -> Ztbl.length tbl);
-    words = reachable_words tbl;
+    kstale = k_no_stale;
+    ksize = (fun () -> Ztbl.length tbl);
+    kwords = reachable_words tbl;
   }
 
-let subsume ?(size_hint = default_size_hint) ~key ~zone () =
+let subsume_keyed ?(size_hint = default_size_hint) ~zone () =
   let tbl : Dbm.canon list Ptbl.t = Ptbl.create size_hint in
   (* packed key -> zone list; stored zones are pairwise incomparable and
      kept sorted by decreasing {!Dbm.width}. The width score is monotone
@@ -180,12 +206,11 @@ let subsume ?(size_hint = default_size_hint) ~key ~zone () =
      the per-scan cost matches the quiet comparisons. *)
   let count = ref 0 in
   {
-    name = "subsume";
-    insert =
-      (fun s ~id:_ ->
+    kname = "subsume";
+    kinsert =
+      (fun s ~key:k ~id:_ ->
+        let z : Dbm.canon = zone s in
         let fl = Obs.Flight.start () in
-        let k = key s and z : Dbm.canon = zone s in
-        let fl = Obs.Flight.stop_start ph_encode fl in
         let entries = Ptbl.find_default tbl k [] in
         let fl_scan = Obs.Flight.stop_start ph_probe fl in
         let wz = Dbm.width (z :> Dbm.t) in
@@ -236,18 +261,18 @@ let subsume ?(size_hint = default_size_hint) ~key ~zone () =
         let verdict = cover entries [] 0 0 in
         Obs.Flight.stop ph_subsume fl_scan;
         verdict);
-    stale = no_stale;
-    size = (fun () -> !count);
-    words = reachable_words tbl;
+    kstale = k_no_stale;
+    ksize = (fun () -> !count);
+    kwords = reachable_words tbl;
   }
 
-let best_cost ?(size_hint = default_size_hint) ~key ~cost () =
+let best_cost_keyed ?(size_hint = default_size_hint) ~cost () =
   let best : int Codec.Tbl.t = Codec.Tbl.create size_hint in
   {
-    name = "best-cost";
-    insert =
-      (fun s ~id:_ ->
-        let k = key s and c = cost s in
+    kname = "best-cost";
+    kinsert =
+      (fun s ~key:k ~id:_ ->
+        let c = cost s in
         match Codec.Tbl.find_opt best k with
         | Some old when old <= c -> Covered
         | prev ->
@@ -255,14 +280,25 @@ let best_cost ?(size_hint = default_size_hint) ~key ~cost () =
           (* A previous entry means this key is being re-opened on a
              cheaper path: report it as such, not as an eviction. *)
           Added { dropped = 0; reopened = prev <> None });
-    stale =
-      (fun s ->
-        match Codec.Tbl.find_opt best (key s) with
+    kstale =
+      (fun s ~key:k ->
+        match Codec.Tbl.find_opt best k with
         | Some b -> cost s > b
         | None -> false);
-    size = (fun () -> Codec.Tbl.length best);
-    words = reachable_words best;
+    ksize = (fun () -> Codec.Tbl.length best);
+    kwords = reachable_words best;
   }
+
+let discrete ?size_hint ~key () = with_key ~key (discrete_keyed ?size_hint ())
+
+let exact ?size_hint ~key ~zone () =
+  with_key ~key (exact_keyed ?size_hint ~zone ())
+
+let subsume ?size_hint ~key ~zone () =
+  with_key ~key (subsume_keyed ?size_hint ~zone ())
+
+let best_cost ?size_hint ~key ~cost () =
+  with_key ~key (best_cost_keyed ?size_hint ~cost ())
 
 (* The pre-codec stores, kept verbatim behind polymorphic hashing: the
    packed-vs-polymorphic ablation flag and generic engine tests run on

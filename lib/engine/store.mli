@@ -71,6 +71,36 @@ type 's t = {
     number. *)
 val over_budget : 's t -> budget_words:int -> bool
 
+(** A keyed store core: every probe takes the state's packed key as an
+    argument instead of computing it. The sharded engine keys on these —
+    the packed key is computed once per candidate, routes the state to a
+    shard and then probes that shard's table, so the hot path never
+    encodes twice (mailbox messages carry the key across shards). The
+    classic constructors below are [with_key] wrappers over these
+    cores. *)
+type 's keyed = {
+  kname : string;
+  kinsert : 's -> key:Codec.packed -> id:int -> verdict;
+  kstale : 's -> key:Codec.packed -> bool;
+  ksize : unit -> int;
+  kwords : unit -> int;
+}
+
+(** [with_key ~key k] — the classic single-closure store over keyed core
+    [k], computing [key s] on every insert/stale probe. *)
+val with_key : key:('s -> Codec.packed) -> 's keyed -> 's t
+
+val discrete_keyed : ?size_hint:int -> unit -> 's keyed
+
+val exact_keyed :
+  ?size_hint:int -> zone:('s -> Zones.Dbm.canon) -> unit -> 's keyed
+
+val subsume_keyed :
+  ?size_hint:int -> zone:('s -> Zones.Dbm.canon) -> unit -> 's keyed
+
+val best_cost_keyed :
+  ?size_hint:int -> cost:('s -> int) -> unit -> 's keyed
+
 val discrete :
   ?size_hint:int -> key:('s -> Codec.packed) -> unit -> 's t
 

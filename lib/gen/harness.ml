@@ -59,7 +59,7 @@ type report = {
 (* Greedy shrink: scan the single-step candidates in order, commit to
    the first that still diverges, repeat until none does (local
    minimum) or the probe budget runs out. *)
-let shrink_diverged ~extrapolation ~max_probes case message =
+let shrink_diverged ~extrapolation ~jobs ~max_probes case message =
   let probes = ref 0 in
   let rec go case message steps =
     let rec first = function
@@ -68,7 +68,7 @@ let shrink_diverged ~extrapolation ~max_probes case message =
         if !probes >= max_probes then None
         else begin
           incr probes;
-          match Oracle.check ~extrapolation c with
+          match Oracle.check ~extrapolation ~jobs c with
           | Diverge m -> Some (c, m)
           | Agree | Skip _ -> first rest
         end
@@ -82,9 +82,12 @@ let shrink_diverged ~extrapolation ~max_probes case message =
 let run cfg =
   if cfg.cases < 0 then invalid_arg "Gen.Harness.run: negative cases";
   if cfg.families = [] then invalid_arg "Gen.Harness.run: no families";
+  (* The pool size reaches the oracles too (clamped inside Oracle.check
+     to a poolless sharded run — pools must not nest), so a fuzz sweep
+     exercises the parallel engine path on every TA case. *)
   let eval i =
     let case = case_of cfg i in
-    (case, Oracle.check ~extrapolation:cfg.extrapolation case)
+    (case, Oracle.check ~extrapolation:cfg.extrapolation ~jobs:cfg.jobs case)
   in
   let results =
     if cfg.jobs <= 1 then Array.init cfg.cases eval
@@ -103,7 +106,7 @@ let run cfg =
       | Oracle.Diverge msg ->
         let shrunk, shrunk_msg, steps =
           if cfg.shrink then
-            shrink_diverged ~extrapolation:cfg.extrapolation
+            shrink_diverged ~extrapolation:cfg.extrapolation ~jobs:cfg.jobs
               ~max_probes:cfg.max_probes case msg
           else (case, msg, 0)
         in

@@ -49,13 +49,19 @@ let ta_max_states = 50_000
 let priced_max_states = 20_000
 let bip_max_states = 20_000
 
-let check_ta ~extrapolation spec =
+let check_ta ~extrapolation ?jobs spec =
+  (* Harness cases may already be running on pool worker domains, and
+     pools must not nest — so any harness [jobs] request is clamped to
+     a poolless sharded run ([jobs = 1]): both sides still exercise the
+     sharded mailbox/round machinery, and the verdict stays invariant
+     across harness pool sizes (a hard fuzz-report property). *)
+  let jobs = Option.map (fun _ -> 1) jobs in
   let net = Ta_gen.build spec in
   let zres =
-    Ta.Checker.check ~extrapolation ~max_states:ta_max_states net
+    Ta.Checker.check ~extrapolation ~max_states:ta_max_states ?jobs net
       (Ta.Prop.Possibly (Ta_gen.target_formula spec))
   in
-  let g = Discrete.Digital.explore ~max_states:ta_max_states net in
+  let g = Discrete.Digital.explore ~max_states:ta_max_states ?jobs net in
   let digital = Array.exists (Ta_gen.target_pred spec) g.Discrete.Digital.states in
   if zres.Ta.Checker.holds = digital then Agree
   else
@@ -201,10 +207,10 @@ let check_bip spec =
            (List.length r.Bip.Engine.deadlocks))
     | _ -> Agree
 
-let check ?(extrapolation = `Lu) case =
+let check ?(extrapolation = `Lu) ?jobs case =
   try
     match case with
-    | Ta spec -> check_ta ~extrapolation spec
+    | Ta spec -> check_ta ~extrapolation ?jobs spec
     | Pr spec -> check_priced spec
     | Md spec -> check_mdp spec
     | Sm spec -> check_smc spec

@@ -49,8 +49,15 @@ val family_of_case : case -> family
     maps to [Skip]; any other backend exception is a divergence.
     [extrapolation] (default [`Lu]) selects the zone engine's seal-time
     abstraction for TA cases, so the digital oracle cross-checks the
-    chosen extrapolation; other families ignore it. *)
-val check : ?extrapolation:Ta.Checker.extrapolation -> case -> verdict
+    chosen extrapolation; other families ignore it.
+
+    [jobs] (the harness pool size) routes TA cases through the sharded
+    parallel engine on both sides — clamped to a poolless [jobs = 1]
+    run, because oracle cases may already execute on a pool worker and
+    pools must not nest. Verdicts are therefore invariant across
+    harness pool sizes whether or not [jobs] is passed. *)
+val check :
+  ?extrapolation:Ta.Checker.extrapolation -> ?jobs:int -> case -> verdict
 
 (** Single-step shrink candidates (delegates to the family generator). *)
 val shrinks : case -> case list

@@ -161,6 +161,127 @@ end
 
 let effective_jobs pool = match pool with None -> 1 | Some p -> Pool.jobs p
 
+(* First worker exception, with its backtrace, wins. *)
+let record_failure slot e =
+  let bt = Printexc.get_raw_backtrace () in
+  ignore (Atomic.compare_and_set slot None (Some (e, bt)))
+
+let reraise_failure slot =
+  match Atomic.get slot with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sharded rounds                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Growable FIFO buffer for cross-shard hand-off. A box is written by
+   exactly one shard step and drained by exactly one shard step of the
+   NEXT round, with a pool barrier in between — that barrier is the only
+   synchronisation a box needs, so pushes and reads are plain. The
+   capacity is unbounded (a round's fan-out must land somewhere); the
+   high-water mark records the realised bound so benches can report
+   actual mailbox pressure. *)
+module Mailbox = struct
+  type 'a t = { mutable slots : 'a array; mutable len : int; mutable hwm : int }
+
+  let create () = { slots = [||]; len = 0; hwm = 0 }
+
+  let push t x =
+    if t.len = Array.length t.slots then begin
+      let fresh = Array.make (max 64 (2 * t.len)) x in
+      Array.blit t.slots 0 fresh 0 t.len;
+      t.slots <- fresh
+    end;
+    t.slots.(t.len) <- x;
+    t.len <- t.len + 1;
+    if t.len > t.hwm then t.hwm <- t.len
+
+  let length t = t.len
+  let hwm t = t.hwm
+
+  let iter f t =
+    for i = 0 to t.len - 1 do
+      f t.slots.(i)
+    done
+
+  (* Capacity is kept; the stale slots keep their last entries alive
+     until overwritten, which is harmless for exploration payloads (the
+     accepted states are retained by the arena anyway). *)
+  let clear t = t.len <- 0
+end
+
+let m_shard_rounds = Obs.counter "par.shard_rounds"
+let m_steals = Obs.counter "par.steals"
+let ph_steal = Obs.Flight.intern "par.steal"
+
+(* Barrier-synchronised sharded execution: every round runs [step s]
+   exactly once for each shard [s], fanned out over the pool, then the
+   calling domain evaluates [continue_] at the barrier and either starts
+   the next round or stops. Claiming is at shard granularity: each
+   participant first runs the shards it is home to (s mod jobs), then
+   steals whatever is still unclaimed, lowest shard first — a claim by a
+   non-home participant is a steal. Because every shard runs exactly
+   once per round whoever claims it, scheduling (and stealing) can never
+   leak into results — only into wall-clock and the steal count. *)
+module Shards = struct
+  type stats = { rounds : int; steals : int }
+
+  let run ?pool ~shards ~step ~continue_ () =
+    if shards < 1 then invalid_arg "Par.Shards.run: shards must be >= 1";
+    let jobs = effective_jobs pool in
+    let rounds = ref 0 in
+    let steals = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let claimed = Array.init shards (fun _ -> Atomic.make false) in
+    let who = Atomic.make 0 in
+    let round_body () =
+      let me = Atomic.fetch_and_add who 1 in
+      let do_shard s ~stolen =
+        if
+          Option.is_none (Atomic.get failure)
+          && Atomic.compare_and_set claimed.(s) false true
+        then begin
+          if stolen then begin
+            Atomic.incr steals;
+            Obs.Flight.mark ph_steal
+          end;
+          try step s with e -> record_failure failure e
+        end
+      in
+      let s = ref me in
+      while !s < shards do
+        do_shard !s ~stolen:false;
+        s := !s + jobs
+      done;
+      for s = 0 to shards - 1 do
+        do_shard s ~stolen:true
+      done
+    in
+    let continue_now = ref true in
+    while !continue_now do
+      incr rounds;
+      Obs.Metrics.Counter.incr m_shard_rounds;
+      Atomic.set who 0;
+      Array.iter (fun c -> Atomic.set c false) claimed;
+      (match pool with
+       | Some p when Pool.jobs p > 1 ->
+         Pool.run p ~leader:round_body ~worker:round_body
+       | _ ->
+         (* No pool (or a one-domain pool): plain in-order sweep, no
+            claim traffic. *)
+         (try
+            for s = 0 to shards - 1 do
+              step s
+            done
+          with e -> record_failure failure e));
+      reraise_failure failure;
+      continue_now := continue_ ()
+    done;
+    Obs.Metrics.Counter.add m_steals (Atomic.get steals);
+    { rounds = !rounds; steals = Atomic.get steals }
+end
+
 (* Adaptive chunk sizing: ~8 chunks per worker bound the claim-counter
    contention; the 256 cap keeps cancellation latency low on big ranges;
    the min-grain floor keeps small batches from splintering into tasks
@@ -173,16 +294,6 @@ let chunk_size ~chunk ~n ~jobs =
   match chunk with
   | Some c -> max 1 c
   | None -> max 1 (min 256 (max min_grain ((n + (8 * jobs) - 1) / (8 * jobs))))
-
-(* First worker exception, with its backtrace, wins. *)
-let record_failure slot e =
-  let bt = Printexc.get_raw_backtrace () in
-  ignore (Atomic.compare_and_set slot None (Some (e, bt)))
-
-let reraise_failure slot =
-  match Atomic.get slot with
-  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-  | None -> ()
 
 let map_range ?pool ?cancel ?chunk ~lo ~hi f =
   let n = hi - lo in

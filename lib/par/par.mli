@@ -67,6 +67,61 @@ module Pool : sig
   val run : t -> leader:(unit -> unit) -> worker:(unit -> unit) -> unit
 end
 
+(** Growable FIFO buffer for cross-shard hand-off in {!Shards} rounds.
+    A box must have exactly one writer per round and exactly one reader
+    in the next round, with a {!Shards.run} barrier in between — that
+    barrier is the only synchronisation a box relies on. The high-water
+    mark records the largest backlog the box ever held, so benches can
+    report realised mailbox pressure ([mailbox_hwm]). *)
+module Mailbox : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val length : 'a t -> int
+
+  (** Largest {!length} ever reached (not reset by {!clear}). *)
+  val hwm : 'a t -> int
+
+  (** Iterate in push (FIFO) order. *)
+  val iter : ('a -> unit) -> 'a t -> unit
+
+  (** Forget the contents, keeping the capacity. *)
+  val clear : 'a t -> unit
+end
+
+(** Barrier-synchronised sharded rounds with shard-granularity work
+    stealing — the execution skeleton of the parallel exploration
+    engine. Every round runs [step s] exactly once per shard, fanned
+    out over the pool (each participant runs its home shards
+    [s mod jobs] first, then steals unclaimed ones); the calling domain
+    evaluates [continue_] at the round barrier, where all shard steps
+    of the round happened-before. Scheduling decides only who runs a
+    shard, never what the shard computes, so results are identical for
+    every pool size. *)
+module Shards : sig
+  type stats = {
+    rounds : int;  (** rounds executed (deterministic) *)
+    steals : int;
+        (** shard steps run by a non-home participant — a scheduling
+            observable (varies run to run), never part of results *)
+  }
+
+  (** [run ?pool ~shards ~step ~continue_ ()] — rounds of [step] until
+      [continue_] answers false at a barrier. [step s] may touch shard
+      [s]'s state and its outboxes only; [continue_] runs on the
+      calling domain while the pool is quiescent. A [step] exception is
+      re-raised on the caller after the round drains.
+      @raise Invalid_argument when [shards < 1]. *)
+  val run :
+    ?pool:Pool.t ->
+    shards:int ->
+    step:(int -> unit) ->
+    continue_:(unit -> bool) ->
+    unit ->
+    stats
+end
+
 (** [map_range ~pool ~lo ~hi f] is [[| f lo; ...; f (hi-1) |]], computed
     in parallel chunks. Results are placed by index, so the returned
     array is independent of scheduling; [f] must be safe to call

@@ -13,6 +13,7 @@ type outcome = {
   steps : string list;
   explored : int;
   stats : Engine.Stats.t;
+  par : Engine.Core.par_info option;
 }
 
 let rate_of net cm (st : Digital.dstate) =
@@ -35,14 +36,12 @@ let trans_label (t : Digital.dtrans) =
    with a [best_cost] store and a cost-priority frontier. States carry
    their accumulated cost; re-improved states are re-enqueued and stale
    entries skipped at pop time, so a popped state's cost is optimal. *)
-let min_cost_reach net cm ~target =
+let min_cost_reach ?jobs ?pool net cm ~target =
   (* Keyed on the interned packed digital state: Dijkstra re-probes the
      best-cost table on every insert and every pop (staleness), so the
      memoized full-width hash pays off twice per state. *)
   let _spec, pack = Digital.codec net in
-  let store =
-    Engine.Store.best_cost ~key:(fun (st, _) -> pack st) ~cost:snd ()
-  in
+  let key (st, _) = pack st in
   let successors (st, cost) =
     List.map
       (fun t ->
@@ -51,10 +50,37 @@ let min_cost_reach net cm ~target =
   in
   let on_state (st, cost) = if target st then Some cost else None in
   let out =
-    Engine.Core.run ~max_states:max_int ~order:(Engine.Core.Priority snd)
-      ~store ~successors ~on_state
-      ~init:(Digital.initial net, 0)
-      ()
+    match jobs with
+    | Some j ->
+      if j < 1 then invalid_arg "Cora: jobs must be >= 1";
+      (* Sharded cost search is Bellman-Ford-flavoured rather than
+         Dijkstra: each shard relaxes its frontier in rounds, cheaper
+         paths re-open settled keys, and the run ends at quiescence —
+         no relaxation pending anywhere — rather than at the first
+         target pop. Every witness cost is collected and the minimum
+         returned, so the answer (and all stats) is identical for every
+         [j >= 1]; termination holds because costs are non-negative and
+         a key re-opens only on a strictly cheaper path. *)
+      let mk_pool f =
+        match pool with
+        | Some p -> f (Some p)
+        | None ->
+          if j <= 1 then f None
+          else Par.Pool.with_pool ~jobs:j (fun p -> f (Some p))
+      in
+      mk_pool (fun pool ->
+          Engine.Core.run_sharded ~max_states:max_int ~stop_on_found:false
+            ~prefer:compare ?pool
+            ~store:(fun () -> Engine.Store.best_cost_keyed ~size_hint:256 ~cost:snd ())
+            ~key ~successors ~on_state
+            ~init:(Digital.initial net, 0)
+            ())
+    | None ->
+      let store = Engine.Store.best_cost ~key ~cost:snd () in
+      Engine.Core.run ~max_states:max_int ~order:(Engine.Core.Priority snd)
+        ~store ~successors ~on_state
+        ~init:(Digital.initial net, 0)
+        ()
   in
   Option.map
     (fun (cost, steps) ->
@@ -64,6 +90,7 @@ let min_cost_reach net cm ~target =
         (* The target pop itself is not an expansion. *)
         explored = out.Engine.Core.stats.Engine.Stats.visited - 1;
         stats = out.Engine.Core.stats;
+        par = out.Engine.Core.par;
       })
     out.Engine.Core.found
 

@@ -25,13 +25,26 @@ type outcome = {
   steps : string list;  (** labels of an optimal run, ["delay"] for waits *)
   explored : int;  (** digital states expanded before the target popped *)
   stats : Engine.Stats.t;  (** the engine run's full instrumentation *)
+  par : Engine.Core.par_info option;
+      (** sharded-run observables when run with [jobs], else [None] *)
 }
 
 (** [min_cost_reach net cm ~target] is the cheapest cost to reach a state
     whose discrete part satisfies [target], or [None] if unreachable.
     Runs Dijkstra on the shared {!Engine.Core}: a {!Engine.Store.best_cost}
-    store with a cost-priority frontier. *)
+    store with a cost-priority frontier.
+
+    With [jobs] the search runs on the sharded parallel core in
+    Bellman-Ford style: shards relax their frontiers in barrier rounds,
+    cheaper paths re-open settled keys, and the run ends at quiescence
+    with the minimum over all collected target costs. The optimal cost
+    is identical to Dijkstra's; the reported witness run, [explored]
+    and store stats are deterministic per mode but differ between the
+    sequential and the sharded search order. [pool] reuses a
+    caller-owned domain pool. *)
 val min_cost_reach :
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
   Ta.Model.network ->
   cost_model ->
   target:(Discrete.Digital.dstate -> bool) ->

@@ -85,10 +85,20 @@ let handle_check t (req : P.request) ~now =
   | Some spec ->
     let* n = bad (P.param_int params ~key:"n" ~default:spec.Models.default_n) in
     let* stats_json = bad (P.param_bool params ~key:"stats_json" ~default:false) in
+    (* jobs = 0 (the default) keeps the sequential engine; jobs >= 1
+       explores sharded on the daemon's own worker pool, whose size
+       caps the realised parallelism — results are identical either
+       way for a given jobs value, so jobs belongs in the cache
+       fingerprint only because sequential and sharded witnesses may
+       legitimately differ. *)
+    let* jobs = bad (P.param_int params ~key:"jobs" ~default:0) in
     if n < 1 || n > 16 then Error (P.Bad_request, "n must be in 1..16")
+    else if jobs < 0 || jobs > 64 then
+      Error (P.Bad_request, "jobs must be in 0..64")
     else begin
       let fingerprint =
-        Printf.sprintf "check model=%s n=%d stats_json=%b" model n stats_json
+        Printf.sprintf "check model=%s n=%d stats_json=%b jobs=%d" model n
+          stats_json jobs
       in
       match Registry.cached_reply t.registry ~fingerprint with
       | Some r -> Ok r
@@ -98,8 +108,11 @@ let handle_check t (req : P.request) ~now =
         let deadline = deadline_at ~now req in
         let stop = stop_hook t ~deadline in
         let mem_budget_words = Registry.mem_budget_words t.registry in
+        let jobs, pool =
+          if jobs >= 1 then (Some jobs, Some t.pool) else (None, None)
+        in
         let run (name, q) =
-          match Ta.Checker.check ~stop ?mem_budget_words net q with
+          match Ta.Checker.check ~stop ?mem_budget_words ?jobs ?pool net q with
           | r ->
             Ok
               ( Render.query_line ~stats_json name r,

@@ -18,7 +18,12 @@ type stats = Engine.Stats.t = {
   phases : (string * (int * float)) list;
 }
 
-type result = { holds : bool; trace : string list option; stats : stats }
+type result = {
+  holds : bool;
+  trace : string list option;
+  stats : stats;
+  par : Engine.Core.par_info option;
+}
 
 exception
   Truncated of {
@@ -48,33 +53,68 @@ let reach_extra (extrapolation : extrapolation) net f =
     let lower, upper = Prop.merge_lu net f in
     Dbm.Extra_lu { lower; upper }
 
+(* Resolve an optional jobs request against an optional caller-owned
+   pool. A caller pool is used as-is (its size wins); otherwise a
+   transient pool is spun up only when the run actually needs worker
+   domains. *)
+let with_jobs_pool jobs pool f =
+  match pool with
+  | Some p -> f (Some p)
+  | None ->
+    if jobs <= 1 then f None
+    else Par.Pool.with_pool ~jobs (fun p -> f (Some p))
+
 (* Generic exploration. [on_state] is called once per fresh symbolic
    state and may short-circuit by returning a payload. With [rich_trace],
    witness steps carry the symbolic state they reach. Zones arrive sealed
-   from [Zone_graph], so no re-canonicalisation happens here. *)
+   from [Zone_graph], so no re-canonicalisation happens here.
+
+   [jobs = Some j] switches to the sharded parallel core — including
+   [j = 1], whose results are byte-identical to any higher [j] (the
+   sharded exploration order differs from the sequential one, so
+   [jobs:None] and [jobs:(Some 1)] may produce different witnesses for
+   the same verdict; determinism is guaranteed within each mode). *)
 let explore ?(subsumption = true) ?(packed = true)
     ?(max_states = 1_000_000) ?stop ?mem_budget_words ?(rich_trace = false)
-    net ~extra ~on_state =
-  (* [packed] keys the store on the interned codec encoding of the
-     discrete part; the ablation baseline keys on the raw
-     (locs, store) tuple under polymorphic hashing. *)
-  let store =
-    if packed then begin
-      let spec = Zone_graph.codec net in
-      let key st = Zone_graph.pack spec st in
-      if subsumption then Engine.Store.subsume ~key ~zone:state_zone ()
-      else Engine.Store.exact ~key ~zone:state_zone ()
-    end
-    else if subsumption then
-      Engine.Store.Poly.subsume ~key:state_key ~zone:state_zone ()
-    else Engine.Store.Poly.exact ~key:state_key ~zone:state_zone ()
-  in
+    ?jobs ?pool net ~extra ~on_state =
+  let init = Zone_graph.initial net ~extra in
   let successors st = Zone_graph.successors net ~extra st in
   let out =
-    Engine.Core.run ~max_states ?stop ?mem_budget_words ~store ~successors
-      ~on_state
-      ~init:(Zone_graph.initial net ~extra)
-      ()
+    match jobs with
+    | Some j ->
+      if j < 1 then invalid_arg "Checker: jobs must be >= 1";
+      if not packed then
+        invalid_arg "Checker: parallel exploration requires packed stores";
+      let spec = Zone_graph.codec net in
+      let key st = Zone_graph.pack spec st in
+      (* Per-shard tables start small: 64 shards at the default 4096
+         buckets would retain half a megaword before storing anything,
+         which the --mem-budget accounting would charge to the run. *)
+      let store () =
+        if subsumption then
+          Engine.Store.subsume_keyed ~size_hint:256 ~zone:state_zone ()
+        else Engine.Store.exact_keyed ~size_hint:256 ~zone:state_zone ()
+      in
+      with_jobs_pool j pool (fun pool ->
+          Engine.Core.run_sharded ~max_states ?stop ?mem_budget_words ?pool
+            ~store ~key ~successors ~on_state ~init ())
+    | None ->
+      (* [packed] keys the store on the interned codec encoding of the
+         discrete part; the ablation baseline keys on the raw
+         (locs, store) tuple under polymorphic hashing. *)
+      let store =
+        if packed then begin
+          let spec = Zone_graph.codec net in
+          let key st = Zone_graph.pack spec st in
+          if subsumption then Engine.Store.subsume ~key ~zone:state_zone ()
+          else Engine.Store.exact ~key ~zone:state_zone ()
+        end
+        else if subsumption then
+          Engine.Store.Poly.subsume ~key:state_key ~zone:state_zone ()
+        else Engine.Store.Poly.exact ~key:state_key ~zone:state_zone ()
+      in
+      Engine.Core.run ~max_states ?stop ?mem_budget_words ~store ~successors
+        ~on_state ~init ()
   in
   (* [max_states] keeps its historical contract (a hard [Failure]); the
      resource-bound stops raise [Truncated] with the partial stats so a
@@ -96,7 +136,8 @@ let explore ?(subsumption = true) ?(packed = true)
   ( Option.map
       (fun (payload, steps) -> (payload, List.map render steps))
       out.Engine.Core.found,
-    out.Engine.Core.stats )
+    out.Engine.Core.stats,
+    out.Engine.Core.par )
 
 (* ------------------------------------------------------------------ *)
 (* Deadlock                                                             *)
@@ -226,11 +267,11 @@ let trace_in_graph graph id =
 (* ------------------------------------------------------------------ *)
 
 let check_reach ?subsumption ?packed ?max_states ?stop ?mem_budget_words
-    ?rich_trace ?(extrapolation = `Lu) net f =
+    ?rich_trace ?jobs ?pool ?(extrapolation = `Lu) net f =
   let extra = reach_extra extrapolation net f in
   let on_state st = if Prop.holds_somewhere net st f then Some () else None in
   explore ?subsumption ?packed ?max_states ?stop ?mem_budget_words ?rich_trace
-    net ~extra ~on_state
+    ?jobs ?pool net ~extra ~on_state
 
 let check_liveness ?packed ?max_states ?stop ?mem_budget_words
     ?(from_initial_only = false) net ~p ~q =
@@ -258,41 +299,44 @@ let check_liveness ?packed ?max_states ?stop ?mem_budget_words
   let failing = all_paths_reach graph net ~is_q (List.rev !starts) in
   let stats = gstats in
   match failing with
-  | None -> { holds = true; trace = None; stats }
-  | Some id -> { holds = false; trace = Some (trace_in_graph graph id); stats }
+  | None -> { holds = true; trace = None; stats; par = None }
+  | Some id ->
+    { holds = false; trace = Some (trace_in_graph graph id); stats; par = None }
 
 let check ?subsumption ?packed ?max_states ?stop ?mem_budget_words
-    ?rich_trace ?extrapolation net query =
+    ?rich_trace ?jobs ?pool ?extrapolation net query =
   match query with
   | Prop.Possibly f ->
-    let outcome, stats =
+    let outcome, stats, par =
       check_reach ?subsumption ?packed ?max_states ?stop ?mem_budget_words
-        ?rich_trace ?extrapolation net f
+        ?rich_trace ?jobs ?pool ?extrapolation net f
     in
     (match outcome with
-     | Some ((), trace) -> { holds = true; trace = Some trace; stats }
-     | None -> { holds = false; trace = None; stats })
+     | Some ((), trace) -> { holds = true; trace = Some trace; stats; par }
+     | None -> { holds = false; trace = None; stats; par })
   | Prop.Invariant f ->
-    let outcome, stats =
+    let outcome, stats, par =
       check_reach ?subsumption ?packed ?max_states ?stop ?mem_budget_words
-        ?rich_trace ?extrapolation net (Prop.Not f)
+        ?rich_trace ?jobs ?pool ?extrapolation net (Prop.Not f)
     in
     (match outcome with
-     | Some ((), trace) -> { holds = false; trace = Some trace; stats }
-     | None -> { holds = true; trace = None; stats })
+     | Some ((), trace) -> { holds = false; trace = Some trace; stats; par }
+     | None -> { holds = true; trace = None; stats; par })
   | Prop.NoDeadlock ->
     (* The deadlock predicate inspects exact zones, for which LU is too
        coarse: always explore under Extra-M on the network constants. *)
     let extra = Dbm.Extra_m (Array.copy net.Model.max_consts) in
     let on_state st = if deadlocked net st then Some () else None in
-    let outcome, stats =
+    let outcome, stats, par =
       explore ?subsumption ?packed ?max_states ?stop ?mem_budget_words
-        ?rich_trace net ~extra ~on_state
+        ?rich_trace ?jobs ?pool net ~extra ~on_state
     in
     (match outcome with
-     | Some ((), trace) -> { holds = false; trace = Some trace; stats }
-     | None -> { holds = true; trace = None; stats })
+     | Some ((), trace) -> { holds = false; trace = Some trace; stats; par }
+     | None -> { holds = true; trace = None; stats; par })
   | Prop.LeadsTo (p, q) ->
+    (* Liveness analyses run on the exact sequential graph; [jobs] is
+       deliberately ignored (documented in the interface). *)
     check_liveness ?packed ?max_states ?stop ?mem_budget_words net ~p ~q
   | Prop.Eventually f ->
     if not (Prop.crisp f) then
@@ -308,7 +352,8 @@ let reachable_states ?subsumption ?packed ?max_states
     acc := st :: !acc;
     None
   in
-  let (_ : (unit * string list) option * stats) =
+  let (_ : (unit * string list) option * stats * Engine.Core.par_info option)
+      =
     explore ?subsumption ?packed ?max_states net ~extra ~on_state
   in
   List.rev !acc

@@ -38,6 +38,9 @@ type result = {
       (** for violated safety / satisfied reachability: the labels of a
           witness run from the initial state *)
   stats : stats;
+  par : Engine.Core.par_info option;
+      (** sharded-run observables when the check ran with [jobs]
+          ([None] for sequential checks and liveness queries) *)
 }
 
 (** The exploration was cut short by a {e resource} bound rather than
@@ -80,8 +83,26 @@ type extrapolation = [ `None | `K | `Lu ]
     [stop] is polled once per visited state — a deadline or cancellation
     hook for serving contexts. [mem_budget_words] bounds the passed
     list's retained heap (see {!Engine.Store.over_budget}).
+
+    [jobs] switches safety / reachability / deadlock exploration to the
+    sharded parallel core ({!Engine.Core.run_sharded}): the zone graph
+    is partitioned over shards by packed-key hash and explored in
+    barrier rounds over a domain pool of [jobs] workers. The result —
+    verdict, witness trace, every stat — is byte-identical for every
+    [jobs >= 1]; only wall-clock changes. [jobs:1] therefore runs the
+    sharded path too (and is the determinism reference for [jobs:4]),
+    while omitting [jobs] keeps the historical sequential BFS — the two
+    modes can legitimately report different witnesses for the same
+    verdict, since their exploration orders differ. With [jobs], the
+    sharded stats pin [time_s] to 0.0 and [phases] to []. [pool] reuses
+    a caller-owned domain pool (the daemon's); without it a transient
+    pool is created when [jobs > 1]. Liveness queries (leads-to, A<>)
+    run their exact-graph analysis sequentially and ignore both
+    options.
     @raise Failure if the exploration exceeds [max_states].
-    @raise Truncated if [stop] or [mem_budget_words] cut the run short. *)
+    @raise Truncated if [stop] or [mem_budget_words] cut the run short.
+    @raise Invalid_argument for [jobs] with [~packed:false] — the
+    sharded stores key on codec encodings. *)
 val check :
   ?subsumption:bool ->
   ?packed:bool ->
@@ -89,6 +110,8 @@ val check :
   ?stop:(unit -> bool) ->
   ?mem_budget_words:int ->
   ?rich_trace:bool ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
   ?extrapolation:extrapolation ->
   Model.network ->
   Prop.query ->

@@ -222,27 +222,69 @@ type cmp_stats = {
   intern_misses : int;  (** [seal] calls that added a fresh DBM *)
 }
 
-let c_phys = ref 0
-let c_full = ref 0
-let c_lattice = ref 0
-let c_ihit = ref 0
-let c_imiss = ref 0
+(* Counter cells are domain-local: the sharded exploration engine runs
+   comparisons from several domains at once, and plain shared refs would
+   lose increments (and make per-run deltas nondeterministic) under that
+   contention. Each domain tallies into its own record, registered once
+   at first use; [cmp_stats] sums the registry. Reads happen when the
+   other domains are quiescent (the engines read at pool joins), so the
+   sums are exact — and deterministic, because each shard's comparison
+   multiset is fixed by its inputs, never by scheduling. *)
+type cnt = {
+  mutable phys : int;
+  mutable full : int;
+  mutable lattice : int;
+  mutable ihit : int;
+  mutable imiss : int;
+}
+
+let cnt_registry : cnt list ref = ref []
+let cnt_mu = Mutex.create ()
+
+let cnt_key =
+  Domain.DLS.new_key (fun () ->
+      let c = { phys = 0; full = 0; lattice = 0; ihit = 0; imiss = 0 } in
+      Mutex.lock cnt_mu;
+      cnt_registry := c :: !cnt_registry;
+      Mutex.unlock cnt_mu;
+      c)
+
+let cnt () = Domain.DLS.get cnt_key
 
 let cmp_stats () =
-  {
-    phys_hits = !c_phys;
-    full_scans = !c_full;
-    lattice_scans = !c_lattice;
-    intern_hits = !c_ihit;
-    intern_misses = !c_imiss;
-  }
+  Mutex.lock cnt_mu;
+  let cells = !cnt_registry in
+  Mutex.unlock cnt_mu;
+  List.fold_left
+    (fun acc c ->
+      {
+        phys_hits = acc.phys_hits + c.phys;
+        full_scans = acc.full_scans + c.full;
+        lattice_scans = acc.lattice_scans + c.lattice;
+        intern_hits = acc.intern_hits + c.ihit;
+        intern_misses = acc.intern_misses + c.imiss;
+      })
+    {
+      phys_hits = 0;
+      full_scans = 0;
+      lattice_scans = 0;
+      intern_hits = 0;
+      intern_misses = 0;
+    }
+    cells
 
 let reset_cmp_stats () =
-  c_phys := 0;
-  c_full := 0;
-  c_lattice := 0;
-  c_ihit := 0;
-  c_imiss := 0
+  Mutex.lock cnt_mu;
+  let cells = !cnt_registry in
+  Mutex.unlock cnt_mu;
+  List.iter
+    (fun c ->
+      c.phys <- 0;
+      c.full <- 0;
+      c.lattice <- 0;
+      c.ihit <- 0;
+      c.imiss <- 0)
+    cells
 
 let subset_scan t1 t2 =
   assert (t1.dim = t2.dim);
@@ -262,11 +304,13 @@ let equal_scan t1 t2 =
 
 let subset t1 t2 =
   if t1 == t2 || t1.m == t2.m then begin
-    incr c_phys;
+    let c = cnt () in
+    c.phys <- c.phys + 1;
     true
   end
   else begin
-    incr c_lattice;
+    let c = cnt () in
+    c.lattice <- c.lattice + 1;
     subset_scan t1 t2
   end
 
@@ -275,15 +319,18 @@ let subset t1 t2 =
    touching the matrices. *)
 let equal t1 t2 =
   if t1 == t2 || t1.m == t2.m then begin
-    incr c_phys;
+    let c = cnt () in
+    c.phys <- c.phys + 1;
     true
   end
   else if t1.h >= 0 && t2.h >= 0 then begin
-    incr c_phys;
+    let c = cnt () in
+    c.phys <- c.phys + 1;
     false
   end
   else begin
-    incr c_full;
+    let c = cnt () in
+    c.full <- c.full + 1;
     equal_scan t1 t2
   end
 
@@ -294,8 +341,9 @@ let equal_quiet t1 t2 = t1 == t2 || t1.m == t2.m || equal_scan t1 t2
    the quiet comparisons and tally locally (in registers, not a ref
    store per scan), then account once per walk. *)
 let note_scans ~phys ~lattice =
-  c_phys := !c_phys + phys;
-  c_lattice := !c_lattice + lattice
+  let c = cnt () in
+  c.phys <- c.phys + phys;
+  c.lattice <- c.lattice + lattice
 
 (* Splitmix-style word mixer, shared with the packed codec's hashing
    discipline: cheap, and far better avalanche than Hashtbl.hash on int
@@ -461,7 +509,8 @@ let ph_extrapolate = Obs.Flight.intern "dbm.extrapolate"
 
 let seal ?(extra = No_extrapolation) t =
   if is_sealed t then begin
-    incr c_ihit;
+    let c = cnt () in
+    c.ihit <- c.ihit + 1;
     t
   end
   else begin
@@ -476,7 +525,8 @@ let seal ?(extra = No_extrapolation) t =
     let fl = Obs.Flight.stop_start ph_extrapolate fx in
     let r =
       if is_sealed t then begin
-        incr c_ihit;
+        let c = cnt () in
+        c.ihit <- c.ihit + 1;
         t
       end
       else begin
@@ -488,10 +538,11 @@ let seal ?(extra = No_extrapolation) t =
           | r -> Mutex.unlock hc_mu; r
           | exception e -> Mutex.unlock hc_mu; raise e
         in
-        if r == t then incr c_imiss
+        let c = cnt () in
+        if r == t then c.imiss <- c.imiss + 1
         else begin
           t.h <- -1;
-          incr c_ihit
+          c.ihit <- c.ihit + 1
         end;
         r
       end

@@ -150,7 +150,11 @@ val hash : t -> int
 val width : t -> int
 
 (** Counters for {!equal}/{!subset}/{!seal} since the last
-    {!reset_cmp_stats}; exploration engines report per-run deltas. *)
+    {!reset_cmp_stats}; exploration engines report per-run deltas.
+    Tallies are kept in domain-local cells and summed on read, so
+    comparisons from pooled domains are never lost to races; read (and
+    reset) while those domains are quiescent — e.g. at a pool join —
+    for an exact snapshot. *)
 type cmp_stats = {
   phys_hits : int;
       (** comparisons settled by pointer identity — including

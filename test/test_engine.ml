@@ -378,6 +378,173 @@ let test_stats_json () =
       "\"store_hit_rate\":";
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Sharded parallel core                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Route by decoded state value: every diamond edge changes the value,
+   so with [v mod shards] every successor is a cross-shard hand-off —
+   the mailbox protocol is exercised on each transition. *)
+let shard_by_value nsh pk = (Codec.decode ispec pk).(0) mod nsh
+
+let run_diamond_sharded ?pool ?record_edges ?on_state ~shards () =
+  let on_state = Option.value on_state ~default:(fun _ -> None) in
+  Core.run_sharded ~shards ~shard_of:(shard_by_value shards) ?pool
+    ?record_edges
+    ~store:(fun () -> Store.discrete_keyed ())
+    ~key:ikey ~successors:diamond ~on_state ~init:0 ()
+
+let test_sharded_exhaustive () =
+  let out = run_diamond_sharded ~shards:4 () in
+  check "nothing found" true (out.Core.found = None);
+  check_int "all states discovered" 5 (Array.length out.Core.states);
+  check_int "initial state is id 0" 0 out.Core.states.(0);
+  check_int "all visited" 5 out.Core.stats.Stats.visited;
+  check_int "all stored" 5 out.Core.stats.Stats.stored;
+  check_int "one duplicate (3 via 2)" 1 out.Core.stats.Stats.subsumed;
+  check "scheduling times are pinned" true
+    (out.Core.stats.Stats.time_s = 0.0 && out.Core.stats.Stats.phases = []);
+  match out.Core.par with
+  | None -> Alcotest.fail "sharded outcome must carry par info"
+  | Some p ->
+    check_int "every edge crossed shards" 5 p.Core.handoffs;
+    check "rounds counted" true (p.Core.rounds >= 3);
+    check "mailboxes saw traffic" true (p.Core.mailbox_hwm >= 1);
+    check_int "no pool, no steals" 0 p.Core.steals
+
+let test_sharded_witness_trace () =
+  let out =
+    run_diamond_sharded ~shards:4
+      ~on_state:(fun n -> if n = 4 then Some n else None)
+      ()
+  in
+  match out.Core.found with
+  | Some (4, steps) ->
+    (* Canonical winner: node 3 is first merged from the lower source
+       shard (via 1), exactly the sequential BFS witness. *)
+    Alcotest.(check (list string))
+      "witness labels" [ "a"; "c"; "d" ]
+      (List.map fst steps);
+    Alcotest.(check (list int)) "witness states" [ 1; 3; 4 ] (List.map snd steps)
+  | _ -> Alcotest.fail "expected to find 4"
+
+(* Full structural identity across pool sizes — the determinism
+   contract on states, parents, edges, stats and the deterministic
+   par fields (steals excluded: scheduling-dependent by design). *)
+let test_sharded_pool_identity () =
+  let run pool = run_diamond_sharded ?pool ~record_edges:true ~shards:4 () in
+  let a = run None in
+  let b = Par.Pool.with_pool ~jobs:3 (fun p -> run (Some p)) in
+  check "states identical" true (a.Core.states = b.Core.states);
+  check "parents identical" true (a.Core.parents = b.Core.parents);
+  check "edges identical" true (a.Core.edges = b.Core.edges);
+  Alcotest.(check string)
+    "stats identical" (Stats.to_json a.Core.stats) (Stats.to_json b.Core.stats);
+  match (a.Core.par, b.Core.par) with
+  | Some pa, Some pb ->
+    check_int "rounds identical" pa.Core.rounds pb.Core.rounds;
+    check_int "handoffs identical" pa.Core.handoffs pb.Core.handoffs;
+    check_int "mailbox hwm identical" pa.Core.mailbox_hwm pb.Core.mailbox_hwm
+  | _ -> Alcotest.fail "both runs must carry par info"
+
+let test_sharded_record_edges () =
+  let out = run_diamond_sharded ~record_edges:true ~shards:4 () in
+  check_int "edge rows per state" 5 (Array.length out.Core.edges);
+  let id_of v =
+    let found = ref (-1) in
+    Array.iteri (fun i s -> if s = v then found := i) out.Core.states;
+    !found
+  in
+  (* Both edges into 3 survive — including the cross-shard duplicate
+     via 2, whose destination id travelled back in the producer's
+     resolution slot. *)
+  let into_3 =
+    Array.fold_left
+      (fun acc row ->
+        acc + List.length (List.filter (fun (_, dst) -> dst = id_of 3) row))
+      0 out.Core.edges
+  in
+  check_int "duplicate edge recorded" 2 into_3;
+  Alcotest.(check (list string))
+    "labels out of 0 in generation order" [ "a"; "b" ]
+    (List.map fst out.Core.edges.(id_of 0))
+
+let test_sharded_best_cost () =
+  (* The Dijkstra diamond of [test_core_dijkstra], in quiescent sharded
+     mode: a worse-cost witness (via the direct 0 -5-> 2 edge) is found
+     in an earlier round, then superseded by the cheap path — [prefer]
+     must settle on the optimum. *)
+  let edges = function
+    | 0 -> [ (5, 2); (1, 1) ]
+    | 1 -> [ (1, 2) ]
+    | 2 -> [ (1, 3) ]
+    | _ -> []
+  in
+  let successors (n, c) =
+    List.map (fun (w, m) -> (Printf.sprintf "%d->%d" n m, (m, c + w))) (edges n)
+  in
+  let out =
+    Core.run_sharded ~shards:4
+      ~shard_of:(shard_by_value 4)
+      ~stop_on_found:false ~prefer:compare
+      ~store:(fun () -> Store.best_cost_keyed ~cost:snd ())
+      ~key:(fun (n, _) -> ikey n)
+      ~successors
+      ~on_state:(fun (n, c) -> if n = 3 then Some c else None)
+      ~init:(0, 0) ()
+  in
+  (match out.Core.found with
+   | Some (cost, steps) ->
+     check_int "optimal cost" 3 cost;
+     Alcotest.(check (list string))
+       "optimal path" [ "0->1"; "1->2"; "2->3" ]
+       (List.map fst steps)
+   | None -> Alcotest.fail "3 must be reachable");
+  check "re-opening recorded" true (out.Core.stats.Stats.reopened >= 1)
+
+(* jobs=1 vs jobs=4 byte-identity on real models, through the full
+   checker: verdict, witness trace and rendered stats JSON. *)
+let test_sharded_checker_identity () =
+  List.iter
+    (fun n ->
+      let net = Ta.Fischer.make ~n () in
+      List.iter
+        (fun (qname, q) ->
+          let r1 = Ta.Checker.check ~jobs:1 net q in
+          let r4 = Ta.Checker.check ~jobs:4 net q in
+          check (Printf.sprintf "fischer-%d %s verdict" n qname) r1.Ta.Checker.holds
+            r4.Ta.Checker.holds;
+          check
+            (Printf.sprintf "fischer-%d %s trace" n qname)
+            true
+            (r1.Ta.Checker.trace = r4.Ta.Checker.trace);
+          Alcotest.(check string)
+            (Printf.sprintf "fischer-%d %s stats bytes" n qname)
+            (Stats.to_json r1.Ta.Checker.stats)
+            (Stats.to_json r4.Ta.Checker.stats))
+        [ ("mutex", Ta.Fischer.mutex net); ("deadlock-free", Ta.Fischer.no_deadlock) ])
+    [ 4; 5 ]
+
+(* The memory budget is summed over shard stores and polled at round
+   barriers: the truncation point — and therefore the whole reported
+   prefix — must not depend on the pool size. *)
+let test_sharded_mem_budget_identity () =
+  let net = Ta.Fischer.make ~n:4 () in
+  let q = Ta.Fischer.mutex net in
+  let run jobs =
+    match Ta.Checker.check ~jobs ~mem_budget_words:60_000 net q with
+    | (_ : Ta.Checker.result) -> Alcotest.fail "budget must truncate the run"
+    | exception Ta.Checker.Truncated { reason = `Mem_budget; stats } -> stats
+    | exception Ta.Checker.Truncated { reason = `Stop; _ } ->
+      Alcotest.fail "wrong truncation reason"
+  in
+  let s1 = run 1 in
+  let s4 = run 4 in
+  check "budget truncation reported" true s1.Ta.Checker.truncated;
+  Alcotest.(check string)
+    "truncated stats identical across pool sizes" (Stats.to_json s1)
+    (Stats.to_json s4)
+
 let () =
   Alcotest.run "engine"
     [
@@ -414,5 +581,18 @@ let () =
         [
           Alcotest.test_case "sealing" `Quick test_seal_physical_equality;
           Alcotest.test_case "stats json" `Quick test_stats_json;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "exhaustive cross-shard" `Quick
+            test_sharded_exhaustive;
+          Alcotest.test_case "witness trace" `Quick test_sharded_witness_trace;
+          Alcotest.test_case "pool identity" `Quick test_sharded_pool_identity;
+          Alcotest.test_case "record edges" `Quick test_sharded_record_edges;
+          Alcotest.test_case "best cost" `Quick test_sharded_best_cost;
+          Alcotest.test_case "checker jobs identity" `Slow
+            test_sharded_checker_identity;
+          Alcotest.test_case "mem budget identity" `Quick
+            test_sharded_mem_budget_identity;
         ] );
     ]

@@ -149,6 +149,83 @@ let test_fuzz_sweep_deterministic () =
   let par = Gen.Harness.render (Gen.Harness.run { cfg with jobs = 4 }) in
   check "fuzz report byte-identical under jobs=4" true (String.equal seq par)
 
+(* ------------------------------------------------------------------ *)
+(* Mailboxes                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_mailbox_fifo_and_hwm () =
+  let mb = Par.Mailbox.create () in
+  check_int "empty" 0 (Par.Mailbox.length mb);
+  List.iter (Par.Mailbox.push mb) [ 3; 1; 4; 1; 5 ];
+  check_int "length" 5 (Par.Mailbox.length mb);
+  let seen = ref [] in
+  Par.Mailbox.iter (fun x -> seen := x :: !seen) mb;
+  Alcotest.(check (list int)) "FIFO iteration" [ 3; 1; 4; 1; 5 ] (List.rev !seen);
+  Par.Mailbox.clear mb;
+  check_int "cleared" 0 (Par.Mailbox.length mb);
+  check_int "hwm survives clear" 5 (Par.Mailbox.hwm mb);
+  List.iter (Par.Mailbox.push mb) [ 7; 8 ];
+  let seen = ref [] in
+  Par.Mailbox.iter (fun x -> seen := x :: !seen) mb;
+  Alcotest.(check (list int)) "reuse after clear" [ 7; 8 ] (List.rev !seen);
+  check_int "hwm is a high-water mark" 5 (Par.Mailbox.hwm mb)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded rounds                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Exactly-once / quiescence: each slot is written only by its own
+   shard's step, so any double-execution within a round — or a round
+   run past [continue_ () = false] — shows up as a count mismatch. *)
+let run_shard_counters ?pool ~shards ~rounds () =
+  let counts = Array.make shards 0 in
+  let round = ref 0 in
+  let st =
+    Par.Shards.run ?pool ~shards
+      ~step:(fun s -> counts.(s) <- counts.(s) + 1)
+      ~continue_:(fun () ->
+        incr round;
+        !round < rounds)
+      ()
+  in
+  (counts, st)
+
+let test_shards_quiescence_exactly_once () =
+  let reference = fst (run_shard_counters ~shards:16 ~rounds:5 ()) in
+  check "every shard stepped once per round" true
+    (reference = Array.make 16 5);
+  List.iter
+    (fun jobs ->
+      let counts, st =
+        Par.Pool.with_pool ~jobs @@ fun pool ->
+        run_shard_counters ~pool ~shards:16 ~rounds:5 ()
+      in
+      check
+        (Printf.sprintf "counts identical under jobs=%d" jobs)
+        true (counts = reference);
+      check_int
+        (Printf.sprintf "rounds deterministic under jobs=%d" jobs)
+        5 st.Par.Shards.rounds)
+    [ 2; 4 ]
+
+let test_shards_steal_under_contention () =
+  (* Shard 0's home participant stalls mid-round; the other worker must
+     steal the remaining unclaimed shards — and stealing must not break
+     exactly-once. *)
+  let shards = 16 in
+  let counts = Array.make shards 0 in
+  let st =
+    Par.Pool.with_pool ~jobs:2 @@ fun pool ->
+    Par.Shards.run ~pool ~shards
+      ~step:(fun s ->
+        if s = 0 then Unix.sleepf 0.05;
+        counts.(s) <- counts.(s) + 1)
+      ~continue_:(fun () -> false)
+      ()
+  in
+  check "exactly-once despite stealing" true (counts = Array.make shards 1);
+  check "contention forced steals" true (st.Par.Shards.steals >= 1)
+
 let () =
   Alcotest.run "par"
     [
@@ -178,5 +255,17 @@ let () =
         [
           Alcotest.test_case "sweep report jobs=1 vs 4" `Quick
             test_fuzz_sweep_deterministic;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "FIFO order and hwm" `Quick
+            test_mailbox_fifo_and_hwm;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "quiescence, exactly-once" `Quick
+            test_shards_quiescence_exactly_once;
+          Alcotest.test_case "steal under contention" `Quick
+            test_shards_steal_under_contention;
         ] );
     ]
